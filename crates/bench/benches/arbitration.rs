@@ -1,0 +1,57 @@
+//! Arbitration control-plane micro-benchmarks: the cost of one Algorithm-1
+//! decision as the per-link flow population grows. This bounds the
+//! processing overhead the paper's §3.1.2 scalability argument is about.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use netsim::ids::FlowId;
+use netsim::time::{Rate, SimTime};
+use pase::{FlowEntry, LinkArbitrator, PaseConfig};
+
+fn entry(i: u64) -> FlowEntry {
+    FlowEntry {
+        remaining: 1_000 + (i * 7919) % 1_000_000,
+        deadline: None,
+        demand: Rate::from_mbps(100 + (i % 10) * 100),
+        task: None,
+        last_update: SimTime::ZERO,
+    }
+}
+
+fn bench_decide(c: &mut Criterion) {
+    let mut g = c.benchmark_group("arbitration_decide");
+    for &n in &[10u64, 100, 1000] {
+        g.throughput(Throughput::Elements(1));
+        g.bench_with_input(BenchmarkId::new("update_and_decide", n), &n, |b, &n| {
+            let cfg = PaseConfig::default();
+            let mut arb = LinkArbitrator::new(Rate::from_gbps(10), &cfg);
+            for i in 0..n {
+                arb.update(FlowId(i), entry(i));
+            }
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                arb.update_and_decide(FlowId(i % n), entry(i))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_top_queue_demand(c: &mut Criterion) {
+    let mut g = c.benchmark_group("arbitration_delegation");
+    for &n in &[10u64, 100, 1000] {
+        g.bench_with_input(BenchmarkId::new("top_queue_demand", n), &n, |b, &n| {
+            let cfg = PaseConfig::default();
+            let mut arb = LinkArbitrator::new(Rate::from_gbps(10), &cfg);
+            for i in 0..n {
+                arb.update(FlowId(i), entry(i));
+            }
+            b.iter(|| arb.top_queue_demand())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_decide, bench_top_queue_demand);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Engine micro-benchmarks: scheduler throughput and end-to-end packet
+//! processing rates for each transport scheme.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use netsim::event::EventKind;
+use netsim::prelude::*;
+use workloads::{RunSpec, Scenario, Scheme};
+
+/// Raw scheduler throughput: schedule + pop cycles.
+fn bench_scheduler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduler");
+    for &n in &[1_000u64, 10_000, 100_000] {
+        g.throughput(Throughput::Elements(n));
+        g.bench_with_input(BenchmarkId::new("schedule_pop", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut s = netsim::engine::Scheduler::new();
+                for i in 0..n {
+                    s.schedule_at(
+                        SimTime::from_nanos(i * 37 % 1_000_000),
+                        NodeId((i % 64) as u32),
+                        EventKind::PluginTimer(i),
+                    );
+                }
+                let mut popped = 0u64;
+                while s.pop().is_some() {
+                    popped += 1;
+                }
+                assert_eq!(popped, n);
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Whole-stack events/second: a fixed small workload per scheme. The
+/// reported time divided by the event count gives ns/event.
+fn bench_schemes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheme_events");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    let scenario = Scenario::all_to_all_intra(8, 60);
+    for scheme in [Scheme::Dctcp, Scheme::Pdq, Scheme::PFabric, Scheme::Pase] {
+        g.bench_function(scheme.name(), |b| {
+            b.iter(|| {
+                let m = RunSpec::new(scheme, scenario, 0.6, 7).run();
+                assert!(m.n_completed > 0);
+                m.events
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scheduler, bench_schemes);
+criterion_main!(benches);

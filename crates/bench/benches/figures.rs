@@ -1,0 +1,92 @@
+//! One benchmark per paper figure: each runs the corresponding experiment
+//! harness at reduced scale and reports wall-clock cost. These double as
+//! always-compiled smoke tests that every figure's pipeline works; the
+//! full-scale numbers come from `cargo run --release -p experiments --bin
+//! run_all`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::{figs, ExpOpts};
+
+fn tiny_opts() -> ExpOpts {
+    ExpOpts {
+        flows: 60,
+        loads: vec![0.3, 0.7],
+        hosts_per_rack: 5,
+        quick: true,
+        ..ExpOpts::quick()
+    }
+}
+
+macro_rules! fig_bench {
+    ($fn_name:ident, $module:ident) => {
+        fn $fn_name(c: &mut Criterion) {
+            let opts = tiny_opts();
+            let mut g = c.benchmark_group("figures");
+            g.sample_size(10);
+            g.warm_up_time(std::time::Duration::from_millis(500));
+            g.measurement_time(std::time::Duration::from_secs(2));
+            g.bench_function(stringify!($module), |b| {
+                b.iter(|| {
+                    let fig = figs::$module::run(&opts);
+                    assert!(!fig.xs.is_empty());
+                    fig
+                })
+            });
+            g.finish();
+        }
+    };
+}
+
+fig_bench!(bench_fig01, fig01);
+fig_bench!(bench_fig02, fig02);
+fig_bench!(bench_fig03, fig03);
+fig_bench!(bench_fig04, fig04);
+fig_bench!(bench_fig09a, fig09a);
+fig_bench!(bench_fig09b, fig09b);
+fig_bench!(bench_fig09c, fig09c);
+fig_bench!(bench_fig10a, fig10a);
+fig_bench!(bench_fig10b, fig10b);
+fig_bench!(bench_fig10c, fig10c);
+fig_bench!(bench_fig12a, fig12a);
+fig_bench!(bench_fig12b, fig12b);
+fig_bench!(bench_fig13a, fig13a);
+fig_bench!(bench_fig13b, fig13b);
+fig_bench!(bench_micro_probing, micro_probing);
+
+// fig11 returns two results (11a + 11b), so it gets a hand-rolled bench.
+fn bench_fig11(c: &mut Criterion) {
+    let opts = tiny_opts();
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.bench_function("fig11", |b| {
+        b.iter(|| {
+            let figs = figs::fig11::run(&opts);
+            assert_eq!(figs.len(), 2);
+            figs
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig01,
+    bench_fig02,
+    bench_fig03,
+    bench_fig04,
+    bench_fig09a,
+    bench_fig09b,
+    bench_fig09c,
+    bench_fig10a,
+    bench_fig10b,
+    bench_fig10c,
+    bench_fig11,
+    bench_fig12a,
+    bench_fig12b,
+    bench_fig13a,
+    bench_fig13b,
+    bench_micro_probing
+);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Queue-discipline micro-benchmarks: enqueue/dequeue cycles for every
+//! qdisc in the workspace, including pFabric's O(n) rank scans at its
+//! paper-configured depth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use netsim::ids::{FlowId, NodeId};
+use netsim::packet::Packet;
+use netsim::queue::{DropTailQdisc, Qdisc, RedEcnQdisc, StrictPrioQdisc};
+use netsim::time::SimTime;
+use pfabric::PFabricQdisc;
+
+fn pkt(i: u64) -> Packet {
+    let mut p = Packet::data(FlowId(i % 37), NodeId(0), NodeId(1), i * 1460, 1460);
+    p.prio = (i % 8) as u8;
+    p.rank = (i * 7919) % 1_000_000;
+    p
+}
+
+fn cycle(q: &mut dyn Qdisc, n: u64) {
+    let now = SimTime::ZERO;
+    // Fill half, then steady-state enqueue+dequeue.
+    for i in 0..n / 2 {
+        let _ = q.enqueue(pkt(i), now);
+    }
+    for i in n / 2..n {
+        let _ = q.enqueue(pkt(i), now);
+        let _ = q.dequeue(now);
+    }
+    while q.dequeue(now).is_some() {}
+}
+
+fn bench_qdiscs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("qdisc_cycle");
+    let n = 10_000u64;
+    g.throughput(Throughput::Elements(n));
+    g.bench_with_input(BenchmarkId::new("droptail", 225), &n, |b, &n| {
+        b.iter(|| {
+            let mut q = DropTailQdisc::new(225);
+            cycle(&mut q, n);
+        })
+    });
+    g.bench_with_input(BenchmarkId::new("red_ecn", 225), &n, |b, &n| {
+        b.iter(|| {
+            let mut q = RedEcnQdisc::new(225, 65);
+            cycle(&mut q, n);
+        })
+    });
+    g.bench_with_input(BenchmarkId::new("strict_prio8", 500), &n, |b, &n| {
+        b.iter(|| {
+            let mut q = StrictPrioQdisc::new(8, 500, 65);
+            cycle(&mut q, n);
+        })
+    });
+    g.bench_with_input(BenchmarkId::new("pfabric", 76), &n, |b, &n| {
+        b.iter(|| {
+            let mut q = PFabricQdisc::new(76);
+            cycle(&mut q, n);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_qdiscs);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! Binary wrapper for `experiments::figs::ablations` (design-knob sweeps
+//! and the heavy-tailed workload extension).
+
+fn main() {
+    let opts = experiments::ExpOpts::from_env();
+    for fig in experiments::figs::ablations::run(&opts) {
+        fig.print();
+        if let Some(dir) = &opts.out_dir {
+            fig.save_json(dir).expect("write JSON result");
+        }
+    }
+}

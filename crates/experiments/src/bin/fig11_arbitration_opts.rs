@@ -1,0 +1,11 @@
+//! Binary wrapper for `experiments::figs::fig11` (Figures 11a and 11b).
+
+fn main() {
+    let opts = experiments::ExpOpts::from_env();
+    for fig in experiments::figs::fig11::run(&opts) {
+        fig.print();
+        if let Some(dir) = &opts.out_dir {
+            fig.save_json(dir).expect("write JSON result");
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Run every experiment and write `EXPERIMENTS.md` plus per-figure JSON.
+//!
+//! ```sh
+//! cargo run --release -p experiments --bin run_all -- [--quick] [--out results]
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn main() {
+    let opts = experiments::ExpOpts::from_env();
+    let started = Instant::now();
+    let figs = experiments::figs::all(&opts);
+
+    let mut md = String::new();
+    let _ = writeln!(md, "# EXPERIMENTS — paper vs. measured\n");
+    let _ = writeln!(
+        md,
+        "Reproduction of every figure in *Friends, not Foes* (SIGCOMM 2014).\n\
+         Absolute numbers come from this repository's simulator, not the\n\
+         authors' ns2 setup or testbed; the *shape* notes under each table\n\
+         record the paper's qualitative claim next to what we measured.\n"
+    );
+    let _ = writeln!(
+        md,
+        "Configuration: {} flows/point, seed {}, loads {:?}, hosts/rack {}{}.\n",
+        opts.flows,
+        opts.seed,
+        opts.loads,
+        opts.hosts_per_rack,
+        if opts.quick { " (QUICK mode)" } else { "" }
+    );
+    for fig in &figs {
+        fig.print();
+        println!();
+        md.push_str(&fig.to_markdown());
+        if let Some(dir) = &opts.out_dir {
+            fig.save_json(dir).expect("write JSON result");
+        }
+    }
+    let _ = writeln!(
+        md,
+        "\n*Generated in {:.1} s of wall-clock time.*",
+        started.elapsed().as_secs_f64()
+    );
+    std::fs::write("EXPERIMENTS.md", md).expect("write EXPERIMENTS.md");
+    eprintln!(
+        "wrote EXPERIMENTS.md ({} figures) in {:.1}s",
+        figs.len(),
+        started.elapsed().as_secs_f64()
+    );
+}

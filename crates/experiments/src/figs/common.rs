@@ -1,0 +1,108 @@
+//! Shared helpers for figure modules.
+
+use workloads::{RunMetrics, RunSpec, Scenario, Scheme};
+
+use crate::opts::ExpOpts;
+use crate::report::FigResult;
+
+/// Run `scheme` over `loads` on `scenario`, extracting one y per load.
+pub fn load_sweep(
+    scheme: Scheme,
+    scenario: Scenario,
+    loads: &[f64],
+    seed: u64,
+    metric: impl Fn(&RunMetrics) -> f64,
+) -> Vec<f64> {
+    loads
+        .iter()
+        .map(|&load| metric(&RunSpec::new(scheme, scenario, load, seed).run()))
+        .collect()
+}
+
+/// Sweep several `(label, scheme)` pairs into a figure. The figure's x
+/// axis is load-in-percent; `opts.loads` supplies the fractions.
+pub fn sweep_into(
+    fig: &mut FigResult,
+    entries: &[(&str, Scheme)],
+    scenario: Scenario,
+    opts: &ExpOpts,
+    metric: impl Fn(&RunMetrics) -> f64 + Copy,
+) {
+    debug_assert_eq!(fig.xs.len(), opts.loads.len());
+    for &(label, scheme) in entries {
+        let ys = load_sweep(scheme, scenario, &opts.loads, opts.seed, metric);
+        fig.push_series(label, ys);
+    }
+}
+
+/// AFCT in milliseconds.
+pub fn afct(m: &RunMetrics) -> f64 {
+    m.afct_ms
+}
+
+/// 99th-percentile FCT in milliseconds.
+pub fn p99(m: &RunMetrics) -> f64 {
+    m.p99_ms
+}
+
+/// Application throughput (fraction of deadlines met).
+pub fn app_throughput(m: &RunMetrics) -> f64 {
+    m.app_throughput.unwrap_or(f64::NAN)
+}
+
+/// Loss rate in percent.
+pub fn loss_pct(m: &RunMetrics) -> f64 {
+    m.loss_rate * 100.0
+}
+
+/// Loads as percentages for the x axis (the paper plots "Offered load (%)").
+pub fn loads_pct(loads: &[f64]) -> Vec<f64> {
+    loads.iter().map(|l| l * 100.0).collect()
+}
+
+/// Percentiles used for tabular CDF figures.
+pub const CDF_PERCENTILES: [f64; 9] = [10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 99.5, 100.0];
+
+/// Extract the tabular CDF (FCT at each of [`CDF_PERCENTILES`]).
+pub fn cdf_row(m: &RunMetrics) -> Vec<f64> {
+    CDF_PERCENTILES
+        .iter()
+        .map(|&p| workloads::percentile(&m.fcts_ms, p))
+        .collect()
+}
+
+/// Percent improvement of `better` over `base` (positive = better is
+/// smaller).
+pub fn improvement_pct(base: f64, better: f64) -> f64 {
+    if base <= 0.0 || !base.is_finite() {
+        return f64::NAN;
+    }
+    (base - better) / base * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improvement_pct_signs() {
+        assert!((improvement_pct(4.0, 2.0) - 50.0).abs() < 1e-12);
+        assert!((improvement_pct(2.0, 4.0) + 100.0).abs() < 1e-12);
+        assert_eq!(improvement_pct(2.0, 2.0), 0.0);
+        assert!(improvement_pct(0.0, 1.0).is_nan());
+        assert!(improvement_pct(f64::NAN, 1.0).is_nan());
+    }
+
+    #[test]
+    fn loads_pct_scales() {
+        assert_eq!(loads_pct(&[0.1, 0.95]), vec![10.0, 95.0]);
+    }
+
+    #[test]
+    fn cdf_percentiles_are_sorted_unique() {
+        let mut sorted = CDF_PERCENTILES.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(sorted, CDF_PERCENTILES.to_vec());
+        assert_eq!(*CDF_PERCENTILES.last().unwrap(), 100.0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Extension: the classic incast microbenchmark.
+//!
+//! `N` synchronized senders each ship one 64 KB block to a single
+//! receiver (a partition–aggregate response wave). We report the *incast
+//! completion time* — when the last block lands — for each transport as
+//! the fan-in grows. This is the stress case behind the paper's deadline
+//! scenarios: shallow-queue designs (pFabric) shed bursts, loss-based
+//! designs stall on timeouts, ECN/arbitration designs absorb the wave.
+
+use netsim::prelude::*;
+use workloads::{Scheme, TopologySpec};
+
+use crate::opts::ExpOpts;
+use crate::report::FigResult;
+
+/// Block size each sender contributes.
+const BLOCK: u64 = 64_000;
+
+/// One incast wave of `fan_in` senders; returns (completion ms, loss).
+fn run_wave(scheme: Scheme, fan_in: usize) -> (f64, f64) {
+    let topo = TopologySpec::intra_rack(fan_in + 1);
+    let (mut sim, hosts) = scheme.build_sim(&topo);
+    let receiver = hosts[fan_in];
+    for (i, &h) in hosts.iter().take(fan_in).enumerate() {
+        sim.add_flow(FlowSpec::new(
+            FlowId(i as u64),
+            h,
+            receiver,
+            BLOCK,
+            SimTime::ZERO,
+        ));
+    }
+    let outcome = sim.run(RunLimit::until_measured_done(SimTime::from_secs(30)));
+    assert_eq!(outcome, RunOutcome::MeasuredComplete, "{}", scheme.name());
+    let last_done = sim
+        .stats()
+        .flows()
+        .map(|r| r.completed.expect("completed"))
+        .max()
+        .expect("flows exist");
+    (last_done.as_millis_f64(), sim.stats().data_loss_rate())
+}
+
+/// Regenerate the incast extension table.
+pub fn run(opts: &ExpOpts) -> FigResult {
+    let fan_ins: Vec<usize> = if opts.quick {
+        vec![4, 16]
+    } else {
+        vec![4, 8, 16, 32, 48]
+    };
+    let mut fig = FigResult::new(
+        "ext_incast",
+        "Incast: completion time of an N-to-1 synchronized wave (64 KB each)",
+        "fan-in",
+        "wave completion (ms)",
+        fan_ins.iter().map(|&n| n as f64).collect(),
+    );
+    for scheme in [Scheme::Pase, Scheme::Dctcp, Scheme::PFabric, Scheme::Tcp] {
+        let mut times = vec![];
+        let mut losses = vec![];
+        for &n in &fan_ins {
+            let (t, l) = run_wave(scheme, n);
+            times.push(t);
+            losses.push(l * 100.0);
+        }
+        fig.push_series(scheme.name(), times);
+        if scheme == Scheme::PFabric || scheme == Scheme::Tcp {
+            fig.push_series(format!("{} loss(%)", scheme.name()), losses);
+        }
+    }
+    // The ideal completion: N x 64KB + headers at 1 Gbps.
+    let ideal: Vec<f64> = fan_ins
+        .iter()
+        .map(|&n| (n as u64 * BLOCK) as f64 * 8.0 * 1.0274 / 1e9 * 1e3)
+        .collect();
+    fig.push_series("ideal", ideal);
+    fig.note(
+        "expected: PASE/DCTCP track the ideal serialization time (ECN absorbs the wave); \
+         TCP overshoots via loss + RTO; pFabric sheds bursts but recovers on its 1 ms RTO",
+    );
+    fig
+}

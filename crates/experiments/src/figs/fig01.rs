@@ -1,0 +1,44 @@
+//! Figure 1: limits of self-adjusting endpoints — D2TCP and DCTCP vs
+//! pFabric on the deadline workload (the D2TCP paper's experiment 4.1.3
+//! replica: intra-rack, 20 machines, U(100..500) KB, deadlines U(5..25) ms).
+
+use workloads::{Scenario, Scheme};
+
+use super::common::{app_throughput, loads_pct, sweep_into};
+use crate::opts::ExpOpts;
+use crate::report::FigResult;
+
+/// Regenerate Figure 1.
+pub fn run(opts: &ExpOpts) -> FigResult {
+    let scenario = Scenario::deadline_intra_rack(opts.flows);
+    let mut fig = FigResult::new(
+        "fig01",
+        "Self-adjusting endpoints vs pFabric (application throughput)",
+        "load(%)",
+        "fraction of deadlines met",
+        loads_pct(&opts.loads),
+    );
+    sweep_into(
+        &mut fig,
+        &[
+            ("pFabric", Scheme::PFabric),
+            ("D2TCP", Scheme::D2tcp),
+            ("DCTCP", Scheme::Dctcp),
+        ],
+        scenario,
+        opts,
+        app_throughput,
+    );
+    shape_notes(&mut fig);
+    fig
+}
+
+fn shape_notes(fig: &mut FigResult) {
+    let last = fig.xs.len() - 1;
+    let get = |name: &str| fig.series_named(name).map(|s| s.ys[last]);
+    if let (Some(pf), Some(d2), Some(dc)) = (get("pFabric"), get("D2TCP"), get("DCTCP")) {
+        fig.note(format!(
+            "paper shape @highest load: pFabric >> D2TCP ~ DCTCP; measured {pf:.2} vs {d2:.2} vs {dc:.2}"
+        ));
+    }
+}

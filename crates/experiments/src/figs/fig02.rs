@@ -1,0 +1,36 @@
+//! Figure 2: limits of arbitration — PDQ vs DCTCP AFCT on the intra-rack
+//! workload (flow-switching overhead shows at high load).
+
+use workloads::{Scenario, Scheme};
+
+use super::common::{afct, loads_pct, sweep_into};
+use crate::opts::ExpOpts;
+use crate::report::FigResult;
+
+/// Regenerate Figure 2.
+pub fn run(opts: &ExpOpts) -> FigResult {
+    let scenario = Scenario::medium_intra_rack(opts.flows);
+    let mut fig = FigResult::new(
+        "fig02",
+        "Arbitration alone: PDQ vs DCTCP (AFCT)",
+        "load(%)",
+        "AFCT (ms)",
+        loads_pct(&opts.loads),
+    );
+    sweep_into(
+        &mut fig,
+        &[("PDQ", Scheme::Pdq), ("DCTCP", Scheme::Dctcp)],
+        scenario,
+        opts,
+        afct,
+    );
+    let first = 0;
+    let last = fig.xs.len() - 1;
+    let pdq = fig.series_named("PDQ").unwrap().ys.clone();
+    let dctcp = fig.series_named("DCTCP").unwrap().ys.clone();
+    fig.note(format!(
+        "paper shape: PDQ wins at low load (measured {:.2} vs {:.2} ms), degrades toward/past DCTCP at high load (measured {:.2} vs {:.2} ms)",
+        pdq[first], dctcp[first], pdq[last], dctcp[last]
+    ));
+    fig
+}

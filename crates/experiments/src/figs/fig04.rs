@@ -1,0 +1,44 @@
+//! Figure 4: pFabric loss rate vs load on the intra-rack worker →
+//! aggregator workload (U(2..198) KB).
+
+use workloads::{Scenario, Scheme};
+
+use super::common::{loads_pct, loss_pct, sweep_into};
+use crate::opts::ExpOpts;
+use crate::report::FigResult;
+
+/// Regenerate Figure 4.
+pub fn run(opts: &ExpOpts) -> FigResult {
+    let hosts = if opts.quick { 8 } else { 20 };
+    let scenario = Scenario::all_to_all_intra(hosts, opts.flows);
+    // The paper sweeps up to 95% here.
+    let mut loads = opts.loads.clone();
+    if !opts.quick && loads.last().is_some_and(|&l| l <= 0.9) {
+        loads.push(0.95);
+    }
+    let mut fig = FigResult::new(
+        "fig04",
+        "pFabric loss rate under all-to-all load",
+        "load(%)",
+        "data packet loss rate (%)",
+        loads_pct(&loads),
+    );
+    let opts2 = ExpOpts {
+        loads,
+        ..opts.clone()
+    };
+    sweep_into(
+        &mut fig,
+        &[("pFabric", Scheme::PFabric)],
+        scenario,
+        &opts2,
+        loss_pct,
+    );
+    let ys = &fig.series[0].ys;
+    fig.note(format!(
+        "paper shape: loss rate shoots up with load (paper: >40% at 80%); measured {:.1}% at the lowest vs {:.1}% at the highest load",
+        ys[0],
+        ys[ys.len() - 1]
+    ));
+    fig
+}

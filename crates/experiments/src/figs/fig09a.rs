@@ -1,0 +1,41 @@
+//! Figure 9a: PASE vs the deployment-friendly schemes (L2DCT, DCTCP) —
+//! AFCT on the left-right inter-rack scenario.
+
+use workloads::{Scenario, Scheme};
+
+use super::common::{afct, improvement_pct, loads_pct, sweep_into};
+use crate::opts::ExpOpts;
+use crate::report::FigResult;
+
+/// Regenerate Figure 9a.
+pub fn run(opts: &ExpOpts) -> FigResult {
+    let scenario = Scenario::left_right(opts.hosts_per_rack, opts.flows);
+    let mut fig = FigResult::new(
+        "fig09a",
+        "PASE vs deployment-friendly transports (AFCT, left-right)",
+        "load(%)",
+        "AFCT (ms)",
+        loads_pct(&opts.loads),
+    );
+    sweep_into(
+        &mut fig,
+        &[
+            ("PASE", Scheme::Pase),
+            ("L2DCT", Scheme::L2dct),
+            ("DCTCP", Scheme::Dctcp),
+        ],
+        scenario,
+        opts,
+        afct,
+    );
+    let pase = fig.series_named("PASE").unwrap().ys.clone();
+    let l2dct = fig.series_named("L2DCT").unwrap().ys.clone();
+    let dctcp = fig.series_named("DCTCP").unwrap().ys.clone();
+    let mid = fig.xs.len() / 2;
+    fig.note(format!(
+        "paper shape: PASE better than L2DCT by >=50% and DCTCP by >=70% across loads; measured at mid-load: {:.0}% vs L2DCT, {:.0}% vs DCTCP",
+        improvement_pct(l2dct[mid], pase[mid]),
+        improvement_pct(dctcp[mid], pase[mid]),
+    ));
+    fig
+}

@@ -1,0 +1,33 @@
+//! Figure 9b: distribution of FCTs at 70% load on the left-right scenario
+//! (the paper plots a CDF; we tabulate FCT at fixed percentiles).
+
+use workloads::{RunSpec, Scenario, Scheme};
+
+use super::common::{cdf_row, CDF_PERCENTILES};
+use crate::opts::ExpOpts;
+use crate::report::FigResult;
+
+/// Load at which the paper draws the CDF.
+pub const CDF_LOAD: f64 = 0.7;
+
+/// Regenerate Figure 9b.
+pub fn run(opts: &ExpOpts) -> FigResult {
+    let scenario = Scenario::left_right(opts.hosts_per_rack, opts.flows);
+    let mut fig = FigResult::new(
+        "fig09b",
+        "FCT distribution at 70% load (left-right)",
+        "percentile",
+        "FCT (ms)",
+        CDF_PERCENTILES.to_vec(),
+    );
+    for (label, scheme) in [
+        ("PASE", Scheme::Pase),
+        ("L2DCT", Scheme::L2dct),
+        ("DCTCP", Scheme::Dctcp),
+    ] {
+        let m = RunSpec::new(scheme, scenario, CDF_LOAD, opts.seed).run();
+        fig.push_series(label, cdf_row(&m));
+    }
+    fig.note("paper shape: PASE's distribution dominates (better FCT at almost every percentile)");
+    fig
+}

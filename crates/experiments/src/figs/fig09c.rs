@@ -1,0 +1,44 @@
+//! Figure 9c: deadline-constrained flows — application throughput of
+//! PASE vs D2TCP vs DCTCP on the intra-rack deadline workload.
+//!
+//! PASE arbitrates with the EDF criterion here (paper §3.1.1: FlowSize
+//! "can be replaced by deadline").
+
+use pase::Criterion;
+use workloads::{Scenario, Scheme};
+
+use super::common::{app_throughput, loads_pct, sweep_into};
+use crate::opts::ExpOpts;
+use crate::report::FigResult;
+
+/// Regenerate Figure 9c.
+pub fn run(opts: &ExpOpts) -> FigResult {
+    let scenario = Scenario::deadline_intra_rack(opts.flows);
+    let mut pase_cfg = Scheme::pase_config_for(&scenario.topo);
+    pase_cfg.criterion = Criterion::Edf;
+    let mut fig = FigResult::new(
+        "fig09c",
+        "Deadline flows: application throughput (intra-rack)",
+        "load(%)",
+        "fraction of deadlines met",
+        loads_pct(&opts.loads),
+    );
+    sweep_into(
+        &mut fig,
+        &[
+            ("PASE", Scheme::PaseWith(pase_cfg)),
+            ("D2TCP", Scheme::D2tcp),
+            ("DCTCP", Scheme::Dctcp),
+        ],
+        scenario,
+        opts,
+        app_throughput,
+    );
+    let last = fig.xs.len() - 1;
+    let pase = fig.series_named("PASE").unwrap().ys[last];
+    let d2 = fig.series_named("D2TCP").unwrap().ys[last];
+    fig.note(format!(
+        "paper shape: PASE >> D2TCP/DCTCP at high load; measured at the highest load: {pase:.2} vs {d2:.2}"
+    ));
+    fig
+}

@@ -1,0 +1,26 @@
+//! Figure 10b: FCT distribution at 70% load, PASE vs pFabric
+//! (left-right scenario; tabulated CDF).
+
+use workloads::{RunSpec, Scenario, Scheme};
+
+use super::common::{cdf_row, CDF_PERCENTILES};
+use crate::opts::ExpOpts;
+use crate::report::FigResult;
+
+/// Regenerate Figure 10b.
+pub fn run(opts: &ExpOpts) -> FigResult {
+    let scenario = Scenario::left_right(opts.hosts_per_rack, opts.flows);
+    let mut fig = FigResult::new(
+        "fig10b",
+        "FCT distribution at 70% load: PASE vs pFabric (left-right)",
+        "percentile",
+        "FCT (ms)",
+        CDF_PERCENTILES.to_vec(),
+    );
+    for (label, scheme) in [("PASE", Scheme::Pase), ("pFabric", Scheme::PFabric)] {
+        let m = RunSpec::new(scheme, scenario, super::fig09b::CDF_LOAD, opts.seed).run();
+        fig.push_series(label, cdf_row(&m));
+    }
+    fig.note("paper shape: similar bodies; pFabric's tail inflates from persistent loss");
+    fig
+}

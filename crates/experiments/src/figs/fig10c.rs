@@ -1,0 +1,38 @@
+//! Figure 10c: AFCT — PASE vs pFabric on the all-to-all intra-rack
+//! scenario, with the paper's per-load improvement percentages.
+
+use workloads::{Scenario, Scheme};
+
+use super::common::{afct, improvement_pct, loads_pct, sweep_into};
+use crate::opts::ExpOpts;
+use crate::report::FigResult;
+
+/// Regenerate Figure 10c.
+pub fn run(opts: &ExpOpts) -> FigResult {
+    let hosts = if opts.quick { 8 } else { 20 };
+    let scenario = Scenario::all_to_all_intra(hosts, opts.flows);
+    let mut fig = FigResult::new(
+        "fig10c",
+        "AFCT: PASE vs pFabric (all-to-all intra-rack)",
+        "load(%)",
+        "AFCT (ms)",
+        loads_pct(&opts.loads),
+    );
+    sweep_into(
+        &mut fig,
+        &[("PASE", Scheme::Pase), ("pFabric", Scheme::PFabric)],
+        scenario,
+        opts,
+        afct,
+    );
+    let pase = fig.series_named("PASE").unwrap().ys.clone();
+    let pf = fig.series_named("pFabric").unwrap().ys.clone();
+    let imps: Vec<f64> = pase
+        .iter()
+        .zip(&pf)
+        .map(|(&p, &f)| improvement_pct(f, p))
+        .collect();
+    fig.push_series("improvement(%)", imps);
+    fig.note("paper shape: PASE lower AFCT across all loads, up to ~85% improvement at high load");
+    fig
+}

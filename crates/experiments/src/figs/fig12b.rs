@@ -1,0 +1,39 @@
+//! Figure 12b: how many hardware priority queues does PASE need?
+//! (3, 4, 6, 8 queues on the left-right scenario.)
+
+use workloads::{Scenario, Scheme};
+
+use super::common::{afct, loads_pct, sweep_into};
+use crate::opts::ExpOpts;
+use crate::report::FigResult;
+
+/// Queue counts swept (paper: 3/4/6/8).
+pub const QUEUE_COUNTS: [u8; 4] = [3, 4, 6, 8];
+
+/// Regenerate Figure 12b.
+pub fn run(opts: &ExpOpts) -> FigResult {
+    let scenario = Scenario::left_right(opts.hosts_per_rack, opts.flows);
+    let base = Scheme::pase_config_for(&scenario.topo);
+    let mut fig = FigResult::new(
+        "fig12b",
+        "PASE with a varying number of priority queues (AFCT, left-right)",
+        "load(%)",
+        "AFCT (ms)",
+        loads_pct(&opts.loads),
+    );
+    let configs: Vec<(String, Scheme)> = QUEUE_COUNTS
+        .iter()
+        .map(|&n| {
+            let mut cfg = base;
+            cfg.n_queues = n;
+            (format!("{n} Queues"), Scheme::PaseWith(cfg))
+        })
+        .collect();
+    let entries: Vec<(&str, Scheme)> = configs
+        .iter()
+        .map(|(name, s)| (name.as_str(), *s))
+        .collect();
+    sweep_into(&mut fig, &entries, scenario, opts, afct);
+    fig.note("paper shape: 4 queues already capture most of the benefit at >=70% load; beyond that, marginal");
+    fig
+}

@@ -1,0 +1,39 @@
+//! Figure 13b: the testbed experiment (9 clients -> 1 server, 1 Gbps,
+//! 250 us RTT, U(100..500) KB) — PASE vs DCTCP, AFCT.
+//!
+//! The paper ran this on a Linux kernel implementation; here the same
+//! scenario runs on the simulator (the paper itself reports that the
+//! testbed "matches the results we observed in ns2 simulations").
+
+use workloads::{Scenario, Scheme};
+
+use super::common::{afct, improvement_pct, loads_pct, sweep_into};
+use crate::opts::ExpOpts;
+use crate::report::FigResult;
+
+/// Regenerate Figure 13b.
+pub fn run(opts: &ExpOpts) -> FigResult {
+    let scenario = Scenario::testbed(opts.flows);
+    let mut fig = FigResult::new(
+        "fig13b",
+        "Testbed-like incast: PASE vs DCTCP (AFCT)",
+        "load(%)",
+        "AFCT (ms)",
+        loads_pct(&opts.loads),
+    );
+    sweep_into(
+        &mut fig,
+        &[("PASE", Scheme::Pase), ("DCTCP", Scheme::Dctcp)],
+        scenario,
+        opts,
+        afct,
+    );
+    let pase = fig.series_named("PASE").unwrap().ys.clone();
+    let dctcp = fig.series_named("DCTCP").unwrap().ys.clone();
+    let mid = fig.xs.len() / 2;
+    fig.note(format!(
+        "paper shape: PASE ~50-60% lower AFCT than DCTCP; measured mid-load improvement {:.0}%",
+        improvement_pct(dctcp[mid], pase[mid])
+    ));
+    fig
+}

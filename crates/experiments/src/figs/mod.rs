@@ -1,0 +1,69 @@
+//! One module per regenerated figure.
+//!
+//! | Module | Paper figure | Content |
+//! |---|---|---|
+//! | [`fig01`] | Fig. 1 | D2TCP/DCTCP vs pFabric, application throughput |
+//! | [`fig02`] | Fig. 2 | PDQ vs DCTCP, AFCT (flow-switching overhead) |
+//! | [`fig03`] | Fig. 3 | toy multi-link example, per-flow FCTs |
+//! | [`fig04`] | Fig. 4 | pFabric loss rate vs load |
+//! | [`fig09a`] | Fig. 9a | PASE vs L2DCT vs DCTCP, AFCT, left-right |
+//! | [`fig09b`] | Fig. 9b | FCT distribution at 70% load, left-right |
+//! | [`fig09c`] | Fig. 9c | PASE vs D2TCP vs DCTCP, application throughput |
+//! | [`fig10a`] | Fig. 10a | PASE vs pFabric, 99th-percentile FCT |
+//! | [`fig10b`] | Fig. 10b | PASE vs pFabric FCT distribution at 70% |
+//! | [`fig10c`] | Fig. 10c | PASE vs pFabric, AFCT, all-to-all intra-rack |
+//! | [`fig11`] | Fig. 11 | arbitration optimizations: AFCT + overhead |
+//! | [`fig12a`] | Fig. 12a | end-to-end vs local-only arbitration |
+//! | [`fig12b`] | Fig. 12b | AFCT vs number of priority queues |
+//! | [`fig13a`] | Fig. 13a | PASE vs PASE-DCTCP (reference rate) |
+//! | [`fig13b`] | Fig. 13b | testbed-like: PASE vs DCTCP |
+//! | [`micro_probing`] | §4.3.2 | probing on/off at high load |
+
+pub mod ablations;
+pub mod common;
+pub mod ext_incast;
+
+pub mod fig01;
+pub mod fig02;
+pub mod fig03;
+pub mod fig04;
+pub mod fig09a;
+pub mod fig09b;
+pub mod fig09c;
+pub mod fig10a;
+pub mod fig10b;
+pub mod fig10c;
+pub mod fig11;
+pub mod fig12a;
+pub mod fig12b;
+pub mod fig13a;
+pub mod fig13b;
+pub mod micro_probing;
+
+use crate::opts::ExpOpts;
+use crate::report::FigResult;
+
+/// Run every figure (used by `run_all`). Returns them in paper order.
+pub fn all(opts: &ExpOpts) -> Vec<FigResult> {
+    let mut out = vec![
+        fig01::run(opts),
+        fig02::run(opts),
+        fig03::run(opts),
+        fig04::run(opts),
+        fig09a::run(opts),
+        fig09b::run(opts),
+        fig09c::run(opts),
+        fig10a::run(opts),
+        fig10b::run(opts),
+        fig10c::run(opts),
+    ];
+    out.extend(fig11::run(opts));
+    out.push(fig12a::run(opts));
+    out.push(fig12b::run(opts));
+    out.push(fig13a::run(opts));
+    out.push(fig13b::run(opts));
+    out.push(micro_probing::run(opts));
+    out.extend(ablations::run(opts));
+    out.push(ext_incast::run(opts));
+    out
+}

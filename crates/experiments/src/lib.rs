@@ -1,0 +1,16 @@
+//! # experiments — regenerating every table and figure of the paper
+//!
+//! One module per figure under [`figs`]; each has a thin binary wrapper in
+//! `src/bin/` and is also callable from `run_all`, which writes
+//! `EXPERIMENTS.md`. All experiments accept `--quick` (reduced scale),
+//! `--flows N`, `--seed S` and `--loads a,b,c` on the command line.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod figs;
+pub mod opts;
+pub mod report;
+
+pub use opts::ExpOpts;
+pub use report::{FigResult, Series};

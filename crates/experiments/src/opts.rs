@@ -1,0 +1,143 @@
+//! Command-line options shared by all experiment binaries.
+
+use std::path::PathBuf;
+
+/// Scale and reproducibility knobs for an experiment run.
+#[derive(Debug, Clone)]
+pub struct ExpOpts {
+    /// Measured flows per data point.
+    pub flows: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// Offered loads (fractions) to sweep.
+    pub loads: Vec<f64>,
+    /// Hosts per rack for left-right experiments (paper: 40 → 160 hosts).
+    pub hosts_per_rack: usize,
+    /// Where to write JSON results, if anywhere.
+    pub out_dir: Option<PathBuf>,
+    /// Quick mode (used by tests and smoke runs).
+    pub quick: bool,
+}
+
+impl Default for ExpOpts {
+    fn default() -> Self {
+        ExpOpts {
+            flows: 2000,
+            seed: 1,
+            loads: vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9],
+            hosts_per_rack: 40,
+            out_dir: None,
+            quick: false,
+        }
+    }
+}
+
+impl ExpOpts {
+    /// A reduced-scale configuration for fast smoke runs and tests.
+    pub fn quick() -> ExpOpts {
+        ExpOpts {
+            flows: 150,
+            loads: vec![0.2, 0.5, 0.8],
+            hosts_per_rack: 10,
+            quick: true,
+            ..ExpOpts::default()
+        }
+    }
+
+    /// Parse from the process arguments.
+    ///
+    /// Recognized flags: `--quick`, `--flows N`, `--seed S`,
+    /// `--loads a,b,c`, `--hosts-per-rack N`, `--out DIR`.
+    pub fn from_env() -> ExpOpts {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit argument iterator (testable).
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> ExpOpts {
+        let mut opts = ExpOpts::default();
+        let mut args = args.into_iter().peekable();
+        let mut explicit_flows = None;
+        while let Some(arg) = args.next() {
+            let mut take = |name: &str| -> String {
+                args.next()
+                    .unwrap_or_else(|| panic!("missing value for {name}"))
+            };
+            match arg.as_str() {
+                "--quick" => {
+                    let keep = opts.clone();
+                    opts = ExpOpts::quick();
+                    opts.seed = keep.seed;
+                }
+                "--flows" => {
+                    explicit_flows = Some(take("--flows").parse().expect("--flows: integer"));
+                }
+                "--seed" => opts.seed = take("--seed").parse().expect("--seed: integer"),
+                "--loads" => {
+                    opts.loads = take("--loads")
+                        .split(',')
+                        .map(|s| s.trim().parse().expect("--loads: comma-separated floats"))
+                        .collect();
+                }
+                "--hosts-per-rack" => {
+                    opts.hosts_per_rack = take("--hosts-per-rack")
+                        .parse()
+                        .expect("--hosts-per-rack: integer");
+                }
+                "--out" => opts.out_dir = Some(PathBuf::from(take("--out"))),
+                other => panic!("unknown argument: {other}"),
+            }
+        }
+        if let Some(f) = explicit_flows {
+            opts.flows = f;
+        }
+        assert!(!opts.loads.is_empty(), "need at least one load");
+        assert!(
+            opts.loads.iter().all(|l| (0.01..=1.2).contains(l)),
+            "loads must be sane fractions"
+        );
+        opts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> ExpOpts {
+        ExpOpts::from_args(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse("");
+        assert_eq!(o.flows, 2000);
+        assert_eq!(o.loads.len(), 9);
+        assert!(!o.quick);
+    }
+
+    #[test]
+    fn quick_mode_scales_down_but_keeps_seed() {
+        let o = parse("--seed 9 --quick");
+        assert!(o.quick);
+        assert_eq!(o.seed, 9);
+        assert!(o.flows < 500);
+    }
+
+    #[test]
+    fn explicit_flows_override_quick() {
+        let o = parse("--quick --flows 42");
+        assert_eq!(o.flows, 42);
+    }
+
+    #[test]
+    fn loads_parse() {
+        let o = parse("--loads 0.2,0.5,0.9");
+        assert_eq!(o.loads, vec![0.2, 0.5, 0.9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument")]
+    fn unknown_flag_rejected() {
+        parse("--bogus");
+    }
+}

@@ -1,0 +1,167 @@
+//! The discrete-event scheduler.
+//!
+//! A binary heap keyed on `(time, seq)` gives a total, deterministic order
+//! over events: ties in simulated time fire in scheduling order. Handlers
+//! receive a [`Ctx`] giving them the clock, the scheduler (to post future
+//! events) and the stats collector — but never another node's state, so all
+//! inter-node interaction flows through events, mirroring a real network.
+
+use std::collections::BinaryHeap;
+
+use crate::event::{EventKind, ScheduledEvent};
+use crate::ids::NodeId;
+use crate::stats::StatsCollector;
+use crate::time::{SimDuration, SimTime};
+
+/// The event queue and clock.
+#[derive(Debug, Default)]
+pub struct Scheduler {
+    heap: BinaryHeap<ScheduledEvent>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl Scheduler {
+    /// An empty scheduler at time zero.
+    pub fn new() -> Self {
+        Scheduler {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Schedule `kind` to fire on `target` at absolute time `at`.
+    ///
+    /// # Panics
+    /// In debug builds, panics if `at` is in the past.
+    pub fn schedule_at(&mut self, at: SimTime, target: NodeId, kind: EventKind) {
+        debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent {
+            time: at,
+            seq,
+            target,
+            kind,
+        });
+    }
+
+    /// Schedule `kind` to fire on `target` after `delay`.
+    pub fn schedule_in(&mut self, delay: SimDuration, target: NodeId, kind: EventKind) {
+        self.schedule_at(self.now + delay, target, kind);
+    }
+
+    /// Pop the next event, advancing the clock to its timestamp.
+    ///
+    /// Public for benchmarking and custom drivers; the normal entry point
+    /// is [`crate::sim::Simulation::run`].
+    pub fn pop(&mut self) -> Option<(NodeId, EventKind)> {
+        let ev = self.heap.pop()?;
+        debug_assert!(ev.time >= self.now, "event queue went backwards");
+        self.now = ev.time;
+        Some((ev.target, ev.kind))
+    }
+
+    /// Peek at the timestamp of the next event without firing it.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+}
+
+/// Per-event context handed to node handlers.
+///
+/// Holds mutable access to the scheduler and statistics but *not* to other
+/// nodes: the only way to affect a remote node is to schedule a future
+/// event for it (normally a packet delivery).
+pub struct Ctx<'a> {
+    /// The node currently handling an event.
+    pub node: NodeId,
+    /// The scheduler (clock + event queue).
+    pub sched: &'a mut Scheduler,
+    /// Measurement sink.
+    pub stats: &'a mut StatsCollector,
+}
+
+impl<'a> Ctx<'a> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sched.now()
+    }
+
+    /// Schedule an event on the handling node itself.
+    pub fn schedule_self(&mut self, delay: SimDuration, kind: EventKind) {
+        self.sched.schedule_in(delay, self.node, kind);
+    }
+
+    /// Schedule an event on an arbitrary node.
+    pub fn schedule(&mut self, delay: SimDuration, target: NodeId, kind: EventKind) {
+        self.sched.schedule_in(delay, target, kind);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::from_micros(10), NodeId(0), EventKind::PluginTimer(0));
+        s.schedule_at(SimTime::from_micros(5), NodeId(1), EventKind::PluginTimer(1));
+        let (n1, k1) = s.pop().unwrap();
+        assert_eq!(n1, NodeId(1));
+        assert!(matches!(k1, EventKind::PluginTimer(1)));
+        assert_eq!(s.now(), SimTime::from_micros(5));
+        let (n2, _) = s.pop().unwrap();
+        assert_eq!(n2, NodeId(0));
+        assert_eq!(s.now(), SimTime::from_micros(10));
+        assert!(s.pop().is_none());
+    }
+
+    #[test]
+    fn same_time_events_fire_in_scheduling_order() {
+        let mut s = Scheduler::new();
+        for i in 0..10u64 {
+            s.schedule_at(
+                SimTime::from_micros(1),
+                NodeId(i as u32),
+                EventKind::PluginTimer(i),
+            );
+        }
+        for i in 0..10u64 {
+            let (n, _) = s.pop().unwrap();
+            assert_eq!(n, NodeId(i as u32));
+        }
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::from_micros(100), NodeId(0), EventKind::PluginTimer(0));
+        s.pop().unwrap();
+        s.schedule_in(SimDuration::from_micros(50), NodeId(0), EventKind::PluginTimer(1));
+        s.pop().unwrap();
+        assert_eq!(s.now(), SimTime::from_micros(150));
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore)]
+    #[should_panic(expected = "scheduling into the past")]
+    fn scheduling_into_the_past_panics_in_debug() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::from_micros(100), NodeId(0), EventKind::PluginTimer(0));
+        s.pop().unwrap();
+        s.schedule_at(SimTime::from_micros(50), NodeId(0), EventKind::PluginTimer(1));
+    }
+}

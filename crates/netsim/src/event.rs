@@ -1,0 +1,88 @@
+//! Simulation events.
+
+use crate::flow::FlowSpec;
+use crate::ids::{FlowId, NodeId, PortId};
+use crate::packet::Packet;
+use crate::time::SimTime;
+
+/// What happens when an event fires. Every event targets exactly one node.
+#[derive(Debug)]
+pub enum EventKind {
+    /// A packet finishes propagating across a link and arrives at the node.
+    Deliver(Packet),
+    /// The node's output port finishes serializing its in-flight packet.
+    TxComplete(PortId),
+    /// A timer set by one of the node's flow agents fires.
+    AgentTimer {
+        /// The flow whose agent set the timer.
+        flow: FlowId,
+        /// Opaque token chosen by the agent; stale-timer filtering is the
+        /// agent's responsibility (epoch tokens).
+        token: u64,
+    },
+    /// A timer set by the node's control plugin (switch plugin or host
+    /// service) fires.
+    PluginTimer(u64),
+    /// A new flow arrives at its source host.
+    FlowStart(FlowSpec),
+}
+
+/// An event scheduled for execution.
+#[derive(Debug)]
+pub(crate) struct ScheduledEvent {
+    pub time: SimTime,
+    /// Monotone tiebreaker: events at the same instant fire in the order
+    /// they were scheduled, making runs fully deterministic.
+    pub seq: u64,
+    pub target: NodeId,
+    pub kind: EventKind,
+}
+
+impl PartialEq for ScheduledEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl Eq for ScheduledEvent {}
+
+impl PartialOrd for ScheduledEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ScheduledEvent {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap and we want earliest-first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BinaryHeap;
+
+    fn ev(time_us: u64, seq: u64) -> ScheduledEvent {
+        ScheduledEvent {
+            time: SimTime::from_micros(time_us),
+            seq,
+            target: NodeId(0),
+            kind: EventKind::PluginTimer(0),
+        }
+    }
+
+    #[test]
+    fn heap_pops_earliest_first_then_fifo() {
+        let mut h = BinaryHeap::new();
+        h.push(ev(10, 2));
+        h.push(ev(5, 3));
+        h.push(ev(10, 1));
+        h.push(ev(5, 0));
+        let order: Vec<(u64, u64)> = std::iter::from_fn(|| h.pop())
+            .map(|e| (e.time.as_nanos() / 1000, e.seq))
+            .collect();
+        assert_eq!(order, vec![(5, 0), (5, 3), (10, 1), (10, 2)]);
+    }
+}

@@ -1,0 +1,369 @@
+//! End hosts.
+//!
+//! A [`Host`] owns one access port and a set of per-flow endpoint agents.
+//! Protocol crates implement [`FlowAgent`] (the sender/receiver state
+//! machines) and [`AgentFactory`] (how to build them); hosts instantiate a
+//! sender agent when a [`crate::event::EventKind::FlowStart`] fires and a
+//! receiver agent lazily when the first packet of an unknown flow arrives.
+//!
+//! Hosts may also carry a [`HostService`]: host-local control-plane state
+//! shared by all agents on the machine. PASE uses this for the endpoint
+//! arbitrators that manage the host's own access links (paper §3.1: "this
+//! functionality can be implemented at the end-hosts themselves, e.g., for
+//! their own links to the switch").
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::engine::Ctx;
+use crate::event::EventKind;
+use crate::flow::{FlowSpec, ReceiverHint};
+use crate::ids::{FlowId, NodeId};
+use crate::packet::{Packet, PacketKind};
+use crate::port::Port;
+use crate::time::{SimDuration, SimTime};
+
+/// A per-flow endpoint state machine (sender or receiver side).
+pub trait FlowAgent: Send {
+    /// The flow has arrived; begin transmitting (sender side). Receiver
+    /// agents are started at creation too, before their first packet.
+    fn on_start(&mut self, ctx: &mut AgentCtx<'_, '_>);
+
+    /// A packet belonging to this agent's flow arrived at the host.
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut AgentCtx<'_, '_>);
+
+    /// A timer previously set through [`AgentCtx::set_timer`] fired.
+    /// Agents must tolerate stale timers (use epoch tokens).
+    fn on_timer(&mut self, token: u64, ctx: &mut AgentCtx<'_, '_>);
+
+    /// Whether this agent can be garbage-collected.
+    fn is_done(&self) -> bool;
+
+    /// Downcast support for white-box tests and cross-layer inspection.
+    /// The default implementation opts out.
+    fn as_any_mut(&mut self) -> Option<&mut dyn Any> {
+        None
+    }
+}
+
+/// Builds the endpoint agents for one transport scheme.
+pub trait AgentFactory: Send + Sync {
+    /// Create the sender-side agent for a flow originating at this host.
+    fn sender(&self, spec: &FlowSpec) -> Box<dyn FlowAgent>;
+    /// Create the receiver-side agent when the first packet of an unknown
+    /// flow arrives.
+    fn receiver(&self, hint: ReceiverHint) -> Box<dyn FlowAgent>;
+}
+
+/// Host-local control-plane state shared by all agents on a host (e.g.
+/// PASE's endpoint arbitrators). Downcast with [`AgentCtx::service`].
+pub trait HostService: Send {
+    /// Handle a control packet addressed to this host that does not belong
+    /// to any flow agent.
+    fn on_ctrl(&mut self, pkt: Packet, host: &mut HostIo<'_, '_, '_>);
+
+    /// A timer previously set through [`HostIo::set_timer`] fired.
+    fn on_timer(&mut self, token: u64, host: &mut HostIo<'_, '_, '_>);
+
+    /// Downcast support.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// Everything on a host except the agents and the service — what an agent
+/// is allowed to touch while it runs.
+pub struct HostCore {
+    /// This host's node id.
+    pub id: NodeId,
+    /// The single access port toward the ToR switch.
+    pub port: Port,
+}
+
+/// An end host: one access port, per-flow agents, optional service.
+pub struct Host {
+    core: HostCore,
+    factory: Arc<dyn AgentFactory>,
+    service: Option<Box<dyn HostService>>,
+    agents: HashMap<FlowId, Box<dyn FlowAgent>>,
+}
+
+/// The interface a [`FlowAgent`] uses to act on the world.
+pub struct AgentCtx<'a, 'b> {
+    /// The flow this agent belongs to.
+    pub flow: FlowId,
+    /// The host the agent runs on (port access).
+    pub host: &'a mut HostCore,
+    /// Host-local control service, if the scheme installs one.
+    pub service: Option<&'a mut Box<dyn HostService>>,
+    /// Engine context (clock, scheduler, stats).
+    pub sim: &'a mut Ctx<'b>,
+}
+
+impl<'a, 'b> AgentCtx<'a, 'b> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Transmit a packet out of the host's access port.
+    pub fn send(&mut self, mut pkt: Packet) {
+        pkt.ts = self.now();
+        if pkt.kind == PacketKind::Ctrl {
+            self.sim.stats.note_ctrl_sent(pkt.wire_bytes);
+        }
+        self.host.port.send(pkt, self.sim);
+    }
+
+    /// Arrange for [`FlowAgent::on_timer`] to fire after `delay` with
+    /// `token`. Timers cannot be cancelled; agents should version tokens
+    /// and ignore stale ones.
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        self.sim.schedule_self(
+            delay,
+            EventKind::AgentTimer {
+                flow: self.flow,
+                token,
+            },
+        );
+    }
+
+    /// Record that this flow's sender observed the final acknowledgment.
+    pub fn flow_completed(&mut self) {
+        let now = self.now();
+        self.sim.stats.flow_completed(self.flow, now);
+    }
+
+    /// Record that this flow's sender aborted the transfer (PDQ early
+    /// termination).
+    pub fn flow_aborted(&mut self) {
+        let now = self.now();
+        self.sim.stats.flow_aborted(self.flow, now);
+    }
+
+    /// Downcast the host service to a concrete type.
+    pub fn service<T: 'static>(&mut self) -> Option<&mut T> {
+        self.service
+            .as_deref_mut()
+            .and_then(|s| s.as_any_mut().downcast_mut::<T>())
+    }
+}
+
+/// The interface a [`HostService`] uses to act on the world.
+pub struct HostIo<'a, 'b, 'c> {
+    /// The host the service runs on.
+    pub host: &'a mut HostCore,
+    /// Engine context (clock, scheduler, stats).
+    pub sim: &'a mut Ctx<'c>,
+    /// Deferred notifications back into flow agents; drained by the host
+    /// after the service returns.
+    pub(crate) wakeups: &'a mut Vec<FlowId>,
+    _marker: core::marker::PhantomData<&'b ()>,
+}
+
+impl<'a, 'b, 'c> HostIo<'a, 'b, 'c> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Transmit a packet out of the host's access port.
+    pub fn send(&mut self, mut pkt: Packet) {
+        pkt.ts = self.now();
+        if pkt.kind == PacketKind::Ctrl {
+            self.sim.stats.note_ctrl_sent(pkt.wire_bytes);
+        }
+        self.host.port.send(pkt, self.sim);
+    }
+
+    /// Arrange for [`HostService::on_timer`] to fire after `delay`.
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        self.sim.schedule_self(delay, EventKind::PluginTimer(token));
+    }
+
+    /// Ask the host to invoke `on_timer(WAKEUP_TOKEN)` on a flow's agent
+    /// after the service returns (e.g. arbitration state changed and the
+    /// flow should re-evaluate its rate).
+    pub fn wake_flow(&mut self, flow: FlowId) {
+        self.wakeups.push(flow);
+    }
+}
+
+/// Token delivered to [`FlowAgent::on_timer`] when a host service wakes the
+/// agent via [`HostIo::wake_flow`]. Chosen high to stay clear of the small
+/// token spaces agents use for their own timers.
+pub const WAKEUP_TOKEN: u64 = u64::MAX;
+
+impl Host {
+    /// Create a host with the given access port, agent factory, and
+    /// optional host-local service.
+    pub fn new(
+        id: NodeId,
+        port: Port,
+        factory: Arc<dyn AgentFactory>,
+        service: Option<Box<dyn HostService>>,
+    ) -> Host {
+        Host {
+            core: HostCore { id, port },
+            factory,
+            service,
+            agents: HashMap::new(),
+        }
+    }
+
+    /// This host's node id.
+    pub fn id(&self) -> NodeId {
+        self.core.id
+    }
+
+    /// Access the host's port (for inspection in tests and tracing).
+    pub fn port(&self) -> &Port {
+        &self.core.port
+    }
+
+    /// Number of live agents (senders not yet garbage-collected plus
+    /// receivers).
+    pub fn live_agents(&self) -> usize {
+        self.agents.len()
+    }
+
+    /// Install (or replace) the host-local control service.
+    pub fn set_service(&mut self, service: Box<dyn HostService>) {
+        self.service = Some(service);
+    }
+
+    /// Downcast a live flow agent (sender or receiver) to a concrete type.
+    /// Requires the agent to override [`FlowAgent::as_any_mut`].
+    pub fn agent_as<T: 'static>(&mut self, flow: FlowId) -> Option<&mut T> {
+        self.agents
+            .get_mut(&flow)?
+            .as_any_mut()?
+            .downcast_mut::<T>()
+    }
+
+    /// Downcast the host service.
+    pub fn service_as<T: 'static>(&mut self) -> Option<&mut T> {
+        self.service
+            .as_deref_mut()
+            .and_then(|s| s.as_any_mut().downcast_mut::<T>())
+    }
+
+    /// Dispatch an event to this host.
+    pub fn handle(&mut self, kind: EventKind, ctx: &mut Ctx<'_>) {
+        match kind {
+            EventKind::FlowStart(spec) => {
+                let agent = self.factory.sender(&spec);
+                self.run_agent(spec.id, agent, ctx, |agent, actx| agent.on_start(actx));
+            }
+            EventKind::Deliver(pkt) => self.deliver(pkt, ctx),
+            EventKind::TxComplete(port) => {
+                debug_assert_eq!(port.index(), 0, "hosts have a single port");
+                self.core.port.on_tx_complete(ctx);
+            }
+            EventKind::AgentTimer { flow, token } => {
+                if let Some(agent) = self.agents.remove(&flow) {
+                    self.run_agent(flow, agent, ctx, |agent, actx| agent.on_timer(token, actx));
+                }
+                // Stale timer for a completed flow: ignore.
+            }
+            EventKind::PluginTimer(token) => {
+                self.run_service(ctx, |svc, io| svc.on_timer(token, io));
+            }
+        }
+    }
+
+    fn deliver(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+        debug_assert_eq!(pkt.dst, self.core.id, "misrouted packet");
+        // Control-plane packets always go to the host service, even when a
+        // flow agent exists for the tagged flow: agents learn of control
+        // state changes through service wake-ups, not raw packets.
+        if pkt.kind == PacketKind::Ctrl {
+            self.run_service(ctx, |svc, io| svc.on_ctrl(pkt, io));
+            return;
+        }
+        let flow = pkt.flow;
+        if let Some(agent) = self.agents.remove(&flow) {
+            self.run_agent(flow, agent, ctx, |agent, actx| agent.on_packet(pkt, actx));
+            return;
+        }
+        match pkt.kind {
+            PacketKind::Data | PacketKind::Probe => {
+                // First packet of an unknown flow: create the receiver.
+                let hint = ReceiverHint {
+                    flow,
+                    src: pkt.src,
+                    dst: self.core.id,
+                };
+                let agent = self.factory.receiver(hint);
+                // Start, then deliver the packet.
+                self.run_agent(flow, agent, ctx, |agent, actx| {
+                    agent.on_start(actx);
+                    agent.on_packet(pkt, actx);
+                });
+            }
+            PacketKind::Ctrl => unreachable!("handled above"),
+            PacketKind::Ack | PacketKind::ProbeAck => {
+                // ACK for a flow that already completed; ignore.
+            }
+        }
+    }
+
+    /// Run a closure over an agent that has been temporarily removed from
+    /// the map (so the agent can borrow the rest of the host), then either
+    /// reinstall or garbage-collect it.
+    fn run_agent<F>(&mut self, flow: FlowId, mut agent: Box<dyn FlowAgent>, ctx: &mut Ctx<'_>, f: F)
+    where
+        F: FnOnce(&mut dyn FlowAgent, &mut AgentCtx<'_, '_>),
+    {
+        {
+            let mut actx = AgentCtx {
+                flow,
+                host: &mut self.core,
+                service: self.service.as_mut(),
+                sim: ctx,
+            };
+            f(agent.as_mut(), &mut actx);
+        }
+        if !agent.is_done() {
+            self.agents.insert(flow, agent);
+        }
+    }
+
+    /// Run a closure over the host service (temporarily detached), then
+    /// deliver any flow wake-ups it requested.
+    fn run_service<F>(&mut self, ctx: &mut Ctx<'_>, f: F)
+    where
+        F: FnOnce(&mut dyn HostService, &mut HostIo<'_, '_, '_>),
+    {
+        let Some(mut svc) = self.service.take() else {
+            return;
+        };
+        let mut wakeups = Vec::new();
+        {
+            let mut io = HostIo {
+                host: &mut self.core,
+                sim: ctx,
+                wakeups: &mut wakeups,
+                _marker: core::marker::PhantomData,
+            };
+            f(svc.as_mut(), &mut io);
+        }
+        self.service = Some(svc);
+        for flow in wakeups {
+            if let Some(agent) = self.agents.remove(&flow) {
+                self.run_agent(flow, agent, ctx, |agent, actx| {
+                    agent.on_timer(WAKEUP_TOKEN, actx)
+                });
+            }
+        }
+    }
+}
+
+impl core::fmt::Debug for Host {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Host")
+            .field("id", &self.core.id)
+            .field("agents", &self.agents.len())
+            .field("port", &self.core.port)
+            .finish()
+    }
+}

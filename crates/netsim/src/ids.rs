@@ -1,0 +1,103 @@
+//! Strongly-typed identifiers for simulation entities.
+//!
+//! All identifiers are dense indices into the simulator's internal vectors,
+//! wrapped in newtypes so a node index can never be confused with a flow
+//! index at a call site.
+
+use core::fmt;
+
+/// Identifies a node (host or switch) in the topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+/// Identifies one of a node's output ports (dense per-node index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PortId(pub u32);
+
+/// Identifies a flow. Flow ids are globally unique and dense, assigned by
+/// the workload generator in arrival order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowId(pub u64);
+
+/// Identifies a unidirectional link `(node, port)` — the transmit side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId {
+    /// The transmitting node.
+    pub node: NodeId,
+    /// The output port on that node.
+    pub port: PortId,
+}
+
+impl NodeId {
+    /// The underlying dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl PortId {
+    /// The underlying dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl FlowId {
+    /// The underlying dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.node, self.port)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_ordered_and_displayable() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(FlowId(10) > FlowId(9));
+        assert_eq!(format!("{}", NodeId(3)), "n3");
+        assert_eq!(
+            format!(
+                "{}",
+                LinkId {
+                    node: NodeId(3),
+                    port: PortId(1)
+                }
+            ),
+            "n3:p1"
+        );
+    }
+
+    #[test]
+    fn index_round_trip() {
+        assert_eq!(NodeId(7).index(), 7);
+        assert_eq!(PortId(2).index(), 2);
+        assert_eq!(FlowId(42).index(), 42);
+    }
+}

@@ -1,0 +1,55 @@
+//! The node sum type dispatched by the engine.
+
+use crate::engine::Ctx;
+use crate::event::EventKind;
+use crate::host::Host;
+use crate::ids::NodeId;
+use crate::switch::Switch;
+
+/// A node in the simulated network.
+#[derive(Debug)]
+pub enum Node {
+    /// An end host running flow agents.
+    Host(Host),
+    /// A store-and-forward switch.
+    Switch(Switch),
+}
+
+impl Node {
+    /// The node's id.
+    pub fn id(&self) -> NodeId {
+        match self {
+            Node::Host(h) => h.id(),
+            Node::Switch(s) => s.id(),
+        }
+    }
+
+    /// Whether this node is a host.
+    pub fn is_host(&self) -> bool {
+        matches!(self, Node::Host(_))
+    }
+
+    /// Dispatch an event.
+    pub fn handle(&mut self, kind: EventKind, ctx: &mut Ctx<'_>) {
+        match self {
+            Node::Host(h) => h.handle(kind, ctx),
+            Node::Switch(s) => s.handle(kind, ctx),
+        }
+    }
+
+    /// Borrow as a host, panicking otherwise.
+    pub fn as_host_mut(&mut self) -> &mut Host {
+        match self {
+            Node::Host(h) => h,
+            Node::Switch(s) => panic!("node {} is a switch, not a host", s.id()),
+        }
+    }
+
+    /// Borrow as a switch, panicking otherwise.
+    pub fn as_switch_mut(&mut self) -> &mut Switch {
+        match self {
+            Node::Switch(s) => s,
+            Node::Host(h) => panic!("node {} is a host, not a switch", h.id()),
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! Output ports.
+//!
+//! A [`Port`] is the transmit side of one unidirectional link: a queue
+//! discipline feeding a serializer of fixed rate, followed by fixed
+//! propagation delay. The simulator is store-and-forward: a packet is
+//! delivered to the peer `serialization + propagation` after it reaches the
+//! head of the queue.
+
+use crate::engine::Ctx;
+use crate::event::EventKind;
+use crate::ids::{NodeId, PortId};
+use crate::packet::{Packet, PacketKind};
+use crate::queue::{Enqueued, Qdisc, QdiscStats};
+use crate::time::{Rate, SimDuration};
+
+/// The transmit side of a link.
+pub struct Port {
+    /// This port's index on its owning node.
+    pub id: PortId,
+    /// The node at the far end of the link.
+    pub peer: NodeId,
+    /// Link capacity.
+    pub rate: Rate,
+    /// One-way propagation delay.
+    pub delay: SimDuration,
+    qdisc: Box<dyn Qdisc>,
+    /// The packet currently being serialized, if any.
+    in_flight: Option<Packet>,
+    /// Packets transmitted onto the wire.
+    pub tx_pkts: u64,
+    /// Bytes transmitted onto the wire.
+    pub tx_bytes: u64,
+}
+
+impl Port {
+    /// Create a port with the given link parameters and queue discipline.
+    pub fn new(id: PortId, peer: NodeId, rate: Rate, delay: SimDuration, qdisc: Box<dyn Qdisc>) -> Port {
+        assert!(!rate.is_zero(), "link rate must be positive");
+        Port {
+            id,
+            peer,
+            rate,
+            delay,
+            qdisc,
+            in_flight: None,
+            tx_pkts: 0,
+            tx_bytes: 0,
+        }
+    }
+
+    /// Offer a packet to this port: enqueue it and, if the serializer is
+    /// idle, begin transmission. Drops are recorded in `ctx.stats`.
+    pub fn send(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+        let is_data = pkt.kind == PacketKind::Data;
+        match self.qdisc.enqueue(pkt, ctx.now()) {
+            Enqueued::Ok => {
+                if is_data {
+                    ctx.stats.note_data_enqueued();
+                }
+            }
+            Enqueued::RejectedArrival(dropped) => {
+                ctx.stats.note_drop(&dropped);
+                let now = ctx.now();
+                ctx.stats.trace_event(
+                    now,
+                    &crate::trace::TraceEvent::Drop {
+                        flow: dropped.flow,
+                        kind: dropped.kind,
+                        seq: dropped.seq,
+                    },
+                );
+            }
+            Enqueued::Evicted(victim) => {
+                // The arrival was accepted; a resident was pushed out.
+                if is_data {
+                    ctx.stats.note_data_enqueued();
+                }
+                ctx.stats.note_drop(&victim);
+                let now = ctx.now();
+                ctx.stats.trace_event(
+                    now,
+                    &crate::trace::TraceEvent::Drop {
+                        flow: victim.flow,
+                        kind: victim.kind,
+                        seq: victim.seq,
+                    },
+                );
+            }
+        }
+        if self.in_flight.is_none() {
+            self.start_tx(ctx);
+        }
+    }
+
+    /// Begin serializing the next queued packet, if any.
+    /// Schedules a [`EventKind::TxComplete`] for this port.
+    fn start_tx(&mut self, ctx: &mut Ctx<'_>) {
+        debug_assert!(self.in_flight.is_none());
+        if let Some(pkt) = self.qdisc.dequeue(ctx.now()) {
+            let tx_time = self.rate.tx_time(pkt.wire_bytes as u64);
+            self.in_flight = Some(pkt);
+            ctx.schedule_self(tx_time, EventKind::TxComplete(self.id));
+        }
+    }
+
+    /// Handle the completion of serialization: put the packet on the wire
+    /// (schedule delivery at the peer after propagation) and start on the
+    /// next queued packet.
+    pub fn on_tx_complete(&mut self, ctx: &mut Ctx<'_>) {
+        let pkt = self
+            .in_flight
+            .take()
+            .expect("TxComplete with no in-flight packet");
+        self.tx_pkts += 1;
+        self.tx_bytes += pkt.wire_bytes as u64;
+        let now = ctx.now();
+        let ev = crate::trace::tx_event(ctx.node, self.id, &pkt);
+        ctx.stats.trace_event(now, &ev);
+        ctx.schedule(self.delay, self.peer, EventKind::Deliver(pkt));
+        self.start_tx(ctx);
+    }
+
+    /// Queue occupancy in packets (excluding the in-flight packet).
+    pub fn queue_len_pkts(&self) -> usize {
+        self.qdisc.len_pkts()
+    }
+
+    /// Queue occupancy in bytes (excluding the in-flight packet).
+    pub fn queue_len_bytes(&self) -> u64 {
+        self.qdisc.len_bytes()
+    }
+
+    /// Is the serializer currently busy?
+    pub fn is_busy(&self) -> bool {
+        self.in_flight.is_some()
+    }
+
+    /// Queue-discipline counters.
+    pub fn qdisc_stats(&self) -> QdiscStats {
+        self.qdisc.stats()
+    }
+
+    /// Fraction of the interval `[0, now]` this link spent transmitting
+    /// (computed from bytes actually serialized; 0.0 when `now` is zero).
+    pub fn utilization(&self, now: crate::time::SimTime) -> f64 {
+        let elapsed = now.as_secs_f64();
+        if elapsed <= 0.0 {
+            return 0.0;
+        }
+        let busy = self.rate.tx_time(self.tx_bytes).as_secs_f64();
+        (busy / elapsed).min(1.0)
+    }
+}
+
+impl core::fmt::Debug for Port {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Port")
+            .field("id", &self.id)
+            .field("peer", &self.peer)
+            .field("rate", &self.rate)
+            .field("delay", &self.delay)
+            .field("queued_pkts", &self.qdisc.len_pkts())
+            .field("busy", &self.is_busy())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Scheduler;
+    use crate::ids::FlowId;
+    use crate::queue::DropTailQdisc;
+    use crate::stats::StatsCollector;
+    use crate::time::SimTime;
+
+    fn mk_port() -> Port {
+        Port::new(
+            PortId(0),
+            NodeId(1),
+            Rate::from_gbps(1),
+            SimDuration::from_micros(10),
+            Box::new(DropTailQdisc::new(4)),
+        )
+    }
+
+    fn data(flow: u64) -> Packet {
+        Packet::data(FlowId(flow), NodeId(0), NodeId(1), 0, 1460)
+    }
+
+    #[test]
+    fn serialization_then_propagation() {
+        let mut sched = Scheduler::new();
+        let mut stats = StatsCollector::new();
+        let mut port = mk_port();
+        {
+            let mut ctx = Ctx {
+                node: NodeId(0),
+                sched: &mut sched,
+                stats: &mut stats,
+            };
+            port.send(data(0), &mut ctx);
+        }
+        assert!(port.is_busy());
+        // 1500 B at 1 Gbps = 12 us serialization.
+        let (target, kind) = sched.pop().unwrap();
+        assert_eq!(sched.now(), SimTime::from_micros(12));
+        assert_eq!(target, NodeId(0));
+        assert!(matches!(kind, EventKind::TxComplete(PortId(0))));
+        {
+            let mut ctx = Ctx {
+                node: NodeId(0),
+                sched: &mut sched,
+                stats: &mut stats,
+            };
+            port.on_tx_complete(&mut ctx);
+        }
+        // Delivery at peer 10 us later.
+        let (target, kind) = sched.pop().unwrap();
+        assert_eq!(sched.now(), SimTime::from_micros(22));
+        assert_eq!(target, NodeId(1));
+        assert!(matches!(kind, EventKind::Deliver(_)));
+        assert_eq!(port.tx_pkts, 1);
+        assert_eq!(port.tx_bytes, 1500);
+    }
+
+    #[test]
+    fn back_to_back_packets_pipeline() {
+        let mut sched = Scheduler::new();
+        let mut stats = StatsCollector::new();
+        let mut port = mk_port();
+        {
+            let mut ctx = Ctx {
+                node: NodeId(0),
+                sched: &mut sched,
+                stats: &mut stats,
+            };
+            port.send(data(0), &mut ctx);
+            port.send(data(1), &mut ctx);
+        }
+        // First TxComplete at 12 us; the second packet starts then.
+        let (_, _) = sched.pop().unwrap();
+        {
+            let mut ctx = Ctx {
+                node: NodeId(0),
+                sched: &mut sched,
+                stats: &mut stats,
+            };
+            port.on_tx_complete(&mut ctx);
+        }
+        assert!(port.is_busy());
+        // Events now pending: Deliver(pkt0) at 22us, TxComplete(pkt1) at 24us.
+        let mut times = vec![];
+        while let Some((_, _)) = sched.pop() {
+            times.push(sched.now());
+        }
+        assert_eq!(
+            times,
+            vec![SimTime::from_micros(22), SimTime::from_micros(24)]
+        );
+    }
+
+    #[test]
+    fn utilization_reflects_bytes_sent() {
+        let mut sched = Scheduler::new();
+        let mut stats = StatsCollector::new();
+        let mut port = mk_port();
+        {
+            let mut ctx = Ctx {
+                node: NodeId(0),
+                sched: &mut sched,
+                stats: &mut stats,
+            };
+            port.send(data(0), &mut ctx);
+        }
+        // Complete the transmission (12 us of busy time at 1 Gbps).
+        sched.pop().unwrap();
+        {
+            let mut ctx = Ctx {
+                node: NodeId(0),
+                sched: &mut sched,
+                stats: &mut stats,
+            };
+            port.on_tx_complete(&mut ctx);
+        }
+        // Over a 24 us window the link was busy half the time.
+        let u = port.utilization(SimTime::from_micros(24));
+        assert!((u - 0.5).abs() < 1e-9, "utilization {u}");
+        assert_eq!(port.utilization(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn overflow_is_counted() {
+        let mut sched = Scheduler::new();
+        let mut stats = StatsCollector::new();
+        let mut port = mk_port(); // queue cap 4 (+1 in flight)
+        let mut ctx = Ctx {
+            node: NodeId(0),
+            sched: &mut sched,
+            stats: &mut stats,
+        };
+        for i in 0..6 {
+            port.send(data(i), &mut ctx);
+        }
+        // 1 in flight + 4 queued; the 6th is dropped.
+        assert_eq!(port.queue_len_pkts(), 4);
+        assert_eq!(stats.data_pkts_dropped, 1);
+        assert_eq!(stats.data_pkts_enqueued, 5);
+    }
+}

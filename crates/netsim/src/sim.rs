@@ -1,0 +1,171 @@
+//! The simulation façade: owns the network, the scheduler and the stats,
+//! and drives the event loop.
+
+use crate::engine::{Ctx, Scheduler};
+use crate::event::EventKind;
+use crate::flow::FlowSpec;
+use crate::ids::NodeId;
+use crate::node::Node;
+use crate::stats::StatsCollector;
+use crate::time::SimTime;
+use crate::topology::{Network, Topology};
+
+/// Bounds on a simulation run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunLimit {
+    /// Stop once the clock passes this time.
+    pub max_time: Option<SimTime>,
+    /// Stop after this many events.
+    pub max_events: Option<u64>,
+    /// Stop as soon as every measured flow has completed (the usual
+    /// experiment termination: background flows never finish).
+    pub stop_when_measured_done: bool,
+}
+
+impl RunLimit {
+    /// Run until all measured flows complete, with a time-limit backstop.
+    pub fn until_measured_done(backstop: SimTime) -> RunLimit {
+        RunLimit {
+            max_time: Some(backstop),
+            max_events: None,
+            stop_when_measured_done: true,
+        }
+    }
+}
+
+/// Why a run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained completely.
+    Drained,
+    /// All measured flows completed.
+    MeasuredComplete,
+    /// The time limit was hit.
+    TimeLimit,
+    /// The event limit was hit.
+    EventLimit,
+}
+
+/// A runnable simulation.
+pub struct Simulation {
+    sched: Scheduler,
+    nodes: Vec<Node>,
+    topo: Topology,
+    stats: StatsCollector,
+}
+
+impl Simulation {
+    /// Wrap a constructed network.
+    pub fn new(net: Network) -> Simulation {
+        Simulation {
+            sched: Scheduler::new(),
+            nodes: net.nodes,
+            topo: net.topo,
+            stats: StatsCollector::new(),
+        }
+    }
+
+    /// Topology metadata.
+    pub fn topo(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sched.now()
+    }
+
+    /// Measurement results.
+    pub fn stats(&self) -> &StatsCollector {
+        &self.stats
+    }
+
+    /// Install a trace sink (see [`crate::trace`]); events start flowing
+    /// from the next processed event.
+    pub fn set_tracer(&mut self, tracer: Box<dyn crate::trace::TraceSink>) {
+        self.stats.set_tracer(tracer);
+    }
+
+    /// Mutable access to a node, for post-build wiring (installing switch
+    /// plugins, host services) and for test inspection.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.index()]
+    }
+
+    /// Shared access to a node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Iterate all nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The scheduler, for wiring that needs to seed events (e.g. periodic
+    /// control-plane timers) before the run starts.
+    pub fn scheduler_mut(&mut self) -> &mut Scheduler {
+        &mut self.sched
+    }
+
+    /// Register a flow and schedule its start at `spec.start`.
+    pub fn add_flow(&mut self, spec: FlowSpec) {
+        assert!(
+            matches!(self.nodes[spec.src.index()], Node::Host(_)),
+            "flow source {} is not a host",
+            spec.src
+        );
+        assert!(
+            matches!(self.nodes[spec.dst.index()], Node::Host(_)),
+            "flow destination {} is not a host",
+            spec.dst
+        );
+        assert_ne!(spec.src, spec.dst, "flow to self");
+        self.stats.register_flow(&spec);
+        let src = spec.src;
+        let at = spec.start;
+        self.sched
+            .schedule_at(at, src, EventKind::FlowStart(spec));
+    }
+
+    /// Run the event loop until a limit is reached or the queue drains.
+    pub fn run(&mut self, limit: RunLimit) -> RunOutcome {
+        loop {
+            if limit.stop_when_measured_done && self.stats.all_measured_complete() {
+                return RunOutcome::MeasuredComplete;
+            }
+            if let Some(max_ev) = limit.max_events {
+                if self.stats.events_executed >= max_ev {
+                    return RunOutcome::EventLimit;
+                }
+            }
+            if let Some(max_t) = limit.max_time {
+                match self.sched.next_event_time() {
+                    Some(t) if t > max_t => return RunOutcome::TimeLimit,
+                    None => return RunOutcome::Drained,
+                    _ => {}
+                }
+            }
+            let Some((target, kind)) = self.sched.pop() else {
+                return RunOutcome::Drained;
+            };
+            self.stats.events_executed += 1;
+            let mut ctx = Ctx {
+                node: target,
+                sched: &mut self.sched,
+                stats: &mut self.stats,
+            };
+            self.nodes[target.index()].handle(kind, &mut ctx);
+        }
+    }
+}
+
+impl core::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.now())
+            .field("nodes", &self.nodes.len())
+            .field("pending_events", &self.sched.pending())
+            .finish()
+    }
+}

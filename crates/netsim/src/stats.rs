@@ -1,0 +1,323 @@
+//! Measurement collection.
+//!
+//! The collector records per-flow lifecycle events (start, completion,
+//! retransmissions, timeouts) plus global counters for dropped packets and
+//! control-plane traffic. It is threaded through every event handler via
+//! [`crate::engine::Ctx`], so protocol code can attribute costs without
+//! carrying its own bookkeeping.
+
+use std::collections::BTreeMap;
+
+use crate::flow::FlowSpec;
+use crate::ids::FlowId;
+use crate::packet::{Packet, PacketKind};
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{TraceEvent, TraceSink};
+
+/// Lifecycle record for one flow.
+#[derive(Debug, Clone)]
+pub struct FlowRecord {
+    /// The flow's specification.
+    pub spec: FlowSpec,
+    /// When the sender agent was instantiated.
+    pub started: SimTime,
+    /// When the sender observed the final acknowledgment, if completed.
+    pub completed: Option<SimTime>,
+    /// Whether the flow was aborted (e.g. PDQ early termination) rather
+    /// than finishing its transfer. Aborted flows record a `completed`
+    /// time (so runs terminate) but never count as meeting a deadline.
+    pub aborted: bool,
+    /// Payload bytes retransmitted.
+    pub retransmitted_bytes: u64,
+    /// Retransmission timeouts experienced.
+    pub timeouts: u64,
+    /// Header-only probe packets sent.
+    pub probes_sent: u64,
+    /// Data packets of this flow dropped anywhere in the network.
+    pub drops: u64,
+}
+
+impl FlowRecord {
+    /// Flow completion time, if the flow finished.
+    pub fn fct(&self) -> Option<SimDuration> {
+        self.completed.map(|t| t - self.spec.start)
+    }
+
+    /// Whether the flow met its deadline. `None` when the flow has no
+    /// deadline; incomplete or aborted flows with a deadline count as
+    /// missed.
+    pub fn met_deadline(&self) -> Option<bool> {
+        let deadline = self.spec.deadline_abs()?;
+        Some(match self.completed {
+            Some(t) => !self.aborted && t <= deadline,
+            None => false,
+        })
+    }
+}
+
+/// Global and per-flow measurement state for one simulation run.
+#[derive(Default)]
+pub struct StatsCollector {
+    flows: BTreeMap<FlowId, FlowRecord>,
+    /// Flows with `measured = true` that have been scheduled.
+    expected_measured: usize,
+    /// Measured flows that have completed.
+    completed_measured: usize,
+    /// Data packets dropped in queues (all flows).
+    pub data_pkts_dropped: u64,
+    /// Data packets accepted into queues (all flows); drop-rate denominator.
+    pub data_pkts_enqueued: u64,
+    /// Control-plane packets sent (PASE arbitration traffic).
+    pub ctrl_pkts: u64,
+    /// Control-plane bytes sent.
+    pub ctrl_bytes: u64,
+    /// Control-plane messages processed by arbitrators.
+    pub ctrl_msgs_processed: u64,
+    /// Total events executed (engine counter, for benchmarking).
+    pub events_executed: u64,
+    /// Optional trace sink; see [`crate::trace`].
+    tracer: Option<Box<dyn TraceSink>>,
+}
+
+impl core::fmt::Debug for StatsCollector {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("StatsCollector")
+            .field("flows", &self.flows.len())
+            .field("completed_measured", &self.completed_measured)
+            .field("events_executed", &self.events_executed)
+            .field("tracing", &self.tracer.is_some())
+            .finish()
+    }
+}
+
+impl StatsCollector {
+    /// Create an empty collector.
+    pub fn new() -> Self {
+        StatsCollector::default()
+    }
+
+    /// Install a trace sink (see [`crate::trace`]). Replaces any existing
+    /// sink.
+    pub fn set_tracer(&mut self, tracer: Box<dyn TraceSink>) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Emit a trace event if a sink is installed.
+    pub fn trace_event(&mut self, now: SimTime, event: &TraceEvent) {
+        if let Some(t) = self.tracer.as_mut() {
+            t.on_event(now, event);
+        }
+    }
+
+    /// Register a flow that will be simulated. Called by the simulation
+    /// when the flow is scheduled (before it starts).
+    pub fn register_flow(&mut self, spec: &FlowSpec) {
+        if spec.measured {
+            self.expected_measured += 1;
+        }
+        self.flows.insert(
+            spec.id,
+            FlowRecord {
+                spec: spec.clone(),
+                started: spec.start,
+                completed: None,
+                aborted: false,
+                retransmitted_bytes: 0,
+                timeouts: 0,
+                probes_sent: 0,
+                drops: 0,
+            },
+        );
+    }
+
+    /// Record that a flow's sender observed the final acknowledgment.
+    pub fn flow_completed(&mut self, flow: FlowId, now: SimTime) {
+        if let Some(rec) = self.flows.get_mut(&flow) {
+            if rec.completed.is_none() {
+                rec.completed = Some(now);
+                if rec.spec.measured {
+                    self.completed_measured += 1;
+                }
+                self.trace_event(now, &TraceEvent::FlowDone { flow, aborted: false });
+            }
+        }
+    }
+
+    /// Record that a flow was aborted (counts as completed for run
+    /// termination, but flagged so metrics can treat it separately).
+    pub fn flow_aborted(&mut self, flow: FlowId, now: SimTime) {
+        if let Some(rec) = self.flows.get_mut(&flow) {
+            if rec.completed.is_none() {
+                rec.completed = Some(now);
+                rec.aborted = true;
+                if rec.spec.measured {
+                    self.completed_measured += 1;
+                }
+                self.trace_event(now, &TraceEvent::FlowDone { flow, aborted: true });
+            }
+        }
+    }
+
+    /// Record a retransmission of `bytes` payload bytes.
+    pub fn note_retransmit(&mut self, flow: FlowId, bytes: u64) {
+        if let Some(rec) = self.flows.get_mut(&flow) {
+            rec.retransmitted_bytes += bytes;
+        }
+    }
+
+    /// Record a retransmission timeout.
+    pub fn note_timeout(&mut self, flow: FlowId) {
+        if let Some(rec) = self.flows.get_mut(&flow) {
+            rec.timeouts += 1;
+        }
+    }
+
+    /// Record a probe transmission.
+    pub fn note_probe(&mut self, flow: FlowId) {
+        if let Some(rec) = self.flows.get_mut(&flow) {
+            rec.probes_sent += 1;
+        }
+    }
+
+    /// Record a packet drop in some queue.
+    pub fn note_drop(&mut self, pkt: &Packet) {
+        if pkt.kind == PacketKind::Data {
+            self.data_pkts_dropped += 1;
+            if let Some(rec) = self.flows.get_mut(&pkt.flow) {
+                rec.drops += 1;
+            }
+        }
+    }
+
+    /// Record a data packet accepted into a queue (drop-rate denominator).
+    pub fn note_data_enqueued(&mut self) {
+        self.data_pkts_enqueued += 1;
+    }
+
+    /// Record a control-plane packet of `bytes` put on the wire.
+    pub fn note_ctrl_sent(&mut self, bytes: u32) {
+        self.ctrl_pkts += 1;
+        self.ctrl_bytes += bytes as u64;
+    }
+
+    /// Record a control message processed by an arbitrator.
+    pub fn note_ctrl_processed(&mut self) {
+        self.ctrl_msgs_processed += 1;
+    }
+
+    /// Have all measured flows completed?
+    pub fn all_measured_complete(&self) -> bool {
+        self.expected_measured > 0 && self.completed_measured >= self.expected_measured
+    }
+
+    /// Number of measured flows registered.
+    pub fn expected_measured(&self) -> usize {
+        self.expected_measured
+    }
+
+    /// Number of measured flows completed.
+    pub fn completed_measured(&self) -> usize {
+        self.completed_measured
+    }
+
+    /// Look up one flow's record.
+    pub fn flow(&self, id: FlowId) -> Option<&FlowRecord> {
+        self.flows.get(&id)
+    }
+
+    /// Iterate over all flow records in flow-id order (deterministic).
+    pub fn flows(&self) -> impl Iterator<Item = &FlowRecord> {
+        self.flows.values()
+    }
+
+    /// Fraction of data packets dropped, `dropped / (enqueued + dropped)`.
+    pub fn data_loss_rate(&self) -> f64 {
+        let total = self.data_pkts_enqueued + self.data_pkts_dropped;
+        if total == 0 {
+            0.0
+        } else {
+            self.data_pkts_dropped as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NodeId;
+
+    fn spec(id: u64, measured: bool) -> FlowSpec {
+        let mut s = FlowSpec::new(FlowId(id), NodeId(0), NodeId(1), 1000, SimTime::ZERO);
+        s.measured = measured;
+        s
+    }
+
+    #[test]
+    fn completion_tracking() {
+        let mut st = StatsCollector::new();
+        st.register_flow(&spec(0, true));
+        st.register_flow(&spec(1, true));
+        st.register_flow(&spec(2, false)); // background
+        assert!(!st.all_measured_complete());
+        st.flow_completed(FlowId(0), SimTime::from_millis(1));
+        assert!(!st.all_measured_complete());
+        st.flow_completed(FlowId(1), SimTime::from_millis(2));
+        assert!(st.all_measured_complete());
+        assert_eq!(
+            st.flow(FlowId(0)).unwrap().fct(),
+            Some(SimDuration::from_millis(1))
+        );
+    }
+
+    #[test]
+    fn double_completion_is_idempotent() {
+        let mut st = StatsCollector::new();
+        st.register_flow(&spec(0, true));
+        st.flow_completed(FlowId(0), SimTime::from_millis(1));
+        st.flow_completed(FlowId(0), SimTime::from_millis(9));
+        assert_eq!(
+            st.flow(FlowId(0)).unwrap().completed,
+            Some(SimTime::from_millis(1))
+        );
+        assert_eq!(st.completed_measured(), 1);
+    }
+
+    #[test]
+    fn deadline_accounting() {
+        let mut st = StatsCollector::new();
+        let s = spec(0, true).with_deadline(SimDuration::from_millis(5));
+        st.register_flow(&s);
+        // Not yet complete: counts as missed.
+        assert_eq!(st.flow(FlowId(0)).unwrap().met_deadline(), Some(false));
+        st.flow_completed(FlowId(0), SimTime::from_millis(4));
+        assert_eq!(st.flow(FlowId(0)).unwrap().met_deadline(), Some(true));
+    }
+
+    #[test]
+    fn loss_rate() {
+        let mut st = StatsCollector::new();
+        st.register_flow(&spec(0, true));
+        for _ in 0..9 {
+            st.note_data_enqueued();
+        }
+        let pkt = Packet::data(FlowId(0), NodeId(0), NodeId(1), 0, 1460);
+        st.note_drop(&pkt);
+        assert!((st.data_loss_rate() - 0.1).abs() < 1e-12);
+        assert_eq!(st.flow(FlowId(0)).unwrap().drops, 1);
+    }
+
+    #[test]
+    fn ack_drops_do_not_count_as_data_loss() {
+        let mut st = StatsCollector::new();
+        let ack = Packet::ack(FlowId(0), NodeId(1), NodeId(0), 0);
+        st.note_drop(&ack);
+        assert_eq!(st.data_pkts_dropped, 0);
+    }
+
+    #[test]
+    fn no_flows_means_not_complete() {
+        let st = StatsCollector::new();
+        assert!(!st.all_measured_complete());
+        assert_eq!(st.data_loss_rate(), 0.0);
+    }
+}

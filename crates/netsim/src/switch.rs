@@ -1,0 +1,271 @@
+//! Switches.
+//!
+//! A [`Switch`] forwards packets between its output ports using a static
+//! forwarding table (computed by the topology builder). Protocol crates can
+//! install a [`SwitchPlugin`] to participate in forwarding:
+//!
+//! * PDQ's per-link flow arbitration rewrites scheduling headers on
+//!   transiting packets;
+//! * PASE's control-plane arbitrators are co-located with switches and
+//!   consume/emit control packets addressed to the switch itself.
+//!
+//! The data plane itself stays dumb, per the paper's design principle that
+//! in-network prioritization should "keep the data plane simple and
+//! efficient": all scheduling policy lives in the port queue disciplines.
+
+use std::any::Any;
+
+use crate::engine::Ctx;
+use crate::event::EventKind;
+use crate::ids::{FlowId, NodeId, PortId};
+use crate::packet::{Packet, PacketKind};
+use crate::port::Port;
+use crate::time::{SimDuration, SimTime};
+
+/// Deterministic 64-bit mix used for ECMP next-hop selection.
+fn mix64(mut x: u64) -> u64 {
+    // splitmix64 finalizer.
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Per-destination next hops: one or more equal-cost output ports.
+pub type FibEntry = Vec<PortId>;
+
+/// What a plugin decides about a transiting packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Enqueue on the selected output port.
+    Forward,
+    /// Silently consume the packet (it will not be forwarded).
+    Consume,
+}
+
+/// Protocol logic attached to a switch.
+pub trait SwitchPlugin: Send {
+    /// Called for every transiting packet after the output port has been
+    /// selected and before the packet is enqueued. May rewrite headers
+    /// (PDQ) or consume the packet.
+    fn process_transit(
+        &mut self,
+        pkt: &mut Packet,
+        out_port: PortId,
+        io: &mut SwitchIo<'_, '_>,
+    ) -> Verdict {
+        let _ = (pkt, out_port, io);
+        Verdict::Forward
+    }
+
+    /// A control packet addressed to this switch arrived.
+    fn on_ctrl(&mut self, pkt: Packet, io: &mut SwitchIo<'_, '_>) {
+        let _ = (pkt, io);
+    }
+
+    /// A timer set via [`SwitchIo::set_timer`] fired.
+    fn on_timer(&mut self, token: u64, io: &mut SwitchIo<'_, '_>) {
+        let _ = (token, io);
+    }
+
+    /// Downcast support for tests and cross-layer inspection.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// The interface a [`SwitchPlugin`] uses to act on its switch.
+pub struct SwitchIo<'a, 'b> {
+    /// The switch's node id.
+    pub id: NodeId,
+    /// The switch's output ports.
+    pub ports: &'a mut Vec<Port>,
+    /// Forwarding table indexed by destination node id.
+    pub fib: &'a Vec<FibEntry>,
+    /// Engine context.
+    pub sim: &'a mut Ctx<'b>,
+}
+
+impl<'a, 'b> SwitchIo<'a, 'b> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Pick the output port toward `dst` for `flow` (ECMP by flow hash).
+    pub fn route(&self, dst: NodeId, flow: FlowId) -> Option<PortId> {
+        let entry = self.fib.get(dst.index())?;
+        match entry.len() {
+            0 => None,
+            1 => Some(entry[0]),
+            n => Some(entry[mix64(flow.0) as usize % n]),
+        }
+    }
+
+    /// Send a packet toward its destination through the forwarding table.
+    /// Control packets are counted as control-plane overhead.
+    pub fn send(&mut self, mut pkt: Packet) {
+        pkt.ts = self.now();
+        let Some(port) = self.route(pkt.dst, pkt.flow) else {
+            debug_assert!(false, "no route from {} to {}", self.id, pkt.dst);
+            return;
+        };
+        if pkt.kind == PacketKind::Ctrl {
+            self.sim.stats.note_ctrl_sent(pkt.wire_bytes);
+        }
+        self.ports[port.index()].send(pkt, self.sim);
+    }
+
+    /// The capacity of one of this switch's links.
+    pub fn port_rate(&self, port: PortId) -> crate::time::Rate {
+        self.ports[port.index()].rate
+    }
+
+    /// Arrange for [`SwitchPlugin::on_timer`] to fire after `delay`.
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        self.sim.schedule_self(delay, EventKind::PluginTimer(token));
+    }
+}
+
+/// A store-and-forward switch.
+pub struct Switch {
+    id: NodeId,
+    ports: Vec<Port>,
+    /// Forwarding table: `fib[dst_node] = equal-cost output ports`.
+    fib: Vec<FibEntry>,
+    plugin: Option<Box<dyn SwitchPlugin>>,
+}
+
+impl Switch {
+    /// Create a switch. The forwarding table must cover every destination
+    /// that will ever appear in a packet.
+    pub fn new(id: NodeId, ports: Vec<Port>, fib: Vec<FibEntry>) -> Switch {
+        Switch {
+            id,
+            ports,
+            fib,
+            plugin: None,
+        }
+    }
+
+    /// Install a protocol plugin.
+    pub fn set_plugin(&mut self, plugin: Box<dyn SwitchPlugin>) {
+        self.plugin = Some(plugin);
+    }
+
+    /// This switch's node id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The switch's output ports (for tracing).
+    pub fn ports(&self) -> &[Port] {
+        &self.ports
+    }
+
+    /// Downcast the plugin to a concrete type.
+    pub fn plugin_as<T: 'static>(&mut self) -> Option<&mut T> {
+        self.plugin
+            .as_deref_mut()
+            .and_then(|p| p.as_any_mut().downcast_mut::<T>())
+    }
+
+    /// Dispatch an event to this switch.
+    pub fn handle(&mut self, kind: EventKind, ctx: &mut Ctx<'_>) {
+        match kind {
+            EventKind::Deliver(pkt) => self.deliver(pkt, ctx),
+            EventKind::TxComplete(port) => {
+                self.ports[port.index()].on_tx_complete(ctx);
+            }
+            EventKind::PluginTimer(token) => {
+                self.with_plugin(ctx, |plugin, io| plugin.on_timer(token, io));
+            }
+            EventKind::FlowStart(_) | EventKind::AgentTimer { .. } => {
+                debug_assert!(false, "host event delivered to switch {}", self.id);
+            }
+        }
+    }
+
+    fn deliver(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+        if pkt.dst == self.id {
+            // Addressed to this switch: control-plane traffic.
+            self.with_plugin(ctx, |plugin, io| plugin.on_ctrl(pkt, io));
+            return;
+        }
+        let Some(out) = self.route(pkt.dst, pkt.flow) else {
+            debug_assert!(false, "no route from {} to {}", self.id, pkt.dst);
+            return;
+        };
+        if self.plugin.is_some() {
+            let mut verdict = Verdict::Forward;
+            let mut moved = Some(pkt);
+            self.with_plugin(ctx, |plugin, io| {
+                let p = moved.as_mut().expect("packet present");
+                verdict = plugin.process_transit(p, out, io);
+            });
+            match verdict {
+                Verdict::Forward => {
+                    let pkt = moved.take().expect("packet present");
+                    self.ports[out.index()].send(pkt, ctx);
+                }
+                Verdict::Consume => {}
+            }
+        } else {
+            self.ports[out.index()].send(pkt, ctx);
+        }
+    }
+
+    /// Pick the output port toward `dst` for `flow` (ECMP by flow hash).
+    pub fn route(&self, dst: NodeId, flow: FlowId) -> Option<PortId> {
+        let entry = self.fib.get(dst.index())?;
+        match entry.len() {
+            0 => None,
+            1 => Some(entry[0]),
+            n => Some(entry[mix64(flow.0) as usize % n]),
+        }
+    }
+
+    /// Run a closure with the plugin detached, so the plugin can borrow the
+    /// switch's ports and FIB through [`SwitchIo`].
+    fn with_plugin<F>(&mut self, ctx: &mut Ctx<'_>, f: F)
+    where
+        F: FnOnce(&mut dyn SwitchPlugin, &mut SwitchIo<'_, '_>),
+    {
+        let Some(mut plugin) = self.plugin.take() else {
+            return;
+        };
+        {
+            let mut io = SwitchIo {
+                id: self.id,
+                ports: &mut self.ports,
+                fib: &self.fib,
+                sim: ctx,
+            };
+            f(plugin.as_mut(), &mut io);
+        }
+        self.plugin = Some(plugin);
+    }
+}
+
+impl core::fmt::Debug for Switch {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Switch")
+            .field("id", &self.id)
+            .field("ports", &self.ports.len())
+            .field("has_plugin", &self.plugin.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix64_is_deterministic_and_spreads() {
+        assert_eq!(mix64(1), mix64(1));
+        assert_ne!(mix64(1), mix64(2));
+        // A handful of consecutive inputs should not all land on the same
+        // parity (sanity check for 2-way ECMP).
+        let evens = (0..16).filter(|&i| mix64(i) % 2 == 0).count();
+        assert!(evens > 2 && evens < 14, "mix64 badly skewed: {evens}/16");
+    }
+}

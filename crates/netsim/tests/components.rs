@@ -1,0 +1,238 @@
+//! Component-level tests of host and switch event dispatch: agent
+//! lifecycle, service wake-ups, plugin verdicts and timers.
+
+use std::any::Any;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use netsim::event::EventKind;
+use netsim::flow::{FlowSpec, ReceiverHint};
+use netsim::host::{AgentCtx, AgentFactory, FlowAgent, HostIo, HostService, WAKEUP_TOKEN};
+use netsim::node::Node;
+use netsim::packet::{Packet, PacketKind};
+use netsim::prelude::*;
+use netsim::switch::{SwitchIo, SwitchPlugin, Verdict};
+
+/// A sender that transmits one data packet per `on_start`, records every
+/// ack/timer in shared counters, and completes on the first ack.
+struct OneShotSender {
+    spec: FlowSpec,
+    acks: Arc<AtomicU64>,
+    wakeups: Arc<AtomicU64>,
+    done: bool,
+}
+
+impl FlowAgent for OneShotSender {
+    fn on_start(&mut self, ctx: &mut AgentCtx<'_, '_>) {
+        let pkt = Packet::data(self.spec.id, self.spec.src, self.spec.dst, 0, 1000);
+        ctx.send(pkt);
+        ctx.set_timer(SimDuration::from_millis(500), 42); // will be stale
+    }
+
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut AgentCtx<'_, '_>) {
+        if pkt.kind == PacketKind::Ack {
+            self.acks.fetch_add(1, Ordering::Relaxed);
+            ctx.flow_completed();
+            self.done = true;
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, _ctx: &mut AgentCtx<'_, '_>) {
+        if token == WAKEUP_TOKEN {
+            self.wakeups.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.done
+    }
+}
+
+struct Echoer {
+    hint: ReceiverHint,
+}
+
+impl FlowAgent for Echoer {
+    fn on_start(&mut self, _: &mut AgentCtx<'_, '_>) {}
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut AgentCtx<'_, '_>) {
+        if pkt.kind == PacketKind::Data {
+            ctx.send(Packet::ack(self.hint.flow, self.hint.dst, self.hint.src, pkt.seq_end()));
+        }
+    }
+    fn on_timer(&mut self, _: u64, _: &mut AgentCtx<'_, '_>) {}
+    fn is_done(&self) -> bool {
+        false
+    }
+}
+
+struct TestFactory {
+    acks: Arc<AtomicU64>,
+    wakeups: Arc<AtomicU64>,
+}
+
+impl AgentFactory for TestFactory {
+    fn sender(&self, spec: &FlowSpec) -> Box<dyn FlowAgent> {
+        Box::new(OneShotSender {
+            spec: spec.clone(),
+            acks: Arc::clone(&self.acks),
+            wakeups: Arc::clone(&self.wakeups),
+            done: false,
+        })
+    }
+    fn receiver(&self, hint: ReceiverHint) -> Box<dyn FlowAgent> {
+        Box::new(Echoer { hint })
+    }
+}
+
+fn two_hosts(factory: Arc<dyn AgentFactory>) -> (Simulation, Vec<NodeId>, NodeId) {
+    let mut b = TopologyBuilder::new();
+    let sw = b.add_switch();
+    let hosts = b.add_hosts(2);
+    for &h in &hosts {
+        b.connect(h, sw, Rate::from_gbps(1), SimDuration::from_micros(10));
+    }
+    (
+        Simulation::new(b.build(factory, &|_| Box::new(DropTailQdisc::new(64)))),
+        hosts,
+        sw,
+    )
+}
+
+#[test]
+fn sender_completes_and_is_garbage_collected_stale_timer_ignored() {
+    let acks = Arc::new(AtomicU64::new(0));
+    let wakeups = Arc::new(AtomicU64::new(0));
+    let (mut sim, hosts, _) = two_hosts(Arc::new(TestFactory {
+        acks: Arc::clone(&acks),
+        wakeups: Arc::clone(&wakeups),
+    }));
+    sim.add_flow(FlowSpec::new(FlowId(0), hosts[0], hosts[1], 1000, SimTime::ZERO));
+    // Run past the stale 500 ms timer: the agent is gone by then, so the
+    // timer must be swallowed without panicking.
+    let outcome = sim.run(RunLimit::default());
+    assert_eq!(outcome, RunOutcome::Drained);
+    assert_eq!(acks.load(Ordering::Relaxed), 1);
+    assert!(sim.now() >= SimTime::from_millis(500), "stale timer still fired as an event");
+    let Node::Host(h) = sim.node(hosts[0]) else { panic!() };
+    assert_eq!(h.live_agents(), 0, "completed sender must be GC'd");
+    let Node::Host(h1) = sim.node(hosts[1]) else { panic!() };
+    assert_eq!(h1.live_agents(), 1, "receiver stays resident");
+}
+
+/// A service that counts ctrl packets and wakes the tagged flow.
+struct CountingService {
+    ctrl_seen: Arc<AtomicU64>,
+}
+
+impl HostService for CountingService {
+    fn on_ctrl(&mut self, pkt: Packet, io: &mut HostIo<'_, '_, '_>) {
+        self.ctrl_seen.fetch_add(1, Ordering::Relaxed);
+        io.wake_flow(pkt.flow);
+    }
+    fn on_timer(&mut self, _token: u64, _io: &mut HostIo<'_, '_, '_>) {}
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[test]
+fn ctrl_packets_route_to_service_and_wake_agents() {
+    let acks = Arc::new(AtomicU64::new(0));
+    let wakeups = Arc::new(AtomicU64::new(0));
+    let ctrl_seen = Arc::new(AtomicU64::new(0));
+    let (mut sim, hosts, _) = two_hosts(Arc::new(TestFactory {
+        acks: Arc::clone(&acks),
+        wakeups: Arc::clone(&wakeups),
+    }));
+    if let Node::Host(h) = sim.node_mut(hosts[0]) {
+        h.set_service(Box::new(CountingService {
+            ctrl_seen: Arc::clone(&ctrl_seen),
+        }));
+    }
+    // A big flow so the sender is still alive when the ctrl packet lands.
+    sim.add_flow(FlowSpec::new(FlowId(3), hosts[0], hosts[1], 1000, SimTime::ZERO));
+    // Two ctrl packets addressed to host 0, tagged with flow 3 (delivered
+    // directly, as if they had just crossed host 0's access link).
+    for (t, payload) in [(1u64, 7u32), (2, 8)] {
+        sim.scheduler_mut().schedule_at(
+            SimTime::from_micros(t),
+            hosts[0],
+            EventKind::Deliver(Packet::ctrl(FlowId(3), hosts[1], hosts[0], Box::new(payload))),
+        );
+    }
+    sim.run(RunLimit::default());
+    assert!(ctrl_seen.load(Ordering::Relaxed) >= 1);
+    assert!(
+        wakeups.load(Ordering::Relaxed) >= 1,
+        "service wake_flow must reach the agent"
+    );
+}
+
+/// A plugin that consumes every probe and counts timer ticks.
+struct ProbeEater {
+    eaten: u64,
+    ticks: u64,
+}
+
+impl SwitchPlugin for ProbeEater {
+    fn process_transit(
+        &mut self,
+        pkt: &mut Packet,
+        _out: netsim::ids::PortId,
+        _io: &mut SwitchIo<'_, '_>,
+    ) -> Verdict {
+        if pkt.kind == PacketKind::Probe {
+            self.eaten += 1;
+            Verdict::Consume
+        } else {
+            Verdict::Forward
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, io: &mut SwitchIo<'_, '_>) {
+        self.ticks += 1;
+        if self.ticks < 3 {
+            io.set_timer(SimDuration::from_micros(50), token);
+        }
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[test]
+fn plugin_can_consume_packets_and_run_timers() {
+    let acks = Arc::new(AtomicU64::new(0));
+    let wakeups = Arc::new(AtomicU64::new(0));
+    let (mut sim, hosts, sw) = two_hosts(Arc::new(TestFactory {
+        acks,
+        wakeups,
+    }));
+    if let Node::Switch(s) = sim.node_mut(sw) {
+        s.set_plugin(Box::new(ProbeEater { eaten: 0, ticks: 0 }));
+    }
+    // Kick the plugin timer chain.
+    sim.scheduler_mut()
+        .schedule_at(SimTime::from_micros(1), sw, EventKind::PluginTimer(9));
+    // A probe that should be eaten, and a data flow that should pass.
+    sim.scheduler_mut().schedule_at(
+        SimTime::ZERO,
+        hosts[0],
+        EventKind::Deliver(Packet::ack(FlowId(9), hosts[1], hosts[0], 0)), // stale ack: ignored
+    );
+    sim.add_flow(FlowSpec::new(FlowId(0), hosts[0], hosts[1], 1000, SimTime::ZERO));
+    // Inject a probe through the switch.
+    sim.scheduler_mut().schedule_at(
+        SimTime::from_micros(3),
+        sw,
+        EventKind::Deliver(Packet::probe(FlowId(5), hosts[0], hosts[1], 0)),
+    );
+    sim.run(RunLimit::default());
+    let Node::Switch(s) = sim.node_mut(sw) else { panic!() };
+    let plugin = s.plugin_as::<ProbeEater>().unwrap();
+    assert_eq!(plugin.eaten, 1, "probe must be consumed");
+    assert_eq!(plugin.ticks, 3, "timer chain must run to completion");
+    // Data flow still completed despite the plugin.
+    assert!(sim.stats().flow(FlowId(0)).unwrap().completed.is_some());
+}

@@ -1,0 +1,155 @@
+//! Property-based tests for the queue disciplines: conservation, bounds
+//! and ordering invariants under arbitrary operation sequences.
+
+use proptest::prelude::*;
+
+use netsim::ids::{FlowId, NodeId};
+use netsim::packet::Packet;
+use netsim::queue::{DropTailQdisc, Enqueued, LossyQdisc, Qdisc, RedEcnQdisc, StrictPrioQdisc};
+use netsim::time::SimTime;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Enqueue { flow: u64, prio: u8, len: u16 },
+    Dequeue,
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u64..20, 0u8..10, 1u16..1460).prop_map(|(flow, prio, len)| Op::Enqueue {
+                flow,
+                prio,
+                len
+            }),
+            Just(Op::Dequeue),
+        ],
+        0..200,
+    )
+}
+
+fn mk_pkt(flow: u64, prio: u8, len: u16) -> Packet {
+    let mut p = Packet::data(FlowId(flow), NodeId(0), NodeId(1), 0, len as u32);
+    p.prio = prio;
+    p.rank = flow * 1000;
+    p
+}
+
+/// Run an op sequence, checking the universal qdisc invariants:
+/// * packet and byte occupancy never go negative or exceed what entered;
+/// * `len_pkts == 0` iff `dequeue` returns `None`;
+/// * conservation: enqueued = dequeued + dropped + still-queued.
+fn check_invariants(mut q: Box<dyn Qdisc>, ops: Vec<Op>, cap: usize) {
+    let now = SimTime::ZERO;
+    let mut in_count = 0u64;
+    let mut out_count = 0u64;
+    let mut drop_count = 0u64;
+    for op in ops {
+        match op {
+            Op::Enqueue { flow, prio, len } => match q.enqueue(mk_pkt(flow, prio, len), now) {
+                Enqueued::Ok => in_count += 1,
+                Enqueued::RejectedArrival(_) => drop_count += 1,
+                Enqueued::Evicted(_) => {
+                    in_count += 1;
+                    drop_count += 1;
+                }
+            },
+            Op::Dequeue => {
+                if q.dequeue(now).is_some() {
+                    out_count += 1;
+                }
+            }
+        }
+        assert!(q.len_pkts() <= cap * 16, "occupancy explosion");
+        assert_eq!(q.len_pkts() == 0, q.len_bytes() == 0, "byte/pkt mismatch");
+    }
+    // Conservation.
+    assert_eq!(
+        in_count,
+        out_count + q.len_pkts() as u64,
+        "packets lost or duplicated inside the qdisc"
+    );
+    // Drain fully.
+    let mut drained = 0u64;
+    while q.dequeue(now).is_some() {
+        drained += 1;
+    }
+    assert_eq!(drained, in_count - out_count);
+    assert_eq!(q.len_bytes(), 0);
+    let stats = q.stats();
+    assert_eq!(stats.dropped_pkts, drop_count);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn droptail_invariants(ops in ops(), cap in 1usize..64) {
+        check_invariants(Box::new(DropTailQdisc::new(cap)), ops, cap);
+    }
+
+    #[test]
+    fn red_invariants(ops in ops(), cap in 1usize..64) {
+        let k = cap / 2;
+        check_invariants(Box::new(RedEcnQdisc::new(cap, k)), ops, cap);
+    }
+
+    #[test]
+    fn strict_prio_invariants(ops in ops(), cap in 1usize..32, bands in 1usize..10) {
+        check_invariants(Box::new(StrictPrioQdisc::new(bands, cap, cap)), ops, cap * bands);
+    }
+
+    #[test]
+    fn lossy_wrapper_invariants(ops in ops(), cap in 1usize..64, period in 0u64..7) {
+        check_invariants(
+            Box::new(LossyQdisc::new(Box::new(DropTailQdisc::new(cap)), period)),
+            ops,
+            cap,
+        );
+    }
+
+    /// Strict priority: a dequeued packet never has a (strictly) higher
+    /// band available in the queue at dequeue time.
+    #[test]
+    fn strict_prio_always_serves_highest_band(ops in ops()) {
+        let mut q = StrictPrioQdisc::new(8, 64, 64);
+        let now = SimTime::ZERO;
+        for op in ops {
+            match op {
+                Op::Enqueue { flow, prio, len } => {
+                    let _ = q.enqueue(mk_pkt(flow, prio % 8, len), now);
+                }
+                Op::Dequeue => {
+                    let before: Vec<usize> = (0..8).map(|b| q.band_len_pkts(b)).collect();
+                    if let Some(pkt) = q.dequeue(now) {
+                        let band = pkt.prio as usize;
+                        for (b, &occ) in before.iter().enumerate().take(band) {
+                            prop_assert_eq!(
+                                occ, 0,
+                                "dequeued band {} while band {} had {} packets",
+                                band, b, occ
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// RED marking threshold: CE only ever set when occupancy at arrival
+    /// was at least K, and never on non-ECN packets.
+    #[test]
+    fn red_marks_only_above_threshold(flows in prop::collection::vec(0u64..9, 1..80), k in 0usize..16) {
+        let mut q = RedEcnQdisc::new(64, k);
+        let now = SimTime::ZERO;
+        let mut occupancy_at_arrival = std::collections::VecDeque::new();
+        for f in flows {
+            occupancy_at_arrival.push_back(q.len_pkts());
+            let _ = q.enqueue(mk_pkt(f, 0, 1000), now);
+        }
+        while let Some(p) = q.dequeue(now) {
+            let occ = occupancy_at_arrival.pop_front().unwrap();
+            prop_assert_eq!(p.ecn_ce, occ >= k, "occupancy {} vs K {}", occ, k);
+        }
+    }
+}

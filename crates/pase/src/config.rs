@@ -1,0 +1,179 @@
+//! PASE configuration.
+//!
+//! Defaults follow Table 3 of the paper: 8 priority queues, 10 ms minimum
+//! RTO for top-queue flows and 200 ms for the rest, 500-packet switch
+//! buffers (set where topologies are built).
+
+use netsim::time::{SimDuration, Rate};
+
+/// The scheduling criterion arbitrators sort flows by (paper §3.1.1: the
+/// `FlowSize` input "can be replaced by deadline ... for task-aware
+/// scheduling").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Criterion {
+    /// Shortest remaining processing time (default; minimizes FCT).
+    SrptSize,
+    /// Earliest deadline first; flows without deadlines sort after all
+    /// deadline flows, by remaining size.
+    Edf,
+    /// Task-aware: flows of older tasks (smaller task id) first, remaining
+    /// size as the tiebreak; task-less flows sort last. Serializing whole
+    /// tasks minimizes *task* completion times (the paper cites Baraat's
+    /// decentralized task-aware scheduling as the third criterion).
+    TaskAware,
+}
+
+/// Every knob of the PASE implementation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaseConfig {
+    /// Maximum segment payload, bytes.
+    pub mss: u32,
+    /// Number of switch priority queues (Table 3: 8; Fig. 12b sweeps this).
+    pub n_queues: u8,
+    /// Scheduling criterion.
+    pub criterion: Criterion,
+    /// Minimum RTO for flows in the top queue (Table 3: 10 ms).
+    pub min_rto_top: SimDuration,
+    /// Minimum RTO for flows in lower queues (Table 3: 200 ms).
+    pub min_rto_low: SimDuration,
+    /// Maximum RTO.
+    pub max_rto: SimDuration,
+    /// DCTCP gain `g` for the marked-fraction EWMA (self-adjusting part).
+    pub g: f64,
+    /// Baseline RTT estimate used before samples exist and for the
+    /// `Rref × RTT` window computation at flow start.
+    pub base_rtt: SimDuration,
+    /// How often sources re-contact arbitrators with updated remaining
+    /// size (one base RTT by default).
+    pub arb_refresh: SimDuration,
+    /// Arbitrator flow entries not refreshed for this long are dropped
+    /// (covers lost FlowDone messages).
+    pub arb_expiry: SimDuration,
+    /// End-to-end arbitration (false = local-only endpoint arbitration;
+    /// Fig. 12a ablates this).
+    pub end_to_end: bool,
+    /// Early pruning: forward a request to the parent arbitrator only when
+    /// the flow is mapped within the top `prune_depth` queues so far.
+    pub early_pruning: bool,
+    /// Number of top queues that survive pruning (paper §3.1.2: "sending
+    /// flows belonging to the top two queues upwards ... provides the
+    /// right balance").
+    pub prune_depth: u8,
+    /// Delegation: aggregation–core capacity is split into virtual links
+    /// owned by the child ToR arbitrators.
+    pub delegation: bool,
+    /// How often delegated virtual-link capacities are rebalanced.
+    pub deleg_period: SimDuration,
+    /// Minimum share of a delegated link any child keeps (so a previously
+    /// idle child can ramp up without waiting a full period).
+    pub deleg_min_share: f64,
+    /// Use the arbitrator's reference rate to set the window (false =
+    /// PASE-DCTCP of Fig. 13a: queues only, DCTCP rate control).
+    pub use_reference_rate: bool,
+    /// Hold an inter-rack flow's first data until the child (ToR)
+    /// arbitrator's response arrives (paper §3.1.2). Off by default: in
+    /// this simulator the conservative start costs more AFCT than the
+    /// band-0 pollution it avoids (see EXPERIMENTS.md, Fig. 11/12 notes).
+    pub wait_for_initial_arb: bool,
+    /// Probe-based loss recovery for flows in lower-priority queues
+    /// (§3.2): on timeout, send a probe to distinguish loss from delay.
+    pub probe_on_timeout: bool,
+    /// Bottom-queue probing (§4.3.2): flows in the lowest queue send a
+    /// header-only probe per RTT instead of a full data packet.
+    pub probe_bottom_queue: bool,
+    /// The base rate granted to flows that cannot make the top queue: one
+    /// packet per RTT (paper §3.1.1).
+    pub base_rate_pkts_per_rtt: u32,
+}
+
+impl Default for PaseConfig {
+    fn default() -> Self {
+        PaseConfig {
+            mss: 1460,
+            n_queues: 8,
+            criterion: Criterion::SrptSize,
+            min_rto_top: SimDuration::from_millis(10),
+            min_rto_low: SimDuration::from_millis(200),
+            max_rto: SimDuration::from_secs(2),
+            g: 1.0 / 16.0,
+            base_rtt: SimDuration::from_micros(300),
+            arb_refresh: SimDuration::from_micros(300),
+            arb_expiry: SimDuration::from_micros(1200),
+            end_to_end: true,
+            early_pruning: true,
+            prune_depth: 2,
+            delegation: true,
+            deleg_period: SimDuration::from_millis(1),
+            deleg_min_share: 0.1,
+            use_reference_rate: true,
+            wait_for_initial_arb: false,
+            probe_on_timeout: true,
+            probe_bottom_queue: true,
+            base_rate_pkts_per_rtt: 1,
+        }
+    }
+}
+
+impl PaseConfig {
+    /// The paper's "base rate" (one packet per RTT) as a [`Rate`].
+    pub fn base_rate(&self) -> Rate {
+        let bits = (self.mss as u64 + 40) * 8 * self.base_rate_pkts_per_rtt as u64;
+        let rtt_s = self.base_rtt.as_secs_f64();
+        Rate::from_bps((bits as f64 / rtt_s) as u64)
+    }
+
+    /// The lowest queue index.
+    pub fn lowest_queue(&self) -> u8 {
+        self.n_queues - 1
+    }
+
+    /// Switch off every control-plane optimization (Fig. 11 baseline).
+    pub fn without_optimizations(mut self) -> Self {
+        self.early_pruning = false;
+        self.delegation = false;
+        self
+    }
+
+    /// Local-only arbitration (Fig. 12a baseline).
+    pub fn local_only(mut self) -> Self {
+        self.end_to_end = false;
+        self
+    }
+
+    /// PASE-DCTCP (Fig. 13a baseline): no reference rate.
+    pub fn without_reference_rate(mut self) -> Self {
+        self.use_reference_rate = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table3() {
+        let c = PaseConfig::default();
+        assert_eq!(c.n_queues, 8);
+        assert_eq!(c.min_rto_top, SimDuration::from_millis(10));
+        assert_eq!(c.min_rto_low, SimDuration::from_millis(200));
+        assert!(c.end_to_end && c.early_pruning && c.delegation);
+        assert_eq!(c.prune_depth, 2);
+    }
+
+    #[test]
+    fn base_rate_is_one_packet_per_rtt() {
+        let c = PaseConfig::default();
+        // 1500 B / 300 us = 40 Mbps.
+        let r = c.base_rate();
+        assert!((r.as_bps() as f64 - 40e6).abs() < 1e5, "{r}");
+    }
+
+    #[test]
+    fn ablation_helpers() {
+        let c = PaseConfig::default().without_optimizations();
+        assert!(!c.early_pruning && !c.delegation);
+        assert!(!PaseConfig::default().local_only().end_to_end);
+        assert!(!PaseConfig::default().without_reference_rate().use_reference_rate);
+    }
+}

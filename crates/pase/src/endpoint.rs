@@ -1,0 +1,605 @@
+//! The PASE end-host transport (paper §3.2).
+//!
+//! The sender combines the three strategies:
+//!
+//! * **Arbitration** tells it a priority queue and a reference rate: the
+//!   local uplink decision is synchronous (same host); the sender- and
+//!   receiver-leg decisions arrive as control responses and are merged as
+//!   `queue = max`, `rate = min` (the bottleneck rules).
+//! * **Guided rate control** (Algorithm 2): top-queue flows set
+//!   `cwnd = Rref × RTT` instead of slow-starting; intermediate-queue
+//!   flows run DCTCP control laws; bottom-queue flows hold `cwnd = 1`.
+//!   A marked ACK always triggers the DCTCP decrease.
+//! * **Priority-aware loss recovery**: lower-queue flows answer timeouts
+//!   with header-only probes that distinguish "lost" from "parked behind
+//!   higher-priority traffic"; minimum RTOs are 10 ms (top queue) vs
+//!   200 ms (rest). Optionally, bottom-queue flows replace their
+//!   1-packet-per-RTT trickle with probes entirely (§4.3.2).
+//! * **Reordering guard**: on a queue promotion the sender drains
+//!   in-flight lower-priority packets before sending at the new priority.
+
+use netsim::flow::FlowSpec;
+use netsim::host::{AgentCtx, FlowAgent, WAKEUP_TOKEN};
+use netsim::packet::{Packet, PacketKind};
+use netsim::time::{Rate, SimDuration};
+use transport::{AckKind, LossEvent, RttEstimator, TxEngine};
+
+use crate::algorithm::Decision;
+use crate::config::PaseConfig;
+use crate::host_service::{ArbPlan, PaseHostService};
+use crate::messages::{ArbMsg, ArbRequest, Leg};
+
+/// Token bases for the sender's own timers; [`TxEngine`] epochs stay far
+/// below these.
+const REFRESH_TOKEN_BASE: u64 = 1 << 40;
+const PACE_TOKEN_BASE: u64 = 1 << 41;
+
+/// The PASE sender agent.
+pub struct PaseSender {
+    spec: FlowSpec,
+    cfg: PaseConfig,
+    engine: TxEngine,
+    plan: ArbPlan,
+
+    // Arbitration state.
+    local: Decision,
+    queue: u8,
+    rref: Rate,
+    /// Band actually written on outgoing data (lags `queue` during the
+    /// reordering-guard hold).
+    tx_prio: u8,
+
+    // DCTCP machinery for the self-adjusting part.
+    alpha: f64,
+    obs_end: u64,
+    obs_acked: u64,
+    obs_marked: u64,
+    next_decrease_at: u64,
+    /// Algorithm 2's `isInterQueue` flag.
+    is_inter_queue: bool,
+    /// Slow-start threshold, only used in PASE-DCTCP mode (Fig. 13a).
+    ssthresh: f64,
+
+    // Reordering guard: while `Some(barrier)`, new data keeps the old
+    // (lower) priority until everything sent before the promotion is
+    // acknowledged, then switches to the new priority.
+    reorder_barrier: Option<u64>,
+    // Probe-based loss recovery: `Some(acked_at_send)` while a recovery
+    // probe is outstanding.
+    recovery_probe: Option<u64>,
+    // Bottom-queue pacing probes.
+    pace_epoch: u64,
+    refresh_epoch: u64,
+    started: bool,
+    /// Inter-rack flows hold their first data until the sender-leg
+    /// arbitration response arrives (paper §3.1.2: "a flow starts as soon
+    /// as it receives arbitration information from the child arbitrator").
+    /// The refresh timer is the fallback if the response is lost.
+    awaiting_initial_arb: bool,
+    done: bool,
+}
+
+impl PaseSender {
+    /// Create a sender for `spec`.
+    pub fn new(spec: &FlowSpec, cfg: PaseConfig) -> PaseSender {
+        let rtt = RttEstimator::new(cfg.min_rto_top, cfg.max_rto);
+        PaseSender {
+            spec: spec.clone(),
+            cfg,
+            engine: TxEngine::new(spec.id, spec.src, spec.dst, spec.size, cfg.mss, 1.0, rtt),
+            plan: ArbPlan {
+                sender_leg_to: None,
+                receiver_leg_to: None,
+            },
+            local: Decision {
+                queue: cfg.lowest_queue(),
+                rate: cfg.base_rate(),
+            },
+            queue: cfg.lowest_queue(),
+            rref: cfg.base_rate(),
+            tx_prio: cfg.lowest_queue(),
+            alpha: 0.0,
+            obs_end: 0,
+            obs_acked: 0,
+            obs_marked: 0,
+            next_decrease_at: 0,
+            is_inter_queue: false,
+            ssthresh: f64::INFINITY,
+            reorder_barrier: None,
+            recovery_probe: None,
+            pace_epoch: 0,
+            refresh_epoch: 0,
+            started: false,
+            awaiting_initial_arb: false,
+            done: false,
+        }
+    }
+
+    /// Effective queue (tests/inspection).
+    pub fn queue(&self) -> u8 {
+        self.queue
+    }
+
+    /// Effective reference rate (tests/inspection).
+    pub fn rref(&self) -> Rate {
+        self.rref
+    }
+
+    /// Current congestion window in packets (tests/inspection).
+    pub fn cwnd(&self) -> f64 {
+        self.engine.cwnd
+    }
+
+    fn srtt(&self) -> SimDuration {
+        self.engine.rtt.srtt().unwrap_or(self.cfg.base_rtt)
+    }
+
+    /// The flow's demand: what it could use if unconstrained — the NIC
+    /// rate, capped by what the remaining bytes can fill in one RTT
+    /// (paper §3.1.1: "for short flows ... this is set to a lower value").
+    fn demand(&self, ctx: &AgentCtx<'_, '_>) -> Rate {
+        let nic = ctx.host.port.rate;
+        let remaining_wire = self.engine.remaining()
+            + (self.engine.remaining() / self.cfg.mss as u64 + 1) * 40;
+        let per_rtt =
+            Rate::from_bps((remaining_wire as f64 * 8.0 / self.cfg.base_rtt.as_secs_f64()) as u64);
+        nic.min(per_rtt)
+    }
+
+    fn reference_cwnd_pkts(&self) -> f64 {
+        let bytes_per_rtt = self.rref.bytes_in(self.srtt());
+        (bytes_per_rtt as f64 / (self.cfg.mss as f64 + 40.0)).max(1.0)
+    }
+
+    fn in_bottom_queue(&self) -> bool {
+        self.queue >= self.cfg.lowest_queue()
+    }
+
+    /// Should data transmission be suppressed in favor of pacing probes?
+    fn data_suppressed(&self) -> bool {
+        self.cfg.probe_bottom_queue
+            && self.in_bottom_queue()
+            && !self.spec.is_background()
+            && self.cfg.end_to_end
+    }
+
+    /// Run local arbitration and fire off the leg requests. Returns
+    /// whether a sender-leg request was actually sent (pruning may skip
+    /// it).
+    fn arbitrate(&mut self, ctx: &mut AgentCtx<'_, '_>) -> bool {
+        if self.spec.is_background() {
+            // Background traffic rides the dedicated lowest queue and is
+            // not arbitrated (paper §3.3).
+            self.queue = self.cfg.lowest_queue();
+            self.tx_prio = self.queue;
+            return false;
+        }
+        let now = ctx.now();
+        let flow = self.spec.id;
+        let remaining = self.engine.remaining();
+        // A deadline that has already passed no longer confers urgency:
+        // under EDF an expired flow would otherwise hold the top queue
+        // forever and starve still-meetable flows (EDF's overload
+        // pathology). It falls back to size-based priority.
+        let deadline = self.spec.deadline_abs().filter(|d| *d > now);
+        let task = self.spec.task;
+        let demand = self.demand(ctx);
+        let Some(svc) = ctx.service::<PaseHostService>() else {
+            // No control plane installed: degrade to a single queue.
+            return false;
+        };
+        self.plan = svc.plan(self.spec.dst);
+        self.local = svc.local_update(flow, remaining, deadline, task, demand, now);
+
+        // Sender-leg request (pruned if the local decision is already out
+        // of the top queues).
+        let mut sender_leg_sent = false;
+        if let Some(tor) = self.plan.sender_leg_to {
+            let pruned = self.cfg.early_pruning && self.local.queue >= self.cfg.prune_depth;
+            if !pruned {
+                sender_leg_sent = true;
+                let req = ArbRequest {
+                    flow,
+                    reply_to: self.spec.src,
+                    src: self.spec.src,
+                    dst: self.spec.dst,
+                    remaining,
+                    deadline,
+                    task,
+                    demand,
+                    leg: Leg::Sender,
+                    acc_queue: self.local.queue,
+                    acc_rate: self.local.rate,
+                };
+                ctx.send(Packet::ctrl(flow, self.spec.src, tor, Box::new(ArbMsg::Request(req))));
+            }
+        }
+        // Receiver-leg request: the destination arbitrates its downlink.
+        if let Some(dst) = self.plan.receiver_leg_to {
+            let req = ArbRequest {
+                flow,
+                reply_to: self.spec.src,
+                src: self.spec.src,
+                dst: self.spec.dst,
+                remaining,
+                deadline,
+                task,
+                demand,
+                leg: Leg::Receiver,
+                acc_queue: 0,
+                acc_rate: demand,
+            };
+            ctx.send(Packet::ctrl(flow, self.spec.src, dst, Box::new(ArbMsg::Request(req))));
+        }
+        self.recompute_effective(ctx);
+        sender_leg_sent
+    }
+
+    /// Merge the local and leg decisions into the effective queue/rate and
+    /// apply Algorithm 2's state transitions.
+    fn recompute_effective(&mut self, ctx: &mut AgentCtx<'_, '_>) {
+        let legs = match ctx.service::<PaseHostService>() {
+            Some(svc) => svc.leg_results(self.spec.id),
+            None => Default::default(),
+        };
+        let mut queue = self.local.queue;
+        let mut rref = self.local.rate;
+        for d in [legs.sender, legs.receiver].into_iter().flatten() {
+            queue = queue.max(d.queue);
+            rref = rref.min(d.rate);
+        }
+        let old_queue = self.queue;
+        self.queue = queue.min(self.cfg.lowest_queue());
+        self.rref = rref;
+
+        if self.queue < old_queue && self.engine.flight_bytes() > 0 {
+            // Promotion: keep sending at the old (lower) priority until
+            // everything already in flight is acknowledged, so packets of
+            // the two priorities cannot reorder (paper §3.2). Demotions
+            // apply immediately (low-priority packets sent later cannot
+            // overtake earlier high-priority ones).
+            self.reorder_barrier = Some(self.engine.snd_nxt());
+        }
+        self.sync_tx_prio();
+        // Per-queue minimum RTO (Table 3).
+        let min_rto = if self.queue == 0 {
+            self.cfg.min_rto_top
+        } else {
+            self.cfg.min_rto_low
+        };
+        self.engine.rtt.set_min_rto(min_rto);
+
+        // Algorithm 2 state transitions on queue change.
+        if self.cfg.use_reference_rate && old_queue != self.queue {
+            if self.queue == 0 {
+                self.engine.cwnd = self.reference_cwnd_pkts();
+                self.is_inter_queue = false;
+            } else if self.in_bottom_queue() {
+                self.engine.cwnd = 1.0;
+                self.is_inter_queue = false;
+            } else if !self.is_inter_queue {
+                self.is_inter_queue = true;
+                self.engine.cwnd = 1.0;
+            }
+        }
+        // Entering the bottom queue with pacing probes: start the pacer.
+        if self.data_suppressed() && self.started {
+            self.start_pace_probes(ctx);
+        }
+    }
+
+    fn start_pace_probes(&mut self, ctx: &mut AgentCtx<'_, '_>) {
+        self.pace_epoch += 1;
+        ctx.set_timer(self.srtt(), PACE_TOKEN_BASE + self.pace_epoch);
+    }
+
+    fn send_pace_probe(&mut self, ctx: &mut AgentCtx<'_, '_>) {
+        let mut probe = Packet::probe(self.spec.id, self.spec.src, self.spec.dst, self.engine.acked());
+        probe.prio = self.tx_prio;
+        ctx.sim.stats.note_probe(self.spec.id);
+        ctx.send(probe);
+    }
+
+    /// Algorithm 2's per-ACK window law.
+    fn on_new_ack(&mut self, newly: u64, ece: bool) {
+        // DCTCP marked-fraction estimator (shared by all modes).
+        self.obs_acked += newly;
+        if ece {
+            self.obs_marked += newly;
+        }
+        if self.engine.acked() >= self.obs_end {
+            if self.obs_acked > 0 {
+                let f = self.obs_marked as f64 / self.obs_acked as f64;
+                self.alpha = (1.0 - self.cfg.g) * self.alpha + self.cfg.g * f;
+            }
+            self.obs_acked = 0;
+            self.obs_marked = 0;
+            self.obs_end = self.engine.snd_nxt();
+        }
+
+        let pkts = newly as f64 / self.cfg.mss as f64;
+        if ece && self.engine.acked() >= self.next_decrease_at {
+            // Marked ACK: DCTCP decrease law (all queues).
+            self.engine.cwnd = (self.engine.cwnd * (1.0 - self.alpha / 2.0)).max(1.0);
+            self.ssthresh = self.engine.cwnd;
+            self.next_decrease_at = self.engine.snd_nxt();
+            return;
+        }
+        if self.engine.in_recovery() {
+            return;
+        }
+        if !self.cfg.use_reference_rate {
+            // PASE-DCTCP (Fig. 13a): plain DCTCP growth, with the same
+            // delayed-ACK pacing real DCTCP stacks exhibit (half a packet
+            // of growth per acked packet).
+            let pkts = pkts * 0.5;
+            if self.engine.cwnd < self.ssthresh {
+                self.engine.cwnd += pkts;
+            } else {
+                self.engine.cwnd += pkts / self.engine.cwnd;
+            }
+            return;
+        }
+        if self.queue == 0 {
+            // Top queue: the window tracks the reference rate.
+            self.engine.cwnd = self.reference_cwnd_pkts();
+            self.is_inter_queue = false;
+        } else if self.in_bottom_queue() {
+            self.engine.cwnd = 1.0;
+            self.is_inter_queue = false;
+        } else if self.is_inter_queue {
+            // Intermediate queues: DCTCP control laws. Algorithm 2 prints
+            // only the congestion-avoidance step, but DCTCP's laws include
+            // slow start below ssthresh; without it, flows parked at
+            // cwnd=1 cannot keep the fabric busy when the top queue
+            // drains, defeating the work-conservation role of the lower
+            // queues (paper §2.2).
+            if self.engine.cwnd < self.ssthresh {
+                self.engine.cwnd += pkts;
+            } else {
+                self.engine.cwnd += pkts / self.engine.cwnd;
+            }
+        } else {
+            self.is_inter_queue = true;
+            self.engine.cwnd = 1.0;
+        }
+    }
+
+    fn on_loss(&mut self, loss: LossEvent) {
+        match loss {
+            LossEvent::FastRetransmit => {
+                self.engine.cwnd = (self.engine.cwnd / 2.0).max(1.0);
+                self.ssthresh = self.engine.cwnd;
+            }
+            LossEvent::Timeout => {
+                self.ssthresh = (self.engine.cwnd / 2.0).max(2.0);
+                self.engine.cwnd = 1.0;
+            }
+        }
+    }
+
+    /// Resolve the wire priority: the effective queue, unless a reorder
+    /// barrier still pins us to the previous (lower) priority. While the
+    /// barrier is active the flow keeps sending at the old priority; every
+    /// such transmission extends the barrier, so the switch happens at the
+    /// first moment nothing sent at the old priority is still in flight.
+    fn sync_tx_prio(&mut self) {
+        if let Some(b) = self.reorder_barrier {
+            if self.engine.acked() >= b.min(self.engine.snd_nxt()) && self.engine.flight_bytes() == 0
+            {
+                self.reorder_barrier = None;
+            } else if self.engine.acked() >= b {
+                // Original barrier cleared but packets sent during the
+                // drain window are still out: extend to the send frontier.
+                self.reorder_barrier = Some(self.engine.snd_nxt());
+            }
+        }
+        match self.reorder_barrier {
+            Some(_) => self.tx_prio = self.tx_prio.max(self.queue),
+            None => self.tx_prio = self.queue,
+        }
+    }
+
+    fn pump(&mut self, ctx: &mut AgentCtx<'_, '_>) {
+        if self.data_suppressed() || self.awaiting_initial_arb {
+            return;
+        }
+        self.sync_tx_prio();
+        let prio = self.tx_prio;
+        self.engine.pump(ctx, |pkt| {
+            pkt.prio = prio;
+            pkt.ecn_capable = true;
+        });
+    }
+
+    fn finish(&mut self, ctx: &mut AgentCtx<'_, '_>) {
+        ctx.flow_completed();
+        self.done = true;
+        if self.spec.is_background() {
+            return;
+        }
+        // Tell the arbitrators to release our state (both legs).
+        let flow = self.spec.id;
+        if let Some(svc) = ctx.service::<PaseHostService>() {
+            svc.local_remove(flow);
+        }
+        if let Some(tor) = self.plan.sender_leg_to {
+            ctx.send(Packet::ctrl(
+                flow,
+                self.spec.src,
+                tor,
+                Box::new(ArbMsg::FlowDone {
+                    flow,
+                    src: self.spec.src,
+                    dst: self.spec.dst,
+                    leg: Leg::Sender,
+                }),
+            ));
+        }
+        if let Some(dst) = self.plan.receiver_leg_to {
+            ctx.send(Packet::ctrl(
+                flow,
+                self.spec.src,
+                dst,
+                Box::new(ArbMsg::FlowDone {
+                    flow,
+                    src: self.spec.src,
+                    dst: self.spec.dst,
+                    leg: Leg::Receiver,
+                }),
+            ));
+        }
+    }
+
+    fn arm_refresh(&mut self, ctx: &mut AgentCtx<'_, '_>) {
+        self.refresh_epoch += 1;
+        ctx.set_timer(self.cfg.arb_refresh, REFRESH_TOKEN_BASE + self.refresh_epoch);
+    }
+}
+
+impl FlowAgent for PaseSender {
+    fn on_start(&mut self, ctx: &mut AgentCtx<'_, '_>) {
+        self.started = true;
+        let sender_leg_sent = self.arbitrate(ctx);
+        // Inter-rack: optionally wait for the child (ToR) arbitrator's
+        // answer before injecting data; intra-rack, pruned and local-only
+        // flows start at once on the endpoint arbitrators' decision.
+        self.awaiting_initial_arb = self.cfg.wait_for_initial_arb && sender_leg_sent;
+        if self.cfg.use_reference_rate && self.queue == 0 {
+            self.engine.cwnd = self.reference_cwnd_pkts();
+        } else if !self.cfg.use_reference_rate {
+            self.engine.cwnd = 2.0; // DCTCP-style initial window
+        } else {
+            self.engine.cwnd = 1.0;
+        }
+        self.pump(ctx);
+        if !self.spec.is_background() {
+            self.arm_refresh(ctx);
+        }
+        if self.data_suppressed() {
+            self.start_pace_probes(ctx);
+        }
+    }
+
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut AgentCtx<'_, '_>) {
+        if self.done {
+            return;
+        }
+        match pkt.kind {
+            PacketKind::Ack => {
+                let now = ctx.now();
+                match self.engine.on_ack(pkt.seq, pkt.ts_echo, now) {
+                    AckKind::New { newly_acked, .. } => {
+                        self.recovery_probe = None;
+                        self.on_new_ack(newly_acked, pkt.ece);
+                    }
+                    AckKind::Dup { .. } | AckKind::Stale => {}
+                }
+                if let Some(loss) = self.engine.take_loss_event() {
+                    self.on_loss(loss);
+                }
+                if self.engine.complete() {
+                    self.finish(ctx);
+                    return;
+                }
+                self.pump(ctx);
+            }
+            PacketKind::ProbeAck => {
+                let now = ctx.now();
+                // The probe-ack still carries a cumulative ack.
+                if let AckKind::New { newly_acked, .. } =
+                    self.engine.on_ack(pkt.seq, pkt.ts_echo, now)
+                {
+                    self.on_new_ack(newly_acked, pkt.ece);
+                }
+                if self.engine.complete() {
+                    self.finish(ctx);
+                    return;
+                }
+                if let Some(at_send) = self.recovery_probe.take() {
+                    if self.engine.acked() <= at_send && self.engine.flight_bytes() > 0 {
+                        // No progress since the probe: the data really was
+                        // lost — retransmit (paper §3.2).
+                        self.engine.force_loss_rewind(ctx);
+                        if let Some(loss) = self.engine.take_loss_event() {
+                            self.on_loss(loss);
+                        }
+                    }
+                }
+                self.pump(ctx);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut AgentCtx<'_, '_>) {
+        if self.done {
+            return;
+        }
+        if token == WAKEUP_TOKEN {
+            // An arbitration response arrived.
+            self.recompute_effective(ctx);
+            if self.awaiting_initial_arb {
+                let have_sender_leg = ctx
+                    .service::<PaseHostService>()
+                    .map(|svc| svc.leg_results(self.spec.id).sender.is_some())
+                    .unwrap_or(true);
+                if have_sender_leg {
+                    self.awaiting_initial_arb = false;
+                    if self.cfg.use_reference_rate && self.queue == 0 {
+                        self.engine.cwnd = self.reference_cwnd_pkts();
+                    }
+                }
+            }
+            self.pump(ctx);
+            return;
+        }
+        if token >= PACE_TOKEN_BASE {
+            if token == PACE_TOKEN_BASE + self.pace_epoch && self.data_suppressed() {
+                self.send_pace_probe(ctx);
+                self.pace_epoch += 1;
+                ctx.set_timer(self.srtt(), PACE_TOKEN_BASE + self.pace_epoch);
+            }
+            return;
+        }
+        if token >= REFRESH_TOKEN_BASE {
+            if token == REFRESH_TOKEN_BASE + self.refresh_epoch {
+                // Fallback: never wait longer than one refresh period for
+                // the initial arbitration response.
+                self.awaiting_initial_arb = false;
+                let _ = self.arbitrate(ctx);
+                self.pump(ctx);
+                self.arm_refresh(ctx);
+            }
+            return;
+        }
+        // Engine RTO.
+        if self.engine.timer_is_live(token) {
+            if self.cfg.probe_on_timeout && self.queue > 0 && self.recovery_probe.is_none() {
+                // Probe instead of retransmitting: the data may simply be
+                // parked behind higher-priority traffic.
+                ctx.sim.stats.note_timeout(self.spec.id);
+                self.engine.defer_timeout(ctx);
+                self.recovery_probe = Some(self.engine.acked());
+                let mut probe =
+                    Packet::probe(self.spec.id, self.spec.src, self.spec.dst, self.engine.acked());
+                probe.prio = self.tx_prio;
+                ctx.sim.stats.note_probe(self.spec.id);
+                ctx.send(probe);
+            } else if self.engine.on_timer(token, ctx) {
+                if let Some(loss) = self.engine.take_loss_event() {
+                    self.on_loss(loss);
+                }
+                self.pump(ctx);
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.done
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+}

@@ -1,0 +1,227 @@
+//! The PASE endpoint control plane.
+//!
+//! Each host runs two leaf arbitrators (paper §3.1: arbitration "can be
+//! implemented at the end-hosts themselves, e.g., for their own links to
+//! the switch"):
+//!
+//! * the **uplink** arbitrator for `host → ToR`, consulted synchronously
+//!   by local sender agents (zero latency — this is why intra-rack flows
+//!   "incur no additional network latency for arbitration");
+//! * the **downlink** arbitrator for `ToR → host`, driven by receiver-leg
+//!   requests arriving as control packets from remote sources.
+//!
+//! The service also caches arbitration responses per flow so sender agents
+//! can read them when woken.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use netsim::host::{HostIo, HostService};
+use netsim::ids::{FlowId, NodeId};
+use netsim::packet::Packet;
+use netsim::time::{Rate, SimTime};
+
+use crate::algorithm::{Decision, FlowEntry, LinkArbitrator};
+use crate::config::PaseConfig;
+use crate::messages::{ArbMsg, ArbRequest, ArbResponse, Leg};
+use crate::tree::TreeInfo;
+
+/// Cached per-flow results from the two legs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LegResults {
+    /// Latest sender-leg (network) response.
+    pub sender: Option<Decision>,
+    /// Latest receiver-leg response.
+    pub receiver: Option<Decision>,
+}
+
+/// Where a source must send its arbitration traffic for one flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArbPlan {
+    /// ToR to contact for the sender leg (`None`: intra-rack or
+    /// local-only arbitration).
+    pub sender_leg_to: Option<NodeId>,
+    /// Destination host to contact for the receiver leg (`None`:
+    /// local-only arbitration).
+    pub receiver_leg_to: Option<NodeId>,
+}
+
+/// Host-local PASE control state.
+pub struct PaseHostService {
+    cfg: PaseConfig,
+    me: NodeId,
+    tree: Arc<TreeInfo>,
+    uplink: LinkArbitrator,
+    downlink: LinkArbitrator,
+    legs: HashMap<FlowId, LegResults>,
+}
+
+impl PaseHostService {
+    /// Create the service for host `me` with access link `access_rate`.
+    pub fn new(cfg: PaseConfig, me: NodeId, access_rate: Rate, tree: Arc<TreeInfo>) -> Self {
+        PaseHostService {
+            cfg,
+            me,
+            tree,
+            uplink: LinkArbitrator::new(access_rate, &cfg),
+            downlink: LinkArbitrator::new(access_rate, &cfg),
+            legs: HashMap::new(),
+        }
+    }
+
+    /// Compute the control-plane plan for a flow sourced at this host.
+    pub fn plan(&self, dst: NodeId) -> ArbPlan {
+        if !self.cfg.end_to_end {
+            return ArbPlan {
+                sender_leg_to: None,
+                receiver_leg_to: None,
+            };
+        }
+        let sender_leg_to = if self.tree.same_rack(self.me, dst) {
+            None // intra-rack: endpoints only (paper §3.1.2)
+        } else {
+            Some(self.tree.tor_of(self.me))
+        };
+        ArbPlan {
+            sender_leg_to,
+            receiver_leg_to: Some(dst),
+        }
+    }
+
+    /// Synchronous arbitration of the local uplink for a sender agent.
+    /// Inserts/refreshes the entry and returns the decision.
+    #[allow(clippy::too_many_arguments)]
+    pub fn local_update(
+        &mut self,
+        flow: FlowId,
+        remaining: u64,
+        deadline: Option<SimTime>,
+        task: Option<u64>,
+        demand: Rate,
+        now: SimTime,
+    ) -> Decision {
+        self.uplink.gc(now, self.cfg.arb_expiry);
+        self.legs.entry(flow).or_default();
+        self.uplink.update_and_decide(
+            flow,
+            FlowEntry {
+                remaining,
+                deadline,
+                demand,
+                task,
+                last_update: now,
+            },
+        )
+    }
+
+    /// Remove a finished flow from local state.
+    pub fn local_remove(&mut self, flow: FlowId) {
+        self.uplink.remove(flow);
+        self.legs.remove(&flow);
+    }
+
+    /// Latest leg responses for a flow.
+    pub fn leg_results(&self, flow: FlowId) -> LegResults {
+        self.legs.get(&flow).copied().unwrap_or_default()
+    }
+
+    /// Number of flows tracked by the uplink arbitrator (tests).
+    pub fn uplink_flows(&self) -> usize {
+        self.uplink.n_flows()
+    }
+
+    /// Number of flows tracked by the downlink arbitrator (tests).
+    pub fn downlink_flows(&self) -> usize {
+        self.downlink.n_flows()
+    }
+
+    /// Handle a receiver-leg request for a flow destined to this host.
+    fn on_receiver_request(&mut self, mut req: ArbRequest, io: &mut HostIo<'_, '_, '_>) {
+        let now = io.now();
+        self.downlink.gc(now, self.cfg.arb_expiry);
+        let d = self.downlink.update_and_decide(
+            req.flow,
+            FlowEntry {
+                remaining: req.remaining,
+                deadline: req.deadline,
+                demand: req.demand,
+                task: req.task,
+                last_update: now,
+            },
+        );
+        req.accumulate(d.queue, d.rate);
+        // Forward up the destination half of the tree unless intra-rack or
+        // pruned (paper §3.1.2).
+        let forward = !self.tree.same_rack(req.src, self.me)
+            && (!self.cfg.early_pruning || req.acc_queue < self.cfg.prune_depth);
+        if forward {
+            let tor = self.tree.tor_of(self.me);
+            io.send(Packet::ctrl(req.flow, self.me, tor, Box::new(ArbMsg::Request(req))));
+        } else {
+            let resp = ArbMsg::Response(ArbResponse {
+                flow: req.flow,
+                leg: Leg::Receiver,
+                queue: req.acc_queue,
+                rate: req.acc_rate,
+            });
+            io.send(Packet::ctrl(req.flow, self.me, req.reply_to, Box::new(resp)));
+        }
+    }
+}
+
+impl HostService for PaseHostService {
+    fn on_ctrl(&mut self, mut pkt: Packet, io: &mut HostIo<'_, '_, '_>) {
+        let Some(msg) = pkt.take_proto::<ArbMsg>() else {
+            return;
+        };
+        io.sim.stats.note_ctrl_processed();
+        match *msg {
+            ArbMsg::Request(req) => {
+                debug_assert_eq!(req.leg, Leg::Receiver, "hosts only serve receiver legs");
+                self.on_receiver_request(req, io);
+            }
+            ArbMsg::Response(resp) => {
+                let slot = self.legs.entry(resp.flow).or_default();
+                let d = Decision {
+                    queue: resp.queue,
+                    rate: resp.rate,
+                };
+                match resp.leg {
+                    Leg::Sender => slot.sender = Some(d),
+                    Leg::Receiver => slot.receiver = Some(d),
+                }
+                io.wake_flow(resp.flow);
+            }
+            ArbMsg::FlowDone { flow, src, leg, .. } => {
+                debug_assert_eq!(leg, Leg::Receiver);
+                self.downlink.remove(flow);
+                // Propagate up the destination half if the flow left the
+                // rack (the ToR and above also hold state).
+                if self.cfg.end_to_end && !self.tree.same_rack(src, self.me) {
+                    let tor = self.tree.tor_of(self.me);
+                    io.send(Packet::ctrl(
+                        flow,
+                        self.me,
+                        tor,
+                        Box::new(ArbMsg::FlowDone {
+                            flow,
+                            src,
+                            dst: self.me,
+                            leg,
+                        }),
+                    ));
+                }
+            }
+            ArbMsg::DelegUpdate { .. } | ArbMsg::DelegGrant { .. } => {
+                // Delegation messages never target hosts.
+            }
+        }
+    }
+
+    fn on_timer(&mut self, _token: u64, _io: &mut HostIo<'_, '_, '_>) {}
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

@@ -1,0 +1,316 @@
+//! PASE switch-resident arbitrators.
+//!
+//! One plugin instance runs co-located with each ToR and aggregation
+//! switch. A ToR arbitrates its uplink (`ToR → agg`) for sender legs and
+//! its downlink (`agg → ToR`) for receiver legs; with **delegation** it
+//! additionally owns a virtual slice of the `agg → core` (sender) and
+//! `core → agg` (receiver) links so inter-rack flows get a decision one
+//! hop from the source (paper §3.1.2). An aggregation switch arbitrates
+//! the real agg–core links when delegation is off, and rebalances the
+//! delegated virtual capacities when it is on.
+//!
+//! **Early pruning** stops requests from climbing once a flow falls
+//! outside the top `prune_depth` queues.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use netsim::ids::NodeId;
+use netsim::packet::Packet;
+use netsim::switch::{SwitchIo, SwitchPlugin};
+use netsim::time::{Rate, SimTime};
+
+use crate::algorithm::{FlowEntry, LinkArbitrator};
+use crate::config::PaseConfig;
+use crate::messages::{ArbMsg, ArbRequest, ArbResponse, Leg};
+use crate::tree::{Level, TreeInfo};
+
+/// Timer token for the periodic delegation report (child side).
+pub const DELEG_TIMER_TOKEN: u64 = 1;
+
+/// PASE arbitrator co-located with a switch.
+pub struct PaseSwitchPlugin {
+    cfg: PaseConfig,
+    me: NodeId,
+    level: Level,
+    tree: Arc<TreeInfo>,
+    /// Arbitrates `me → parent` for sender legs.
+    up: Option<LinkArbitrator>,
+    /// Arbitrates `parent → me` for receiver legs.
+    down: Option<LinkArbitrator>,
+    /// ToR only, delegation on: virtual slice of `agg → core`.
+    deleg_up: Option<LinkArbitrator>,
+    /// ToR only, delegation on: virtual slice of `core → agg`.
+    deleg_down: Option<LinkArbitrator>,
+    /// Agg only, delegation on: children's last reported demands.
+    child_demands: HashMap<NodeId, (Rate, Rate)>,
+}
+
+impl PaseSwitchPlugin {
+    /// Build the arbitrator for switch `me`.
+    pub fn new(cfg: PaseConfig, me: NodeId, tree: Arc<TreeInfo>) -> Self {
+        let level = tree.level(me);
+        let uplink_rate = tree.uplink_rate(me);
+        let (up, down) = match uplink_rate {
+            Some(rate) => (
+                Some(LinkArbitrator::new(rate, &cfg)),
+                Some(LinkArbitrator::new(rate, &cfg)),
+            ),
+            None => (None, None),
+        };
+        // A ToR under an agg that itself has a core uplink gets delegated
+        // slices of the agg–core links.
+        let (deleg_up, deleg_down) = if cfg.delegation && level == Level::Tor {
+            match tree.parent(me).and_then(|agg| {
+                tree.uplink_rate(agg)
+                    .map(|r| (r, tree.children(agg).len().max(1)))
+            }) {
+                Some((agg_core_rate, n_children)) => {
+                    let slice = agg_core_rate.mul_f64(1.0 / n_children as f64);
+                    (
+                        Some(LinkArbitrator::new(slice, &cfg)),
+                        Some(LinkArbitrator::new(slice, &cfg)),
+                    )
+                }
+                None => (None, None),
+            }
+        } else {
+            (None, None)
+        };
+        PaseSwitchPlugin {
+            cfg,
+            me,
+            level,
+            tree,
+            up,
+            down,
+            deleg_up,
+            deleg_down,
+            child_demands: HashMap::new(),
+        }
+    }
+
+    /// Current delegated uplink-slice capacity (tests).
+    pub fn deleg_up_capacity(&self) -> Option<Rate> {
+        self.deleg_up.as_ref().map(|a| a.capacity())
+    }
+
+    /// Flows tracked by the uplink arbitrator (tests).
+    pub fn up_flows(&self) -> usize {
+        self.up.as_ref().map_or(0, |a| a.n_flows())
+    }
+
+    /// Flows tracked by the downlink arbitrator (tests).
+    pub fn down_flows(&self) -> usize {
+        self.down.as_ref().map_or(0, |a| a.n_flows())
+    }
+
+    fn entry_from(req: &ArbRequest, now: SimTime) -> FlowEntry {
+        FlowEntry {
+            remaining: req.remaining,
+            deadline: req.deadline,
+            demand: req.demand,
+            task: req.task,
+            last_update: now,
+        }
+    }
+
+    /// Does this flow's path cross the core (i.e. leave the agg subtree)?
+    fn crosses_core(&self, req: &ArbRequest) -> bool {
+        !self.tree.same_agg_subtree(req.src, req.dst)
+    }
+
+    fn reply(&self, req: &ArbRequest, io: &mut SwitchIo<'_, '_>) {
+        let resp = ArbMsg::Response(ArbResponse {
+            flow: req.flow,
+            leg: req.leg,
+            queue: req.acc_queue,
+            rate: req.acc_rate,
+        });
+        io.send(Packet::ctrl(req.flow, self.me, req.reply_to, Box::new(resp)));
+    }
+
+    fn handle_request(&mut self, mut req: ArbRequest, io: &mut SwitchIo<'_, '_>) {
+        let now = io.now();
+        let expiry = self.cfg.arb_expiry;
+        // Which of my links lie on this leg of the path?
+        let primary = match req.leg {
+            Leg::Sender => self.up.as_mut(),
+            Leg::Receiver => self.down.as_mut(),
+        };
+        if let Some(arb) = primary {
+            arb.gc(now, expiry);
+            let d = arb.update_and_decide(req.flow, Self::entry_from(&req, now));
+            req.accumulate(d.queue, d.rate);
+        }
+        let crosses_core = self.crosses_core(&req);
+        if self.level == Level::Tor && crosses_core {
+            // The agg–core hop still needs arbitration.
+            let deleg = match req.leg {
+                Leg::Sender => self.deleg_up.as_mut(),
+                Leg::Receiver => self.deleg_down.as_mut(),
+            };
+            if let Some(arb) = deleg {
+                // Delegation: decide locally on the virtual slice.
+                arb.gc(now, expiry);
+                let d = arb.update_and_decide(req.flow, Self::entry_from(&req, now));
+                req.accumulate(d.queue, d.rate);
+            } else if let Some(parent) = self.tree.parent(self.me) {
+                // No delegation: climb, unless pruned.
+                let pruned =
+                    self.cfg.early_pruning && req.acc_queue >= self.cfg.prune_depth;
+                if !pruned {
+                    io.send(Packet::ctrl(
+                        req.flow,
+                        self.me,
+                        parent,
+                        Box::new(ArbMsg::Request(req)),
+                    ));
+                    return;
+                }
+            }
+        }
+        self.reply(&req, io);
+    }
+
+    fn handle_flow_done(&mut self, flow: netsim::ids::FlowId, src: NodeId, dst: NodeId, leg: Leg, io: &mut SwitchIo<'_, '_>) {
+        match leg {
+            Leg::Sender => {
+                if let Some(a) = self.up.as_mut() {
+                    a.remove(flow);
+                }
+                if let Some(a) = self.deleg_up.as_mut() {
+                    a.remove(flow);
+                }
+            }
+            Leg::Receiver => {
+                if let Some(a) = self.down.as_mut() {
+                    a.remove(flow);
+                }
+                if let Some(a) = self.deleg_down.as_mut() {
+                    a.remove(flow);
+                }
+            }
+        }
+        // Without delegation the parent also holds state for core-crossing
+        // flows.
+        let crosses_core = !self.tree.same_agg_subtree(src, dst);
+        if self.level == Level::Tor && crosses_core && !self.cfg.delegation {
+            if let Some(parent) = self.tree.parent(self.me) {
+                io.send(Packet::ctrl(
+                    flow,
+                    self.me,
+                    parent,
+                    Box::new(ArbMsg::FlowDone { flow, src, dst, leg }),
+                ));
+            }
+        }
+    }
+
+    /// Agg side: rebalance the delegated virtual links across children in
+    /// proportion to their reported demands (with a minimum share so idle
+    /// children can ramp up).
+    fn rebalance_and_grant(&mut self, reporter: NodeId, io: &mut SwitchIo<'_, '_>) {
+        let Some(total) = self.tree.uplink_rate(self.me) else {
+            return;
+        };
+        let min_share = self.cfg.deleg_min_share;
+        let floor_up = |d: Rate| -> f64 { (d.as_bps() as f64).max(total.as_bps() as f64 * min_share) };
+        let children = self.tree.children(self.me).to_vec();
+        let sum_up: f64 = children
+            .iter()
+            .map(|c| floor_up(self.child_demands.get(c).map_or(Rate::ZERO, |d| d.0)))
+            .sum();
+        let sum_down: f64 = children
+            .iter()
+            .map(|c| floor_up(self.child_demands.get(c).map_or(Rate::ZERO, |d| d.1)))
+            .sum();
+        let (rep_up, rep_down) = self.child_demands.get(&reporter).copied().unwrap_or((Rate::ZERO, Rate::ZERO));
+        let up_capacity = total.mul_f64(floor_up(rep_up) / sum_up.max(1.0));
+        let down_capacity = total.mul_f64(floor_up(rep_down) / sum_down.max(1.0));
+        io.send(Packet::ctrl(
+            netsim::ids::FlowId(u64::MAX),
+            self.me,
+            reporter,
+            Box::new(ArbMsg::DelegGrant {
+                up_capacity,
+                down_capacity,
+            }),
+        ));
+    }
+}
+
+impl SwitchPlugin for PaseSwitchPlugin {
+    fn on_ctrl(&mut self, mut pkt: Packet, io: &mut SwitchIo<'_, '_>) {
+        let Some(msg) = pkt.take_proto::<ArbMsg>() else {
+            return;
+        };
+        io.sim.stats.note_ctrl_processed();
+        match *msg {
+            ArbMsg::Request(req) => self.handle_request(req, io),
+            ArbMsg::FlowDone { flow, src, dst, leg } => {
+                self.handle_flow_done(flow, src, dst, leg, io)
+            }
+            ArbMsg::DelegUpdate {
+                child,
+                up_demand,
+                down_demand,
+            } => {
+                self.child_demands.insert(child, (up_demand, down_demand));
+                self.rebalance_and_grant(child, io);
+            }
+            ArbMsg::DelegGrant {
+                up_capacity,
+                down_capacity,
+            } => {
+                if let Some(a) = self.deleg_up.as_mut() {
+                    a.set_capacity(up_capacity);
+                }
+                if let Some(a) = self.deleg_down.as_mut() {
+                    a.set_capacity(down_capacity);
+                }
+            }
+            ArbMsg::Response(_) => {
+                // Responses are addressed to hosts, never to switches.
+                debug_assert!(false, "arbitration response delivered to a switch");
+            }
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, io: &mut SwitchIo<'_, '_>) {
+        if token != DELEG_TIMER_TOKEN || !self.cfg.delegation || self.level != Level::Tor {
+            return;
+        }
+        let Some(parent) = self.tree.parent(self.me) else {
+            return;
+        };
+        // Report demand on the delegated slices so the parent can
+        // rebalance; only aggregate information travels (paper §3.1.2).
+        if self.deleg_up.is_some() || self.deleg_down.is_some() {
+            let up_demand = self
+                .deleg_up
+                .as_ref()
+                .map_or(Rate::ZERO, |a| a.top_queue_demand());
+            let down_demand = self
+                .deleg_down
+                .as_ref()
+                .map_or(Rate::ZERO, |a| a.top_queue_demand());
+            io.send(Packet::ctrl(
+                netsim::ids::FlowId(u64::MAX),
+                self.me,
+                parent,
+                Box::new(ArbMsg::DelegUpdate {
+                    child: self.me,
+                    up_demand,
+                    down_demand,
+                }),
+            ));
+        }
+        io.set_timer(self.cfg.deleg_period, DELEG_TIMER_TOKEN);
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

@@ -1,0 +1,262 @@
+//! Tree-topology metadata for the arbitration hierarchy.
+//!
+//! PASE's control plane "exploits the typical tree structure of data
+//! center topologies" (paper §3.1.2). [`TreeInfo`] extracts that structure
+//! from an arbitrary [`netsim::topology::Topology`]: which ToR a host
+//! hangs off, which aggregation switch parents a ToR, and which core
+//! switch parents an aggregation switch. One-, two- and three-tier trees
+//! are all supported (missing levels simply have no parent).
+
+use std::collections::HashMap;
+
+use netsim::ids::NodeId;
+use netsim::time::Rate;
+use netsim::topology::{NodeKind, Topology};
+
+/// Hierarchy level of a switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// Top-of-rack: has at least one host neighbor.
+    Tor,
+    /// Aggregation: neighbors are ToRs below and (optionally) a core above.
+    Agg,
+    /// Core: neighbors are aggregation switches only.
+    Core,
+}
+
+/// Extracted tree structure.
+#[derive(Debug, Clone)]
+pub struct TreeInfo {
+    /// Each host's ToR.
+    host_tor: HashMap<NodeId, NodeId>,
+    /// Each switch's level.
+    level: HashMap<NodeId, Level>,
+    /// Each switch's parent (ToR → agg, agg → core).
+    parent: HashMap<NodeId, NodeId>,
+    /// Capacity of the link `switch -> parent`.
+    uplink_rate: HashMap<NodeId, Rate>,
+    /// Children of each switch (aggs of a core, ToRs of an agg).
+    children: HashMap<NodeId, Vec<NodeId>>,
+}
+
+impl TreeInfo {
+    /// Classify a topology as a tree. Panics on non-tree structures (e.g.
+    /// a switch with both host and core neighbors at distance 2 levels).
+    pub fn from_topology(topo: &Topology) -> TreeInfo {
+        let mut host_tor = HashMap::new();
+        let mut level = HashMap::new();
+
+        // Level 1: ToRs have host neighbors.
+        for sw in topo.switches() {
+            let has_host = topo
+                .neighbors(sw)
+                .iter()
+                .any(|&(_, peer, _, _)| topo.kind(peer) == NodeKind::Host);
+            if has_host {
+                level.insert(sw, Level::Tor);
+            }
+        }
+        for h in topo.hosts() {
+            host_tor.insert(h, topo.host_tor(h));
+        }
+        // Level 2: aggs neighbor ToRs but no hosts.
+        for sw in topo.switches() {
+            if level.contains_key(&sw) {
+                continue;
+            }
+            let next_to_tor = topo
+                .neighbors(sw)
+                .iter()
+                .any(|&(_, peer, _, _)| level.get(&peer) == Some(&Level::Tor));
+            if next_to_tor {
+                level.insert(sw, Level::Agg);
+            }
+        }
+        // Level 3: everything else is core.
+        for sw in topo.switches() {
+            level.entry(sw).or_insert(Level::Core);
+        }
+
+        // Parents: a ToR's agg neighbor; an agg's core neighbor. A node
+        // with several upper neighbors keeps the lowest id (deterministic)
+        // — multi-rooted trees are approximated by a single parent per
+        // child for control-plane purposes.
+        let mut parent = HashMap::new();
+        let mut uplink_rate = HashMap::new();
+        let mut children: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        for sw in topo.switches() {
+            let my_level = level[&sw];
+            let want = match my_level {
+                Level::Tor => Level::Agg,
+                Level::Agg => Level::Core,
+                Level::Core => continue,
+            };
+            let mut ups: Vec<(NodeId, Rate)> = topo
+                .neighbors(sw)
+                .iter()
+                .filter(|&&(_, peer, _, _)| level.get(&peer) == Some(&want))
+                .map(|&(_, peer, rate, _)| (peer, rate))
+                .collect();
+            ups.sort_by_key(|(id, _)| *id);
+            if let Some(&(up, rate)) = ups.first() {
+                parent.insert(sw, up);
+                uplink_rate.insert(sw, rate);
+                children.entry(up).or_default().push(sw);
+            }
+        }
+        for kids in children.values_mut() {
+            kids.sort();
+        }
+        TreeInfo {
+            host_tor,
+            level,
+            parent,
+            uplink_rate,
+            children,
+        }
+    }
+
+    /// The ToR switch of a host.
+    pub fn tor_of(&self, host: NodeId) -> NodeId {
+        self.host_tor[&host]
+    }
+
+    /// A switch's hierarchy level.
+    pub fn level(&self, sw: NodeId) -> Level {
+        self.level[&sw]
+    }
+
+    /// A switch's parent in the tree, if any.
+    pub fn parent(&self, sw: NodeId) -> Option<NodeId> {
+        self.parent.get(&sw).copied()
+    }
+
+    /// Capacity of the link from `sw` to its parent.
+    pub fn uplink_rate(&self, sw: NodeId) -> Option<Rate> {
+        self.uplink_rate.get(&sw).copied()
+    }
+
+    /// The children of a switch (ToRs of an agg; aggs of a core).
+    pub fn children(&self, sw: NodeId) -> &[NodeId] {
+        self.children.get(&sw).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Are two hosts in the same rack?
+    pub fn same_rack(&self, a: NodeId, b: NodeId) -> bool {
+        self.tor_of(a) == self.tor_of(b)
+    }
+
+    /// Do two hosts share an aggregation subtree (i.e. the path between
+    /// them does not cross the core)?
+    pub fn same_agg_subtree(&self, a: NodeId, b: NodeId) -> bool {
+        if self.same_rack(a, b) {
+            return true;
+        }
+        let (ta, tb) = (self.tor_of(a), self.tor_of(b));
+        match (self.parent.get(&ta), self.parent.get(&tb)) {
+            (Some(pa), Some(pb)) => pa == pb,
+            _ => true, // no aggregation level: single subtree
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::flow::{FlowSpec, ReceiverHint};
+    use netsim::host::{AgentCtx, AgentFactory, FlowAgent};
+    use netsim::queue::DropTailQdisc;
+    use netsim::time::SimDuration;
+    use netsim::topology::TopologyBuilder;
+    use std::sync::Arc;
+
+    struct NullFactory;
+    struct NullAgent;
+    impl FlowAgent for NullAgent {
+        fn on_start(&mut self, _: &mut AgentCtx<'_, '_>) {}
+        fn on_packet(&mut self, _: netsim::packet::Packet, _: &mut AgentCtx<'_, '_>) {}
+        fn on_timer(&mut self, _: u64, _: &mut AgentCtx<'_, '_>) {}
+        fn is_done(&self) -> bool {
+            false
+        }
+    }
+    impl AgentFactory for NullFactory {
+        fn sender(&self, _: &FlowSpec) -> Box<dyn FlowAgent> {
+            Box::new(NullAgent)
+        }
+        fn receiver(&self, _: ReceiverHint) -> Box<dyn FlowAgent> {
+            Box::new(NullAgent)
+        }
+    }
+
+    /// The paper's baseline: 3-tier, `tors` racks of `n` hosts, 2 aggs.
+    fn three_tier(n: usize) -> (Topology, Vec<NodeId>, Vec<NodeId>, Vec<NodeId>, NodeId) {
+        let mut b = TopologyBuilder::new();
+        let core = b.add_switch();
+        let aggs = vec![b.add_switch(), b.add_switch()];
+        let mut tors = vec![];
+        let mut hosts = vec![];
+        for a in 0..2 {
+            for _ in 0..2 {
+                let tor = b.add_switch();
+                tors.push(tor);
+                b.connect(tor, aggs[a], Rate::from_gbps(10), SimDuration::from_micros(25));
+                for _ in 0..n {
+                    let h = b.add_host();
+                    hosts.push(h);
+                    b.connect(h, tor, Rate::from_gbps(1), SimDuration::from_micros(25));
+                }
+            }
+            b.connect(aggs[a], core, Rate::from_gbps(10), SimDuration::from_micros(25));
+        }
+        let net = b.build(Arc::new(NullFactory), &|_| Box::new(DropTailQdisc::new(16)));
+        (net.topo, hosts, tors, aggs, core)
+    }
+
+    #[test]
+    fn classifies_three_tier() {
+        let (topo, hosts, tors, aggs, core) = three_tier(3);
+        let tree = TreeInfo::from_topology(&topo);
+        for &t in &tors {
+            assert_eq!(tree.level(t), Level::Tor);
+        }
+        for &a in &aggs {
+            assert_eq!(tree.level(a), Level::Agg);
+        }
+        assert_eq!(tree.level(core), Level::Core);
+        assert_eq!(tree.tor_of(hosts[0]), tors[0]);
+        assert_eq!(tree.parent(tors[0]), Some(aggs[0]));
+        assert_eq!(tree.parent(tors[3]), Some(aggs[1]));
+        assert_eq!(tree.parent(aggs[0]), Some(core));
+        assert_eq!(tree.parent(core), None);
+        assert_eq!(tree.children(aggs[0]), &[tors[0], tors[1]]);
+        assert_eq!(tree.uplink_rate(tors[0]), Some(Rate::from_gbps(10)));
+    }
+
+    #[test]
+    fn rack_and_subtree_relations() {
+        let (topo, hosts, ..) = three_tier(3);
+        let tree = TreeInfo::from_topology(&topo);
+        // hosts 0..3 in rack 0; 3..6 rack 1 (same agg); 6..9 rack 2.
+        assert!(tree.same_rack(hosts[0], hosts[2]));
+        assert!(!tree.same_rack(hosts[0], hosts[3]));
+        assert!(tree.same_agg_subtree(hosts[0], hosts[5]));
+        assert!(!tree.same_agg_subtree(hosts[0], hosts[6]));
+    }
+
+    #[test]
+    fn single_rack_has_no_parents() {
+        let mut b = TopologyBuilder::new();
+        let sw = b.add_switch();
+        let hosts = b.add_hosts(4);
+        for &h in &hosts {
+            b.connect(h, sw, Rate::from_gbps(1), SimDuration::from_micros(25));
+        }
+        let net = b.build(Arc::new(NullFactory), &|_| Box::new(DropTailQdisc::new(16)));
+        let tree = TreeInfo::from_topology(&net.topo);
+        assert_eq!(tree.level(sw), Level::Tor);
+        assert_eq!(tree.parent(sw), None);
+        assert!(tree.same_rack(hosts[0], hosts[3]));
+        assert!(tree.same_agg_subtree(hosts[0], hosts[3]));
+    }
+}

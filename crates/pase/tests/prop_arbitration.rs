@@ -1,0 +1,143 @@
+//! Property-based tests for Algorithm 1: the arbitration decisions must
+//! satisfy the paper's invariants for arbitrary flow populations.
+
+use proptest::prelude::*;
+
+use netsim::ids::FlowId;
+use netsim::time::{Rate, SimTime};
+use pase::{FlowEntry, LinkArbitrator, PaseConfig};
+
+fn entry(remaining: u64, demand_mbps: u64) -> FlowEntry {
+    FlowEntry {
+        remaining,
+        deadline: None,
+        demand: Rate::from_mbps(demand_mbps),
+        task: None,
+        last_update: SimTime::ZERO,
+    }
+}
+
+fn flows() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    // (remaining, demand in Mbps); remaining values unique-ish via id mix.
+    prop::collection::vec((1u64..10_000_000, 1u64..1000), 1..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Invariants over every decision:
+    /// * queue indices are valid;
+    /// * top-queue flows get a positive rate at most their demand;
+    /// * non-top flows get exactly the base rate;
+    /// * the aggregate reference rate of top-queue flows never exceeds
+    ///   the link capacity (admission control).
+    #[test]
+    fn algorithm1_invariants(flows in flows(), cap_mbps in 100u64..10_000) {
+        let cfg = PaseConfig::default();
+        let capacity = Rate::from_mbps(cap_mbps);
+        let mut arb = LinkArbitrator::new(capacity, &cfg);
+        for (i, &(remaining, demand)) in flows.iter().enumerate() {
+            arb.update(FlowId(i as u64), entry(remaining, demand));
+        }
+        let mut top_rate_sum = 0u64;
+        for (i, &(_, demand)) in flows.iter().enumerate() {
+            let d = arb.decide(FlowId(i as u64));
+            prop_assert!(d.queue < cfg.n_queues);
+            if d.queue == 0 {
+                prop_assert!(!d.rate.is_zero());
+                prop_assert!(d.rate.as_bps() <= Rate::from_mbps(demand).as_bps());
+                top_rate_sum += d.rate.as_bps();
+            } else {
+                prop_assert_eq!(d.rate, cfg.base_rate());
+            }
+        }
+        prop_assert!(
+            top_rate_sum <= capacity.as_bps(),
+            "top queue overcommitted: {} > {}",
+            top_rate_sum,
+            capacity.as_bps()
+        );
+    }
+
+    /// SRPT monotonicity: if flow A has strictly smaller remaining size
+    /// than flow B, A's queue is never worse than B's.
+    #[test]
+    fn srpt_is_monotone(flows in flows(), cap_mbps in 100u64..10_000) {
+        let cfg = PaseConfig::default();
+        let mut arb = LinkArbitrator::new(Rate::from_mbps(cap_mbps), &cfg);
+        for (i, &(remaining, demand)) in flows.iter().enumerate() {
+            arb.update(FlowId(i as u64), entry(remaining, demand));
+        }
+        let decisions: Vec<_> = (0..flows.len())
+            .map(|i| arb.decide(FlowId(i as u64)))
+            .collect();
+        for i in 0..flows.len() {
+            for j in 0..flows.len() {
+                if flows[i].0 < flows[j].0 {
+                    prop_assert!(
+                        decisions[i].queue <= decisions[j].queue,
+                        "flow {} (rem {}) in q{} but flow {} (rem {}) in q{}",
+                        i, flows[i].0, decisions[i].queue,
+                        j, flows[j].0, decisions[j].queue
+                    );
+                }
+            }
+        }
+    }
+
+    /// Exactly the most-critical flow always lands in the top queue
+    /// (there is always spare capacity for it), and removing it promotes
+    /// someone else when demand persists.
+    #[test]
+    fn most_critical_flow_is_top(flows in flows(), cap_mbps in 100u64..10_000) {
+        let cfg = PaseConfig::default();
+        let mut arb = LinkArbitrator::new(Rate::from_mbps(cap_mbps), &cfg);
+        for (i, &(remaining, demand)) in flows.iter().enumerate() {
+            arb.update(FlowId(i as u64), entry(remaining, demand));
+        }
+        // The flow with the smallest (remaining, id) key.
+        let best = (0..flows.len())
+            .min_by_key(|&i| (flows[i].0, i))
+            .unwrap();
+        prop_assert_eq!(arb.decide(FlowId(best as u64)).queue, 0);
+    }
+
+    /// Decisions are insensitive to update order (the sorted list is a
+    /// function of the set, not the insertion sequence).
+    #[test]
+    fn order_independent(mut flows in flows(), cap_mbps in 100u64..10_000) {
+        let cfg = PaseConfig::default();
+        let mut a = LinkArbitrator::new(Rate::from_mbps(cap_mbps), &cfg);
+        for (i, &(remaining, demand)) in flows.iter().enumerate() {
+            a.update(FlowId(i as u64), entry(remaining, demand));
+        }
+        let forward: Vec<_> = (0..flows.len()).map(|i| a.decide(FlowId(i as u64))).collect();
+
+        let mut b = LinkArbitrator::new(Rate::from_mbps(cap_mbps), &cfg);
+        let indexed: Vec<(usize, (u64, u64))> = flows.drain(..).enumerate().collect();
+        for &(i, (remaining, demand)) in indexed.iter().rev() {
+            b.update(FlowId(i as u64), entry(remaining, demand));
+        }
+        let backward: Vec<_> = (0..indexed.len()).map(|i| b.decide(FlowId(i as u64))).collect();
+        prop_assert_eq!(forward, backward);
+    }
+
+    /// top_queue_demand is capped by capacity and covers the whole demand
+    /// when the link is underloaded.
+    #[test]
+    fn top_queue_demand_bounds(flows in flows(), cap_mbps in 100u64..10_000) {
+        let cfg = PaseConfig::default();
+        let capacity = Rate::from_mbps(cap_mbps);
+        let mut arb = LinkArbitrator::new(capacity, &cfg);
+        let mut total = 0u64;
+        for (i, &(remaining, demand)) in flows.iter().enumerate() {
+            arb.update(FlowId(i as u64), entry(remaining, demand));
+            total += Rate::from_mbps(demand).as_bps();
+        }
+        let top = arb.top_queue_demand().as_bps();
+        prop_assert!(top <= capacity.as_bps());
+        if total <= capacity.as_bps() {
+            prop_assert_eq!(top, total, "underloaded link should carry all demand on top");
+        }
+    }
+}

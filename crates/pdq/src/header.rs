@@ -1,0 +1,110 @@
+//! The PDQ scheduling header.
+//!
+//! PDQ (Hong et al., SIGCOMM'12) performs distributed arbitration in the
+//! data plane: every data/probe packet carries a scheduling header that
+//! switches along the path rewrite, and the receiver echoes the final
+//! header back to the sender on the ACK. The sender then sends at the
+//! allocated rate (possibly zero: paused).
+
+use netsim::ids::NodeId;
+use netsim::time::{Rate, SimDuration, SimTime};
+
+/// Scheduling header carried on PDQ data, probe and ACK packets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PdqHeader {
+    /// Requested/allocated rate. The sender writes its demand; each switch
+    /// clamps it to what the link can grant this flow.
+    pub rate: Rate,
+    /// Whether some switch paused the flow (allocated zero).
+    pub paused: bool,
+    /// The switch that paused the flow, if any (the "pauseby" field; used
+    /// for accounting and debugging).
+    pub pauser: Option<NodeId>,
+    /// The flow's absolute deadline, if any (EDF criterion).
+    pub deadline: Option<SimTime>,
+    /// Bytes remaining in the flow — the expected-transmission-time (SJF)
+    /// criterion.
+    pub remaining: u64,
+    /// Sender's current RTT estimate; switches use it for the Early Start
+    /// window.
+    pub rtt: SimDuration,
+    /// Termination marker: switches must release this flow's state.
+    pub term: bool,
+}
+
+impl PdqHeader {
+    /// A fresh header requesting `demand` for a flow with `remaining`
+    /// bytes left.
+    pub fn request(demand: Rate, remaining: u64, deadline: Option<SimTime>, rtt: SimDuration) -> Self {
+        PdqHeader {
+            rate: demand,
+            paused: false,
+            pauser: None,
+            deadline,
+            remaining,
+            rtt,
+            term: false,
+        }
+    }
+
+    /// A termination header (flow finished or aborted): releases switch
+    /// state along the path.
+    pub fn terminate(remaining: u64) -> Self {
+        PdqHeader {
+            rate: Rate::ZERO,
+            paused: false,
+            pauser: None,
+            deadline: None,
+            remaining,
+            rtt: SimDuration::ZERO,
+            term: true,
+        }
+    }
+
+    /// Clamp the allocated rate to `granted`; zero pauses the flow.
+    pub fn grant(&mut self, granted: Rate, switch: NodeId) {
+        if granted.is_zero() {
+            self.rate = Rate::ZERO;
+            self.paused = true;
+            self.pauser.get_or_insert(switch);
+        } else if !self.paused {
+            self.rate = self.rate.min(granted);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grants_take_the_minimum_along_the_path() {
+        let mut h = PdqHeader::request(Rate::from_gbps(1), 100_000, None, SimDuration::from_micros(300));
+        h.grant(Rate::from_mbps(600), NodeId(10));
+        assert_eq!(h.rate, Rate::from_mbps(600));
+        assert!(!h.paused);
+        h.grant(Rate::from_gbps(1), NodeId(11)); // bigger grant: no change
+        assert_eq!(h.rate, Rate::from_mbps(600));
+    }
+
+    #[test]
+    fn pause_dominates_and_records_first_pauser() {
+        let mut h = PdqHeader::request(Rate::from_gbps(1), 100_000, None, SimDuration::from_micros(300));
+        h.grant(Rate::ZERO, NodeId(5));
+        assert!(h.paused);
+        assert_eq!(h.pauser, Some(NodeId(5)));
+        assert!(h.rate.is_zero());
+        // A later grant cannot unpause within the same trip.
+        h.grant(Rate::from_mbps(100), NodeId(6));
+        assert!(h.paused);
+        assert_eq!(h.pauser, Some(NodeId(5)));
+        assert!(h.rate.is_zero());
+    }
+
+    #[test]
+    fn termination_header() {
+        let h = PdqHeader::terminate(0);
+        assert!(h.term);
+        assert!(h.rate.is_zero());
+    }
+}

@@ -1,0 +1,58 @@
+//! # pfabric — the in-network-prioritization baseline
+//!
+//! A from-scratch implementation of pFabric (Alizadeh et al., SIGCOMM'13),
+//! the "best performing" comparison point of the PASE paper (§4.2.2):
+//!
+//! * [`PFabricQdisc`] — shallow switch queues that schedule the
+//!   lowest-rank (smallest remaining size) flow first and drop the
+//!   highest-rank packet on overflow;
+//! * [`PFabricSender`] — the minimal endpoint: start at line rate, fixed
+//!   window and RTO, per-segment SACK recovery, probe mode under
+//!   persistent loss.
+//!
+//! The PASE paper's critique of pFabric — switch-local decisions waste
+//! upstream bandwidth on packets that die downstream (their Figure 3/4) —
+//! emerges from exactly these mechanisms.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod qdisc;
+mod sender;
+
+pub use qdisc::PFabricQdisc;
+pub use sender::{PFabricConfig, PFabricSender};
+
+use netsim::flow::{FlowSpec, ReceiverHint};
+use netsim::host::{AgentFactory, FlowAgent};
+use transport::{ReceiverConfig, SimpleReceiver};
+
+/// Builds pFabric senders and receivers.
+#[derive(Debug, Clone, Default)]
+pub struct PFabricFactory {
+    cfg: PFabricConfig,
+}
+
+impl PFabricFactory {
+    /// A factory with the given endpoint parameters.
+    pub fn new(cfg: PFabricConfig) -> PFabricFactory {
+        PFabricFactory { cfg }
+    }
+}
+
+impl AgentFactory for PFabricFactory {
+    fn sender(&self, spec: &FlowSpec) -> Box<dyn FlowAgent> {
+        Box::new(PFabricSender::new(spec, self.cfg))
+    }
+
+    fn receiver(&self, hint: ReceiverHint) -> Box<dyn FlowAgent> {
+        // ACKs ride at rank 0 (highest priority), per the pFabric paper.
+        Box::new(SimpleReceiver::new(
+            hint,
+            ReceiverConfig {
+                ack_prio: 0,
+                ack_rank: 0,
+            },
+        ))
+    }
+}

@@ -1,0 +1,320 @@
+//! The self-adjusting-endpoint transports: TCP (Reno), DCTCP, D2TCP, L2DCT.
+//!
+//! These four protocols share everything except their congestion window
+//! policy (paper §2, "Self-Adjusting Endpoints"):
+//!
+//! * **TCP/Reno** — loss-based AIMD, no ECN. Baseline.
+//! * **DCTCP** — ECN-fraction EWMA `α`, backoff `cwnd ← cwnd·(1 − α/2)`.
+//! * **D2TCP** — deadline-aware DCTCP: penalty `p = α^d` with the
+//!   deadline-imminence factor `d = Tc/D` clamped to `[0.5, 2]`.
+//! * **L2DCT** — size-aware DCTCP: additive-increase weight and backoff
+//!   scale shift with the bytes a flow has sent, approximating
+//!   least-attained-service.
+//!
+//! One parameterized agent ([`FamilySender`]) implements all four through
+//! the [`Flavor`] enum, which keeps their common machinery honest: every
+//! difference between the protocols is visible in
+//! `FamilySender::on_new_ack` and `FamilySender::on_loss`.
+
+use netsim::flow::FlowSpec;
+use netsim::host::{AgentCtx, FlowAgent};
+use netsim::packet::{Packet, PacketKind};
+use netsim::time::{SimDuration, SimTime};
+
+use crate::params::FamilyConfig;
+use crate::rtt::RttEstimator;
+use crate::tx::{AckKind, LossEvent, TxEngine};
+
+/// Which member of the family a sender speaks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Flavor {
+    /// Plain TCP Reno (loss-based, ECN-incapable).
+    Reno,
+    /// DCTCP.
+    Dctcp,
+    /// D2TCP; the deadline is carried by the flow spec.
+    D2tcp,
+    /// L2DCT.
+    L2dct,
+}
+
+/// Sender agent for the DCTCP family.
+#[derive(Debug)]
+pub struct FamilySender {
+    engine: TxEngine,
+    flavor: Flavor,
+    cfg: FamilyConfig,
+    /// DCTCP marked-fraction estimate.
+    alpha: f64,
+    ssthresh: f64,
+    /// Sequence marking the end of the current observation window.
+    obs_end: u64,
+    obs_acked: u64,
+    obs_marked: u64,
+    /// ECE-triggered decrease is applied at most once per window: next
+    /// decrease allowed when `cum_ack` passes this sequence.
+    next_decrease_at: u64,
+    /// Absolute deadline (D2TCP), if the flow has one.
+    deadline_abs: Option<SimTime>,
+    done: bool,
+}
+
+impl FamilySender {
+    /// Create a sender for `spec`.
+    pub fn new(spec: &FlowSpec, flavor: Flavor, cfg: FamilyConfig) -> FamilySender {
+        let rtt = RttEstimator::new(cfg.min_rto, cfg.max_rto);
+        FamilySender {
+            engine: TxEngine::new(
+                spec.id,
+                spec.src,
+                spec.dst,
+                spec.size,
+                cfg.mss,
+                cfg.init_cwnd,
+                rtt,
+            ),
+            flavor,
+            cfg,
+            alpha: 0.0,
+            ssthresh: cfg.init_ssthresh,
+            obs_end: 0,
+            obs_acked: 0,
+            obs_marked: 0,
+            next_decrease_at: 0,
+            deadline_abs: spec.deadline_abs(),
+            done: false,
+        }
+    }
+
+    /// The current congestion window, in packets (for tests/inspection).
+    pub fn cwnd(&self) -> f64 {
+        self.engine.cwnd
+    }
+
+    /// The current marked-fraction estimate `α` (for tests/inspection).
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// L2DCT additive-increase weight for a flow that has sent `sent`
+    /// bytes: `w_max` below `lo_bytes`, `w_min` above `hi_bytes`,
+    /// log-linear in between. Approximates the bucketed weight table of the
+    /// L2DCT paper.
+    fn l2dct_weight(&self, sent: u64) -> f64 {
+        let (wmin, wmax) = self.cfg.l2dct_w_bounds;
+        let lo = self.cfg.l2dct_lo_bytes.max(1) as f64;
+        let hi = self.cfg.l2dct_hi_bytes.max(2) as f64;
+        let s = sent.max(1) as f64;
+        if s <= lo {
+            wmax
+        } else if s >= hi {
+            wmin
+        } else {
+            let frac = (s.ln() - lo.ln()) / (hi.ln() - lo.ln());
+            wmax - frac * (wmax - wmin)
+        }
+    }
+
+    /// D2TCP deadline-imminence factor `d = Tc / D`, clamped.
+    fn d2tcp_d(&self, now: SimTime) -> f64 {
+        let (dmin, dmax) = self.cfg.d2tcp_d_bounds;
+        let Some(deadline) = self.deadline_abs else {
+            return 1.0; // no deadline: behave like DCTCP
+        };
+        if now >= deadline {
+            // Past the deadline the flow can no longer win; D2TCP's
+            // gamma-correction reverts to neutral (DCTCP) behaviour
+            // rather than stealing from still-meetable flows.
+            return 1.0;
+        }
+        let d_remaining = (deadline - now).as_secs_f64();
+        // Time needed to finish at ~3/4 of the current rate (D2TCP's Tc).
+        let srtt = self
+            .engine
+            .rtt
+            .srtt()
+            .unwrap_or(SimDuration::from_micros(300))
+            .as_secs_f64();
+        let rate = 0.75 * self.engine.cwnd * self.engine.mss as f64 / srtt.max(1e-9);
+        let tc = self.engine.remaining() as f64 / rate.max(1.0);
+        (tc / d_remaining.max(1e-9)).clamp(dmin, dmax)
+    }
+
+    /// Additive increase on newly acknowledged bytes.
+    fn on_new_ack(&mut self, newly: u64, ece: bool, now: SimTime) {
+        // Fold the observation window for the DCTCP estimator.
+        self.obs_acked += newly;
+        if ece {
+            self.obs_marked += newly;
+        }
+        if self.engine.acked() >= self.obs_end {
+            if self.obs_acked > 0 {
+                let f = self.obs_marked as f64 / self.obs_acked as f64;
+                self.alpha = (1.0 - self.cfg.g) * self.alpha + self.cfg.g * f;
+            }
+            self.obs_acked = 0;
+            self.obs_marked = 0;
+            self.obs_end = self.engine.snd_nxt();
+        }
+
+        // ECE-driven multiplicative decrease, at most once per window.
+        if ece
+            && self.flavor != Flavor::Reno
+            && self.engine.acked() >= self.next_decrease_at
+        {
+            let p = match self.flavor {
+                Flavor::Reno => unreachable!(),
+                Flavor::Dctcp => self.alpha / 2.0,
+                Flavor::D2tcp => self.alpha.powf(self.d2tcp_d(now)) / 2.0,
+                Flavor::L2dct => {
+                    // Long flows back off harder: scale by how far the
+                    // flow's weight has decayed from w_max.
+                    let (wmin, wmax) = self.cfg.l2dct_w_bounds;
+                    let w = self.l2dct_weight(self.engine.acked());
+                    (self.alpha / 2.0) * ((wmax - w + wmin) / wmax).clamp(0.0, 1.0)
+                }
+            };
+            self.engine.cwnd = (self.engine.cwnd * (1.0 - p)).max(1.0);
+            self.ssthresh = self.engine.cwnd;
+            self.next_decrease_at = self.engine.snd_nxt();
+            return; // no increase on the ACK that triggered a decrease
+        }
+
+        // Window growth (scaled for delayed ACKs, see
+        // [`FamilyConfig::ack_growth_factor`]).
+        let pkts = newly as f64 / self.engine.mss as f64 * self.cfg.ack_growth_factor;
+        if self.engine.in_recovery() {
+            return;
+        }
+        if self.engine.cwnd < self.ssthresh {
+            self.engine.cwnd += pkts; // slow start
+        } else {
+            let w = match self.flavor {
+                Flavor::L2dct => self.l2dct_weight(self.engine.acked()),
+                _ => 1.0,
+            };
+            self.engine.cwnd += w * pkts / self.engine.cwnd;
+        }
+    }
+
+    /// Window reaction to loss signals.
+    fn on_loss(&mut self, loss: LossEvent) {
+        match loss {
+            LossEvent::FastRetransmit => {
+                self.engine.cwnd = (self.engine.cwnd / 2.0).max(1.0);
+                self.ssthresh = self.engine.cwnd;
+            }
+            LossEvent::Timeout => {
+                self.ssthresh = (self.engine.cwnd / 2.0).max(2.0);
+                self.engine.cwnd = 1.0;
+            }
+        }
+    }
+
+    fn customize(flavor: Flavor) -> impl FnMut(&mut Packet) {
+        move |pkt: &mut Packet| {
+            pkt.ecn_capable = flavor != Flavor::Reno;
+        }
+    }
+}
+
+impl FlowAgent for FamilySender {
+    fn on_start(&mut self, ctx: &mut AgentCtx<'_, '_>) {
+        self.engine.pump(ctx, Self::customize(self.flavor));
+    }
+
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut AgentCtx<'_, '_>) {
+        if !matches!(pkt.kind, PacketKind::Ack | PacketKind::ProbeAck) {
+            return;
+        }
+        let now = ctx.now();
+        match self.engine.on_ack(pkt.seq, pkt.ts_echo, now) {
+            AckKind::New { newly_acked, .. } => {
+                self.on_new_ack(newly_acked, pkt.ece, now);
+            }
+            AckKind::Dup { .. } | AckKind::Stale => {}
+        }
+        if let Some(loss) = self.engine.take_loss_event() {
+            self.on_loss(loss);
+        }
+        if self.engine.complete() {
+            ctx.flow_completed();
+            self.done = true;
+            return;
+        }
+        self.engine.pump(ctx, Self::customize(self.flavor));
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut AgentCtx<'_, '_>) {
+        if self.done {
+            return;
+        }
+        if self.engine.on_timer(token, ctx) {
+            if let Some(loss) = self.engine.take_loss_event() {
+                self.on_loss(loss);
+            }
+            self.engine.pump(ctx, Self::customize(self.flavor));
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::flow::FlowSpec;
+    use netsim::ids::{FlowId, NodeId};
+
+    fn spec(size: u64) -> FlowSpec {
+        FlowSpec::new(FlowId(0), NodeId(0), NodeId(1), size, SimTime::ZERO)
+    }
+
+    #[test]
+    fn l2dct_weight_monotone_decreasing() {
+        let s = FamilySender::new(&spec(1 << 30), Flavor::L2dct, FamilyConfig::default());
+        let w0 = s.l2dct_weight(0);
+        let w1 = s.l2dct_weight(100 * 1024);
+        let w2 = s.l2dct_weight(500 * 1024);
+        let w3 = s.l2dct_weight(10 * 1024 * 1024);
+        assert_eq!(w0, 2.5);
+        assert!(w1 < w0, "{w1} < {w0}");
+        assert!(w2 < w1, "{w2} < {w1}");
+        assert_eq!(w3, 0.125);
+    }
+
+    #[test]
+    fn d2tcp_d_no_deadline_is_neutral() {
+        let s = FamilySender::new(&spec(100_000), Flavor::D2tcp, FamilyConfig::default());
+        assert_eq!(s.d2tcp_d(SimTime::from_millis(1)), 1.0);
+    }
+
+    #[test]
+    fn d2tcp_d_clamps_and_grows_with_urgency() {
+        let sp = spec(1_000_000).with_deadline(SimDuration::from_millis(10));
+        let s = FamilySender::new(&sp, Flavor::D2tcp, FamilyConfig::default());
+        // Far from the deadline with a big window: low urgency.
+        let d_early = s.d2tcp_d(SimTime::from_micros(1));
+        // Very close to the deadline: max urgency.
+        let d_near = s.d2tcp_d(SimTime::from_nanos(9_999_999));
+        // Past the deadline: back to neutral (no stealing from meetable
+        // flows).
+        let d_past = s.d2tcp_d(SimTime::from_millis(10));
+        assert!(d_early >= 0.5 && d_early <= 2.0);
+        assert_eq!(d_near, 2.0);
+        assert_eq!(d_past, 1.0);
+    }
+
+    #[test]
+    fn reno_packets_are_not_ecn_capable() {
+        let mut c = FamilySender::customize(Flavor::Reno);
+        let mut p = Packet::data(FlowId(0), NodeId(0), NodeId(1), 0, 1460);
+        c(&mut p);
+        assert!(!p.ecn_capable);
+        let mut c = FamilySender::customize(Flavor::Dctcp);
+        c(&mut p);
+        assert!(p.ecn_capable);
+    }
+}

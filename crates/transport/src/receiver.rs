@@ -1,0 +1,102 @@
+//! The shared receiver endpoint.
+//!
+//! All transports in this workspace use the same receiver behaviour: every
+//! data packet is acknowledged immediately with a cumulative ACK that
+//! echoes the packet's ECN CE mark (like DCTCP with delayed ACKs disabled),
+//! its origin timestamp (for RTT sampling) and its sequence (as a selective
+//! acknowledgment for transports that keep per-segment state, e.g.
+//! pFabric). Probes are answered with probe-ACKs carrying the same
+//! information.
+
+use netsim::flow::ReceiverHint;
+use netsim::host::{AgentCtx, FlowAgent};
+use netsim::packet::{Packet, PacketKind};
+
+use crate::tracker::ByteTracker;
+
+/// Configuration for [`SimpleReceiver`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReceiverConfig {
+    /// Priority band to put ACKs in (0 = highest; ACKs ride the top band so
+    /// reverse-path queueing does not distort forward-path scheduling).
+    pub ack_prio: u8,
+    /// Whether ACKs mirror the data packet's fine-grained rank (pFabric
+    /// gives ACKs the highest priority, i.e. rank 0).
+    pub ack_rank: u64,
+}
+
+/// Receiver agent: tracks received ranges, emits cumulative ACKs.
+#[derive(Debug)]
+pub struct SimpleReceiver {
+    hint: ReceiverHint,
+    cfg: ReceiverConfig,
+    tracker: ByteTracker,
+}
+
+impl SimpleReceiver {
+    /// Create a receiver for the flow identified by `hint`.
+    pub fn new(hint: ReceiverHint, cfg: ReceiverConfig) -> SimpleReceiver {
+        SimpleReceiver {
+            hint,
+            cfg,
+            tracker: ByteTracker::new(),
+        }
+    }
+
+    /// Bytes received so far (including out-of-order data).
+    pub fn bytes_received(&self) -> u64 {
+        self.tracker.bytes_received()
+    }
+
+    fn make_ack(&self, data: &Packet, kind: PacketKind) -> Packet {
+        let mut ack = match kind {
+            PacketKind::ProbeAck => Packet::probe_ack(
+                self.hint.flow,
+                self.hint.dst,
+                self.hint.src,
+                self.tracker.cum_ack(),
+            ),
+            _ => Packet::ack(
+                self.hint.flow,
+                self.hint.dst,
+                self.hint.src,
+                self.tracker.cum_ack(),
+            ),
+        };
+        ack.ece = data.ecn_ce;
+        ack.ts_echo = Some(data.ts);
+        ack.sack = Some(data.seq);
+        ack.prio = self.cfg.ack_prio;
+        ack.rank = self.cfg.ack_rank;
+        ack
+    }
+}
+
+impl FlowAgent for SimpleReceiver {
+    fn on_start(&mut self, _ctx: &mut AgentCtx<'_, '_>) {}
+
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut AgentCtx<'_, '_>) {
+        match pkt.kind {
+            PacketKind::Data => {
+                self.tracker.on_range(pkt.seq, pkt.seq_end());
+                let ack = self.make_ack(&pkt, PacketKind::Ack);
+                ctx.send(ack);
+            }
+            PacketKind::Probe => {
+                let ack = self.make_ack(&pkt, PacketKind::ProbeAck);
+                ctx.send(ack);
+            }
+            PacketKind::Ack | PacketKind::ProbeAck | PacketKind::Ctrl => {
+                // Not receiver business; ignore.
+            }
+        }
+    }
+
+    fn on_timer(&mut self, _token: u64, _ctx: &mut AgentCtx<'_, '_>) {}
+
+    fn is_done(&self) -> bool {
+        // Receivers stay resident: late retransmissions must still be
+        // acknowledged, and the receiver does not know the flow size.
+        false
+    }
+}

@@ -1,0 +1,205 @@
+//! White-box tests of [`transport::TxEngine`]'s ACK processing, fast
+//! retransmit, recovery, timers and the reordering hold, using a minimal
+//! hand-built [`AgentCtx`] harness (no network).
+
+use netsim::engine::{Ctx, Scheduler};
+use netsim::host::{AgentCtx, HostCore};
+use netsim::ids::{FlowId, NodeId, PortId};
+use netsim::packet::PacketKind;
+use netsim::port::Port;
+use netsim::queue::DropTailQdisc;
+use netsim::stats::StatsCollector;
+use netsim::time::{Rate, SimDuration};
+use transport::{AckKind, LossEvent, RttEstimator, TxEngine};
+
+/// Drives a TxEngine against a scaffolded host context. Packets the engine
+/// "sends" go into the port queue and are simply counted.
+struct Harness {
+    sched: Scheduler,
+    stats: StatsCollector,
+    core: HostCore,
+    engine: TxEngine,
+}
+
+impl Harness {
+    fn new(size: u64, cwnd: f64) -> Harness {
+        let port = Port::new(
+            PortId(0),
+            NodeId(1),
+            Rate::from_gbps(1),
+            SimDuration::from_micros(10),
+            Box::new(DropTailQdisc::new(4096)),
+        );
+        let rtt = RttEstimator::new(SimDuration::from_millis(1), SimDuration::from_secs(2));
+        Harness {
+            sched: Scheduler::new(),
+            stats: StatsCollector::new(),
+            core: HostCore {
+                id: NodeId(0),
+                port,
+            },
+            engine: TxEngine::new(FlowId(0), NodeId(0), NodeId(1), size, 1000, cwnd, rtt),
+        }
+    }
+
+    /// Run `f` with a live AgentCtx.
+    fn with_ctx<R>(&mut self, f: impl FnOnce(&mut TxEngine, &mut AgentCtx<'_, '_>) -> R) -> R {
+        let mut ctx = Ctx {
+            node: NodeId(0),
+            sched: &mut self.sched,
+            stats: &mut self.stats,
+        };
+        let mut actx = AgentCtx {
+            flow: FlowId(0),
+            host: &mut self.core,
+            service: None,
+            sim: &mut ctx,
+        };
+        f(&mut self.engine, &mut actx)
+    }
+
+    fn pump(&mut self) -> usize {
+        self.with_ctx(|e, ctx| e.pump(ctx, |p| p.prio = 1))
+    }
+
+    fn ack(&mut self, seq: u64) -> AckKind {
+        self.with_ctx(|e, ctx| {
+            let now = ctx.now();
+            e.on_ack(seq, None, now)
+        })
+    }
+}
+
+#[test]
+fn pump_respects_the_window() {
+    let mut h = Harness::new(100_000, 5.0);
+    assert_eq!(h.pump(), 5, "initial burst = cwnd");
+    assert_eq!(h.engine.flight_pkts(), 5);
+    assert_eq!(h.pump(), 0, "window full");
+    // One ack frees one slot.
+    assert!(matches!(h.ack(1000), AckKind::New { newly_acked: 1000, .. }));
+    assert_eq!(h.pump(), 1);
+}
+
+#[test]
+fn three_dupacks_trigger_fast_retransmit_once() {
+    let mut h = Harness::new(100_000, 10.0);
+    h.pump();
+    assert!(matches!(h.ack(2000), AckKind::New { .. }));
+    // Three duplicates of the same cumulative ack.
+    assert!(matches!(h.ack(2000), AckKind::Dup { count: 1 }));
+    assert!(matches!(h.ack(2000), AckKind::Dup { count: 2 }));
+    assert!(matches!(h.ack(2000), AckKind::Dup { count: 3 }));
+    assert_eq!(h.engine.take_loss_event(), Some(LossEvent::FastRetransmit));
+    assert!(h.engine.in_recovery());
+    // Further dupacks raise no more loss events while in recovery.
+    assert!(matches!(h.ack(2000), AckKind::Dup { count: 4 }));
+    assert_eq!(h.engine.take_loss_event(), None);
+    // The retransmission goes out on the next pump (plus any new data the
+    // window allows), and is accounted as retransmitted bytes.
+    let recover_end = h.engine.snd_nxt();
+    assert!(h.pump() >= 1, "fast retransmit must be sent");
+    let rtx = h.stats.flow(FlowId(0)).map_or(0, |r| r.retransmitted_bytes);
+    let _ = rtx; // flow not registered in this harness; accounting is a no-op
+    // Recovery ends when the ack passes the loss point.
+    assert!(matches!(h.ack(recover_end), AckKind::New { .. }));
+    assert!(!h.engine.in_recovery());
+}
+
+#[test]
+fn stale_and_future_acks() {
+    let mut h = Harness::new(10_000, 4.0);
+    h.pump();
+    assert!(matches!(h.ack(2000), AckKind::New { .. }));
+    // An older cumulative ack is stale, not a duplicate.
+    assert!(matches!(h.ack(1000), AckKind::Stale));
+    // Acks are idempotent on completion.
+    assert!(matches!(h.ack(2000), AckKind::Dup { .. }));
+}
+
+#[test]
+fn timeout_rewinds_and_backs_off() {
+    let mut h = Harness::new(50_000, 8.0);
+    h.pump();
+    let epoch = h.engine.timer_epoch();
+    assert!(h.engine.timer_is_live(epoch));
+    assert!(!h.engine.timer_is_live(epoch + 1), "future tokens are not live");
+    let fired = h.with_ctx(|e, ctx| e.on_timer(epoch, ctx));
+    assert!(fired);
+    assert_eq!(h.engine.take_loss_event(), Some(LossEvent::Timeout));
+    // Go-back-N: the frontier rewound to the cumulative ack.
+    assert_eq!(h.engine.snd_nxt(), 0);
+    assert_eq!(h.engine.flight_bytes(), 0);
+    // The same token cannot fire twice.
+    let fired_again = h.with_ctx(|e, ctx| e.on_timer(epoch, ctx));
+    assert!(!fired_again);
+}
+
+#[test]
+fn deferred_timeout_keeps_data_outstanding() {
+    let mut h = Harness::new(50_000, 4.0);
+    h.pump();
+    let flight = h.engine.flight_bytes();
+    let epoch = h.engine.timer_epoch();
+    assert!(h.engine.timer_is_live(epoch));
+    h.with_ctx(|e, ctx| e.defer_timeout(ctx));
+    // Nothing rewound; a fresh timer epoch was armed.
+    assert_eq!(h.engine.flight_bytes(), flight);
+    assert!(h.engine.timer_epoch() > epoch);
+    assert_eq!(h.engine.take_loss_event(), None);
+}
+
+#[test]
+fn hold_blocks_new_data_until_drained() {
+    let mut h = Harness::new(100_000, 4.0);
+    h.pump();
+    h.engine.hold_until_drained();
+    assert!(h.engine.is_held());
+    assert_eq!(h.pump(), 0, "held engines send nothing new");
+    // Partial progress does not release the hold...
+    h.ack(1000);
+    assert!(h.engine.is_held());
+    // ...full drain does.
+    h.ack(4000);
+    assert!(!h.engine.is_held());
+    assert!(h.pump() > 0);
+}
+
+#[test]
+fn completion_accounting() {
+    let mut h = Harness::new(2_500, 10.0);
+    assert_eq!(h.pump(), 3, "2.5 segments round up to 3 packets");
+    assert!(!h.engine.complete());
+    h.ack(2_500);
+    assert!(h.engine.complete());
+    assert_eq!(h.engine.remaining(), 0);
+    assert_eq!(h.pump(), 0, "complete engines send nothing");
+}
+
+#[test]
+fn sent_packets_carry_customization_and_sizes() {
+    let mut h = Harness::new(2_500, 10.0);
+    h.pump();
+    // Drain the port's queue (first packet is in the serializer).
+    let mut seen = vec![];
+    let mut lens = vec![];
+    // First in-flight packet: complete its transmission events.
+    while let Some((_, kind)) = h.sched.pop() {
+        if let netsim::event::EventKind::TxComplete(_) = kind {
+            let mut ctx = Ctx {
+                node: NodeId(0),
+                sched: &mut h.sched,
+                stats: &mut h.stats,
+            };
+            h.core.port.on_tx_complete(&mut ctx);
+        } else if let netsim::event::EventKind::Deliver(pkt) = kind {
+            if pkt.kind == PacketKind::Data {
+                seen.push(pkt.seq);
+                lens.push(pkt.payload_len);
+                assert_eq!(pkt.prio, 1, "customization must be applied");
+            }
+        }
+    }
+    assert_eq!(seen, vec![0, 1000, 2000]);
+    assert_eq!(lens, vec![1000, 1000, 500], "tail segment is partial");
+}

@@ -1,0 +1,24 @@
+//! # workloads — the paper's evaluation scenarios, end to end
+//!
+//! Ready-made topologies ([`topologies`]), traffic workloads
+//! ([`flowgen`], [`scenarios`]), scheme wiring ([`scheme`]) and metric
+//! collection ([`metrics`]): everything needed to run
+//! "(protocol, scenario, load, seed) → AFCT / tail FCT / deadlines /
+//! loss / control overhead" in one call ([`runner::RunSpec::run`]).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod flowgen;
+pub mod metrics;
+pub mod runner;
+pub mod scenarios;
+pub mod scheme;
+pub mod topologies;
+
+pub use flowgen::{DeadlineDist, PoissonArrivals, SizeDist};
+pub use metrics::{collect, fct_cdf, percentile, RunMetrics};
+pub use runner::{run_seeds, sweep, RunSpec};
+pub use scenarios::{Pattern, Scenario};
+pub use scheme::Scheme;
+pub use topologies::TopologySpec;

@@ -1,0 +1,172 @@
+//! One-call experiment execution.
+
+use netsim::sim::{RunLimit, RunOutcome};
+use netsim::time::SimTime;
+
+use crate::metrics::{collect, RunMetrics};
+use crate::scenarios::Scenario;
+use crate::scheme::Scheme;
+
+/// A fully specified run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunSpec {
+    /// Transport under test.
+    pub scheme: Scheme,
+    /// Workload and topology.
+    pub scenario: Scenario,
+    /// Offered load as a fraction of the scenario's bottleneck capacity.
+    pub load: f64,
+    /// RNG seed for the workload.
+    pub seed: u64,
+    /// Wall-clock backstop in simulated seconds (runs also stop when all
+    /// measured flows finish).
+    pub backstop_s: u64,
+}
+
+impl RunSpec {
+    /// A run with the default backstop.
+    pub fn new(scheme: Scheme, scenario: Scenario, load: f64, seed: u64) -> RunSpec {
+        RunSpec {
+            scheme,
+            scenario,
+            load,
+            seed,
+            backstop_s: 120,
+        }
+    }
+
+    /// Execute the run and collect metrics.
+    pub fn run(&self) -> RunMetrics {
+        let (mut sim, hosts) = self.scheme.build_sim(&self.scenario.topo);
+        for spec in self.scenario.generate_flows(self.load, self.seed, &hosts) {
+            sim.add_flow(spec);
+        }
+        let outcome = sim.run(RunLimit::until_measured_done(SimTime::from_secs(
+            self.backstop_s,
+        )));
+        debug_assert!(
+            matches!(outcome, RunOutcome::MeasuredComplete | RunOutcome::TimeLimit),
+            "unexpected outcome {outcome:?}"
+        );
+        collect(&sim)
+    }
+}
+
+/// Run one spec under several seeds and average the scalar metrics.
+/// Per-flow FCT vectors are concatenated (and re-sorted) so percentiles
+/// reflect the pooled population.
+pub fn run_seeds(base: RunSpec, seeds: &[u64]) -> RunMetrics {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    let mut runs: Vec<RunMetrics> = seeds
+        .iter()
+        .map(|&seed| RunSpec { seed, ..base }.run())
+        .collect();
+    if runs.len() == 1 {
+        return runs.pop().expect("one run");
+    }
+    let n = runs.len() as f64;
+    let mean = |f: &dyn Fn(&RunMetrics) -> f64| runs.iter().map(f).sum::<f64>() / n;
+    let mut fcts_ms: Vec<f64> = runs.iter().flat_map(|m| m.fcts_ms.iter().copied()).collect();
+    fcts_ms.sort_by(|a, b| a.partial_cmp(b).expect("no NaN FCTs"));
+    let app = if runs.iter().all(|m| m.app_throughput.is_some()) {
+        Some(mean(&|m: &RunMetrics| m.app_throughput.unwrap_or(0.0)))
+    } else {
+        None
+    };
+    RunMetrics {
+        n_completed: runs.iter().map(|m| m.n_completed).sum(),
+        n_flows: runs.iter().map(|m| m.n_flows).sum(),
+        afct_ms: mean(&|m: &RunMetrics| m.afct_ms),
+        median_ms: crate::metrics::percentile(&fcts_ms, 50.0),
+        p99_ms: crate::metrics::percentile(&fcts_ms, 99.0),
+        app_throughput: app,
+        loss_rate: mean(&|m: &RunMetrics| m.loss_rate),
+        ctrl_pkts: runs.iter().map(|m| m.ctrl_pkts).sum::<u64>() / runs.len() as u64,
+        ctrl_per_sec: mean(&|m: &RunMetrics| m.ctrl_per_sec),
+        ctrl_processed: runs.iter().map(|m| m.ctrl_processed).sum::<u64>() / runs.len() as u64,
+        timeouts: runs.iter().map(|m| m.timeouts).sum(),
+        retransmitted_bytes: runs.iter().map(|m| m.retransmitted_bytes).sum(),
+        probes: runs.iter().map(|m| m.probes).sum(),
+        sim_seconds: mean(&|m: &RunMetrics| m.sim_seconds),
+        events: runs.iter().map(|m| m.events).sum(),
+        max_link_utilization: mean(&|m: &RunMetrics| m.max_link_utilization),
+        fcts_ms,
+    }
+}
+
+/// Run a `(scheme, load)` grid over one scenario, returning
+/// `results[scheme_idx][load_idx]`.
+pub fn sweep(
+    schemes: &[Scheme],
+    scenario: Scenario,
+    loads: &[f64],
+    seed: u64,
+) -> Vec<Vec<RunMetrics>> {
+    schemes
+        .iter()
+        .map(|&scheme| {
+            loads
+                .iter()
+                .map(|&load| RunSpec::new(scheme, scenario, load, seed).run())
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_run_produces_metrics() {
+        let scenario = Scenario::all_to_all_intra(6, 30);
+        let spec = RunSpec::new(Scheme::Dctcp, scenario, 0.4, 1);
+        let m = spec.run();
+        assert_eq!(m.n_completed, 30);
+        assert!(m.afct_ms > 0.0 && m.afct_ms.is_finite());
+        assert!(m.p99_ms >= m.median_ms);
+        assert!(m.sim_seconds > 0.0);
+    }
+
+    #[test]
+    fn multi_seed_pools_flows_and_averages() {
+        let scenario = Scenario::all_to_all_intra(5, 12);
+        let base = RunSpec::new(Scheme::Dctcp, scenario, 0.4, 0);
+        let pooled = run_seeds(base, &[1, 2, 3]);
+        assert_eq!(pooled.n_flows, 36);
+        assert_eq!(pooled.n_completed, 36);
+        assert_eq!(pooled.fcts_ms.len(), 36);
+        // The pooled AFCT is the mean of the per-seed AFCTs.
+        let singles: Vec<RunMetrics> = [1u64, 2, 3]
+            .iter()
+            .map(|&s| RunSpec { seed: s, ..base }.run())
+            .collect();
+        let mean = singles.iter().map(|m| m.afct_ms).sum::<f64>() / 3.0;
+        assert!((pooled.afct_ms - mean).abs() < 1e-9);
+        // Percentiles come from the pooled population.
+        assert!(pooled.p99_ms >= pooled.median_ms);
+    }
+
+    #[test]
+    fn sweep_shapes_match_inputs() {
+        let scenario = Scenario::all_to_all_intra(5, 15);
+        let grid = sweep(&[Scheme::Dctcp, Scheme::Tcp], scenario, &[0.3, 0.6], 1);
+        assert_eq!(grid.len(), 2, "one row per scheme");
+        assert!(grid.iter().all(|row| row.len() == 2), "one cell per load");
+        for row in &grid {
+            for m in row {
+                assert_eq!(m.n_completed, 15);
+            }
+        }
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let scenario = Scenario::all_to_all_intra(5, 20);
+        let a = RunSpec::new(Scheme::Pase, scenario, 0.5, 3).run();
+        let b = RunSpec::new(Scheme::Pase, scenario, 0.5, 3).run();
+        assert_eq!(a.fcts_ms, b.fcts_ms);
+        assert_eq!(a.ctrl_pkts, b.ctrl_pkts);
+        assert_eq!(a.events, b.events);
+    }
+}

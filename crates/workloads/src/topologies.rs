@@ -1,0 +1,344 @@
+//! Canonical topologies from the paper's evaluation (§4.1, Fig. 8).
+
+use std::sync::Arc;
+
+use netsim::host::AgentFactory;
+use netsim::ids::NodeId;
+use netsim::time::{Rate, SimDuration};
+use netsim::topology::{Network, QdiscChooser, TopologyBuilder};
+
+/// A topology recipe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologySpec {
+    /// One ToR, `hosts` hosts, `access` links with `link_delay` one-way
+    /// propagation (the intra-rack and testbed scenarios).
+    SingleRack {
+        /// Number of hosts.
+        hosts: usize,
+        /// Access link rate.
+        access: Rate,
+        /// One-way propagation per link.
+        link_delay: SimDuration,
+    },
+    /// The paper's baseline (Fig. 8): `racks` ToRs of `hosts_per_rack`
+    /// hosts, two aggregation switches (half the racks each), one core.
+    /// 1 Gbps access, 10 Gbps fabric links → 4:1 oversubscription at 40
+    /// hosts per rack.
+    ThreeTier {
+        /// Hosts on each ToR.
+        hosts_per_rack: usize,
+        /// Number of racks (must be even; half per aggregation switch).
+        racks: usize,
+        /// Access link rate.
+        access: Rate,
+        /// ToR–agg and agg–core link rate.
+        fabric: Rate,
+        /// One-way propagation per link.
+        link_delay: SimDuration,
+    },
+    /// A two-tier leaf–spine fabric (extension beyond the paper's tree):
+    /// every leaf connects to every spine, so inter-rack flows have
+    /// `spines` equal-cost paths and the simulator's deterministic
+    /// per-flow ECMP spreads them. PASE's control plane treats the
+    /// lowest-id spine as each leaf's parent (a single-parent
+    /// approximation of the multi-rooted fabric).
+    LeafSpine {
+        /// Number of leaf (rack) switches.
+        leaves: usize,
+        /// Hosts per leaf.
+        hosts_per_leaf: usize,
+        /// Number of spine switches.
+        spines: usize,
+        /// Access link rate.
+        access: Rate,
+        /// Leaf–spine link rate.
+        fabric: Rate,
+        /// One-way propagation per link.
+        link_delay: SimDuration,
+    },
+}
+
+impl TopologySpec {
+    /// The paper's baseline: 4 racks × 40 hosts, 1 G access, 10 G fabric,
+    /// 25 µs per hop (300 µs base RTT through the core).
+    pub fn paper_baseline() -> TopologySpec {
+        TopologySpec::ThreeTier {
+            hosts_per_rack: 40,
+            racks: 4,
+            access: Rate::from_gbps(1),
+            fabric: Rate::from_gbps(10),
+            link_delay: SimDuration::from_micros(25),
+        }
+    }
+
+    /// A scaled-down three-tier for fast tests/benches.
+    pub fn small_three_tier(hosts_per_rack: usize) -> TopologySpec {
+        TopologySpec::ThreeTier {
+            hosts_per_rack,
+            racks: 4,
+            access: Rate::from_gbps(1),
+            fabric: Rate::from_gbps(10),
+            link_delay: SimDuration::from_micros(25),
+        }
+    }
+
+    /// The paper's intra-rack scenario rack (20 machines, §2/§4.2.1).
+    pub fn intra_rack(hosts: usize) -> TopologySpec {
+        TopologySpec::SingleRack {
+            hosts,
+            access: Rate::from_gbps(1),
+            link_delay: SimDuration::from_micros(25),
+        }
+    }
+
+    /// The testbed (§4.4): 10 nodes, 1 Gbps, 250 µs RTT (62.5 µs per
+    /// link traversal: 4 traversals per round trip).
+    pub fn testbed() -> TopologySpec {
+        TopologySpec::SingleRack {
+            hosts: 10,
+            access: Rate::from_gbps(1),
+            link_delay: SimDuration::from_nanos(62_500),
+        }
+    }
+
+    /// A small leaf–spine fabric for tests and the ECMP extension
+    /// experiments: 4 leaves × `hosts_per_leaf`, 2 spines.
+    pub fn small_leaf_spine(hosts_per_leaf: usize) -> TopologySpec {
+        TopologySpec::LeafSpine {
+            leaves: 4,
+            hosts_per_leaf,
+            spines: 2,
+            access: Rate::from_gbps(1),
+            fabric: Rate::from_gbps(10),
+            link_delay: SimDuration::from_micros(25),
+        }
+    }
+
+    /// Number of hosts this topology will have.
+    pub fn n_hosts(&self) -> usize {
+        match *self {
+            TopologySpec::SingleRack { hosts, .. } => hosts,
+            TopologySpec::ThreeTier {
+                hosts_per_rack,
+                racks,
+                ..
+            } => hosts_per_rack * racks,
+            TopologySpec::LeafSpine {
+                leaves,
+                hosts_per_leaf,
+                ..
+            } => leaves * hosts_per_leaf,
+        }
+    }
+
+    /// Access link rate.
+    pub fn access_rate(&self) -> Rate {
+        match *self {
+            TopologySpec::SingleRack { access, .. } => access,
+            TopologySpec::ThreeTier { access, .. } => access,
+            TopologySpec::LeafSpine { access, .. } => access,
+        }
+    }
+
+    /// Fabric (agg–core) rate — equals access rate on a single rack.
+    pub fn fabric_rate(&self) -> Rate {
+        match *self {
+            TopologySpec::SingleRack { access, .. } => access,
+            TopologySpec::ThreeTier { fabric, .. } => fabric,
+            TopologySpec::LeafSpine { fabric, .. } => fabric,
+        }
+    }
+
+    /// The zero-load RTT between the two most distant hosts, for a
+    /// full-size data packet and a 40-byte ACK.
+    pub fn base_rtt(&self) -> SimDuration {
+        // Build a throwaway network? Cheaper: compute analytically.
+        let (n_links, access, fabric, delay) = match *self {
+            TopologySpec::SingleRack {
+                access, link_delay, ..
+            } => (2u32, access, access, link_delay),
+            TopologySpec::ThreeTier {
+                access,
+                fabric,
+                link_delay,
+                ..
+            } => (6u32, access, fabric, link_delay),
+            TopologySpec::LeafSpine {
+                access,
+                fabric,
+                link_delay,
+                ..
+            } => (4u32, access, fabric, link_delay),
+        };
+        let mut rtt = SimDuration::ZERO;
+        for hop in 0..n_links {
+            let rate = if hop == 0 || hop == n_links - 1 {
+                access
+            } else {
+                fabric
+            };
+            rtt += delay + rate.tx_time(1500);
+            rtt += delay + rate.tx_time(40);
+        }
+        rtt
+    }
+
+    /// Construct the network. Hosts are returned rack-major (hosts
+    /// `0..hosts_per_rack` in rack 0, and so on).
+    pub fn build(
+        &self,
+        factory: Arc<dyn AgentFactory>,
+        qdisc_for: &QdiscChooser<'_>,
+    ) -> (Network, Vec<NodeId>) {
+        match *self {
+            TopologySpec::SingleRack {
+                hosts,
+                access,
+                link_delay,
+            } => {
+                assert!(hosts >= 2);
+                let mut b = TopologyBuilder::new();
+                let sw = b.add_switch();
+                let host_ids = b.add_hosts(hosts);
+                for &h in &host_ids {
+                    b.connect(h, sw, access, link_delay);
+                }
+                (b.build(factory, qdisc_for), host_ids)
+            }
+            TopologySpec::LeafSpine {
+                leaves,
+                hosts_per_leaf,
+                spines,
+                access,
+                fabric,
+                link_delay,
+            } => {
+                assert!(leaves >= 2 && hosts_per_leaf >= 1 && spines >= 1);
+                let mut b = TopologyBuilder::new();
+                let spine_ids: Vec<_> = (0..spines).map(|_| b.add_switch()).collect();
+                let mut host_ids = Vec::with_capacity(leaves * hosts_per_leaf);
+                for _ in 0..leaves {
+                    let leaf = b.add_switch();
+                    for &s in &spine_ids {
+                        b.connect(leaf, s, fabric, link_delay);
+                    }
+                    for _ in 0..hosts_per_leaf {
+                        let h = b.add_host();
+                        b.connect(h, leaf, access, link_delay);
+                        host_ids.push(h);
+                    }
+                }
+                (b.build(factory, qdisc_for), host_ids)
+            }
+            TopologySpec::ThreeTier {
+                hosts_per_rack,
+                racks,
+                access,
+                fabric,
+                link_delay,
+            } => {
+                assert!(hosts_per_rack >= 1);
+                assert!(racks >= 2 && racks % 2 == 0, "racks must be even");
+                let mut b = TopologyBuilder::new();
+                let core = b.add_switch();
+                let mut host_ids = Vec::with_capacity(hosts_per_rack * racks);
+                for a in 0..2 {
+                    let agg = b.add_switch();
+                    b.connect(agg, core, fabric, link_delay);
+                    for _ in 0..racks / 2 {
+                        let tor = b.add_switch();
+                        b.connect(tor, agg, fabric, link_delay);
+                        for _ in 0..hosts_per_rack {
+                            let h = b.add_host();
+                            b.connect(h, tor, access, link_delay);
+                            host_ids.push(h);
+                        }
+                    }
+                    let _ = a;
+                }
+                (b.build(factory, qdisc_for), host_ids)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::flow::{FlowSpec, ReceiverHint};
+    use netsim::host::{AgentCtx, FlowAgent};
+    use netsim::queue::DropTailQdisc;
+
+    struct NullFactory;
+    struct NullAgent;
+    impl FlowAgent for NullAgent {
+        fn on_start(&mut self, _: &mut AgentCtx<'_, '_>) {}
+        fn on_packet(&mut self, _: netsim::packet::Packet, _: &mut AgentCtx<'_, '_>) {}
+        fn on_timer(&mut self, _: u64, _: &mut AgentCtx<'_, '_>) {}
+        fn is_done(&self) -> bool {
+            false
+        }
+    }
+    impl AgentFactory for NullFactory {
+        fn sender(&self, _: &FlowSpec) -> Box<dyn FlowAgent> {
+            Box::new(NullAgent)
+        }
+        fn receiver(&self, _: ReceiverHint) -> Box<dyn FlowAgent> {
+            Box::new(NullAgent)
+        }
+    }
+
+    #[test]
+    fn baseline_matches_paper() {
+        let t = TopologySpec::paper_baseline();
+        assert_eq!(t.n_hosts(), 160);
+        let (net, hosts) = t.build(Arc::new(NullFactory), &|_| Box::new(DropTailQdisc::new(8)));
+        assert_eq!(hosts.len(), 160);
+        // 160 hosts + 4 ToR + 2 agg + 1 core.
+        assert_eq!(net.topo.n_nodes(), 167);
+        // Base RTT through the core is ~300 us (paper §4.1).
+        let rtt = t.base_rtt();
+        let us = rtt.as_micros_f64();
+        assert!((290.0..330.0).contains(&us), "base RTT {us} us");
+        // Analytic base RTT matches the topology-walk computation.
+        let walked = net.topo.base_rtt(hosts[0], hosts[159], 1500, 40);
+        assert_eq!(rtt, walked);
+    }
+
+    #[test]
+    fn testbed_rtt_is_250us() {
+        let t = TopologySpec::testbed();
+        let us = t.base_rtt().as_micros_f64();
+        assert!((250.0..280.0).contains(&us), "testbed RTT {us} us");
+    }
+
+    #[test]
+    fn leaf_spine_uses_ecmp_across_spines() {
+        let t = TopologySpec::small_leaf_spine(3);
+        assert_eq!(t.n_hosts(), 12);
+        let (net, hosts) = t.build(Arc::new(NullFactory), &|_| Box::new(DropTailQdisc::new(8)));
+        // Inter-leaf distance is 4 hops (host-leaf-spine-leaf-host).
+        assert_eq!(net.topo.hop_count(hosts[0], hosts[11]), Some(4));
+        // A leaf must hold two equal-cost uplinks toward a remote host.
+        let leaf = net.topo.host_tor(hosts[0]);
+        let netsim::node::Node::Switch(sw) = &net.nodes[leaf.index()] else {
+            panic!()
+        };
+        let mut seen = std::collections::BTreeSet::new();
+        for f in 0..64u64 {
+            seen.insert(sw.route(hosts[11], netsim::ids::FlowId(f)).unwrap());
+        }
+        assert_eq!(seen.len(), 2, "ECMP should use both spines");
+    }
+
+    #[test]
+    fn rack_major_host_order() {
+        let t = TopologySpec::small_three_tier(3);
+        let (net, hosts) = t.build(Arc::new(NullFactory), &|_| Box::new(DropTailQdisc::new(8)));
+        // Hosts 0-2 share a ToR; 0 and 3 do not.
+        assert_eq!(net.topo.host_tor(hosts[0]), net.topo.host_tor(hosts[2]));
+        assert_ne!(net.topo.host_tor(hosts[0]), net.topo.host_tor(hosts[3]));
+        // Hosts 0 and 11 are across the core.
+        assert_eq!(net.topo.hop_count(hosts[0], hosts[11]), Some(6));
+    }
+}

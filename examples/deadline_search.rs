@@ -1,0 +1,96 @@
+//! A partition–aggregate "web search" tier with deadlines.
+//!
+//! ```sh
+//! cargo run --release --example deadline_search
+//! ```
+//!
+//! The paper's motivation: user-facing services fan a query out to many
+//! workers and aggregate the responses under a deadline; responses that
+//! miss the deadline are dropped from the result (lost application
+//! throughput). This example builds exactly that traffic shape — an
+//! aggregator querying all workers in its rack, with synchronized
+//! responses (incast) and a 15 ms completion budget — and compares how
+//! many responses each transport lands in time.
+
+use std::collections::BTreeMap;
+
+use pase::Criterion;
+use pase_repro::netsim::prelude::*;
+use pase_repro::workloads::{Scheme, TopologySpec};
+
+fn main() {
+    let workers = 15usize;
+    let queries: u64 = std::env::args().nth(1).map(|s| s.parse().unwrap()).unwrap_or(40);
+    let response = 100_000u64; // bytes per worker response
+    // One query = 1.5 MB of synchronized responses = ~12.3 ms of service
+    // on the aggregator's 1 Gbps downlink. Queries arrive every 13 ms
+    // (~95% load), so consecutive queries interact: a transport must
+    // finish the *urgent* (older) query's stragglers before the new
+    // query's bulk — the regime where the paper's deadline experiments
+    // separate the schemes.
+    let deadline = SimDuration::from_millis(20);
+    let gap = SimDuration::from_millis(13); // query inter-arrival
+
+    println!(
+        "partition-aggregate: {workers} workers, {queries} queries, {response} B responses, {deadline} budget\n"
+    );
+    println!("{:<10} {:>16} {:>12} {:>12}", "scheme", "deadlines met", "AFCT(ms)", "p99(ms)");
+
+    let topo = TopologySpec::intra_rack(workers + 1);
+    let mut pase_cfg = Scheme::pase_config_for(&topo);
+    pase_cfg.criterion = Criterion::Edf;
+    let schemes = [
+        ("PASE", Scheme::PaseWith(pase_cfg)),
+        ("D2TCP", Scheme::D2tcp),
+        ("DCTCP", Scheme::Dctcp),
+        ("pFabric", Scheme::PFabric),
+    ];
+
+    let mut summary: BTreeMap<&str, f64> = BTreeMap::new();
+    for (name, scheme) in schemes {
+        let (mut sim, hosts) = scheme.build_sim(&topo);
+        let aggregator = hosts[workers];
+        let mut id = 0u64;
+        for q in 0..queries {
+            let t = SimTime::ZERO + gap * q;
+            // All workers answer (incast into the aggregator's downlink).
+            for w in 0..workers {
+                sim.add_flow(
+                    FlowSpec::new(FlowId(id), hosts[w], aggregator, response, t)
+                        .with_deadline(deadline),
+                );
+                id += 1;
+            }
+        }
+        sim.run(RunLimit::until_measured_done(SimTime::from_secs(30)));
+        let m = pase_repro::workloads::collect(&sim);
+        let met = m.app_throughput.unwrap_or(0.0);
+        println!(
+            "{name:<10} {:>15.1}% {:>12.2} {:>12.2}",
+            met * 100.0,
+            m.afct_ms,
+            m.p99_ms
+        );
+        summary.insert(name, met);
+    }
+
+    let pase = summary["PASE"];
+    let dctcp = summary["DCTCP"];
+    let pfabric = summary["pFabric"];
+    println!(
+        "\nPASE meets {:.1}% of deadlines with the lowest AFCT: arbitration serializes \
+         each query's responses shortest-first while the priority queues keep the \
+         incast lossless. pFabric's shallow queues shed the synchronized bursts \
+         instead ({:.1}% met).",
+        pase * 100.0,
+        pfabric * 100.0
+    );
+    assert!(
+        pase >= dctcp,
+        "PASE should meet at least as many deadlines as DCTCP"
+    );
+    assert!(
+        pase >= pfabric,
+        "PASE should meet at least as many deadlines as pFabric here"
+    );
+}

@@ -1,0 +1,58 @@
+//! Every transport, one table: sweep all seven schemes over the paper's
+//! left-right inter-rack scenario at low/medium/high load.
+//!
+//! ```sh
+//! cargo run --release --example scheme_shootout [-- <flows-per-point>]
+//! ```
+//!
+//! This is the "which transport should I pick?" view a prospective user
+//! wants: average and tail FCT plus loss and control overhead, at three
+//! operating points, for TCP, DCTCP, D2TCP, L2DCT, PDQ, pFabric and PASE.
+
+use pase_repro::workloads::{RunSpec, Scenario, Scheme};
+
+fn main() {
+    let flows: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("flows: integer"))
+        .unwrap_or(600);
+    let scenario = Scenario::left_right(10, flows);
+    let loads = [0.2, 0.5, 0.8];
+
+    println!(
+        "left-right inter-rack, {} hosts, {flows} flows/point, flows U[2,198] KB\n",
+        scenario.topo.n_hosts()
+    );
+    println!(
+        "{:<9} {:>6} {:>11} {:>11} {:>9} {:>12}",
+        "scheme", "load", "AFCT(ms)", "p99(ms)", "loss(%)", "ctrl(pkt/s)"
+    );
+
+    let mut best_at_high: Option<(String, f64)> = None;
+    for scheme in Scheme::all() {
+        for &load in &loads {
+            let m = RunSpec::new(scheme, scenario, load, 1).run();
+            println!(
+                "{:<9} {:>5.0}% {:>11.3} {:>11.3} {:>9.2} {:>12.0}",
+                scheme.name(),
+                load * 100.0,
+                m.afct_ms,
+                m.p99_ms,
+                m.loss_rate * 100.0,
+                m.ctrl_per_sec
+            );
+            if load == 0.8 {
+                let better = match &best_at_high {
+                    Some((_, afct)) => m.afct_ms < *afct,
+                    None => true,
+                };
+                if better {
+                    best_at_high = Some((scheme.name().to_string(), m.afct_ms));
+                }
+            }
+        }
+        println!();
+    }
+    let (name, afct) = best_at_high.expect("ran at least one scheme");
+    println!("best AFCT at 80% load: {name} ({afct:.3} ms)");
+}

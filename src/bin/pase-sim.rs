@@ -1,0 +1,140 @@
+//! `pase-sim` — run any (transport, scenario, load) combination from the
+//! command line and print the metrics.
+//!
+//! ```sh
+//! pase-sim --scheme pase --scenario left-right --load 0.7 --flows 2000
+//! pase-sim --scheme pfabric --scenario all-to-all --load 0.9 --seed 3
+//! pase-sim --list
+//! ```
+
+use pase_repro::workloads::{RunSpec, Scenario, Scheme};
+
+const USAGE: &str = "\
+pase-sim — data-center transport simulator (PASE reproduction)
+
+USAGE:
+    pase-sim [OPTIONS]
+
+OPTIONS:
+    --scheme <name>      tcp | dctcp | d2tcp | l2dct | pdq | pfabric | pase
+                         [default: pase]
+    --scenario <name>    left-right | all-to-all | deadline | medium |
+                         websearch | testbed      [default: left-right]
+    --load <frac>        offered load as a fraction [default: 0.7]
+    --flows <n>          measured flows to generate [default: 1000]
+    --seed <n>           workload seed [default: 1]
+    --hosts <n>          hosts per rack (left-right/websearch) or rack
+                         size (all-to-all) [default: 20]
+    --list               list schemes and scenarios, then exit
+    --help               show this help
+";
+
+fn parse_scheme(s: &str) -> Scheme {
+    match s {
+        "tcp" => Scheme::Tcp,
+        "dctcp" => Scheme::Dctcp,
+        "d2tcp" => Scheme::D2tcp,
+        "l2dct" => Scheme::L2dct,
+        "pdq" => Scheme::Pdq,
+        "pfabric" => Scheme::PFabric,
+        "pase" => Scheme::Pase,
+        other => {
+            eprintln!("unknown scheme '{other}'\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_scenario(s: &str, hosts: usize, flows: usize) -> Scenario {
+    match s {
+        "left-right" => Scenario::left_right(hosts, flows),
+        "all-to-all" => Scenario::all_to_all_intra(hosts, flows),
+        "deadline" => Scenario::deadline_intra_rack(flows),
+        "medium" => Scenario::medium_intra_rack(flows),
+        "websearch" => Scenario::websearch_left_right(hosts, flows),
+        "testbed" => Scenario::testbed(flows),
+        other => {
+            eprintln!("unknown scenario '{other}'\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let mut scheme = "pase".to_string();
+    let mut scenario = "left-right".to_string();
+    let mut load = 0.7f64;
+    let mut flows = 1000usize;
+    let mut seed = 1u64;
+    let mut hosts = 20usize;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut val = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}\n{USAGE}");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--scheme" => scheme = val("--scheme"),
+            "--scenario" => scenario = val("--scenario"),
+            "--load" => load = val("--load").parse().expect("--load: float"),
+            "--flows" => flows = val("--flows").parse().expect("--flows: integer"),
+            "--seed" => seed = val("--seed").parse().expect("--seed: integer"),
+            "--hosts" => hosts = val("--hosts").parse().expect("--hosts: integer"),
+            "--list" => {
+                println!("schemes:   tcp dctcp d2tcp l2dct pdq pfabric pase");
+                println!("scenarios: left-right all-to-all deadline medium websearch testbed");
+                return;
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument '{other}'\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let scheme = parse_scheme(&scheme);
+    let scenario = parse_scenario(&scenario, hosts, flows);
+    eprintln!(
+        "running {} on {} at load {:.0}% ({} flows, seed {}, {} hosts)...",
+        scheme.name(),
+        scenario.name,
+        load * 100.0,
+        flows,
+        seed,
+        scenario.topo.n_hosts()
+    );
+    let started = std::time::Instant::now();
+    let m = RunSpec::new(scheme, scenario, load, seed).run();
+    let wall = started.elapsed().as_secs_f64();
+
+    println!("flows completed   {} / {}", m.n_completed, m.n_flows);
+    println!("AFCT              {:.3} ms", m.afct_ms);
+    println!("median FCT        {:.3} ms", m.median_ms);
+    println!("p99 FCT           {:.3} ms", m.p99_ms);
+    if let Some(at) = m.app_throughput {
+        println!("deadlines met     {:.1} %", at * 100.0);
+    }
+    println!("loss rate         {:.3} %", m.loss_rate * 100.0);
+    println!("timeouts          {}", m.timeouts);
+    println!("retransmitted     {} B", m.retransmitted_bytes);
+    println!("probes            {}", m.probes);
+    println!(
+        "control plane     {} pkts ({:.0}/s)",
+        m.ctrl_pkts, m.ctrl_per_sec
+    );
+    println!("busiest link      {:.1} %", m.max_link_utilization * 100.0);
+    println!(
+        "simulated         {:.3} s  ({} events, {:.1} s wall, {:.1} Mev/s)",
+        m.sim_seconds,
+        m.events,
+        wall,
+        m.events as f64 / wall / 1e6
+    );
+}

@@ -1,0 +1,27 @@
+//! # pase-repro — umbrella crate
+//!
+//! Re-exports the workspace crates that make up the reproduction of
+//! *"Friends, not Foes: Synthesizing Existing Transport Strategies for Data
+//! Center Networks"* (SIGCOMM 2014), and hosts the runnable examples
+//! (`examples/`) and cross-crate integration tests (`tests/`).
+//!
+//! Start with [`pase`] for the paper's contribution, [`netsim`] for the
+//! simulation substrate, and [`workloads`] for ready-made scenarios.
+//!
+//! The one-call path from "which transport?" to numbers:
+//!
+//! ```
+//! use pase_repro::workloads::{RunSpec, Scenario, Scheme};
+//!
+//! let scenario = Scenario::all_to_all_intra(4, 5); // 4 hosts, 5 flows
+//! let metrics = RunSpec::new(Scheme::Pase, scenario, 0.3, 1).run();
+//! assert_eq!(metrics.n_completed, 5);
+//! assert!(metrics.afct_ms > 0.0);
+//! ```
+
+pub use netsim;
+pub use pase;
+pub use pdq;
+pub use pfabric;
+pub use transport;
+pub use workloads;

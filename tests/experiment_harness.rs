@@ -1,0 +1,92 @@
+//! The experiment harness end to end: every figure module must produce a
+//! well-formed result at quick scale.
+
+use experiments::{figs, ExpOpts};
+
+fn tiny() -> ExpOpts {
+    ExpOpts {
+        flows: 40,
+        loads: vec![0.3, 0.7],
+        hosts_per_rack: 4,
+        quick: true,
+        ..ExpOpts::quick()
+    }
+}
+
+#[test]
+fn all_figures_produce_well_formed_results() {
+    let opts = tiny();
+    let figs = figs::all(&opts);
+    // Every paper figure is covered.
+    let ids: Vec<&str> = figs.iter().map(|f| f.id.as_str()).collect();
+    for expected in [
+        "fig01", "fig02", "fig03", "fig04", "fig09a", "fig09b", "fig09c", "fig10a", "fig10b",
+        "fig10c", "fig11a", "fig11b", "fig12a", "fig12b", "fig13a", "fig13b", "micro_probing",
+    ] {
+        assert!(ids.contains(&expected), "missing {expected}: {ids:?}");
+    }
+    for fig in &figs {
+        assert!(!fig.series.is_empty(), "{}: no series", fig.id);
+        assert!(!fig.xs.is_empty(), "{}: no x points", fig.id);
+        for s in &fig.series {
+            assert_eq!(
+                s.ys.len(),
+                fig.xs.len(),
+                "{}/{}: ragged series",
+                fig.id,
+                s.name
+            );
+        }
+        assert!(!fig.notes.is_empty(), "{}: no shape note", fig.id);
+        // Rendering must not panic and must contain the series names.
+        let table = fig.to_table();
+        let md = fig.to_markdown();
+        for s in &fig.series {
+            assert!(table.contains(&s.name), "{}: table missing {}", fig.id, s.name);
+            assert!(md.contains(&s.name), "{}: markdown missing {}", fig.id, s.name);
+        }
+    }
+}
+
+#[test]
+fn figure_metrics_are_finite_where_expected() {
+    let opts = tiny();
+    // AFCT figures must have strictly positive, finite values.
+    for fig in [
+        figs::fig02::run(&opts),
+        figs::fig09a::run(&opts),
+        figs::fig13b::run(&opts),
+    ] {
+        for s in &fig.series {
+            for (&x, &y) in fig.xs.iter().zip(&s.ys) {
+                assert!(
+                    y.is_finite() && y > 0.0,
+                    "{}/{} at {}: bad AFCT {y}",
+                    fig.id,
+                    s.name,
+                    x
+                );
+            }
+        }
+    }
+    // Deadline figures are fractions in [0, 1].
+    for fig in [figs::fig01::run(&opts), figs::fig09c::run(&opts)] {
+        for s in &fig.series {
+            for &y in &s.ys {
+                assert!((0.0..=1.0).contains(&y), "{}: fraction {y}", fig.id);
+            }
+        }
+    }
+}
+
+#[test]
+fn results_serialize_to_json() {
+    let opts = tiny();
+    let fig = figs::fig03::run(&opts);
+    let dir = std::env::temp_dir().join("pase_repro_harness_test");
+    fig.save_json(&dir).unwrap();
+    let raw = std::fs::read_to_string(dir.join("fig03.json")).unwrap();
+    let parsed: serde_json::Value = serde_json::from_str(&raw).unwrap();
+    assert_eq!(parsed["id"], "fig03");
+    assert!(parsed["series"].as_array().unwrap().len() >= 2);
+}

@@ -1,0 +1,164 @@
+//! Cross-crate integration tests: the paper's qualitative claims must
+//! hold even at reduced scale. These run in debug mode, so scales are
+//! small; the full-scale numbers live in EXPERIMENTS.md.
+
+use pase_repro::workloads::{RunSpec, Scenario, Scheme};
+
+fn afct(scheme: Scheme, scenario: Scenario, load: f64) -> f64 {
+    let m = RunSpec::new(scheme, scenario, load, 11).run();
+    assert!(
+        m.n_completed == m.n_flows,
+        "{}: {}/{} flows completed",
+        scheme.name(),
+        m.n_completed,
+        m.n_flows
+    );
+    m.afct_ms
+}
+
+#[test]
+fn pase_beats_the_deployment_friendly_schemes() {
+    // Paper §4.2.1 (Fig. 9a): PASE's AFCT beats L2DCT and DCTCP.
+    let scenario = Scenario::left_right(6, 120);
+    let pase = afct(Scheme::Pase, scenario, 0.6);
+    let l2dct = afct(Scheme::L2dct, scenario, 0.6);
+    let dctcp = afct(Scheme::Dctcp, scenario, 0.6);
+    assert!(
+        pase < l2dct && pase < dctcp,
+        "PASE {pase:.2}ms should beat L2DCT {l2dct:.2}ms and DCTCP {dctcp:.2}ms"
+    );
+    // And by a sizeable margin (paper: >=50%/70%; we demand >=25% at this
+    // scale).
+    assert!(pase < 0.75 * dctcp, "PASE {pase:.2} vs DCTCP {dctcp:.2}");
+}
+
+#[test]
+fn pdq_wins_low_load_degrades_high_load() {
+    // Paper §2.1 (Fig. 2): PDQ converges fast (wins at low load) but pays
+    // flow-switching overhead as preemptions multiply.
+    let scenario = Scenario::medium_intra_rack(80);
+    let pdq_low = afct(Scheme::Pdq, scenario, 0.1);
+    let dctcp_low = afct(Scheme::Dctcp, scenario, 0.1);
+    assert!(
+        pdq_low < dctcp_low,
+        "PDQ should win at low load: {pdq_low:.2} vs {dctcp_low:.2}"
+    );
+    // PDQ's advantage must shrink (or invert) at high load.
+    let pdq_high = afct(Scheme::Pdq, scenario, 0.8);
+    let dctcp_high = afct(Scheme::Dctcp, scenario, 0.8);
+    let low_ratio = pdq_low / dctcp_low;
+    let high_ratio = pdq_high / dctcp_high;
+    assert!(
+        high_ratio > low_ratio,
+        "PDQ's relative advantage should erode with load: {low_ratio:.2} -> {high_ratio:.2}"
+    );
+}
+
+#[test]
+fn pfabric_sheds_packets_pase_does_not() {
+    // Paper §2.1 (Fig. 4) and §4.2.2: pFabric's endpoints blast and the
+    // fabric drops; PASE achieves prioritization without the losses.
+    let scenario = Scenario::all_to_all_intra(8, 120);
+    let pf = RunSpec::new(Scheme::PFabric, scenario, 0.8, 5).run();
+    let pase = RunSpec::new(Scheme::Pase, scenario, 0.8, 5).run();
+    assert!(
+        pf.loss_rate > 0.02,
+        "pFabric should lose packets at 80% load, got {:.4}",
+        pf.loss_rate
+    );
+    assert!(
+        pase.loss_rate < 0.01,
+        "PASE should stay nearly lossless, got {:.4}",
+        pase.loss_rate
+    );
+}
+
+#[test]
+fn deadline_throughput_ordering_at_high_load() {
+    // Paper Figs. 1 and 9c: at high load, the schemes with in-network
+    // prioritization (pFabric, PASE) meet far more deadlines than the
+    // self-adjusting endpoints.
+    let scenario = Scenario::deadline_intra_rack(100);
+    let frac = |scheme| {
+        RunSpec::new(scheme, scenario, 0.8, 3)
+            .run()
+            .app_throughput
+            .expect("deadline workload")
+    };
+    let pase = frac(Scheme::Pase);
+    let pfabric = frac(Scheme::PFabric);
+    let dctcp = frac(Scheme::Dctcp);
+    assert!(
+        pase > dctcp,
+        "PASE should meet more deadlines than DCTCP: {pase:.2} vs {dctcp:.2}"
+    );
+    assert!(
+        pfabric > dctcp,
+        "pFabric should meet more deadlines than DCTCP: {pfabric:.2} vs {dctcp:.2}"
+    );
+}
+
+#[test]
+fn reference_rate_improves_afct() {
+    // Paper Fig. 13a: guided rate control beats PASE-DCTCP.
+    use workloads::TopologySpec;
+    let scenario = Scenario::medium_intra_rack(80);
+    let cfg = Scheme::pase_config_for(&TopologySpec::intra_rack(20));
+    let with = afct(Scheme::PaseWith(cfg), scenario, 0.5);
+    let without = afct(Scheme::PaseWith(cfg.without_reference_rate()), scenario, 0.5);
+    assert!(
+        with < without,
+        "reference rate should reduce AFCT: {with:.2} vs {without:.2}"
+    );
+}
+
+#[test]
+fn every_scheme_is_deterministic() {
+    let scenario = Scenario::all_to_all_intra(6, 40);
+    for scheme in Scheme::all() {
+        let a = RunSpec::new(scheme, scenario, 0.5, 2).run();
+        let b = RunSpec::new(scheme, scenario, 0.5, 2).run();
+        assert_eq!(a.fcts_ms, b.fcts_ms, "{} must be deterministic", scheme.name());
+        assert_eq!(a.events, b.events, "{} event counts differ", scheme.name());
+    }
+}
+
+#[test]
+fn every_scheme_completes_the_testbed_scenario() {
+    let scenario = Scenario::testbed(60);
+    for scheme in Scheme::all() {
+        let m = RunSpec::new(scheme, scenario, 0.6, 4).run();
+        assert_eq!(
+            m.n_completed,
+            m.n_flows,
+            "{} left flows unfinished",
+            scheme.name()
+        );
+        assert!(m.afct_ms > 0.0 && m.afct_ms.is_finite());
+    }
+}
+
+#[test]
+fn pase_works_on_a_leaf_spine_fabric() {
+    // Extension: PASE on a multi-rooted leaf-spine with deterministic
+    // ECMP. The control plane approximates the fabric with one parent per
+    // leaf; flows must still complete with low loss and sane FCTs.
+    use pase_repro::workloads::TopologySpec;
+    let topo = TopologySpec::small_leaf_spine(3);
+    let (mut sim, hosts) = Scheme::Pase.build_sim(&topo);
+    use pase_repro::netsim::prelude::*;
+    for i in 0..16u64 {
+        let src = (i % 6) as usize; // leaves 0-1
+        let dst = 6 + (i % 6) as usize; // leaves 2-3
+        sim.add_flow(FlowSpec::new(
+            FlowId(i),
+            hosts[src],
+            hosts[dst],
+            60_000 + 9_000 * (i % 5),
+            SimTime::from_micros(i * 90),
+        ));
+    }
+    let outcome = sim.run(RunLimit::until_measured_done(SimTime::from_secs(10)));
+    assert_eq!(outcome, RunOutcome::MeasuredComplete);
+    assert!(sim.stats().data_loss_rate() < 0.01);
+}
