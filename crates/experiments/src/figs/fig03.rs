@@ -39,9 +39,27 @@ fn toy_topology(
 
 fn add_toy_flows(sim: &mut Simulation, hosts: &[NodeId]) {
     let (src1, src2, dst1, dst2) = (hosts[0], hosts[1], hosts[2], hosts[3]);
-    sim.add_flow(FlowSpec::new(FlowId(0), src1, dst1, SIZES[0], SimTime::ZERO));
-    sim.add_flow(FlowSpec::new(FlowId(1), src2, dst1, SIZES[1], SimTime::ZERO));
-    sim.add_flow(FlowSpec::new(FlowId(2), src2, dst2, SIZES[2], SimTime::ZERO));
+    sim.add_flow(FlowSpec::new(
+        FlowId(0),
+        src1,
+        dst1,
+        SIZES[0],
+        SimTime::ZERO,
+    ));
+    sim.add_flow(FlowSpec::new(
+        FlowId(1),
+        src2,
+        dst1,
+        SIZES[1],
+        SimTime::ZERO,
+    ));
+    sim.add_flow(FlowSpec::new(
+        FlowId(2),
+        src2,
+        dst2,
+        SIZES[2],
+        SimTime::ZERO,
+    ));
 }
 
 fn fcts_ms(sim: &Simulation) -> Vec<f64> {

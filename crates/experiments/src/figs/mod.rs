@@ -21,6 +21,7 @@
 
 pub mod ablations;
 pub mod common;
+pub mod ext_faults;
 pub mod ext_incast;
 
 pub mod fig01;
@@ -65,5 +66,6 @@ pub fn all(opts: &ExpOpts) -> Vec<FigResult> {
     out.push(micro_probing::run(opts));
     out.extend(ablations::run(opts));
     out.push(ext_incast::run(opts));
+    out.push(ext_faults::run(opts));
     out
 }

@@ -3,10 +3,8 @@
 use std::io::Write;
 use std::path::Path;
 
-use serde::Serialize;
-
 /// One line on a figure.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Series {
     /// Legend label.
     pub name: String,
@@ -15,7 +13,7 @@ pub struct Series {
 }
 
 /// A regenerated figure/table.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct FigResult {
     /// Identifier, e.g. "fig09a".
     pub id: String,
@@ -104,8 +102,51 @@ impl FigResult {
         std::fs::create_dir_all(dir)?;
         let path = dir.join(format!("{}.json", self.id));
         let mut f = std::fs::File::create(path)?;
-        let json = serde_json::to_string_pretty(self).expect("serializable");
-        f.write_all(json.as_bytes())
+        f.write_all(self.to_json().as_bytes())
+    }
+
+    /// Render the result as pretty-printed JSON (2-space indent). The
+    /// writer is hand-rolled so the workspace builds with no external
+    /// dependencies; non-finite floats become `null`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"id\": {},\n", json_str(&self.id)));
+        out.push_str(&format!("  \"title\": {},\n", json_str(&self.title)));
+        out.push_str(&format!("  \"x_label\": {},\n", json_str(&self.x_label)));
+        out.push_str(&format!("  \"y_label\": {},\n", json_str(&self.y_label)));
+        out.push_str("  \"xs\": ");
+        out.push_str(&json_f64_array(&self.xs, 2));
+        out.push_str(",\n  \"series\": [");
+        for (i, s) in self.series.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\n");
+            out.push_str(&format!("      \"name\": {},\n", json_str(&s.name)));
+            out.push_str("      \"ys\": ");
+            out.push_str(&json_f64_array(&s.ys, 6));
+            out.push_str("\n    }");
+        }
+        out.push_str(if self.series.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        out.push_str("  \"notes\": [");
+        for (i, n) in self.notes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            out.push_str(&json_str(n));
+        }
+        out.push_str(if self.notes.is_empty() {
+            "]\n"
+        } else {
+            "\n  ]\n"
+        });
+        out.push('}');
+        out
     }
 
     /// Render as a Markdown table (for EXPERIMENTS.md).
@@ -141,6 +182,43 @@ impl FigResult {
         out.push('\n');
         out
     }
+}
+
+/// JSON-escape a string (quotes, backslashes, control characters).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// One float as a JSON token: `null` for non-finite values; integral
+/// values keep a trailing `.0` so the type reads as a float.
+fn json_f64(y: f64) -> String {
+    if !y.is_finite() {
+        "null".to_string()
+    } else if y == y.trunc() && y.abs() < 1e15 {
+        format!("{y:.1}")
+    } else {
+        format!("{y}")
+    }
+}
+
+/// A flat float array on one line: `[1.0, 2.5, null]`.
+fn json_f64_array(ys: &[f64], _indent: usize) -> String {
+    let body: Vec<String> = ys.iter().map(|&y| json_f64(y)).collect();
+    format!("[{}]", body.join(", "))
 }
 
 #[cfg(test)]
@@ -185,5 +263,17 @@ mod tests {
         sample().save_json(&dir).unwrap();
         let raw = std::fs::read_to_string(dir.join("figX.json")).unwrap();
         assert!(raw.contains("\"id\": \"figX\""));
+        assert!(raw.contains("\"name\": \"PASE\""));
+        assert!(raw.contains("null"), "NaN serializes as null");
+    }
+
+    #[test]
+    fn json_escapes_and_floats() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_f64(1.0), "1.0");
+        assert_eq!(json_f64(0.25), "0.25");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64_array(&[1.0, f64::NAN], 0), "[1.0, null]");
     }
 }

@@ -46,7 +46,11 @@ impl Scheduler {
     /// # Panics
     /// In debug builds, panics if `at` is in the past.
     pub fn schedule_at(&mut self, at: SimTime, target: NodeId, kind: EventKind) {
-        debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(ScheduledEvent {
@@ -117,8 +121,16 @@ mod tests {
     #[test]
     fn clock_advances_monotonically() {
         let mut s = Scheduler::new();
-        s.schedule_at(SimTime::from_micros(10), NodeId(0), EventKind::PluginTimer(0));
-        s.schedule_at(SimTime::from_micros(5), NodeId(1), EventKind::PluginTimer(1));
+        s.schedule_at(
+            SimTime::from_micros(10),
+            NodeId(0),
+            EventKind::PluginTimer(0),
+        );
+        s.schedule_at(
+            SimTime::from_micros(5),
+            NodeId(1),
+            EventKind::PluginTimer(1),
+        );
         let (n1, k1) = s.pop().unwrap();
         assert_eq!(n1, NodeId(1));
         assert!(matches!(k1, EventKind::PluginTimer(1)));
@@ -148,9 +160,17 @@ mod tests {
     #[test]
     fn schedule_in_is_relative_to_now() {
         let mut s = Scheduler::new();
-        s.schedule_at(SimTime::from_micros(100), NodeId(0), EventKind::PluginTimer(0));
+        s.schedule_at(
+            SimTime::from_micros(100),
+            NodeId(0),
+            EventKind::PluginTimer(0),
+        );
         s.pop().unwrap();
-        s.schedule_in(SimDuration::from_micros(50), NodeId(0), EventKind::PluginTimer(1));
+        s.schedule_in(
+            SimDuration::from_micros(50),
+            NodeId(0),
+            EventKind::PluginTimer(1),
+        );
         s.pop().unwrap();
         assert_eq!(s.now(), SimTime::from_micros(150));
     }
@@ -160,8 +180,16 @@ mod tests {
     #[should_panic(expected = "scheduling into the past")]
     fn scheduling_into_the_past_panics_in_debug() {
         let mut s = Scheduler::new();
-        s.schedule_at(SimTime::from_micros(100), NodeId(0), EventKind::PluginTimer(0));
+        s.schedule_at(
+            SimTime::from_micros(100),
+            NodeId(0),
+            EventKind::PluginTimer(0),
+        );
         s.pop().unwrap();
-        s.schedule_at(SimTime::from_micros(50), NodeId(0), EventKind::PluginTimer(1));
+        s.schedule_at(
+            SimTime::from_micros(50),
+            NodeId(0),
+            EventKind::PluginTimer(1),
+        );
     }
 }

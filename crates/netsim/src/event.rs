@@ -1,5 +1,6 @@
 //! Simulation events.
 
+use crate::fault::FaultDirective;
 use crate::flow::FlowSpec;
 use crate::ids::{FlowId, NodeId, PortId};
 use crate::packet::Packet;
@@ -25,6 +26,8 @@ pub enum EventKind {
     PluginTimer(u64),
     /// A new flow arrives at its source host.
     FlowStart(FlowSpec),
+    /// An injected fault fires at the node (see [`crate::fault`]).
+    Fault(FaultDirective),
 }
 
 /// An event scheduled for execution.

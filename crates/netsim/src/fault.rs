@@ -1,0 +1,210 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] is a schedule of [`FaultEvent`]s — link failures and
+//! repairs, control-plane (arbitrator) crashes and restarts, and bursts of
+//! control-packet loss. [`crate::sim::Simulation::inject_faults`] resolves
+//! each event against the topology and enqueues per-node
+//! [`FaultDirective`]s through the ordinary event queue, so a faulty run
+//! is exactly as reproducible as a healthy one: same seed + same plan =
+//! same trace.
+//!
+//! Semantics:
+//!
+//! * A **downed link** drops everything: queued packets are flushed (and
+//!   counted) when the link goes down, packets offered while down are
+//!   rejected, and a packet caught mid-serialization dies instead of being
+//!   delivered. Both directions of the link fail together.
+//! * An **arbitrator crash** is delivered to the node's control plugin
+//!   ([`crate::switch::SwitchPlugin::on_fault`]) or host service
+//!   ([`crate::host::HostService::on_fault`]); the data plane keeps
+//!   forwarding. What "crash" means is up to the protocol — PASE wipes
+//!   its soft arbitration state.
+//! * A **control-loss burst** kills the next `n` control packets on one
+//!   *direction* of a link (it wraps the port's queue discipline in a
+//!   burst-mode [`crate::queue::LossyQdisc`]).
+//!
+//! Every injection is recorded as a [`crate::trace::TraceEvent::Fault`]
+//! and counted on the affected port
+//! ([`crate::port::Port::faults_injected`]).
+
+use crate::ids::{NodeId, PortId};
+use crate::time::SimTime;
+
+/// One scheduled fault, in topology terms (nodes and links).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// Both directions of the link between `a` and `b` go down.
+    LinkDown {
+        /// One endpoint of the link.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+    /// Both directions of the link between `a` and `b` come back up.
+    LinkUp {
+        /// One endpoint of the link.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+    /// The control plugin / host service on `node` crashes, losing its
+    /// soft state. The data plane is unaffected.
+    ArbitratorCrash {
+        /// The node whose arbitrator dies.
+        node: NodeId,
+    },
+    /// The control plugin / host service on `node` restarts empty.
+    ArbitratorRestart {
+        /// The node whose arbitrator comes back.
+        node: NodeId,
+    },
+    /// The next `n` control packets offered to the `from → to` direction
+    /// of a link are dropped.
+    CtrlLossBurst {
+        /// Transmitting end of the faulty direction.
+        from: NodeId,
+        /// Receiving end of the faulty direction.
+        to: NodeId,
+        /// How many control packets die.
+        n: u64,
+    },
+}
+
+/// A reproducible schedule of faults, built up-front and injected with
+/// [`crate::sim::Simulation::inject_faults`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    events: Vec<(SimTime, FaultEvent)>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Schedule both directions of the `a`–`b` link to fail at `at`.
+    pub fn link_down(mut self, at: SimTime, a: NodeId, b: NodeId) -> Self {
+        self.events.push((at, FaultEvent::LinkDown { a, b }));
+        self
+    }
+
+    /// Schedule both directions of the `a`–`b` link to recover at `at`.
+    pub fn link_up(mut self, at: SimTime, a: NodeId, b: NodeId) -> Self {
+        self.events.push((at, FaultEvent::LinkUp { a, b }));
+        self
+    }
+
+    /// Schedule the arbitrator on `node` to crash at `at`.
+    pub fn arbitrator_crash(mut self, at: SimTime, node: NodeId) -> Self {
+        self.events.push((at, FaultEvent::ArbitratorCrash { node }));
+        self
+    }
+
+    /// Schedule the arbitrator on `node` to restart (empty) at `at`.
+    pub fn arbitrator_restart(mut self, at: SimTime, node: NodeId) -> Self {
+        self.events
+            .push((at, FaultEvent::ArbitratorRestart { node }));
+        self
+    }
+
+    /// Schedule the next `n` control packets on the `from → to` direction
+    /// to be dropped, starting at `at`.
+    pub fn ctrl_loss_burst(mut self, at: SimTime, from: NodeId, to: NodeId, n: u64) -> Self {
+        self.events
+            .push((at, FaultEvent::CtrlLossBurst { from, to, n }));
+        self
+    }
+
+    /// The scheduled events, in insertion order.
+    pub fn events(&self) -> &[(SimTime, FaultEvent)] {
+        &self.events
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// A fault resolved to one node, carried by
+/// [`crate::event::EventKind::Fault`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultDirective {
+    /// Take the node's output port down.
+    PortDown(PortId),
+    /// Bring the node's output port back up.
+    PortUp(PortId),
+    /// Crash the node's control plugin / host service.
+    Crash,
+    /// Restart the node's control plugin / host service.
+    Restart,
+    /// Drop the next `n` control packets offered to `port`.
+    CtrlLossBurst {
+        /// The affected output port.
+        port: PortId,
+        /// How many control packets die.
+        n: u64,
+    },
+}
+
+/// What a control plugin or host service is told when its node's
+/// control plane faults (see [`crate::switch::SwitchPlugin::on_fault`]
+/// and [`crate::host::HostService::on_fault`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeFault {
+    /// The control process died: lose all soft state; stop responding.
+    Crash,
+    /// The control process came back, empty.
+    Restart,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_preserves_order_and_times() {
+        let plan = FaultPlan::new()
+            .link_down(SimTime::from_millis(1), NodeId(0), NodeId(1))
+            .arbitrator_crash(SimTime::from_millis(2), NodeId(2))
+            .ctrl_loss_burst(SimTime::from_millis(3), NodeId(1), NodeId(0), 5)
+            .link_up(SimTime::from_millis(4), NodeId(0), NodeId(1))
+            .arbitrator_restart(SimTime::from_millis(5), NodeId(2));
+        assert_eq!(plan.len(), 5);
+        assert!(!plan.is_empty());
+        assert_eq!(
+            plan.events()[0],
+            (
+                SimTime::from_millis(1),
+                FaultEvent::LinkDown {
+                    a: NodeId(0),
+                    b: NodeId(1)
+                }
+            )
+        );
+        assert_eq!(
+            plan.events()[4],
+            (
+                SimTime::from_millis(5),
+                FaultEvent::ArbitratorRestart { node: NodeId(2) }
+            )
+        );
+    }
+
+    #[test]
+    fn plans_compare_equal_when_identical() {
+        let mk = || {
+            FaultPlan::new()
+                .arbitrator_crash(SimTime::from_millis(2), NodeId(0))
+                .arbitrator_restart(SimTime::from_millis(6), NodeId(0))
+        };
+        assert_eq!(mk(), mk());
+        assert_ne!(mk(), FaultPlan::new());
+    }
+}

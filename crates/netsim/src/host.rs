@@ -18,6 +18,7 @@ use std::sync::Arc;
 
 use crate::engine::Ctx;
 use crate::event::EventKind;
+use crate::fault::{FaultDirective, NodeFault};
 use crate::flow::{FlowSpec, ReceiverHint};
 use crate::ids::{FlowId, NodeId};
 use crate::packet::{Packet, PacketKind};
@@ -65,6 +66,12 @@ pub trait HostService: Send {
 
     /// A timer previously set through [`HostIo::set_timer`] fired.
     fn on_timer(&mut self, token: u64, host: &mut HostIo<'_, '_, '_>);
+
+    /// An injected control-plane fault hit this host (see
+    /// [`crate::fault`]). The default service ignores faults.
+    fn on_fault(&mut self, fault: NodeFault, host: &mut HostIo<'_, '_, '_>) {
+        let _ = (fault, host);
+    }
 
     /// Downcast support.
     fn as_any_mut(&mut self) -> &mut dyn Any;
@@ -267,6 +274,39 @@ impl Host {
             }
             EventKind::PluginTimer(token) => {
                 self.run_service(ctx, |svc, io| svc.on_timer(token, io));
+            }
+            EventKind::Fault(directive) => self.apply_fault(directive, ctx),
+        }
+    }
+
+    /// Apply an injected fault directive to this host.
+    fn apply_fault(&mut self, directive: FaultDirective, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        ctx.stats.trace_event(
+            now,
+            &crate::trace::TraceEvent::Fault {
+                node: self.core.id,
+                fault: directive,
+            },
+        );
+        match directive {
+            FaultDirective::PortDown(port) => {
+                debug_assert_eq!(port.index(), 0, "hosts have a single port");
+                self.core.port.set_down(ctx);
+            }
+            FaultDirective::PortUp(port) => {
+                debug_assert_eq!(port.index(), 0, "hosts have a single port");
+                self.core.port.set_up();
+            }
+            FaultDirective::CtrlLossBurst { port, n } => {
+                debug_assert_eq!(port.index(), 0, "hosts have a single port");
+                self.core.port.inject_ctrl_loss_burst(n);
+            }
+            FaultDirective::Crash => {
+                self.run_service(ctx, |svc, io| svc.on_fault(NodeFault::Crash, io));
+            }
+            FaultDirective::Restart => {
+                self.run_service(ctx, |svc, io| svc.on_fault(NodeFault::Restart, io));
             }
         }
     }

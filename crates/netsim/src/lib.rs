@@ -69,6 +69,7 @@
 
 pub mod engine;
 pub mod event;
+pub mod fault;
 pub mod flow;
 pub mod host;
 pub mod ids;
@@ -76,6 +77,7 @@ pub mod node;
 pub mod packet;
 pub mod port;
 pub mod queue;
+pub mod rng;
 pub mod sim;
 pub mod stats;
 pub mod switch;
@@ -85,10 +87,12 @@ pub mod trace;
 
 /// The types most users need, in one import.
 pub mod prelude {
+    pub use crate::fault::{FaultEvent, FaultPlan};
     pub use crate::flow::FlowSpec;
     pub use crate::ids::{FlowId, LinkId, NodeId, PortId};
     pub use crate::packet::{Packet, PacketKind};
     pub use crate::queue::{DropTailQdisc, Qdisc, RedEcnQdisc, StrictPrioQdisc};
+    pub use crate::rng::Rng;
     pub use crate::sim::{RunLimit, RunOutcome, Simulation};
     pub use crate::time::{Rate, SimDuration, SimTime};
     pub use crate::topology::{Network, Topology, TopologyBuilder};

@@ -184,7 +184,9 @@ impl Packet {
 
     /// Mutably downcast the protocol extension, if present.
     pub fn proto_mut<T: 'static>(&mut self) -> Option<&mut T> {
-        self.proto.as_deref_mut().and_then(|p| p.downcast_mut::<T>())
+        self.proto
+            .as_deref_mut()
+            .and_then(|p| p.downcast_mut::<T>())
     }
 
     /// Take the protocol extension out of the packet, downcast.

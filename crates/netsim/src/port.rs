@@ -26,15 +26,29 @@ pub struct Port {
     qdisc: Box<dyn Qdisc>,
     /// The packet currently being serialized, if any.
     in_flight: Option<Packet>,
+    /// Whether the link is up. Downed ports drop everything offered to
+    /// them (see [`Port::set_down`]).
+    up: bool,
     /// Packets transmitted onto the wire.
     pub tx_pkts: u64,
     /// Bytes transmitted onto the wire.
     pub tx_bytes: u64,
+    /// Fault directives applied to this port (down, up, ctrl bursts).
+    pub faults_injected: u64,
+    /// Packets dropped because the link was down (flushed, rejected on
+    /// arrival, or caught mid-serialization).
+    pub drops_while_down: u64,
 }
 
 impl Port {
     /// Create a port with the given link parameters and queue discipline.
-    pub fn new(id: PortId, peer: NodeId, rate: Rate, delay: SimDuration, qdisc: Box<dyn Qdisc>) -> Port {
+    pub fn new(
+        id: PortId,
+        peer: NodeId,
+        rate: Rate,
+        delay: SimDuration,
+        qdisc: Box<dyn Qdisc>,
+    ) -> Port {
         assert!(!rate.is_zero(), "link rate must be positive");
         Port {
             id,
@@ -43,14 +57,23 @@ impl Port {
             delay,
             qdisc,
             in_flight: None,
+            up: true,
             tx_pkts: 0,
             tx_bytes: 0,
+            faults_injected: 0,
+            drops_while_down: 0,
         }
     }
 
     /// Offer a packet to this port: enqueue it and, if the serializer is
     /// idle, begin transmission. Drops are recorded in `ctx.stats`.
+    /// Everything offered to a downed port is dropped (and counted).
     pub fn send(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+        if !self.up {
+            self.drops_while_down += 1;
+            Self::record_drop(&pkt, ctx);
+            return;
+        }
         let is_data = pkt.kind == PacketKind::Data;
         match self.qdisc.enqueue(pkt, ctx.now()) {
             Enqueued::Ok => {
@@ -59,37 +82,76 @@ impl Port {
                 }
             }
             Enqueued::RejectedArrival(dropped) => {
-                ctx.stats.note_drop(&dropped);
-                let now = ctx.now();
-                ctx.stats.trace_event(
-                    now,
-                    &crate::trace::TraceEvent::Drop {
-                        flow: dropped.flow,
-                        kind: dropped.kind,
-                        seq: dropped.seq,
-                    },
-                );
+                Self::record_drop(&dropped, ctx);
             }
             Enqueued::Evicted(victim) => {
                 // The arrival was accepted; a resident was pushed out.
                 if is_data {
                     ctx.stats.note_data_enqueued();
                 }
-                ctx.stats.note_drop(&victim);
-                let now = ctx.now();
-                ctx.stats.trace_event(
-                    now,
-                    &crate::trace::TraceEvent::Drop {
-                        flow: victim.flow,
-                        kind: victim.kind,
-                        seq: victim.seq,
-                    },
-                );
+                Self::record_drop(&victim, ctx);
             }
         }
         if self.in_flight.is_none() {
             self.start_tx(ctx);
         }
+    }
+
+    /// Count and trace one dropped packet.
+    fn record_drop(pkt: &Packet, ctx: &mut Ctx<'_>) {
+        ctx.stats.note_drop(pkt);
+        let now = ctx.now();
+        ctx.stats.trace_event(
+            now,
+            &crate::trace::TraceEvent::Drop {
+                flow: pkt.flow,
+                kind: pkt.kind,
+                seq: pkt.seq,
+            },
+        );
+    }
+
+    /// Take the link down: flush and drop everything queued; reject all
+    /// future arrivals until [`Port::set_up`]. A packet currently being
+    /// serialized is dropped when its `TxComplete` fires.
+    pub fn set_down(&mut self, ctx: &mut Ctx<'_>) {
+        self.faults_injected += 1;
+        self.up = false;
+        let now = ctx.now();
+        while let Some(pkt) = self.qdisc.dequeue(now) {
+            self.drops_while_down += 1;
+            Self::record_drop(&pkt, ctx);
+        }
+    }
+
+    /// Bring the link back up. The queue is empty at this point (down
+    /// ports reject arrivals), so transmission resumes with the next
+    /// offered packet.
+    pub fn set_up(&mut self) {
+        self.faults_injected += 1;
+        self.up = true;
+    }
+
+    /// Whether the link is currently up.
+    pub fn is_up(&self) -> bool {
+        self.up
+    }
+
+    /// Drop the next `n` control packets offered to this port, by
+    /// wrapping the queue discipline in a burst-mode
+    /// [`crate::queue::LossyQdisc`]. A spent wrapper is a transparent
+    /// pass-through.
+    pub fn inject_ctrl_loss_burst(&mut self, n: u64) {
+        use crate::queue::{DropTailQdisc, LossyQdisc};
+        self.faults_injected += 1;
+        // Momentary placeholder while the real qdisc is wrapped.
+        let inner = core::mem::replace(&mut self.qdisc, Box::new(DropTailQdisc::new(1)));
+        self.qdisc = Box::new(LossyQdisc::drop_burst_for_kind(
+            inner,
+            1,
+            n,
+            PacketKind::Ctrl,
+        ));
     }
 
     /// Begin serializing the next queued packet, if any.
@@ -105,12 +167,18 @@ impl Port {
 
     /// Handle the completion of serialization: put the packet on the wire
     /// (schedule delivery at the peer after propagation) and start on the
-    /// next queued packet.
+    /// next queued packet. If the link went down mid-serialization, the
+    /// packet dies here instead of being delivered.
     pub fn on_tx_complete(&mut self, ctx: &mut Ctx<'_>) {
         let pkt = self
             .in_flight
             .take()
             .expect("TxComplete with no in-flight packet");
+        if !self.up {
+            self.drops_while_down += 1;
+            Self::record_drop(&pkt, ctx);
+            return;
+        }
         self.tx_pkts += 1;
         self.tx_bytes += pkt.wire_bytes as u64;
         let now = ctx.now();
@@ -161,6 +229,7 @@ impl core::fmt::Debug for Port {
             .field("delay", &self.delay)
             .field("queued_pkts", &self.qdisc.len_pkts())
             .field("busy", &self.is_busy())
+            .field("up", &self.up)
             .finish()
     }
 }
@@ -306,5 +375,78 @@ mod tests {
         assert_eq!(port.queue_len_pkts(), 4);
         assert_eq!(stats.data_pkts_dropped, 1);
         assert_eq!(stats.data_pkts_enqueued, 5);
+    }
+
+    #[test]
+    fn down_port_flushes_and_rejects() {
+        let mut sched = Scheduler::new();
+        let mut stats = StatsCollector::new();
+        let mut port = mk_port();
+        let mut ctx = Ctx {
+            node: NodeId(0),
+            sched: &mut sched,
+            stats: &mut stats,
+        };
+        port.send(data(0), &mut ctx); // in flight
+        port.send(data(1), &mut ctx); // queued
+        port.set_down(&mut ctx);
+        assert!(!port.is_up());
+        // The queued packet was flushed; the in-flight one still pending.
+        assert_eq!(port.queue_len_pkts(), 0);
+        assert_eq!(port.drops_while_down, 1);
+        // New arrivals are rejected outright.
+        port.send(data(2), &mut ctx);
+        assert_eq!(port.drops_while_down, 2);
+        assert_eq!(port.faults_injected, 1);
+    }
+
+    #[test]
+    fn in_flight_packet_dies_if_link_drops_mid_serialization() {
+        let mut sched = Scheduler::new();
+        let mut stats = StatsCollector::new();
+        let mut port = mk_port();
+        {
+            let mut ctx = Ctx {
+                node: NodeId(0),
+                sched: &mut sched,
+                stats: &mut stats,
+            };
+            port.send(data(0), &mut ctx);
+            port.set_down(&mut ctx);
+        }
+        // The TxComplete fires, but the packet must not be delivered.
+        let (_, kind) = sched.pop().unwrap();
+        assert!(matches!(kind, EventKind::TxComplete(_)));
+        {
+            let mut ctx = Ctx {
+                node: NodeId(0),
+                sched: &mut sched,
+                stats: &mut stats,
+            };
+            port.on_tx_complete(&mut ctx);
+        }
+        assert!(sched.pop().is_none(), "no delivery while down");
+        assert_eq!(port.tx_pkts, 0);
+        assert_eq!(port.drops_while_down, 1);
+    }
+
+    #[test]
+    fn link_recovers_after_set_up() {
+        let mut sched = Scheduler::new();
+        let mut stats = StatsCollector::new();
+        let mut port = mk_port();
+        let mut ctx = Ctx {
+            node: NodeId(0),
+            sched: &mut sched,
+            stats: &mut stats,
+        };
+        port.set_down(&mut ctx);
+        port.send(data(0), &mut ctx);
+        assert_eq!(port.drops_while_down, 1);
+        port.set_up();
+        assert!(port.is_up());
+        port.send(data(1), &mut ctx);
+        assert!(port.is_busy(), "transmission resumes after recovery");
+        assert_eq!(port.faults_injected, 2);
     }
 }

@@ -78,7 +78,10 @@ mod tests {
     fn fifo_order() {
         let mut q = DropTailQdisc::new(10);
         for i in 0..5 {
-            assert!(matches!(q.enqueue(pkt(i, 0, 0), SimTime::ZERO), Enqueued::Ok));
+            assert!(matches!(
+                q.enqueue(pkt(i, 0, 0), SimTime::ZERO),
+                Enqueued::Ok
+            ));
         }
         for i in 0..5 {
             assert_eq!(q.dequeue(SimTime::ZERO).unwrap().flow.0, i);
@@ -89,8 +92,14 @@ mod tests {
     #[test]
     fn drops_when_full() {
         let mut q = DropTailQdisc::new(2);
-        assert!(matches!(q.enqueue(pkt(0, 0, 0), SimTime::ZERO), Enqueued::Ok));
-        assert!(matches!(q.enqueue(pkt(1, 0, 0), SimTime::ZERO), Enqueued::Ok));
+        assert!(matches!(
+            q.enqueue(pkt(0, 0, 0), SimTime::ZERO),
+            Enqueued::Ok
+        ));
+        assert!(matches!(
+            q.enqueue(pkt(1, 0, 0), SimTime::ZERO),
+            Enqueued::Ok
+        ));
         match q.enqueue(pkt(2, 0, 0), SimTime::ZERO) {
             Enqueued::RejectedArrival(p) => assert_eq!(p.flow.0, 2),
             other => panic!("expected drop, got {other:?}"),

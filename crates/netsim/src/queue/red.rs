@@ -122,7 +122,10 @@ mod tests {
     #[test]
     fn drops_on_overflow() {
         let mut q = RedEcnQdisc::new(1, 1);
-        assert!(matches!(q.enqueue(pkt(0, 0, 0), SimTime::ZERO), Enqueued::Ok));
+        assert!(matches!(
+            q.enqueue(pkt(0, 0, 0), SimTime::ZERO),
+            Enqueued::Ok
+        ));
         assert!(matches!(
             q.enqueue(pkt(1, 0, 0), SimTime::ZERO),
             Enqueued::RejectedArrival(_)

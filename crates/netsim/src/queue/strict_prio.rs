@@ -134,12 +134,18 @@ mod tests {
     #[test]
     fn band_overflow_drops_only_that_band() {
         let mut q = StrictPrioQdisc::new(2, 1, 1);
-        assert!(matches!(q.enqueue(pkt(0, 0, 0), SimTime::ZERO), Enqueued::Ok));
+        assert!(matches!(
+            q.enqueue(pkt(0, 0, 0), SimTime::ZERO),
+            Enqueued::Ok
+        ));
         assert!(matches!(
             q.enqueue(pkt(1, 0, 0), SimTime::ZERO),
             Enqueued::RejectedArrival(_)
         ));
-        assert!(matches!(q.enqueue(pkt(2, 1, 0), SimTime::ZERO), Enqueued::Ok));
+        assert!(matches!(
+            q.enqueue(pkt(2, 1, 0), SimTime::ZERO),
+            Enqueued::Ok
+        ));
         assert_eq!(q.len_pkts(), 2);
         assert_eq!(q.stats().dropped_pkts, 1);
     }

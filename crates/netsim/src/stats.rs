@@ -138,7 +138,13 @@ impl StatsCollector {
                 if rec.spec.measured {
                     self.completed_measured += 1;
                 }
-                self.trace_event(now, &TraceEvent::FlowDone { flow, aborted: false });
+                self.trace_event(
+                    now,
+                    &TraceEvent::FlowDone {
+                        flow,
+                        aborted: false,
+                    },
+                );
             }
         }
     }
@@ -153,7 +159,13 @@ impl StatsCollector {
                 if rec.spec.measured {
                     self.completed_measured += 1;
                 }
-                self.trace_event(now, &TraceEvent::FlowDone { flow, aborted: true });
+                self.trace_event(
+                    now,
+                    &TraceEvent::FlowDone {
+                        flow,
+                        aborted: true,
+                    },
+                );
             }
         }
     }

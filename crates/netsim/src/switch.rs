@@ -17,6 +17,7 @@ use std::any::Any;
 
 use crate::engine::Ctx;
 use crate::event::EventKind;
+use crate::fault::{FaultDirective, NodeFault};
 use crate::ids::{FlowId, NodeId, PortId};
 use crate::packet::{Packet, PacketKind};
 use crate::port::Port;
@@ -66,6 +67,12 @@ pub trait SwitchPlugin: Send {
     /// A timer set via [`SwitchIo::set_timer`] fired.
     fn on_timer(&mut self, token: u64, io: &mut SwitchIo<'_, '_>) {
         let _ = (token, io);
+    }
+
+    /// An injected control-plane fault hit this switch (see
+    /// [`crate::fault`]). The default plugin ignores faults.
+    fn on_fault(&mut self, fault: NodeFault, io: &mut SwitchIo<'_, '_>) {
+        let _ = (fault, io);
     }
 
     /// Downcast support for tests and cross-layer inspection.
@@ -178,8 +185,34 @@ impl Switch {
             EventKind::PluginTimer(token) => {
                 self.with_plugin(ctx, |plugin, io| plugin.on_timer(token, io));
             }
+            EventKind::Fault(directive) => self.apply_fault(directive, ctx),
             EventKind::FlowStart(_) | EventKind::AgentTimer { .. } => {
                 debug_assert!(false, "host event delivered to switch {}", self.id);
+            }
+        }
+    }
+
+    /// Apply an injected fault directive to this switch.
+    fn apply_fault(&mut self, directive: FaultDirective, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        ctx.stats.trace_event(
+            now,
+            &crate::trace::TraceEvent::Fault {
+                node: self.id,
+                fault: directive,
+            },
+        );
+        match directive {
+            FaultDirective::PortDown(port) => self.ports[port.index()].set_down(ctx),
+            FaultDirective::PortUp(port) => self.ports[port.index()].set_up(),
+            FaultDirective::CtrlLossBurst { port, n } => {
+                self.ports[port.index()].inject_ctrl_loss_burst(n);
+            }
+            FaultDirective::Crash => {
+                self.with_plugin(ctx, |plugin, io| plugin.on_fault(NodeFault::Crash, io));
+            }
+            FaultDirective::Restart => {
+                self.with_plugin(ctx, |plugin, io| plugin.on_fault(NodeFault::Restart, io));
             }
         }
     }
@@ -265,7 +298,7 @@ mod tests {
         assert_ne!(mix64(1), mix64(2));
         // A handful of consecutive inputs should not all land on the same
         // parity (sanity check for 2-way ECMP).
-        let evens = (0..16).filter(|&i| mix64(i) % 2 == 0).count();
+        let evens = (0..16).filter(|&i| mix64(i).is_multiple_of(2)).count();
         assert!(evens > 2 && evens < 14, "mix64 badly skewed: {evens}/16");
     }
 }

@@ -105,10 +105,7 @@ impl TopologyBuilder {
                     1,
                     "host n{i} must have exactly one access link"
                 ),
-                NodeKind::Switch => assert!(
-                    !self.ports[i].is_empty(),
-                    "switch n{i} has no links"
-                ),
+                NodeKind::Switch => assert!(!self.ports[i].is_empty(), "switch n{i} has no links"),
             }
         }
         let fibs = self.compute_fibs();
@@ -128,7 +125,12 @@ impl TopologyBuilder {
             };
             match kind {
                 NodeKind::Host => {
-                    let port = self.ports[i].iter().enumerate().map(mk_port).next().unwrap();
+                    let port = self.ports[i]
+                        .iter()
+                        .enumerate()
+                        .map(mk_port)
+                        .next()
+                        .unwrap();
                     nodes.push(Node::Host(Host::new(id, port, Arc::clone(&factory), None)));
                 }
                 NodeKind::Switch => {
@@ -404,10 +406,7 @@ mod tests {
         b.connect(tor0, agg, Rate::from_gbps(10), SimDuration::from_micros(25));
         b.connect(tor1, agg, Rate::from_gbps(10), SimDuration::from_micros(25));
         let net = build(&b);
-        assert_eq!(
-            net.topo.path(h0, h1),
-            Some(vec![h0, tor0, agg, tor1, h1])
-        );
+        assert_eq!(net.topo.path(h0, h1), Some(vec![h0, tor0, agg, tor1, h1]));
         assert_eq!(net.topo.hop_count(h0, h1), Some(4));
         assert_eq!(net.topo.link_rate(tor0, agg), Some(Rate::from_gbps(10)));
         assert_eq!(net.topo.port_between(tor0, agg), Some(PortId(1)));

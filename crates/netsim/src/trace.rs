@@ -12,6 +12,7 @@
 use std::fmt::Write as _;
 use std::sync::{Arc, Mutex};
 
+use crate::fault::FaultDirective;
 use crate::ids::{FlowId, NodeId, PortId};
 use crate::packet::{Packet, PacketKind};
 use crate::time::SimTime;
@@ -51,6 +52,13 @@ pub enum TraceEvent {
         flow: FlowId,
         /// Whether it was aborted rather than finished.
         aborted: bool,
+    },
+    /// An injected fault was applied at a node.
+    Fault {
+        /// The node the fault fired at.
+        node: NodeId,
+        /// The resolved per-node directive.
+        fault: FaultDirective,
     },
 }
 
@@ -127,6 +135,11 @@ impl TraceSink for TextTracer {
                 let what = if aborted { "ABRT" } else { "DONE" };
                 format!("{now} {what} {flow}")
             }
+            // Faults are never flow-filtered: an injected fault is part of
+            // the run's identity regardless of which flow is being watched.
+            TraceEvent::Fault { node, fault } => {
+                format!("{now} FLT  {node} {fault:?}")
+            }
         };
         let mut buf = self.buf.lock().expect("tracer buffer poisoned");
         let _ = writeln!(buf, "{line}");
@@ -198,5 +211,21 @@ mod tests {
         let out = buf.lock().unwrap().clone();
         assert_eq!(out.lines().count(), 1);
         assert!(out.contains("f7"));
+    }
+
+    #[test]
+    fn fault_events_bypass_the_flow_filter() {
+        let mut t = TextTracer::for_flow(FlowId(7));
+        let buf = t.buffer();
+        t.on_event(
+            SimTime::from_micros(3),
+            &TraceEvent::Fault {
+                node: NodeId(2),
+                fault: FaultDirective::PortDown(PortId(1)),
+            },
+        );
+        let out = buf.lock().unwrap().clone();
+        assert_eq!(out.lines().count(), 1);
+        assert!(out.contains("FLT  n2 PortDown"), "{out}");
     }
 }

@@ -56,7 +56,12 @@ impl FlowAgent for Echoer {
     fn on_start(&mut self, _: &mut AgentCtx<'_, '_>) {}
     fn on_packet(&mut self, pkt: Packet, ctx: &mut AgentCtx<'_, '_>) {
         if pkt.kind == PacketKind::Data {
-            ctx.send(Packet::ack(self.hint.flow, self.hint.dst, self.hint.src, pkt.seq_end()));
+            ctx.send(Packet::ack(
+                self.hint.flow,
+                self.hint.dst,
+                self.hint.src,
+                pkt.seq_end(),
+            ));
         }
     }
     fn on_timer(&mut self, _: u64, _: &mut AgentCtx<'_, '_>) {}
@@ -106,16 +111,29 @@ fn sender_completes_and_is_garbage_collected_stale_timer_ignored() {
         acks: Arc::clone(&acks),
         wakeups: Arc::clone(&wakeups),
     }));
-    sim.add_flow(FlowSpec::new(FlowId(0), hosts[0], hosts[1], 1000, SimTime::ZERO));
+    sim.add_flow(FlowSpec::new(
+        FlowId(0),
+        hosts[0],
+        hosts[1],
+        1000,
+        SimTime::ZERO,
+    ));
     // Run past the stale 500 ms timer: the agent is gone by then, so the
     // timer must be swallowed without panicking.
     let outcome = sim.run(RunLimit::default());
     assert_eq!(outcome, RunOutcome::Drained);
     assert_eq!(acks.load(Ordering::Relaxed), 1);
-    assert!(sim.now() >= SimTime::from_millis(500), "stale timer still fired as an event");
-    let Node::Host(h) = sim.node(hosts[0]) else { panic!() };
+    assert!(
+        sim.now() >= SimTime::from_millis(500),
+        "stale timer still fired as an event"
+    );
+    let Node::Host(h) = sim.node(hosts[0]) else {
+        panic!()
+    };
     assert_eq!(h.live_agents(), 0, "completed sender must be GC'd");
-    let Node::Host(h1) = sim.node(hosts[1]) else { panic!() };
+    let Node::Host(h1) = sim.node(hosts[1]) else {
+        panic!()
+    };
     assert_eq!(h1.live_agents(), 1, "receiver stays resident");
 }
 
@@ -150,14 +168,25 @@ fn ctrl_packets_route_to_service_and_wake_agents() {
         }));
     }
     // A big flow so the sender is still alive when the ctrl packet lands.
-    sim.add_flow(FlowSpec::new(FlowId(3), hosts[0], hosts[1], 1000, SimTime::ZERO));
+    sim.add_flow(FlowSpec::new(
+        FlowId(3),
+        hosts[0],
+        hosts[1],
+        1000,
+        SimTime::ZERO,
+    ));
     // Two ctrl packets addressed to host 0, tagged with flow 3 (delivered
     // directly, as if they had just crossed host 0's access link).
     for (t, payload) in [(1u64, 7u32), (2, 8)] {
         sim.scheduler_mut().schedule_at(
             SimTime::from_micros(t),
             hosts[0],
-            EventKind::Deliver(Packet::ctrl(FlowId(3), hosts[1], hosts[0], Box::new(payload))),
+            EventKind::Deliver(Packet::ctrl(
+                FlowId(3),
+                hosts[1],
+                hosts[0],
+                Box::new(payload),
+            )),
         );
     }
     sim.run(RunLimit::default());
@@ -166,6 +195,130 @@ fn ctrl_packets_route_to_service_and_wake_agents() {
         wakeups.load(Ordering::Relaxed) >= 1,
         "service wake_flow must reach the agent"
     );
+}
+
+/// A sender that retransmits its single packet every millisecond until
+/// acknowledged — enough reliability to ride out an injected link outage.
+struct RetrySender {
+    spec: FlowSpec,
+    done: bool,
+}
+
+impl FlowAgent for RetrySender {
+    fn on_start(&mut self, ctx: &mut AgentCtx<'_, '_>) {
+        ctx.send(Packet::data(
+            self.spec.id,
+            self.spec.src,
+            self.spec.dst,
+            0,
+            1000,
+        ));
+        ctx.set_timer(SimDuration::from_millis(1), 1);
+    }
+
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut AgentCtx<'_, '_>) {
+        if pkt.kind == PacketKind::Ack {
+            ctx.flow_completed();
+            self.done = true;
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut AgentCtx<'_, '_>) {
+        if token == 1 && !self.done {
+            ctx.send(Packet::data(
+                self.spec.id,
+                self.spec.src,
+                self.spec.dst,
+                0,
+                1000,
+            ));
+            ctx.set_timer(SimDuration::from_millis(1), 1);
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.done
+    }
+}
+
+struct RetryFactory;
+
+impl AgentFactory for RetryFactory {
+    fn sender(&self, spec: &FlowSpec) -> Box<dyn FlowAgent> {
+        Box::new(RetrySender {
+            spec: spec.clone(),
+            done: false,
+        })
+    }
+    fn receiver(&self, hint: ReceiverHint) -> Box<dyn FlowAgent> {
+        Box::new(Echoer { hint })
+    }
+}
+
+#[test]
+fn link_outage_drops_offered_packets_and_recovery_completes_the_flow() {
+    let (mut sim, hosts, sw) = two_hosts(Arc::new(RetryFactory));
+    sim.add_flow(FlowSpec::new(
+        FlowId(0),
+        hosts[0],
+        hosts[1],
+        1000,
+        SimTime::ZERO,
+    ));
+    // The sender's access link dies before the first packet can cross and
+    // recovers after three retry rounds.
+    sim.inject_faults(
+        &FaultPlan::new()
+            .link_down(SimTime::from_nanos(1), hosts[0], sw)
+            .link_up(SimTime::from_micros(3500), hosts[0], sw),
+    );
+    let outcome = sim.run(RunLimit::until_measured_done(SimTime::from_secs(1)));
+    assert_eq!(outcome, RunOutcome::MeasuredComplete);
+    let rec = sim.stats().flow(FlowId(0)).unwrap();
+    assert!(rec.completed.is_some(), "flow must complete after recovery");
+    // Retries offered while the link was down were counted as such.
+    let Node::Host(h) = sim.node(hosts[0]) else {
+        panic!()
+    };
+    assert!(
+        h.port().drops_while_down > 0,
+        "outage drops must be counted"
+    );
+    assert_eq!(h.port().faults_injected, 2, "one down + one up");
+    assert!(h.port().is_up());
+}
+
+#[test]
+fn ctrl_loss_burst_kills_exactly_the_burst_window() {
+    let ctrl_seen = Arc::new(AtomicU64::new(0));
+    let (mut sim, hosts, sw) = two_hosts(Arc::new(RetryFactory));
+    if let Node::Host(h) = sim.node_mut(hosts[1]) {
+        h.set_service(Box::new(CountingService {
+            ctrl_seen: Arc::clone(&ctrl_seen),
+        }));
+    }
+    // Arm a 2-packet ctrl burst on the switch's port toward host 1, then
+    // push four ctrl packets through the switch.
+    sim.inject_faults(&FaultPlan::new().ctrl_loss_burst(SimTime::from_nanos(1), sw, hosts[1], 2));
+    for t in 2u64..6 {
+        sim.scheduler_mut().schedule_at(
+            SimTime::from_micros(t),
+            sw,
+            EventKind::Deliver(Packet::ctrl(FlowId(7), hosts[0], hosts[1], Box::new(t))),
+        );
+    }
+    sim.run(RunLimit::default());
+    assert_eq!(
+        ctrl_seen.load(Ordering::Relaxed),
+        2,
+        "first two ctrl packets die in the burst, the rest pass"
+    );
+    // Data was never part of the burst: a data flow crosses untouched.
+    let port = sim.topo().port_between(sw, hosts[1]).unwrap();
+    let Node::Switch(s) = sim.node(sw) else {
+        panic!()
+    };
+    assert_eq!(s.ports()[port.index()].faults_injected, 1);
 }
 
 /// A plugin that consumes every probe and counts timer ticks.
@@ -205,10 +358,7 @@ impl SwitchPlugin for ProbeEater {
 fn plugin_can_consume_packets_and_run_timers() {
     let acks = Arc::new(AtomicU64::new(0));
     let wakeups = Arc::new(AtomicU64::new(0));
-    let (mut sim, hosts, sw) = two_hosts(Arc::new(TestFactory {
-        acks,
-        wakeups,
-    }));
+    let (mut sim, hosts, sw) = two_hosts(Arc::new(TestFactory { acks, wakeups }));
     if let Node::Switch(s) = sim.node_mut(sw) {
         s.set_plugin(Box::new(ProbeEater { eaten: 0, ticks: 0 }));
     }
@@ -221,7 +371,13 @@ fn plugin_can_consume_packets_and_run_timers() {
         hosts[0],
         EventKind::Deliver(Packet::ack(FlowId(9), hosts[1], hosts[0], 0)), // stale ack: ignored
     );
-    sim.add_flow(FlowSpec::new(FlowId(0), hosts[0], hosts[1], 1000, SimTime::ZERO));
+    sim.add_flow(FlowSpec::new(
+        FlowId(0),
+        hosts[0],
+        hosts[1],
+        1000,
+        SimTime::ZERO,
+    ));
     // Inject a probe through the switch.
     sim.scheduler_mut().schedule_at(
         SimTime::from_micros(3),
@@ -229,7 +385,9 @@ fn plugin_can_consume_packets_and_run_timers() {
         EventKind::Deliver(Packet::probe(FlowId(5), hosts[0], hosts[1], 0)),
     );
     sim.run(RunLimit::default());
-    let Node::Switch(s) = sim.node_mut(sw) else { panic!() };
+    let Node::Switch(s) = sim.node_mut(sw) else {
+        panic!()
+    };
     let plugin = s.plugin_as::<ProbeEater>().unwrap();
     assert_eq!(plugin.eaten, 1, "probe must be consumed");
     assert_eq!(plugin.ticks, 3, "timer chain must run to completion");

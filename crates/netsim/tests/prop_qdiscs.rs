@@ -1,11 +1,12 @@
-//! Property-based tests for the queue disciplines: conservation, bounds
-//! and ordering invariants under arbitrary operation sequences.
-
-use proptest::prelude::*;
+//! Randomized tests for the queue disciplines: conservation, bounds and
+//! ordering invariants under arbitrary operation sequences. Sequences are
+//! generated from the crate's own seeded [`Rng`] so the suite is
+//! deterministic and dependency-free.
 
 use netsim::ids::{FlowId, NodeId};
 use netsim::packet::Packet;
 use netsim::queue::{DropTailQdisc, Enqueued, LossyQdisc, Qdisc, RedEcnQdisc, StrictPrioQdisc};
+use netsim::rng::Rng;
 use netsim::time::SimTime;
 
 #[derive(Debug, Clone)]
@@ -14,18 +15,22 @@ enum Op {
     Dequeue,
 }
 
-fn ops() -> impl Strategy<Value = Vec<Op>> {
-    prop::collection::vec(
-        prop_oneof![
-            (0u64..20, 0u8..10, 1u16..1460).prop_map(|(flow, prio, len)| Op::Enqueue {
-                flow,
-                prio,
-                len
-            }),
-            Just(Op::Dequeue),
-        ],
-        0..200,
-    )
+/// Random op sequence: ~2/3 enqueues, ~1/3 dequeues, up to 200 ops.
+fn ops(rng: &mut Rng) -> Vec<Op> {
+    let n = rng.gen_index(200);
+    (0..n)
+        .map(|_| {
+            if rng.gen_below(3) < 2 {
+                Op::Enqueue {
+                    flow: rng.gen_below(20),
+                    prio: rng.gen_below(10) as u8,
+                    len: rng.gen_range_inclusive(1, 1459) as u16,
+                }
+            } else {
+                Op::Dequeue
+            }
+        })
+        .collect()
 }
 
 fn mk_pkt(flow: u64, prio: u8, len: u16) -> Packet {
@@ -37,7 +42,7 @@ fn mk_pkt(flow: u64, prio: u8, len: u16) -> Packet {
 
 /// Run an op sequence, checking the universal qdisc invariants:
 /// * packet and byte occupancy never go negative or exceed what entered;
-/// * `len_pkts == 0` iff `dequeue` returns `None`;
+/// * `len_pkts == 0` iff `len_bytes == 0`;
 /// * conservation: enqueued = dequeued + dropped + still-queued.
 fn check_invariants(mut q: Box<dyn Qdisc>, ops: Vec<Op>, cap: usize) {
     let now = SimTime::ZERO;
@@ -80,41 +85,67 @@ fn check_invariants(mut q: Box<dyn Qdisc>, ops: Vec<Op>, cap: usize) {
     assert_eq!(stats.dropped_pkts, drop_count);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    #[test]
-    fn droptail_invariants(ops in ops(), cap in 1usize..64) {
+#[test]
+fn droptail_invariants() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x0d70 ^ seed);
+        let cap = rng.gen_range_inclusive(1, 63) as usize;
+        let ops = ops(&mut rng);
         check_invariants(Box::new(DropTailQdisc::new(cap)), ops, cap);
     }
+}
 
-    #[test]
-    fn red_invariants(ops in ops(), cap in 1usize..64) {
-        let k = cap / 2;
-        check_invariants(Box::new(RedEcnQdisc::new(cap, k)), ops, cap);
+#[test]
+fn red_invariants() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x4ed0 ^ seed);
+        let cap = rng.gen_range_inclusive(1, 63) as usize;
+        let ops = ops(&mut rng);
+        check_invariants(Box::new(RedEcnQdisc::new(cap, cap / 2)), ops, cap);
     }
+}
 
-    #[test]
-    fn strict_prio_invariants(ops in ops(), cap in 1usize..32, bands in 1usize..10) {
-        check_invariants(Box::new(StrictPrioQdisc::new(bands, cap, cap)), ops, cap * bands);
+#[test]
+fn strict_prio_invariants() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x5710 ^ seed);
+        let cap = rng.gen_range_inclusive(1, 31) as usize;
+        let bands = rng.gen_range_inclusive(1, 9) as usize;
+        let ops = ops(&mut rng);
+        check_invariants(
+            Box::new(StrictPrioQdisc::new(bands, cap, cap)),
+            ops,
+            cap * bands,
+        );
     }
+}
 
-    #[test]
-    fn lossy_wrapper_invariants(ops in ops(), cap in 1usize..64, period in 0u64..7) {
+#[test]
+fn lossy_wrapper_invariants() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x1055 ^ seed);
+        let cap = rng.gen_range_inclusive(1, 63) as usize;
+        let period = rng.gen_below(7);
+        let ops = ops(&mut rng);
         check_invariants(
             Box::new(LossyQdisc::new(Box::new(DropTailQdisc::new(cap)), period)),
             ops,
             cap,
         );
     }
+}
 
-    /// Strict priority: a dequeued packet never has a (strictly) higher
-    /// band available in the queue at dequeue time.
-    #[test]
-    fn strict_prio_always_serves_highest_band(ops in ops()) {
+/// Strict priority: a dequeued packet never has a (strictly) higher band
+/// available in the queue at dequeue time.
+#[test]
+fn strict_prio_always_serves_highest_band() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xba2d ^ seed);
         let mut q = StrictPrioQdisc::new(8, 64, 64);
         let now = SimTime::ZERO;
-        for op in ops {
+        for op in ops(&mut rng) {
             match op {
                 Op::Enqueue { flow, prio, len } => {
                     let _ = q.enqueue(mk_pkt(flow, prio % 8, len), now);
@@ -124,10 +155,9 @@ proptest! {
                     if let Some(pkt) = q.dequeue(now) {
                         let band = pkt.prio as usize;
                         for (b, &occ) in before.iter().enumerate().take(band) {
-                            prop_assert_eq!(
+                            assert_eq!(
                                 occ, 0,
-                                "dequeued band {} while band {} had {} packets",
-                                band, b, occ
+                                "dequeued band {band} while band {b} had {occ} packets"
                             );
                         }
                     }
@@ -135,21 +165,27 @@ proptest! {
             }
         }
     }
+}
 
-    /// RED marking threshold: CE only ever set when occupancy at arrival
-    /// was at least K, and never on non-ECN packets.
-    #[test]
-    fn red_marks_only_above_threshold(flows in prop::collection::vec(0u64..9, 1..80), k in 0usize..16) {
+/// RED marking threshold: CE only ever set when occupancy at arrival was
+/// at least K, and never on non-ECN packets.
+#[test]
+fn red_marks_only_above_threshold() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x4edc ^ seed);
+        let k = rng.gen_index(16);
+        let n_flows = rng.gen_range_inclusive(1, 79) as usize;
         let mut q = RedEcnQdisc::new(64, k);
         let now = SimTime::ZERO;
         let mut occupancy_at_arrival = std::collections::VecDeque::new();
-        for f in flows {
+        for _ in 0..n_flows {
+            let f = rng.gen_below(9);
             occupancy_at_arrival.push_back(q.len_pkts());
             let _ = q.enqueue(mk_pkt(f, 0, 1000), now);
         }
         while let Some(p) = q.dequeue(now) {
             let occ = occupancy_at_arrival.pop_front().unwrap();
-            prop_assert_eq!(p.ecn_ce, occ >= k, "occupancy {} vs K {}", occ, k);
+            assert_eq!(p.ecn_ce, occ >= k, "occupancy {occ} vs K {k}");
         }
     }
 }

@@ -102,6 +102,12 @@ impl LinkArbitrator {
         self.flows.remove(&flow);
     }
 
+    /// Forget every flow (an arbitrator crash wipes all soft state; the
+    /// next refresh round repopulates it, paper §3.1.3).
+    pub fn clear(&mut self) {
+        self.flows.clear();
+    }
+
     /// Drop entries older than `expiry` before `now`.
     pub fn gc(&mut self, now: SimTime, expiry: netsim::time::SimDuration) {
         self.flows.retain(|_, e| e.last_update + expiry >= now);
@@ -189,6 +195,21 @@ mod tests {
 
     fn arb(capacity_mbps: u64) -> LinkArbitrator {
         LinkArbitrator::new(Rate::from_mbps(capacity_mbps), &PaseConfig::default())
+    }
+
+    #[test]
+    fn clear_wipes_all_soft_state() {
+        let mut a = arb(1000);
+        a.update(FlowId(1), entry(10_000, 500));
+        a.update(FlowId(2), entry(20_000, 500));
+        assert_eq!(a.n_flows(), 2);
+        a.clear();
+        assert_eq!(a.n_flows(), 0);
+        // A crashed-and-cleared arbitrator re-learns from scratch: the
+        // first flow back gets the whole link again.
+        let d = a.update_and_decide(FlowId(3), entry(5_000, 700));
+        assert_eq!(d.queue, 0);
+        assert_eq!(d.rate, Rate::from_mbps(700));
     }
 
     #[test]

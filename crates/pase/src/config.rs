@@ -4,7 +4,7 @@
 //! RTO for top-queue flows and 200 ms for the rest, 500-packet switch
 //! buffers (set where topologies are built).
 
-use netsim::time::{SimDuration, Rate};
+use netsim::time::{Rate, SimDuration};
 
 /// The scheduling criterion arbitrators sort flows by (paper §3.1.1: the
 /// `FlowSize` input "can be replaced by deadline ... for task-aware
@@ -84,6 +84,15 @@ pub struct PaseConfig {
     /// The base rate granted to flows that cannot make the top queue: one
     /// packet per RTT (paper §3.1.1).
     pub base_rate_pkts_per_rtt: u32,
+    /// Control-plane watchdog: a sender that has gone `watchdog_k`
+    /// refresh periods without any arbitration response assumes the
+    /// arbitrators are unreachable and falls back to pure self-adjusting
+    /// mode (lowest queue, DCTCP control laws) until responses resume.
+    pub watchdog_k: u32,
+    /// Cap on the exponent of the refresh backoff: while responses are
+    /// missing, re-requests are spaced `arb_refresh × 2^min(misses, cap)`
+    /// apart so a dead control plane is not hammered every RTT.
+    pub refresh_backoff_cap: u32,
 }
 
 impl Default for PaseConfig {
@@ -110,6 +119,8 @@ impl Default for PaseConfig {
             probe_on_timeout: true,
             probe_bottom_queue: true,
             base_rate_pkts_per_rtt: 1,
+            watchdog_k: 4,
+            refresh_backoff_cap: 5,
         }
     }
 }
@@ -162,6 +173,17 @@ mod tests {
     }
 
     #[test]
+    fn watchdog_defaults_are_sane() {
+        let c = PaseConfig::default();
+        // The watchdog must tolerate at least one lost refresh round
+        // before declaring the control plane dead, and the backoff cap
+        // must keep re-request spacing well under the arbitrator expiry
+        // horizon scaled by a few round trips.
+        assert!(c.watchdog_k >= 2);
+        assert!(c.refresh_backoff_cap >= 1 && c.refresh_backoff_cap <= 16);
+    }
+
+    #[test]
     fn base_rate_is_one_packet_per_rtt() {
         let c = PaseConfig::default();
         // 1500 B / 300 us = 40 Mbps.
@@ -174,6 +196,10 @@ mod tests {
         let c = PaseConfig::default().without_optimizations();
         assert!(!c.early_pruning && !c.delegation);
         assert!(!PaseConfig::default().local_only().end_to_end);
-        assert!(!PaseConfig::default().without_reference_rate().use_reference_rate);
+        assert!(
+            !PaseConfig::default()
+                .without_reference_rate()
+                .use_reference_rate
+        );
     }
 }

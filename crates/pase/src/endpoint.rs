@@ -17,11 +17,17 @@
 //!   1-packet-per-RTT trickle with probes entirely (§4.3.2).
 //! * **Reordering guard**: on a queue promotion the sender drains
 //!   in-flight lower-priority packets before sending at the new priority.
+//! * **Graceful degradation**: a watchdog counts refresh rounds with no
+//!   arbitration response; after `watchdog_k` silent periods the flow
+//!   falls back to pure self-adjusting mode (lowest queue, DCTCP laws,
+//!   data never suppressed) with bounded exponential backoff on
+//!   re-requests, and re-attaches to its arbitrated `PrioQue`/`Rref`
+//!   assignment as soon as a response arrives.
 
 use netsim::flow::FlowSpec;
 use netsim::host::{AgentCtx, FlowAgent, WAKEUP_TOKEN};
 use netsim::packet::{Packet, PacketKind};
-use netsim::time::{Rate, SimDuration};
+use netsim::time::{Rate, SimDuration, SimTime};
 use transport::{AckKind, LossEvent, RttEstimator, TxEngine};
 
 use crate::algorithm::Decision;
@@ -71,6 +77,18 @@ pub struct PaseSender {
     pace_epoch: u64,
     refresh_epoch: u64,
     started: bool,
+    // Control-plane watchdog (graceful degradation, paper §3.1.3: "in
+    // case a flow does not hear back from an arbitrator, it falls back to
+    // the self-adjusting behavior").
+    /// When the last arbitration response (either leg) arrived.
+    last_response: SimTime,
+    /// Consecutive refresh rounds without any arbitration response;
+    /// drives the bounded exponential re-request backoff.
+    refresh_misses: u32,
+    /// Arbitration declared unreachable: the flow runs in pure
+    /// self-adjusting mode (lowest queue, DCTCP laws) until a response
+    /// resumes.
+    in_fallback: bool,
     /// Inter-rack flows hold their first data until the sender-leg
     /// arbitration response arrives (paper §3.1.2: "a flow starts as soon
     /// as it receives arbitration information from the child arbitrator").
@@ -110,6 +128,9 @@ impl PaseSender {
             pace_epoch: 0,
             refresh_epoch: 0,
             started: false,
+            last_response: SimTime::ZERO,
+            refresh_misses: 0,
+            in_fallback: false,
             awaiting_initial_arb: false,
             done: false,
         }
@@ -130,6 +151,12 @@ impl PaseSender {
         self.engine.cwnd
     }
 
+    /// Whether the watchdog has the flow in self-adjusting fallback
+    /// (tests/inspection).
+    pub fn in_fallback(&self) -> bool {
+        self.in_fallback
+    }
+
     fn srtt(&self) -> SimDuration {
         self.engine.rtt.srtt().unwrap_or(self.cfg.base_rtt)
     }
@@ -139,8 +166,8 @@ impl PaseSender {
     /// (paper §3.1.1: "for short flows ... this is set to a lower value").
     fn demand(&self, ctx: &AgentCtx<'_, '_>) -> Rate {
         let nic = ctx.host.port.rate;
-        let remaining_wire = self.engine.remaining()
-            + (self.engine.remaining() / self.cfg.mss as u64 + 1) * 40;
+        let remaining_wire =
+            self.engine.remaining() + (self.engine.remaining() / self.cfg.mss as u64 + 1) * 40;
         let per_rtt =
             Rate::from_bps((remaining_wire as f64 * 8.0 / self.cfg.base_rtt.as_secs_f64()) as u64);
         nic.min(per_rtt)
@@ -156,8 +183,11 @@ impl PaseSender {
     }
 
     /// Should data transmission be suppressed in favor of pacing probes?
+    /// Never in fallback: with no arbitrator to promote us out of the
+    /// bottom queue, probing instead of sending would stall forever.
     fn data_suppressed(&self) -> bool {
-        self.cfg.probe_bottom_queue
+        !self.in_fallback
+            && self.cfg.probe_bottom_queue
             && self.in_bottom_queue()
             && !self.spec.is_background()
             && self.cfg.end_to_end
@@ -211,7 +241,12 @@ impl PaseSender {
                     acc_queue: self.local.queue,
                     acc_rate: self.local.rate,
                 };
-                ctx.send(Packet::ctrl(flow, self.spec.src, tor, Box::new(ArbMsg::Request(req))));
+                ctx.send(Packet::ctrl(
+                    flow,
+                    self.spec.src,
+                    tor,
+                    Box::new(ArbMsg::Request(req)),
+                ));
             }
         }
         // Receiver-leg request: the destination arbitrates its downlink.
@@ -229,7 +264,12 @@ impl PaseSender {
                 acc_queue: 0,
                 acc_rate: demand,
             };
-            ctx.send(Packet::ctrl(flow, self.spec.src, dst, Box::new(ArbMsg::Request(req))));
+            ctx.send(Packet::ctrl(
+                flow,
+                self.spec.src,
+                dst,
+                Box::new(ArbMsg::Request(req)),
+            ));
         }
         self.recompute_effective(ctx);
         sender_leg_sent
@@ -238,6 +278,17 @@ impl PaseSender {
     /// Merge the local and leg decisions into the effective queue/rate and
     /// apply Algorithm 2's state transitions.
     fn recompute_effective(&mut self, ctx: &mut AgentCtx<'_, '_>) {
+        if self.in_fallback {
+            // Fallback pins the flow to the lowest queue at base rate; the
+            // merge below would resurrect the (possibly stale, possibly
+            // uncoordinated) local decision. Exit happens in the WAKEUP
+            // path, before this is called again.
+            self.queue = self.cfg.lowest_queue();
+            self.rref = self.cfg.base_rate();
+            self.sync_tx_prio();
+            self.engine.rtt.set_min_rto(self.cfg.min_rto_low);
+            return;
+        }
         let legs = match ctx.service::<PaseHostService>() {
             Some(svc) => svc.leg_results(self.spec.id),
             None => Default::default(),
@@ -294,7 +345,12 @@ impl PaseSender {
     }
 
     fn send_pace_probe(&mut self, ctx: &mut AgentCtx<'_, '_>) {
-        let mut probe = Packet::probe(self.spec.id, self.spec.src, self.spec.dst, self.engine.acked());
+        let mut probe = Packet::probe(
+            self.spec.id,
+            self.spec.src,
+            self.spec.dst,
+            self.engine.acked(),
+        );
         probe.prio = self.tx_prio;
         ctx.sim.stats.note_probe(self.spec.id);
         ctx.send(probe);
@@ -326,6 +382,18 @@ impl PaseSender {
             return;
         }
         if self.engine.in_recovery() {
+            return;
+        }
+        if self.in_fallback {
+            // Self-adjusting fallback: plain DCTCP growth (the marked-ACK
+            // decrease above still applies), exactly as if no arbitrator
+            // had ever answered.
+            let pkts = pkts * 0.5;
+            if self.engine.cwnd < self.ssthresh {
+                self.engine.cwnd += pkts;
+            } else {
+                self.engine.cwnd += pkts / self.engine.cwnd;
+            }
             return;
         }
         if !self.cfg.use_reference_rate {
@@ -385,7 +453,8 @@ impl PaseSender {
     /// first moment nothing sent at the old priority is still in flight.
     fn sync_tx_prio(&mut self) {
         if let Some(b) = self.reorder_barrier {
-            if self.engine.acked() >= b.min(self.engine.snd_nxt()) && self.engine.flight_bytes() == 0
+            if self.engine.acked() >= b.min(self.engine.snd_nxt())
+                && self.engine.flight_bytes() == 0
             {
                 self.reorder_barrier = None;
             } else if self.engine.acked() >= b {
@@ -453,13 +522,57 @@ impl PaseSender {
 
     fn arm_refresh(&mut self, ctx: &mut AgentCtx<'_, '_>) {
         self.refresh_epoch += 1;
-        ctx.set_timer(self.cfg.arb_refresh, REFRESH_TOKEN_BASE + self.refresh_epoch);
+        // Bounded exponential backoff on re-requests, but only once the
+        // watchdog has declared the control plane dead: each further
+        // silent round doubles the spacing (capped) so a crashed
+        // arbitrator is not hammered every RTT. Healthy flows keep the
+        // exact `arb_refresh` cadence — response latency routinely spans
+        // a whole refresh period, and stretching the cadence on such
+        // ordinary lag skews arbitration for every flow.
+        let exp = if self.in_fallback {
+            self.refresh_misses.min(self.cfg.refresh_backoff_cap)
+        } else {
+            0
+        };
+        let delay = self.cfg.arb_refresh.saturating_mul(1u64 << exp);
+        ctx.set_timer(delay, REFRESH_TOKEN_BASE + self.refresh_epoch);
+    }
+
+    /// Has the watchdog expired: `watchdog_k` refresh periods without any
+    /// arbitration response, on a flow that expects responses?
+    fn watchdog_expired(&self, now: SimTime) -> bool {
+        let expects_responses =
+            self.plan.sender_leg_to.is_some() || self.plan.receiver_leg_to.is_some();
+        expects_responses
+            && now
+                >= self.last_response
+                    + self
+                        .cfg
+                        .arb_refresh
+                        .saturating_mul(self.cfg.watchdog_k as u64)
+    }
+
+    /// Degrade to pure self-adjusting mode: lowest queue, base rate,
+    /// conservative DCTCP restart. The flow keeps making progress with no
+    /// control plane at all and re-attaches when responses resume.
+    fn enter_fallback(&mut self) {
+        self.in_fallback = true;
+        self.ssthresh = (self.engine.cwnd / 2.0).max(2.0);
+        self.engine.cwnd = 1.0;
+        self.queue = self.cfg.lowest_queue();
+        self.rref = self.cfg.base_rate();
+        self.is_inter_queue = false;
+        // A demotion applies immediately (no reordering risk).
+        self.sync_tx_prio();
+        self.engine.rtt.set_min_rto(self.cfg.min_rto_low);
     }
 }
 
 impl FlowAgent for PaseSender {
     fn on_start(&mut self, ctx: &mut AgentCtx<'_, '_>) {
         self.started = true;
+        // The watchdog measures silence from flow start.
+        self.last_response = ctx.now();
         let sender_leg_sent = self.arbitrate(ctx);
         // Inter-rack: optionally wait for the child (ToR) arbitrator's
         // answer before injecting data; intra-rack, pruned and local-only
@@ -538,6 +651,17 @@ impl FlowAgent for PaseSender {
         }
         if token == WAKEUP_TOKEN {
             // An arbitration response arrived.
+            self.last_response = ctx.now();
+            self.refresh_misses = 0;
+            if self.in_fallback {
+                // The control plane is back: leave fallback and let the
+                // recompute below re-attach the flow to its arbitrated
+                // queue and reference rate (Algorithm 2 transitions fire
+                // on the queue change). Re-arm promptly — the pending
+                // refresh may still be backed off far into the future.
+                self.in_fallback = false;
+                self.arm_refresh(ctx);
+            }
             self.recompute_effective(ctx);
             if self.awaiting_initial_arb {
                 let have_sender_leg = ctx
@@ -567,6 +691,19 @@ impl FlowAgent for PaseSender {
                 // Fallback: never wait longer than one refresh period for
                 // the initial arbitration response.
                 self.awaiting_initial_arb = false;
+                let now = ctx.now();
+                // Watchdog bookkeeping: count silent rounds (a response
+                // resets the counter via the WAKEUP path) and degrade to
+                // self-adjusting mode after `watchdog_k` refresh periods
+                // of silence.
+                if now >= self.last_response + self.cfg.arb_refresh {
+                    self.refresh_misses = self.refresh_misses.saturating_add(1);
+                } else {
+                    self.refresh_misses = 0;
+                }
+                if !self.in_fallback && self.watchdog_expired(now) {
+                    self.enter_fallback();
+                }
                 let _ = self.arbitrate(ctx);
                 self.pump(ctx);
                 self.arm_refresh(ctx);
@@ -581,8 +718,12 @@ impl FlowAgent for PaseSender {
                 ctx.sim.stats.note_timeout(self.spec.id);
                 self.engine.defer_timeout(ctx);
                 self.recovery_probe = Some(self.engine.acked());
-                let mut probe =
-                    Packet::probe(self.spec.id, self.spec.src, self.spec.dst, self.engine.acked());
+                let mut probe = Packet::probe(
+                    self.spec.id,
+                    self.spec.src,
+                    self.spec.dst,
+                    self.engine.acked(),
+                );
                 probe.prio = self.tx_prio;
                 ctx.sim.stats.note_probe(self.spec.id);
                 ctx.send(probe);

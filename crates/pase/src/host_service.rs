@@ -17,6 +17,7 @@ use std::any::Any;
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use netsim::fault::NodeFault;
 use netsim::host::{HostIo, HostService};
 use netsim::ids::{FlowId, NodeId};
 use netsim::packet::Packet;
@@ -157,7 +158,12 @@ impl PaseHostService {
             && (!self.cfg.early_pruning || req.acc_queue < self.cfg.prune_depth);
         if forward {
             let tor = self.tree.tor_of(self.me);
-            io.send(Packet::ctrl(req.flow, self.me, tor, Box::new(ArbMsg::Request(req))));
+            io.send(Packet::ctrl(
+                req.flow,
+                self.me,
+                tor,
+                Box::new(ArbMsg::Request(req)),
+            ));
         } else {
             let resp = ArbMsg::Response(ArbResponse {
                 flow: req.flow,
@@ -165,7 +171,12 @@ impl PaseHostService {
                 queue: req.acc_queue,
                 rate: req.acc_rate,
             });
-            io.send(Packet::ctrl(req.flow, self.me, req.reply_to, Box::new(resp)));
+            io.send(Packet::ctrl(
+                req.flow,
+                self.me,
+                req.reply_to,
+                Box::new(resp),
+            ));
         }
     }
 }
@@ -220,6 +231,20 @@ impl HostService for PaseHostService {
     }
 
     fn on_timer(&mut self, _token: u64, _io: &mut HostIo<'_, '_, '_>) {}
+
+    fn on_fault(&mut self, fault: NodeFault, _io: &mut HostIo<'_, '_, '_>) {
+        if fault == NodeFault::Crash {
+            // The endpoint control process loses everything: both leaf
+            // arbitrators and the cached leg responses. Local senders
+            // repopulate the uplink (and re-request the legs) on their
+            // next refresh; remote senders repopulate the downlink the
+            // same way. A restart needs no action — the state is already
+            // gone and rebuilds from refreshes alone.
+            self.uplink.clear();
+            self.downlink.clear();
+            self.legs.clear();
+        }
+    }
 
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self

@@ -16,6 +16,7 @@ use std::any::Any;
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use netsim::fault::NodeFault;
 use netsim::ids::NodeId;
 use netsim::packet::Packet;
 use netsim::switch::{SwitchIo, SwitchPlugin};
@@ -26,7 +27,9 @@ use crate::config::PaseConfig;
 use crate::messages::{ArbMsg, ArbRequest, ArbResponse, Leg};
 use crate::tree::{Level, TreeInfo};
 
-/// Timer token for the periodic delegation report (child side).
+/// Base timer token for the periodic delegation report (child side). The
+/// live token is `DELEG_TIMER_TOKEN + epoch`, where the epoch bumps on
+/// every arbitrator restart so stale pre-crash timers die silently.
 pub const DELEG_TIMER_TOKEN: u64 = 1;
 
 /// PASE arbitrator co-located with a switch.
@@ -45,6 +48,14 @@ pub struct PaseSwitchPlugin {
     deleg_down: Option<LinkArbitrator>,
     /// Agg only, delegation on: children's last reported demands.
     child_demands: HashMap<NodeId, (Rate, Rate)>,
+    /// Injected-fault state: a crashed arbitrator ignores all control
+    /// traffic and timers until restarted (the data plane keeps
+    /// forwarding — only the co-located control process dies).
+    crashed: bool,
+    /// Generation counter for the delegation report loop. A restart
+    /// starts a fresh chain under a new epoch so a timer still pending
+    /// from before the crash cannot double the reporting rate.
+    deleg_epoch: u64,
 }
 
 impl PaseSwitchPlugin {
@@ -88,7 +99,15 @@ impl PaseSwitchPlugin {
             deleg_up,
             deleg_down,
             child_demands: HashMap::new(),
+            crashed: false,
+            deleg_epoch: 0,
         }
+    }
+
+    /// Whether an injected crash currently has this arbitrator down
+    /// (tests).
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
     }
 
     /// Current delegated uplink-slice capacity (tests).
@@ -128,7 +147,12 @@ impl PaseSwitchPlugin {
             queue: req.acc_queue,
             rate: req.acc_rate,
         });
-        io.send(Packet::ctrl(req.flow, self.me, req.reply_to, Box::new(resp)));
+        io.send(Packet::ctrl(
+            req.flow,
+            self.me,
+            req.reply_to,
+            Box::new(resp),
+        ));
     }
 
     fn handle_request(&mut self, mut req: ArbRequest, io: &mut SwitchIo<'_, '_>) {
@@ -158,8 +182,7 @@ impl PaseSwitchPlugin {
                 req.accumulate(d.queue, d.rate);
             } else if let Some(parent) = self.tree.parent(self.me) {
                 // No delegation: climb, unless pruned.
-                let pruned =
-                    self.cfg.early_pruning && req.acc_queue >= self.cfg.prune_depth;
+                let pruned = self.cfg.early_pruning && req.acc_queue >= self.cfg.prune_depth;
                 if !pruned {
                     io.send(Packet::ctrl(
                         req.flow,
@@ -174,7 +197,14 @@ impl PaseSwitchPlugin {
         self.reply(&req, io);
     }
 
-    fn handle_flow_done(&mut self, flow: netsim::ids::FlowId, src: NodeId, dst: NodeId, leg: Leg, io: &mut SwitchIo<'_, '_>) {
+    fn handle_flow_done(
+        &mut self,
+        flow: netsim::ids::FlowId,
+        src: NodeId,
+        dst: NodeId,
+        leg: Leg,
+        io: &mut SwitchIo<'_, '_>,
+    ) {
         match leg {
             Leg::Sender => {
                 if let Some(a) = self.up.as_mut() {
@@ -202,7 +232,12 @@ impl PaseSwitchPlugin {
                     flow,
                     self.me,
                     parent,
-                    Box::new(ArbMsg::FlowDone { flow, src, dst, leg }),
+                    Box::new(ArbMsg::FlowDone {
+                        flow,
+                        src,
+                        dst,
+                        leg,
+                    }),
                 ));
             }
         }
@@ -216,7 +251,8 @@ impl PaseSwitchPlugin {
             return;
         };
         let min_share = self.cfg.deleg_min_share;
-        let floor_up = |d: Rate| -> f64 { (d.as_bps() as f64).max(total.as_bps() as f64 * min_share) };
+        let floor_up =
+            |d: Rate| -> f64 { (d.as_bps() as f64).max(total.as_bps() as f64 * min_share) };
         let children = self.tree.children(self.me).to_vec();
         let sum_up: f64 = children
             .iter()
@@ -226,7 +262,11 @@ impl PaseSwitchPlugin {
             .iter()
             .map(|c| floor_up(self.child_demands.get(c).map_or(Rate::ZERO, |d| d.1)))
             .sum();
-        let (rep_up, rep_down) = self.child_demands.get(&reporter).copied().unwrap_or((Rate::ZERO, Rate::ZERO));
+        let (rep_up, rep_down) = self
+            .child_demands
+            .get(&reporter)
+            .copied()
+            .unwrap_or((Rate::ZERO, Rate::ZERO));
         let up_capacity = total.mul_f64(floor_up(rep_up) / sum_up.max(1.0));
         let down_capacity = total.mul_f64(floor_up(rep_down) / sum_down.max(1.0));
         io.send(Packet::ctrl(
@@ -243,15 +283,24 @@ impl PaseSwitchPlugin {
 
 impl SwitchPlugin for PaseSwitchPlugin {
     fn on_ctrl(&mut self, mut pkt: Packet, io: &mut SwitchIo<'_, '_>) {
+        if self.crashed {
+            // A crashed arbitrator is a black hole: requests addressed to
+            // it die here, and the sending endpoints' watchdogs handle
+            // the silence (see [`crate::endpoint`]).
+            return;
+        }
         let Some(msg) = pkt.take_proto::<ArbMsg>() else {
             return;
         };
         io.sim.stats.note_ctrl_processed();
         match *msg {
             ArbMsg::Request(req) => self.handle_request(req, io),
-            ArbMsg::FlowDone { flow, src, dst, leg } => {
-                self.handle_flow_done(flow, src, dst, leg, io)
-            }
+            ArbMsg::FlowDone {
+                flow,
+                src,
+                dst,
+                leg,
+            } => self.handle_flow_done(flow, src, dst, leg, io),
             ArbMsg::DelegUpdate {
                 child,
                 up_demand,
@@ -279,7 +328,11 @@ impl SwitchPlugin for PaseSwitchPlugin {
     }
 
     fn on_timer(&mut self, token: u64, io: &mut SwitchIo<'_, '_>) {
-        if token != DELEG_TIMER_TOKEN || !self.cfg.delegation || self.level != Level::Tor {
+        if self.crashed
+            || token != DELEG_TIMER_TOKEN + self.deleg_epoch
+            || !self.cfg.delegation
+            || self.level != Level::Tor
+        {
             return;
         }
         let Some(parent) = self.tree.parent(self.me) else {
@@ -307,7 +360,47 @@ impl SwitchPlugin for PaseSwitchPlugin {
                 }),
             ));
         }
-        io.set_timer(self.cfg.deleg_period, DELEG_TIMER_TOKEN);
+        io.set_timer(self.cfg.deleg_period, DELEG_TIMER_TOKEN + self.deleg_epoch);
+    }
+
+    fn on_fault(&mut self, fault: NodeFault, io: &mut SwitchIo<'_, '_>) {
+        match fault {
+            NodeFault::Crash => {
+                self.crashed = true;
+                // All arbitration soft state dies with the process; only
+                // the periodic endpoint refreshes can rebuild it.
+                if let Some(a) = self.up.as_mut() {
+                    a.clear();
+                }
+                if let Some(a) = self.down.as_mut() {
+                    a.clear();
+                }
+                if let Some(a) = self.deleg_up.as_mut() {
+                    a.clear();
+                }
+                if let Some(a) = self.deleg_down.as_mut() {
+                    a.clear();
+                }
+                self.child_demands.clear();
+            }
+            NodeFault::Restart => {
+                if !self.crashed {
+                    return;
+                }
+                self.crashed = false;
+                // The fresh process starts empty and re-learns purely from
+                // the next refresh round (within `arb_expiry`). Restart the
+                // delegation report loop under a new epoch: a timer still
+                // pending from before the crash is now stale and inert.
+                self.deleg_epoch += 1;
+                if self.cfg.delegation
+                    && self.level == Level::Tor
+                    && self.tree.parent(self.me).is_some()
+                {
+                    io.set_timer(self.cfg.deleg_period, DELEG_TIMER_TOKEN + self.deleg_epoch);
+                }
+            }
+        }
     }
 
     fn as_any_mut(&mut self) -> &mut dyn Any {

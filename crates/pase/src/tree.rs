@@ -196,18 +196,18 @@ mod tests {
         let aggs = vec![b.add_switch(), b.add_switch()];
         let mut tors = vec![];
         let mut hosts = vec![];
-        for a in 0..2 {
+        for &agg in &aggs {
             for _ in 0..2 {
                 let tor = b.add_switch();
                 tors.push(tor);
-                b.connect(tor, aggs[a], Rate::from_gbps(10), SimDuration::from_micros(25));
+                b.connect(tor, agg, Rate::from_gbps(10), SimDuration::from_micros(25));
                 for _ in 0..n {
                     let h = b.add_host();
                     hosts.push(h);
                     b.connect(h, tor, Rate::from_gbps(1), SimDuration::from_micros(25));
                 }
             }
-            b.connect(aggs[a], core, Rate::from_gbps(10), SimDuration::from_micros(25));
+            b.connect(agg, core, Rate::from_gbps(10), SimDuration::from_micros(25));
         }
         let net = b.build(Arc::new(NullFactory), &|_| Box::new(DropTailQdisc::new(16)));
         (net.topo, hosts, tors, aggs, core)

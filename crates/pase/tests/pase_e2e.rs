@@ -52,7 +52,11 @@ fn three_tier_sim(per_rack: usize, cfg: PaseConfig) -> (Simulation, Vec<NodeId>)
         let _ = a;
     }
     let net = b.build(Arc::new(PaseFactory::new(cfg)), &|spec| {
-        let k = if spec.rate.as_bps() >= 10_000_000_000 { 65 } else { 20 };
+        let k = if spec.rate.as_bps() >= 10_000_000_000 {
+            65
+        } else {
+            20
+        };
         Box::new(pase_qdisc(&cfg, 500, k))
     });
     let mut sim = Simulation::new(net);
@@ -64,7 +68,13 @@ fn three_tier_sim(per_rack: usize, cfg: PaseConfig) -> (Simulation, Vec<NodeId>)
 fn solo_intra_rack_flow_starts_at_reference_rate() {
     let (mut sim, hosts) = star_sim(2, cfg_intra());
     let size = 100_000u64;
-    sim.add_flow(FlowSpec::new(FlowId(0), hosts[0], hosts[1], size, SimTime::ZERO));
+    sim.add_flow(FlowSpec::new(
+        FlowId(0),
+        hosts[0],
+        hosts[1],
+        size,
+        SimTime::ZERO,
+    ));
     let outcome = sim.run(RunLimit::until_measured_done(SimTime::from_secs(2)));
     assert_eq!(outcome, RunOutcome::MeasuredComplete);
     let fct = sim.stats().flow(FlowId(0)).unwrap().fct().unwrap();
@@ -79,7 +89,13 @@ fn solo_intra_rack_flow_starts_at_reference_rate() {
 #[test]
 fn short_flow_preempts_long_via_priority_queues() {
     let (mut sim, hosts) = star_sim(3, cfg_intra());
-    sim.add_flow(FlowSpec::new(FlowId(0), hosts[0], hosts[2], 5_000_000, SimTime::ZERO));
+    sim.add_flow(FlowSpec::new(
+        FlowId(0),
+        hosts[0],
+        hosts[2],
+        5_000_000,
+        SimTime::ZERO,
+    ));
     sim.add_flow(FlowSpec::new(
         FlowId(1),
         hosts[1],
@@ -149,7 +165,13 @@ fn intra_rack_flows_do_not_use_the_network_control_plane() {
     // Paper §3.1.2: intra-rack arbitration is endpoint-only.
     let (mut sim, hosts) = three_tier_sim(3, PaseConfig::default());
     // Both endpoints in rack 0.
-    sim.add_flow(FlowSpec::new(FlowId(0), hosts[0], hosts[1], 200_000, SimTime::ZERO));
+    sim.add_flow(FlowSpec::new(
+        FlowId(0),
+        hosts[0],
+        hosts[1],
+        200_000,
+        SimTime::ZERO,
+    ));
     sim.run(RunLimit::until_measured_done(SimTime::from_secs(2)));
     // The only control packets are the receiver-leg request/response and
     // FlowDone between the two hosts (plus delegation heartbeats): no
@@ -276,7 +298,12 @@ fn deterministic_runs() {
 #[test]
 fn background_flows_ride_the_lowest_queue() {
     let (mut sim, hosts) = star_sim(3, cfg_intra());
-    sim.add_flow(FlowSpec::background(FlowId(0), hosts[0], hosts[2], SimTime::ZERO));
+    sim.add_flow(FlowSpec::background(
+        FlowId(0),
+        hosts[0],
+        hosts[2],
+        SimTime::ZERO,
+    ));
     sim.add_flow(FlowSpec::new(
         FlowId(1),
         hosts[1],
@@ -316,14 +343,18 @@ fn delegation_rebalances_toward_the_busy_rack() {
     let tor0 = sim.topo().host_tor(hosts[0]);
     let tor1 = sim.topo().host_tor(hosts[3]);
     let cap0 = {
-        let Node::Switch(sw) = sim.node_mut(tor0) else { panic!() };
+        let Node::Switch(sw) = sim.node_mut(tor0) else {
+            panic!()
+        };
         sw.plugin_as::<pase::PaseSwitchPlugin>()
             .unwrap()
             .deleg_up_capacity()
             .expect("tor0 has a delegated slice")
     };
     let cap1 = {
-        let Node::Switch(sw) = sim.node_mut(tor1) else { panic!() };
+        let Node::Switch(sw) = sim.node_mut(tor1) else {
+            panic!()
+        };
         sw.plugin_as::<pase::PaseSwitchPlugin>()
             .unwrap()
             .deleg_up_capacity()
@@ -348,8 +379,7 @@ fn task_aware_scheduling_serializes_tasks() {
         // Task 0 (older): big flows from hosts 0-1.
         for w in 0..2 {
             sim.add_flow(
-                FlowSpec::new(FlowId(id), hosts[w], hosts[4], 400_000, SimTime::ZERO)
-                    .with_task(0),
+                FlowSpec::new(FlowId(id), hosts[w], hosts[4], 400_000, SimTime::ZERO).with_task(0),
             );
             id += 1;
         }
@@ -411,10 +441,9 @@ fn tree_extraction_handles_multi_rooted_fabrics() {
         hosts.push(h);
     }
     let cfg = PaseConfig::default();
-    let net = b.build(
-        Arc::new(PaseFactory::new(cfg)),
-        &|_| Box::new(pase_qdisc(&cfg, 100, 20)),
-    );
+    let net = b.build(Arc::new(PaseFactory::new(cfg)), &|_| {
+        Box::new(pase_qdisc(&cfg, 100, 20))
+    });
     let tree = TreeInfo::from_topology(&net.topo);
     for &l in &leaves {
         assert_eq!(tree.level(l), Level::Tor);
@@ -424,5 +453,8 @@ fn tree_extraction_handles_multi_rooted_fabrics() {
     assert_eq!(tree.level(spines[0]), Level::Agg);
     assert_eq!(tree.level(spines[1]), Level::Agg);
     assert!(!tree.same_rack(hosts[0], hosts[1]));
-    assert!(tree.same_agg_subtree(hosts[0], hosts[1]), "one shared parent");
+    assert!(
+        tree.same_agg_subtree(hosts[0], hosts[1]),
+        "one shared parent"
+    );
 }

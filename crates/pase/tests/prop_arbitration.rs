@@ -1,9 +1,10 @@
-//! Property-based tests for Algorithm 1: the arbitration decisions must
-//! satisfy the paper's invariants for arbitrary flow populations.
-
-use proptest::prelude::*;
+//! Randomized tests for Algorithm 1: the arbitration decisions must
+//! satisfy the paper's invariants for arbitrary flow populations. Cases
+//! are generated from netsim's seeded [`Rng`] so the suite is
+//! deterministic and dependency-free.
 
 use netsim::ids::FlowId;
+use netsim::rng::Rng;
 use netsim::time::{Rate, SimTime};
 use pase::{FlowEntry, LinkArbitrator, PaseConfig};
 
@@ -17,24 +18,38 @@ fn entry(remaining: u64, demand_mbps: u64) -> FlowEntry {
     }
 }
 
-fn flows() -> impl Strategy<Value = Vec<(u64, u64)>> {
-    // (remaining, demand in Mbps); remaining values unique-ish via id mix.
-    prop::collection::vec((1u64..10_000_000, 1u64..1000), 1..40)
+/// 1..40 flows of (remaining bytes, demand Mbps).
+fn flows(rng: &mut Rng) -> Vec<(u64, u64)> {
+    let n = rng.gen_range_inclusive(1, 39) as usize;
+    (0..n)
+        .map(|_| {
+            (
+                rng.gen_range_inclusive(1, 9_999_999),
+                rng.gen_range_inclusive(1, 999),
+            )
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn cap_mbps(rng: &mut Rng) -> u64 {
+    rng.gen_range_inclusive(100, 9_999)
+}
 
-    /// Invariants over every decision:
-    /// * queue indices are valid;
-    /// * top-queue flows get a positive rate at most their demand;
-    /// * non-top flows get exactly the base rate;
-    /// * the aggregate reference rate of top-queue flows never exceeds
-    ///   the link capacity (admission control).
-    #[test]
-    fn algorithm1_invariants(flows in flows(), cap_mbps in 100u64..10_000) {
+const CASES: u64 = 128;
+
+/// Invariants over every decision:
+/// * queue indices are valid;
+/// * top-queue flows get a positive rate at most their demand;
+/// * non-top flows get exactly the base rate;
+/// * the aggregate reference rate of top-queue flows never exceeds the
+///   link capacity (admission control).
+#[test]
+fn algorithm1_invariants() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xa161 ^ seed);
+        let flows = flows(&mut rng);
         let cfg = PaseConfig::default();
-        let capacity = Rate::from_mbps(cap_mbps);
+        let capacity = Rate::from_mbps(cap_mbps(&mut rng));
         let mut arb = LinkArbitrator::new(capacity, &cfg);
         for (i, &(remaining, demand)) in flows.iter().enumerate() {
             arb.update(FlowId(i as u64), entry(remaining, demand));
@@ -42,29 +57,33 @@ proptest! {
         let mut top_rate_sum = 0u64;
         for (i, &(_, demand)) in flows.iter().enumerate() {
             let d = arb.decide(FlowId(i as u64));
-            prop_assert!(d.queue < cfg.n_queues);
+            assert!(d.queue < cfg.n_queues);
             if d.queue == 0 {
-                prop_assert!(!d.rate.is_zero());
-                prop_assert!(d.rate.as_bps() <= Rate::from_mbps(demand).as_bps());
+                assert!(!d.rate.is_zero());
+                assert!(d.rate.as_bps() <= Rate::from_mbps(demand).as_bps());
                 top_rate_sum += d.rate.as_bps();
             } else {
-                prop_assert_eq!(d.rate, cfg.base_rate());
+                assert_eq!(d.rate, cfg.base_rate());
             }
         }
-        prop_assert!(
+        assert!(
             top_rate_sum <= capacity.as_bps(),
             "top queue overcommitted: {} > {}",
             top_rate_sum,
             capacity.as_bps()
         );
     }
+}
 
-    /// SRPT monotonicity: if flow A has strictly smaller remaining size
-    /// than flow B, A's queue is never worse than B's.
-    #[test]
-    fn srpt_is_monotone(flows in flows(), cap_mbps in 100u64..10_000) {
+/// SRPT monotonicity: if flow A has strictly smaller remaining size than
+/// flow B, A's queue is never worse than B's.
+#[test]
+fn srpt_is_monotone() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x5291 ^ seed);
+        let flows = flows(&mut rng);
         let cfg = PaseConfig::default();
-        let mut arb = LinkArbitrator::new(Rate::from_mbps(cap_mbps), &cfg);
+        let mut arb = LinkArbitrator::new(Rate::from_mbps(cap_mbps(&mut rng)), &cfg);
         for (i, &(remaining, demand)) in flows.iter().enumerate() {
             arb.update(FlowId(i as u64), entry(remaining, demand));
         }
@@ -74,60 +93,77 @@ proptest! {
         for i in 0..flows.len() {
             for j in 0..flows.len() {
                 if flows[i].0 < flows[j].0 {
-                    prop_assert!(
+                    assert!(
                         decisions[i].queue <= decisions[j].queue,
                         "flow {} (rem {}) in q{} but flow {} (rem {}) in q{}",
-                        i, flows[i].0, decisions[i].queue,
-                        j, flows[j].0, decisions[j].queue
+                        i,
+                        flows[i].0,
+                        decisions[i].queue,
+                        j,
+                        flows[j].0,
+                        decisions[j].queue
                     );
                 }
             }
         }
     }
+}
 
-    /// Exactly the most-critical flow always lands in the top queue
-    /// (there is always spare capacity for it), and removing it promotes
-    /// someone else when demand persists.
-    #[test]
-    fn most_critical_flow_is_top(flows in flows(), cap_mbps in 100u64..10_000) {
+/// Exactly the most-critical flow always lands in the top queue (there is
+/// always spare capacity for it).
+#[test]
+fn most_critical_flow_is_top() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xc217 ^ seed);
+        let flows = flows(&mut rng);
         let cfg = PaseConfig::default();
-        let mut arb = LinkArbitrator::new(Rate::from_mbps(cap_mbps), &cfg);
+        let mut arb = LinkArbitrator::new(Rate::from_mbps(cap_mbps(&mut rng)), &cfg);
         for (i, &(remaining, demand)) in flows.iter().enumerate() {
             arb.update(FlowId(i as u64), entry(remaining, demand));
         }
         // The flow with the smallest (remaining, id) key.
-        let best = (0..flows.len())
-            .min_by_key(|&i| (flows[i].0, i))
-            .unwrap();
-        prop_assert_eq!(arb.decide(FlowId(best as u64)).queue, 0);
+        let best = (0..flows.len()).min_by_key(|&i| (flows[i].0, i)).unwrap();
+        assert_eq!(arb.decide(FlowId(best as u64)).queue, 0);
     }
+}
 
-    /// Decisions are insensitive to update order (the sorted list is a
-    /// function of the set, not the insertion sequence).
-    #[test]
-    fn order_independent(mut flows in flows(), cap_mbps in 100u64..10_000) {
+/// Decisions are insensitive to update order (the sorted list is a
+/// function of the set, not the insertion sequence).
+#[test]
+fn order_independent() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x02de ^ seed);
+        let flows = flows(&mut rng);
+        let cap = cap_mbps(&mut rng);
         let cfg = PaseConfig::default();
-        let mut a = LinkArbitrator::new(Rate::from_mbps(cap_mbps), &cfg);
+        let mut a = LinkArbitrator::new(Rate::from_mbps(cap), &cfg);
         for (i, &(remaining, demand)) in flows.iter().enumerate() {
             a.update(FlowId(i as u64), entry(remaining, demand));
         }
-        let forward: Vec<_> = (0..flows.len()).map(|i| a.decide(FlowId(i as u64))).collect();
+        let forward: Vec<_> = (0..flows.len())
+            .map(|i| a.decide(FlowId(i as u64)))
+            .collect();
 
-        let mut b = LinkArbitrator::new(Rate::from_mbps(cap_mbps), &cfg);
-        let indexed: Vec<(usize, (u64, u64))> = flows.drain(..).enumerate().collect();
-        for &(i, (remaining, demand)) in indexed.iter().rev() {
+        let mut b = LinkArbitrator::new(Rate::from_mbps(cap), &cfg);
+        for (i, &(remaining, demand)) in flows.iter().enumerate().rev() {
             b.update(FlowId(i as u64), entry(remaining, demand));
         }
-        let backward: Vec<_> = (0..indexed.len()).map(|i| b.decide(FlowId(i as u64))).collect();
-        prop_assert_eq!(forward, backward);
+        let backward: Vec<_> = (0..flows.len())
+            .map(|i| b.decide(FlowId(i as u64)))
+            .collect();
+        assert_eq!(forward, backward);
     }
+}
 
-    /// top_queue_demand is capped by capacity and covers the whole demand
-    /// when the link is underloaded.
-    #[test]
-    fn top_queue_demand_bounds(flows in flows(), cap_mbps in 100u64..10_000) {
+/// top_queue_demand is capped by capacity and covers the whole demand
+/// when the link is underloaded.
+#[test]
+fn top_queue_demand_bounds() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x70b5 ^ seed);
+        let flows = flows(&mut rng);
         let cfg = PaseConfig::default();
-        let capacity = Rate::from_mbps(cap_mbps);
+        let capacity = Rate::from_mbps(cap_mbps(&mut rng));
         let mut arb = LinkArbitrator::new(capacity, &cfg);
         let mut total = 0u64;
         for (i, &(remaining, demand)) in flows.iter().enumerate() {
@@ -135,9 +171,12 @@ proptest! {
             total += Rate::from_mbps(demand).as_bps();
         }
         let top = arb.top_queue_demand().as_bps();
-        prop_assert!(top <= capacity.as_bps());
+        assert!(top <= capacity.as_bps());
         if total <= capacity.as_bps() {
-            prop_assert_eq!(top, total, "underloaded link should carry all demand on top");
+            assert_eq!(
+                top, total,
+                "underloaded link should carry all demand on top"
+            );
         }
     }
 }

@@ -1,6 +1,7 @@
 //! Robustness and white-box tests for the PASE endpoint:
 //! Algorithm 2's window state, the reorder guard observed on the wire,
-//! and tolerance to control-plane packet loss.
+//! tolerance to control-plane packet loss, and recovery from injected
+//! arbitrator crashes (watchdog fallback + re-attach).
 
 use std::sync::Arc;
 
@@ -8,8 +9,8 @@ use netsim::node::Node;
 use netsim::packet::PacketKind;
 use netsim::prelude::*;
 use netsim::queue::LossyQdisc;
-use netsim::trace::{TraceEvent, TraceSink};
-use pase::{install, pase_qdisc, PaseConfig, PaseFactory, PaseSender};
+use netsim::trace::{TextTracer, TraceEvent, TraceSink};
+use pase::{install, pase_qdisc, PaseConfig, PaseFactory, PaseSender, PaseSwitchPlugin};
 
 fn cfg() -> PaseConfig {
     PaseConfig {
@@ -44,9 +45,27 @@ fn algorithm2_window_states_white_box() {
     // reference-rate window; the others in lower queues with cwnd ~1.
     let cfg = cfg();
     let (mut sim, hosts) = star_sim_with(4, cfg, &|_| Box::new(pase_qdisc(&cfg, 250, 20)));
-    sim.add_flow(FlowSpec::new(FlowId(0), hosts[0], hosts[3], 2_000_000, SimTime::ZERO));
-    sim.add_flow(FlowSpec::new(FlowId(1), hosts[1], hosts[3], 1_200_000, SimTime::ZERO));
-    sim.add_flow(FlowSpec::new(FlowId(2), hosts[2], hosts[3], 100_000, SimTime::ZERO));
+    sim.add_flow(FlowSpec::new(
+        FlowId(0),
+        hosts[0],
+        hosts[3],
+        2_000_000,
+        SimTime::ZERO,
+    ));
+    sim.add_flow(FlowSpec::new(
+        FlowId(1),
+        hosts[1],
+        hosts[3],
+        1_200_000,
+        SimTime::ZERO,
+    ));
+    sim.add_flow(FlowSpec::new(
+        FlowId(2),
+        hosts[2],
+        hosts[3],
+        100_000,
+        SimTime::ZERO,
+    ));
     // Run long enough for a couple of arbitration rounds but not to
     // completion (~1 ms).
     sim.run(RunLimit {
@@ -56,7 +75,9 @@ fn algorithm2_window_states_white_box() {
     });
     // Inspect the live senders.
     let q_of = |sim: &mut Simulation, host: NodeId, flow: u64| {
-        let Node::Host(h) = sim.node_mut(host) else { panic!() };
+        let Node::Host(h) = sim.node_mut(host) else {
+            panic!()
+        };
         let s = h
             .agent_as::<PaseSender>(FlowId(flow))
             .expect("sender still live");
@@ -138,7 +159,11 @@ fn queue_promotions_do_not_reorder_data_on_the_wire() {
     let outcome = sim.run(RunLimit::until_measured_done(SimTime::from_secs(10)));
     assert_eq!(outcome, RunOutcome::MeasuredComplete);
     // Precondition for the invariant: nothing was lost or retransmitted.
-    assert_eq!(sim.stats().data_pkts_dropped, 0, "test needs a lossless run");
+    assert_eq!(
+        sim.stats().data_pkts_dropped,
+        0,
+        "test needs a lossless run"
+    );
     let rtx: u64 = sim.stats().flows().map(|r| r.retransmitted_bytes).sum();
     assert_eq!(rtx, 0, "test needs a retransmission-free run");
     assert_eq!(
@@ -187,6 +212,214 @@ fn control_plane_loss_does_not_stall_flows() {
         RunOutcome::MeasuredComplete,
         "flows must survive control-plane loss"
     );
+}
+
+/// Scaled-down 3-tier fabric (4 racks × `per_rack` hosts, 2 aggs, 1
+/// core): the smallest topology where switch-resident arbitrators carry
+/// real state, so crashing them means something.
+fn three_tier_sim(per_rack: usize, cfg: PaseConfig) -> (Simulation, Vec<NodeId>) {
+    let mut b = TopologyBuilder::new();
+    let core = b.add_switch();
+    let mut hosts = vec![];
+    for _ in 0..2 {
+        let agg = b.add_switch();
+        b.connect(agg, core, Rate::from_gbps(10), SimDuration::from_micros(25));
+        for _ in 0..2 {
+            let tor = b.add_switch();
+            b.connect(tor, agg, Rate::from_gbps(10), SimDuration::from_micros(25));
+            for _ in 0..per_rack {
+                let h = b.add_host();
+                b.connect(h, tor, Rate::from_gbps(1), SimDuration::from_micros(25));
+                hosts.push(h);
+            }
+        }
+    }
+    let net = b.build(Arc::new(PaseFactory::new(cfg)), &|spec| {
+        let k = if spec.rate.as_bps() >= 10_000_000_000 {
+            65
+        } else {
+            20
+        };
+        Box::new(pase_qdisc(&cfg, 500, k))
+    });
+    let mut sim = Simulation::new(net);
+    install(&mut sim, cfg);
+    (sim, hosts)
+}
+
+/// A plan that crashes (or restarts) every switch arbitrator at `at`.
+fn all_switches(sim: &Simulation, at: SimTime, restart: bool) -> FaultPlan {
+    let mut plan = FaultPlan::new();
+    for sw in sim.topo().switches() {
+        plan = if restart {
+            plan.arbitrator_restart(at, sw)
+        } else {
+            plan.arbitrator_crash(at, sw)
+        };
+    }
+    plan
+}
+
+fn until(ms: u64) -> RunLimit {
+    RunLimit {
+        max_time: Some(SimTime::from_millis(ms)),
+        max_events: None,
+        stop_when_measured_done: false,
+    }
+}
+
+fn sender_state(sim: &mut Simulation, host: NodeId, flow: u64) -> (bool, u8, Rate) {
+    let Node::Host(h) = sim.node_mut(host) else {
+        panic!()
+    };
+    let s = h
+        .agent_as::<PaseSender>(FlowId(flow))
+        .expect("sender still live");
+    (s.in_fallback(), s.queue(), s.rref())
+}
+
+#[test]
+fn arbitrator_crash_without_restart_completes_via_fallback() {
+    // Every switch arbitrator dies at 1 ms and never comes back. Senders
+    // stop hearing responses, trip the watchdog, degrade to
+    // self-adjusting mode — and every flow still finishes.
+    let cfg = cfg();
+    let (mut sim, hosts) = three_tier_sim(2, cfg);
+    // Cross-core flow (needs ToR + delegated arbitration) plus two
+    // same-subtree flows.
+    sim.add_flow(FlowSpec::new(
+        FlowId(0),
+        hosts[0],
+        hosts[7],
+        2_000_000,
+        SimTime::ZERO,
+    ));
+    sim.add_flow(FlowSpec::new(
+        FlowId(1),
+        hosts[1],
+        hosts[3],
+        150_000,
+        SimTime::ZERO,
+    ));
+    sim.add_flow(FlowSpec::new(
+        FlowId(2),
+        hosts[2],
+        hosts[6],
+        150_000,
+        SimTime::from_micros(500),
+    ));
+    let plan = all_switches(&sim, SimTime::from_millis(1), false);
+    sim.inject_faults(&plan);
+
+    // Mid-run: the long cross-core flow must have degraded.
+    sim.run(until(4));
+    let (fb, q, _) = sender_state(&mut sim, hosts[0], 0);
+    assert!(fb, "watchdog must trip after k silent refresh rounds");
+    assert_eq!(q, cfg.lowest_queue(), "fallback rides the lowest queue");
+    let tor = sim.topo().host_tor(hosts[0]);
+    let Node::Switch(sw) = sim.node_mut(tor) else {
+        panic!()
+    };
+    assert!(sw.plugin_as::<PaseSwitchPlugin>().unwrap().is_crashed());
+
+    // And still: everything completes with no control plane at all.
+    let outcome = sim.run(RunLimit::until_measured_done(SimTime::from_secs(30)));
+    assert_eq!(
+        outcome,
+        RunOutcome::MeasuredComplete,
+        "flows must complete on pure self-adjustment"
+    );
+}
+
+#[test]
+fn arbitrator_restart_re_attaches_endpoints() {
+    // Crash at 1 ms, restart at 2 ms (past `arb_expiry`, so all soft
+    // state is long gone). The solo sender must fall back during the
+    // outage, then re-attach to a top-queue/reference-rate assignment
+    // rebuilt purely from its own refresh requests.
+    let cfg = cfg();
+    let (mut sim, hosts) = three_tier_sim(2, cfg);
+    sim.add_flow(FlowSpec::new(
+        FlowId(0),
+        hosts[0],
+        hosts[7],
+        4_000_000,
+        SimTime::ZERO,
+    ));
+    let crash = all_switches(&sim, SimTime::from_millis(1), false);
+    let restart = all_switches(&sim, SimTime::from_millis(2), true);
+    sim.inject_faults(&crash);
+    sim.inject_faults(&restart);
+
+    // During the outage: fallback.
+    sim.run(until(2));
+    let (fb, q, _) = sender_state(&mut sim, hosts[0], 0);
+    assert!(fb, "sender must degrade during the outage");
+    assert_eq!(q, cfg.lowest_queue());
+
+    // Well after the restart: re-attached. The solo flow owns every link
+    // on its path again, so arbitration puts it back in the top queue
+    // with a reference rate far above the fallback base rate.
+    sim.run(until(15));
+    let (fb, q, rref) = sender_state(&mut sim, hosts[0], 0);
+    assert!(!fb, "responses resumed: fallback must end");
+    assert_eq!(q, 0, "solo flow re-attaches to the top queue");
+    assert!(
+        rref.as_bps() > 2 * cfg.base_rate().as_bps(),
+        "reference rate must be re-established, got {rref}"
+    );
+    // The restarted ToR re-learned the flow from refreshes alone.
+    let tor = sim.topo().host_tor(hosts[0]);
+    let Node::Switch(sw) = sim.node_mut(tor) else {
+        panic!()
+    };
+    let plugin = sw.plugin_as::<PaseSwitchPlugin>().unwrap();
+    assert!(!plugin.is_crashed());
+    assert!(
+        plugin.up_flows() >= 1,
+        "soft state must rebuild from refreshes"
+    );
+
+    let outcome = sim.run(RunLimit::until_measured_done(SimTime::from_secs(30)));
+    assert_eq!(outcome, RunOutcome::MeasuredComplete);
+}
+
+#[test]
+fn identical_fault_plans_give_byte_identical_traces() {
+    // Determinism under faults: two runs with the same flows and the same
+    // fault plan must produce byte-identical trace output.
+    let run = || {
+        let cfg = cfg();
+        let (mut sim, hosts) = three_tier_sim(2, cfg);
+        let tracer = TextTracer::new();
+        let buf = tracer.buffer();
+        sim.set_tracer(Box::new(tracer));
+        for i in 0..6u64 {
+            sim.add_flow(FlowSpec::new(
+                FlowId(i),
+                hosts[(i % 4) as usize],
+                hosts[4 + (i % 4) as usize],
+                60_000 + i * 20_000,
+                SimTime::from_micros(i * 130),
+            ));
+        }
+        let tor0 = sim.topo().host_tor(hosts[0]);
+        let agg = sim.topo().switches()[1];
+        let plan = FaultPlan::new()
+            .arbitrator_crash(SimTime::from_micros(800), tor0)
+            .arbitrator_restart(SimTime::from_millis(3), tor0)
+            .ctrl_loss_burst(SimTime::from_micros(900), tor0, agg, 3)
+            .link_down(SimTime::from_millis(1), hosts[1], tor0)
+            .link_up(SimTime::from_millis(2), hosts[1], tor0);
+        sim.inject_faults(&plan);
+        sim.run(until(40));
+        let out = buf.lock().unwrap().clone();
+        out
+    };
+    let a = run();
+    let b = run();
+    assert!(a.contains("FLT"), "fault events must appear in the trace");
+    assert_eq!(a, b, "same seed + same fault plan must replay identically");
 }
 
 #[test]

@@ -137,7 +137,13 @@ impl PdqSender {
             .cfg
             .mss
             .min((self.spec.size - self.snd_nxt).min(u32::MAX as u64) as u32);
-        let mut pkt = Packet::data(self.spec.id, self.spec.src, self.spec.dst, self.snd_nxt, len);
+        let mut pkt = Packet::data(
+            self.spec.id,
+            self.spec.src,
+            self.spec.dst,
+            self.snd_nxt,
+            len,
+        );
         pkt.proto = Some(Box::new(self.header(ctx)));
         pkt.ecn_capable = false;
         let wire = pkt.wire_bytes as u64;
@@ -311,9 +317,19 @@ impl FlowAgent for PdqReceiver {
             return; // nothing to acknowledge on termination
         }
         let mut ack = if is_probe {
-            Packet::probe_ack(self.hint.flow, self.hint.dst, self.hint.src, self.tracker.cum_ack())
+            Packet::probe_ack(
+                self.hint.flow,
+                self.hint.dst,
+                self.hint.src,
+                self.tracker.cum_ack(),
+            )
         } else {
-            Packet::ack(self.hint.flow, self.hint.dst, self.hint.src, self.tracker.cum_ack())
+            Packet::ack(
+                self.hint.flow,
+                self.hint.dst,
+                self.hint.src,
+                self.tracker.cum_ack(),
+            )
         };
         ack.ts_echo = Some(pkt.ts);
         ack.sack = Some(pkt.seq);

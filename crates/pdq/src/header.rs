@@ -35,7 +35,12 @@ pub struct PdqHeader {
 impl PdqHeader {
     /// A fresh header requesting `demand` for a flow with `remaining`
     /// bytes left.
-    pub fn request(demand: Rate, remaining: u64, deadline: Option<SimTime>, rtt: SimDuration) -> Self {
+    pub fn request(
+        demand: Rate,
+        remaining: u64,
+        deadline: Option<SimTime>,
+        rtt: SimDuration,
+    ) -> Self {
         PdqHeader {
             rate: demand,
             paused: false,
@@ -79,7 +84,12 @@ mod tests {
 
     #[test]
     fn grants_take_the_minimum_along_the_path() {
-        let mut h = PdqHeader::request(Rate::from_gbps(1), 100_000, None, SimDuration::from_micros(300));
+        let mut h = PdqHeader::request(
+            Rate::from_gbps(1),
+            100_000,
+            None,
+            SimDuration::from_micros(300),
+        );
         h.grant(Rate::from_mbps(600), NodeId(10));
         assert_eq!(h.rate, Rate::from_mbps(600));
         assert!(!h.paused);
@@ -89,7 +99,12 @@ mod tests {
 
     #[test]
     fn pause_dominates_and_records_first_pauser() {
-        let mut h = PdqHeader::request(Rate::from_gbps(1), 100_000, None, SimDuration::from_micros(300));
+        let mut h = PdqHeader::request(
+            Rate::from_gbps(1),
+            100_000,
+            None,
+            SimDuration::from_micros(300),
+        );
         h.grant(Rate::ZERO, NodeId(5));
         assert!(h.paused);
         assert_eq!(h.pauser, Some(NodeId(5)));

@@ -65,9 +65,7 @@ pub fn install_switch_plugins(sim: &mut Simulation, cfg: PdqConfig) {
             .topo()
             .neighbors(sw)
             .into_iter()
-            .filter(|&(_, peer, _, _)| {
-                sim.topo().kind(peer) == netsim::topology::NodeKind::Host
-            })
+            .filter(|&(_, peer, _, _)| sim.topo().kind(peer) == netsim::topology::NodeKind::Host)
             .map(|(_, peer, rate, _)| (peer, rate))
             .collect();
         if let Node::Switch(s) = sim.node_mut(sw) {

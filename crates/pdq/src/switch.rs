@@ -95,10 +95,7 @@ impl PdqSwitchPlugin {
 
     /// Create a plugin that also arbitrates the uplinks of the given
     /// directly attached hosts.
-    pub fn with_attached_hosts(
-        cfg: PdqConfig,
-        hosts: HashMap<NodeId, netsim::time::Rate>,
-    ) -> Self {
+    pub fn with_attached_hosts(cfg: PdqConfig, hosts: HashMap<NodeId, netsim::time::Rate>) -> Self {
         PdqSwitchPlugin {
             cfg,
             links: HashMap::new(),
@@ -260,15 +257,18 @@ mod tests {
 
     #[test]
     fn most_critical_flow_gets_full_budget() {
-        let p = plugin_with_flows(vec![
-            (1, info(1000, 10_000, 0)),
-            (2, info(1000, 50_000, 0)),
-        ]);
+        let p = plugin_with_flows(vec![(1, info(1000, 10_000, 0)), (2, info(1000, 50_000, 0))]);
         let budget = Rate::from_mbps(950);
         // Flow 1 (smaller remaining) gets everything it asks for (capped).
-        assert_eq!(p.allocate(LinkKey::Port(PortId(0)), FlowId(1), budget), budget);
+        assert_eq!(
+            p.allocate(LinkKey::Port(PortId(0)), FlowId(1), budget),
+            budget
+        );
         // Flow 2 is paused: flow 1's demand covers the budget.
-        assert_eq!(p.allocate(LinkKey::Port(PortId(0)), FlowId(2), budget), Rate::ZERO);
+        assert_eq!(
+            p.allocate(LinkKey::Port(PortId(0)), FlowId(2), budget),
+            Rate::ZERO
+        );
     }
 
     #[test]
@@ -292,8 +292,14 @@ mod tests {
         let budget = Rate::from_mbps(950);
         // Flow 2 has a deadline: it is more critical than the tiny
         // non-deadline flow 1.
-        assert_eq!(p.allocate(LinkKey::Port(PortId(0)), FlowId(2), budget), budget);
-        assert_eq!(p.allocate(LinkKey::Port(PortId(0)), FlowId(1), budget), Rate::ZERO);
+        assert_eq!(
+            p.allocate(LinkKey::Port(PortId(0)), FlowId(2), budget),
+            budget
+        );
+        assert_eq!(
+            p.allocate(LinkKey::Port(PortId(0)), FlowId(1), budget),
+            Rate::ZERO
+        );
     }
 
     #[test]
@@ -305,7 +311,10 @@ mod tests {
             (2, info(950, 500_000, 0)),
         ]);
         let budget = Rate::from_mbps(950);
-        assert_eq!(p.allocate(LinkKey::Port(PortId(0)), FlowId(2), budget), budget);
+        assert_eq!(
+            p.allocate(LinkKey::Port(PortId(0)), FlowId(2), budget),
+            budget
+        );
     }
 
     #[test]
@@ -316,6 +325,9 @@ mod tests {
             (2, info(950, 500_000, 0)),
         ]);
         let budget = Rate::from_mbps(950);
-        assert_eq!(p.allocate(LinkKey::Port(PortId(0)), FlowId(2), budget), Rate::ZERO);
+        assert_eq!(
+            p.allocate(LinkKey::Port(PortId(0)), FlowId(2), budget),
+            Rate::ZERO
+        );
     }
 }

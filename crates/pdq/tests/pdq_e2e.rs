@@ -34,7 +34,13 @@ fn cfg() -> PdqConfig {
 fn single_flow_pays_one_rtt_setup_then_runs_at_line_rate() {
     let (mut sim, hosts) = star_sim(2, cfg());
     let size = 950_000u64; // ~8 ms at 0.95 Gbps
-    sim.add_flow(FlowSpec::new(FlowId(0), hosts[0], hosts[1], size, SimTime::ZERO));
+    sim.add_flow(FlowSpec::new(
+        FlowId(0),
+        hosts[0],
+        hosts[1],
+        size,
+        SimTime::ZERO,
+    ));
     let outcome = sim.run(RunLimit::until_measured_done(SimTime::from_secs(5)));
     assert_eq!(outcome, RunOutcome::MeasuredComplete);
     let fct = sim.stats().flow(FlowId(0)).unwrap().fct().unwrap();
@@ -49,7 +55,13 @@ fn single_flow_pays_one_rtt_setup_then_runs_at_line_rate() {
 fn sjf_preempts_the_long_flow() {
     let (mut sim, hosts) = star_sim(3, cfg());
     // Long flow to host2; short flow arrives later from another sender.
-    sim.add_flow(FlowSpec::new(FlowId(0), hosts[0], hosts[2], 4_000_000, SimTime::ZERO));
+    sim.add_flow(FlowSpec::new(
+        FlowId(0),
+        hosts[0],
+        hosts[2],
+        4_000_000,
+        SimTime::ZERO,
+    ));
     sim.add_flow(FlowSpec::new(
         FlowId(1),
         hosts[1],
@@ -73,8 +85,20 @@ fn sjf_preempts_the_long_flow() {
 #[test]
 fn paused_flows_probe_with_suppression() {
     let (mut sim, hosts) = star_sim(3, cfg());
-    sim.add_flow(FlowSpec::new(FlowId(0), hosts[0], hosts[2], 2_000_000, SimTime::ZERO));
-    sim.add_flow(FlowSpec::new(FlowId(1), hosts[1], hosts[2], 2_500_000, SimTime::ZERO));
+    sim.add_flow(FlowSpec::new(
+        FlowId(0),
+        hosts[0],
+        hosts[2],
+        2_000_000,
+        SimTime::ZERO,
+    ));
+    sim.add_flow(FlowSpec::new(
+        FlowId(1),
+        hosts[1],
+        hosts[2],
+        2_500_000,
+        SimTime::ZERO,
+    ));
     sim.run(RunLimit::until_measured_done(SimTime::from_secs(10)));
     // Flow 1 was paused for most of flow 0's lifetime (~17 ms): with 1-RTT
     // probing and exponential suppression up to 8 RTTs, it sends a bounded
@@ -82,7 +106,10 @@ fn paused_flows_probe_with_suppression() {
     // (~170 at RTT=0.1 ms).
     let probes = sim.stats().flow(FlowId(1)).unwrap().probes_sent;
     assert!(probes >= 3, "expected multiple probes, saw {probes}");
-    assert!(probes < 80, "suppressed probing should bound probes, saw {probes}");
+    assert!(
+        probes < 80,
+        "suppressed probing should bound probes, saw {probes}"
+    );
 }
 
 #[test]
@@ -157,8 +184,20 @@ fn term_releases_switch_state() {
     use netsim::node::Node;
     use pdq::PdqSwitchPlugin;
     let (mut sim, hosts) = star_sim(3, cfg());
-    sim.add_flow(FlowSpec::new(FlowId(0), hosts[0], hosts[2], 300_000, SimTime::ZERO));
-    sim.add_flow(FlowSpec::new(FlowId(1), hosts[1], hosts[2], 200_000, SimTime::ZERO));
+    sim.add_flow(FlowSpec::new(
+        FlowId(0),
+        hosts[0],
+        hosts[2],
+        300_000,
+        SimTime::ZERO,
+    ));
+    sim.add_flow(FlowSpec::new(
+        FlowId(1),
+        hosts[1],
+        hosts[2],
+        200_000,
+        SimTime::ZERO,
+    ));
     let outcome = sim.run(RunLimit::until_measured_done(SimTime::from_secs(10)));
     assert_eq!(outcome, RunOutcome::MeasuredComplete);
     // The run stops the instant the last ack lands; drain the in-flight
@@ -166,7 +205,9 @@ fn term_releases_switch_state() {
     assert_eq!(sim.run(RunLimit::default()), RunOutcome::Drained);
     // After both TERMs, the arbiter for the contested downlink holds no
     // flow state (GC would eventually clear it, but TERM is immediate).
-    let Node::Switch(sw) = sim.node_mut(NodeId(0)) else { panic!() };
+    let Node::Switch(sw) = sim.node_mut(NodeId(0)) else {
+        panic!()
+    };
     let down_port = sw
         .ports()
         .iter()

@@ -92,7 +92,9 @@ impl PFabricSender {
 
     fn seg_len(&self, seq: u64) -> u32 {
         debug_assert!(seq < self.spec.size);
-        self.cfg.mss.min((self.spec.size - seq).min(u32::MAX as u64) as u32)
+        self.cfg
+            .mss
+            .min((self.spec.size - seq).min(u32::MAX as u64) as u32)
     }
 
     fn all_acked(&self) -> bool {
@@ -106,13 +108,13 @@ impl PFabricSender {
         }
         if let Some(sacked) = pkt.sack {
             if sacked < self.spec.size {
-                self.acked.on_range(sacked, sacked + self.seg_len(sacked) as u64);
+                self.acked
+                    .on_range(sacked, sacked + self.seg_len(sacked) as u64);
             }
         }
         // Anything now acknowledged is no longer in flight.
         let acked = &self.acked;
-        self.inflight
-            .retain(|&seq| !acked.contains(seq, seq + 1));
+        self.inflight.retain(|&seq| !acked.contains(seq, seq + 1));
         self.consecutive_timeouts = 0;
         self.probe_mode = false;
     }

@@ -34,7 +34,13 @@ fn cfg_1g() -> PFabricConfig {
 fn single_flow_completes_at_line_rate() {
     let (mut sim, hosts, _) = star_sim(2, 76, cfg_1g());
     let size = 146_000; // 100 segments
-    sim.add_flow(FlowSpec::new(FlowId(0), hosts[0], hosts[1], size, SimTime::ZERO));
+    sim.add_flow(FlowSpec::new(
+        FlowId(0),
+        hosts[0],
+        hosts[1],
+        size,
+        SimTime::ZERO,
+    ));
     let outcome = sim.run(RunLimit::until_measured_done(SimTime::from_secs(2)));
     assert_eq!(outcome, RunOutcome::MeasuredComplete);
     let fct = sim.stats().flow(FlowId(0)).unwrap().fct().unwrap();
@@ -47,7 +53,13 @@ fn single_flow_completes_at_line_rate() {
 fn short_flow_preempts_long_flow() {
     let (mut sim, hosts, _) = star_sim(3, 76, cfg_1g());
     // Long flow occupies the downlink to host 2; a short flow arrives mid-way.
-    sim.add_flow(FlowSpec::new(FlowId(0), hosts[0], hosts[2], 5_000_000, SimTime::ZERO));
+    sim.add_flow(FlowSpec::new(
+        FlowId(0),
+        hosts[0],
+        hosts[2],
+        5_000_000,
+        SimTime::ZERO,
+    ));
     sim.add_flow(FlowSpec::new(
         FlowId(1),
         hosts[1],
@@ -97,7 +109,9 @@ fn figure3_toy_local_prioritization_wastes_capacity() {
         "flow 3 should be stalled well past ideal {ideal}, took {f3}"
     );
     // The drops concentrate on dst1's downlink (port toward dst1).
-    let Node::Switch(swn) = sim.node(sw) else { panic!() };
+    let Node::Switch(swn) = sim.node(sw) else {
+        panic!()
+    };
     let drops_to_dst1 = swn
         .ports()
         .iter()
@@ -147,7 +161,13 @@ fn probe_mode_recovers_a_starved_flow() {
     // Big high-priority (small-size-remaining wins; give the blocker many
     // small flows back to back) — simplest: one huge low-priority flow vs a
     // stream of small ones to the same destination.
-    sim.add_flow(FlowSpec::new(FlowId(0), hosts[0], hosts[2], 400_000, SimTime::ZERO));
+    sim.add_flow(FlowSpec::new(
+        FlowId(0),
+        hosts[0],
+        hosts[2],
+        400_000,
+        SimTime::ZERO,
+    ));
     for i in 0..40u64 {
         sim.add_flow(FlowSpec::new(
             FlowId(1 + i),

@@ -158,10 +158,7 @@ impl FamilySender {
         }
 
         // ECE-driven multiplicative decrease, at most once per window.
-        if ece
-            && self.flavor != Flavor::Reno
-            && self.engine.acked() >= self.next_decrease_at
-        {
+        if ece && self.flavor != Flavor::Reno && self.engine.acked() >= self.next_decrease_at {
             let p = match self.flavor {
                 Flavor::Reno => unreachable!(),
                 Flavor::Dctcp => self.alpha / 2.0,
@@ -302,7 +299,7 @@ mod tests {
         // Past the deadline: back to neutral (no stealing from meetable
         // flows).
         let d_past = s.d2tcp_d(SimTime::from_millis(10));
-        assert!(d_early >= 0.5 && d_early <= 2.0);
+        assert!((0.5..=2.0).contains(&d_early));
         assert_eq!(d_near, 2.0);
         assert_eq!(d_past, 1.0);
     }

@@ -29,6 +29,6 @@ pub use dctcp_family::{FamilySender, Flavor};
 pub use factory::FamilyFactory;
 pub use params::FamilyConfig;
 pub use receiver::{ReceiverConfig, SimpleReceiver};
-pub use rtt::RttEstimator;
+pub use rtt::{RttEstimator, DEFAULT_BACKOFF_CAP};
 pub use tracker::ByteTracker;
 pub use tx::{AckKind, LossEvent, TxEngine};

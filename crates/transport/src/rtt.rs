@@ -15,7 +15,15 @@ pub struct RttEstimator {
     max_rto: SimDuration,
     /// Current backoff multiplier (power of two).
     backoff: u32,
+    /// Ceiling on the backoff exponent. Consecutive timeouts never push
+    /// the RTO multiplier beyond `2^backoff_cap` (the `max_rto` clamp
+    /// still applies on top).
+    backoff_cap: u32,
 }
+
+/// Default ceiling on the RTO backoff exponent (a 65536× multiplier — in
+/// practice `max_rto` clamps long before this is reached).
+pub const DEFAULT_BACKOFF_CAP: u32 = 16;
 
 impl RttEstimator {
     /// Create an estimator with the given RTO clamp.
@@ -27,7 +35,23 @@ impl RttEstimator {
             min_rto,
             max_rto,
             backoff: 0,
+            backoff_cap: DEFAULT_BACKOFF_CAP,
         }
+    }
+
+    /// Builder-style override of the backoff-exponent ceiling. Transports
+    /// that must stay responsive across long outages (e.g. a link that
+    /// comes back after seconds of blackout) cap the exponent low so the
+    /// first retransmission after recovery is not minutes away.
+    pub fn with_backoff_cap(mut self, cap: u32) -> Self {
+        self.backoff_cap = cap.min(DEFAULT_BACKOFF_CAP);
+        self.backoff = self.backoff.min(self.backoff_cap);
+        self
+    }
+
+    /// The current backoff-exponent ceiling.
+    pub fn backoff_cap(&self) -> u32 {
+        self.backoff_cap
     }
 
     /// Incorporate a new RTT sample (resets any timeout backoff).
@@ -39,7 +63,11 @@ impl RttEstimator {
             }
             Some(srtt) => {
                 // RTTVAR = 3/4 RTTVAR + 1/4 |SRTT - sample|
-                let err = if sample > srtt { sample - srtt } else { srtt - sample };
+                let err = if sample > srtt {
+                    sample - srtt
+                } else {
+                    srtt - sample
+                };
                 self.rttvar = self.rttvar.mul_f64(0.75) + err.mul_f64(0.25);
                 // SRTT = 7/8 SRTT + 1/8 sample
                 self.srtt = Some(srtt.mul_f64(0.875) + sample.mul_f64(0.125));
@@ -59,7 +87,7 @@ impl RttEstimator {
             None => self.min_rto,
             Some(srtt) => srtt + self.rttvar.saturating_mul(4),
         };
-        let backed_off = base.saturating_mul(1u64 << self.backoff.min(16));
+        let backed_off = base.saturating_mul(1u64 << self.backoff.min(self.backoff_cap));
         backed_off.max(self.min_rto).min(self.max_rto)
     }
 
@@ -67,7 +95,7 @@ impl RttEstimator {
     /// retransmitted segments are not taken, and backoff persists until a
     /// fresh sample arrives).
     pub fn on_timeout(&mut self) {
-        self.backoff = (self.backoff + 1).min(16);
+        self.backoff = (self.backoff + 1).min(self.backoff_cap);
     }
 
     /// Current backoff exponent (0 when no outstanding timeouts).
@@ -142,6 +170,31 @@ mod tests {
             r.on_timeout();
         }
         assert_eq!(r.rto(), us(1000));
+    }
+
+    #[test]
+    fn backoff_cap_bounds_the_multiplier() {
+        let mut r = RttEstimator::new(us(100), SimDuration::from_secs(100)).with_backoff_cap(3);
+        assert_eq!(r.backoff_cap(), 3);
+        r.on_sample(us(200)); // RTO = 200 + 4*100 = 600
+        let base = r.rto();
+        for _ in 0..10 {
+            r.on_timeout();
+        }
+        // The exponent saturates at the cap: 600us * 2^3.
+        assert_eq!(r.backoff(), 3);
+        assert_eq!(r.rto(), base.saturating_mul(8));
+        // A fresh sample still resets the backoff entirely (the smoothed
+        // estimate shifts, so only the multiplier reset is asserted).
+        r.on_sample(us(200));
+        assert_eq!(r.backoff(), 0);
+        assert!(r.rto() <= base);
+    }
+
+    #[test]
+    fn backoff_cap_never_exceeds_the_default() {
+        let r = RttEstimator::new(us(100), SimDuration::from_secs(1)).with_backoff_cap(99);
+        assert_eq!(r.backoff_cap(), super::DEFAULT_BACKOFF_CAP);
     }
 
     #[test]

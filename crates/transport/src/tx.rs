@@ -79,6 +79,7 @@ pub struct TxEngine {
     /// Timer epoch; stale timer events carry an older epoch and are ignored.
     timer_epoch: u64,
     timer_armed: bool,
+    timer_restart: bool,
     /// A hold point: the engine will not send *new* data at or beyond this
     /// sequence until the frontier reaches it (used by PASE's queue-move
     /// reordering guard). `None` means no hold.
@@ -117,6 +118,7 @@ impl TxEngine {
             karn_until: 0,
             timer_epoch: 0,
             timer_armed: false,
+            timer_restart: false,
             hold_at: None,
             pending_loss: None,
         }
@@ -212,6 +214,9 @@ impl TxEngine {
             if let Some(s) = rtt_sample {
                 self.rtt.on_sample(s);
             }
+            // RFC 6298: an ACK for new data restarts the RTO. The next
+            // `arm_timer` (callers pump right after) re-arms from now.
+            self.timer_restart = true;
             AckKind::New {
                 newly_acked: newly,
                 rtt_sample,
@@ -261,10 +266,7 @@ impl TxEngine {
     /// Is `token` the currently armed, still-relevant RTO timer? Lets
     /// agents intercept a timeout (PASE probes instead of retransmitting).
     pub fn timer_is_live(&self, token: u64) -> bool {
-        token == self.timer_epoch
-            && self.timer_armed
-            && !self.complete()
-            && self.flight_bytes() > 0
+        token == self.timer_epoch && self.timer_armed && !self.complete() && self.flight_bytes() > 0
     }
 
     /// Acknowledge a timeout without retransmitting: back off the RTO and
@@ -281,7 +283,8 @@ impl TxEngine {
     /// a probe confirms actual loss). Raises [`LossEvent::Timeout`].
     pub fn force_loss_rewind(&mut self, ctx: &mut AgentCtx<'_, '_>) {
         ctx.sim.stats.note_timeout(self.flow);
-        ctx.sim.stats
+        ctx.sim
+            .stats
             .note_retransmit(self.flow, self.snd_nxt - self.cum_ack);
         // Karn's rule: suppress samples for everything about to be resent.
         self.karn_until = self.karn_until.max(self.snd_nxt);
@@ -293,11 +296,21 @@ impl TxEngine {
         self.pending_loss = Some(LossEvent::Timeout);
     }
 
-    /// Arm (or re-arm) the RTO timer if data is outstanding.
+    /// Arm the RTO timer if data is outstanding. An already-armed timer
+    /// keeps its deadline unless an ACK for new data arrived since
+    /// (RFC 6298 restarts it then): resetting the deadline on *every*
+    /// pump would let frequent no-op pumps — e.g. PASE's per-refresh
+    /// control-plane wakeups, which arrive well inside one RTO — push
+    /// the expiry out forever and starve the only recovery path once
+    /// the ACK clock is lost.
     pub fn arm_timer(&mut self, ctx: &mut AgentCtx<'_, '_>) {
         if self.complete() || (self.flight_bytes() == 0 && self.rtx_head.is_none()) {
             return;
         }
+        if self.timer_armed && !self.timer_restart {
+            return;
+        }
+        self.timer_restart = false;
         self.timer_epoch += 1;
         self.timer_armed = true;
         ctx.set_timer(self.rtt.rto(), self.timer_epoch);

@@ -24,7 +24,13 @@ fn star_sim(n: usize, factory: FamilyFactory, qcap: usize, k: usize) -> (Simulat
 fn single_dctcp_flow_completes_with_sane_fct() {
     let (mut sim, hosts) = star_sim(2, FamilyFactory::dctcp(), 225, 20);
     let size = 100_000;
-    sim.add_flow(FlowSpec::new(FlowId(0), hosts[0], hosts[1], size, SimTime::ZERO));
+    sim.add_flow(FlowSpec::new(
+        FlowId(0),
+        hosts[0],
+        hosts[1],
+        size,
+        SimTime::ZERO,
+    ));
     let outcome = sim.run(RunLimit::until_measured_done(SimTime::from_secs(5)));
     assert_eq!(outcome, RunOutcome::MeasuredComplete);
     let rec = sim.stats().flow(FlowId(0)).unwrap();
@@ -62,7 +68,11 @@ fn dctcp_flow_is_deterministic() {
             .map(|r| r.fct().unwrap().as_nanos())
             .collect::<Vec<_>>()
     };
-    assert_eq!(run(), run(), "identical configs must give identical results");
+    assert_eq!(
+        run(),
+        run(),
+        "identical configs must give identical results"
+    );
 }
 
 #[test]
@@ -70,8 +80,20 @@ fn competing_dctcp_flows_share_and_complete() {
     let (mut sim, hosts) = star_sim(3, FamilyFactory::dctcp(), 225, 20);
     // Both senders target host 2: the receiver downlink is the bottleneck.
     let size = 500_000u64;
-    sim.add_flow(FlowSpec::new(FlowId(0), hosts[0], hosts[2], size, SimTime::ZERO));
-    sim.add_flow(FlowSpec::new(FlowId(1), hosts[1], hosts[2], size, SimTime::ZERO));
+    sim.add_flow(FlowSpec::new(
+        FlowId(0),
+        hosts[0],
+        hosts[2],
+        size,
+        SimTime::ZERO,
+    ));
+    sim.add_flow(FlowSpec::new(
+        FlowId(1),
+        hosts[1],
+        hosts[2],
+        size,
+        SimTime::ZERO,
+    ));
     let outcome = sim.run(RunLimit::until_measured_done(SimTime::from_secs(5)));
     assert_eq!(outcome, RunOutcome::MeasuredComplete);
     let f0 = sim.stats().flow(FlowId(0)).unwrap().fct().unwrap();
@@ -89,11 +111,27 @@ fn competing_dctcp_flows_share_and_complete() {
 #[test]
 fn dctcp_keeps_queues_bounded_by_ecn() {
     let (mut sim, hosts) = star_sim(3, FamilyFactory::dctcp(), 225, 20);
-    sim.add_flow(FlowSpec::new(FlowId(0), hosts[0], hosts[2], 2_000_000, SimTime::ZERO));
-    sim.add_flow(FlowSpec::new(FlowId(1), hosts[1], hosts[2], 2_000_000, SimTime::ZERO));
+    sim.add_flow(FlowSpec::new(
+        FlowId(0),
+        hosts[0],
+        hosts[2],
+        2_000_000,
+        SimTime::ZERO,
+    ));
+    sim.add_flow(FlowSpec::new(
+        FlowId(1),
+        hosts[1],
+        hosts[2],
+        2_000_000,
+        SimTime::ZERO,
+    ));
     sim.run(RunLimit::until_measured_done(SimTime::from_secs(10)));
     // With K=20 and a 225-packet buffer, ECN should prevent all drops.
-    assert_eq!(sim.stats().data_pkts_dropped, 0, "DCTCP should not overflow");
+    assert_eq!(
+        sim.stats().data_pkts_dropped,
+        0,
+        "DCTCP should not overflow"
+    );
     // And marks must actually have happened (the queue did congest).
     let netsim::node::Node::Switch(sw) = sim.node(NodeId(0)) else {
         panic!("node 0 is the switch");
@@ -116,8 +154,20 @@ fn reno_survives_drop_tail_losses() {
         Box::new(DropTailQdisc::new(8))
     });
     let mut sim = Simulation::new(net);
-    sim.add_flow(FlowSpec::new(FlowId(0), hosts[0], hosts[2], 400_000, SimTime::ZERO));
-    sim.add_flow(FlowSpec::new(FlowId(1), hosts[1], hosts[2], 400_000, SimTime::ZERO));
+    sim.add_flow(FlowSpec::new(
+        FlowId(0),
+        hosts[0],
+        hosts[2],
+        400_000,
+        SimTime::ZERO,
+    ));
+    sim.add_flow(FlowSpec::new(
+        FlowId(1),
+        hosts[1],
+        hosts[2],
+        400_000,
+        SimTime::ZERO,
+    ));
     let outcome = sim.run(RunLimit::until_measured_done(SimTime::from_secs(30)));
     assert_eq!(outcome, RunOutcome::MeasuredComplete);
     assert!(
@@ -153,7 +203,13 @@ fn l2dct_prefers_short_flows_over_long() {
     // L2DCT the short flow should finish in a small multiple of its ideal
     // time despite the long flow, because the long flow's weight decays.
     let (mut sim, hosts) = star_sim(3, FamilyFactory::l2dct(), 225, 20);
-    sim.add_flow(FlowSpec::new(FlowId(0), hosts[0], hosts[2], 10_000_000, SimTime::ZERO));
+    sim.add_flow(FlowSpec::new(
+        FlowId(0),
+        hosts[0],
+        hosts[2],
+        10_000_000,
+        SimTime::ZERO,
+    ));
     sim.add_flow(FlowSpec::new(
         FlowId(1),
         hosts[1],
@@ -172,7 +228,12 @@ fn l2dct_prefers_short_flows_over_long() {
 #[test]
 fn background_flow_does_not_block_termination() {
     let (mut sim, hosts) = star_sim(3, FamilyFactory::dctcp(), 225, 20);
-    sim.add_flow(FlowSpec::background(FlowId(0), hosts[0], hosts[2], SimTime::ZERO));
+    sim.add_flow(FlowSpec::background(
+        FlowId(0),
+        hosts[0],
+        hosts[2],
+        SimTime::ZERO,
+    ));
     sim.add_flow(FlowSpec::new(
         FlowId(1),
         hosts[1],
@@ -200,7 +261,11 @@ fn cross_rack_flow_traverses_tree() {
     b.connect(tor0, agg, Rate::from_gbps(10), SimDuration::from_micros(25));
     b.connect(tor1, agg, Rate::from_gbps(10), SimDuration::from_micros(25));
     let net = b.build(Arc::new(FamilyFactory::dctcp()), &|spec| {
-        let k = if spec.rate.as_bps() >= 10_000_000_000 { 65 } else { 20 };
+        let k = if spec.rate.as_bps() >= 10_000_000_000 {
+            65
+        } else {
+            20
+        };
         Box::new(RedEcnQdisc::new(225, k))
     });
     let mut sim = Simulation::new(net);

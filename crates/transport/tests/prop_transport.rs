@@ -1,96 +1,135 @@
-//! Property-based tests for the endpoint machinery: the byte tracker and
-//! the RTT estimator must uphold their invariants for arbitrary inputs.
+//! Randomized tests for the endpoint machinery: the byte tracker and the
+//! RTT estimator must uphold their invariants for arbitrary inputs. Cases
+//! are generated from netsim's seeded [`Rng`] so the suite is
+//! deterministic and dependency-free.
 
-use proptest::prelude::*;
-
+use netsim::rng::Rng;
 use netsim::time::SimDuration;
 use transport::{ByteTracker, RttEstimator};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// Random (start, len) ranges with `start < start_max`, `1 <= len < len_max`.
+fn ranges(rng: &mut Rng, n_max: usize, start_max: u64, len_max: u64) -> Vec<(u64, u64)> {
+    let n = rng.gen_index(n_max);
+    (0..n)
+        .map(|_| {
+            (
+                rng.gen_below(start_max),
+                rng.gen_range_inclusive(1, len_max - 1),
+            )
+        })
+        .collect()
+}
 
-    /// ByteTracker against a naive bitset model.
-    #[test]
-    fn tracker_matches_naive_model(ranges in prop::collection::vec((0u64..2000, 1u64..300), 0..60)) {
+const CASES: u64 = 128;
+
+/// ByteTracker against a naive bitset model.
+#[test]
+fn tracker_matches_naive_model() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x7ac1 ^ seed);
         let mut tracker = ByteTracker::new();
         let mut model = vec![false; 4096];
-        for (start, len) in ranges {
+        for (start, len) in ranges(&mut rng, 60, 2000, 300) {
             let end = start + len;
             let had_new = model[start as usize..end as usize].iter().any(|b| !b);
             let reported = tracker.on_range(start, end);
-            prop_assert_eq!(reported, had_new, "new-bytes report mismatch at {}..{}", start, end);
+            assert_eq!(
+                reported, had_new,
+                "new-bytes report mismatch at {start}..{end}"
+            );
             for b in &mut model[start as usize..end as usize] {
                 *b = true;
             }
             // Cumulative ack = longest true prefix.
             let cum = model.iter().position(|b| !b).unwrap_or(model.len()) as u64;
-            prop_assert_eq!(tracker.cum_ack(), cum);
+            assert_eq!(tracker.cum_ack(), cum);
             // Total bytes.
             let total = model.iter().filter(|b| **b).count() as u64;
-            prop_assert_eq!(tracker.bytes_received(), total);
+            assert_eq!(tracker.bytes_received(), total);
         }
     }
+}
 
-    /// `contains` agrees with the model for arbitrary queries.
-    #[test]
-    fn tracker_contains_matches_model(
-        ranges in prop::collection::vec((0u64..1000, 1u64..200), 0..30),
-        queries in prop::collection::vec((0u64..1200, 1u64..200), 1..20),
-    ) {
+/// `contains` agrees with the model for arbitrary queries.
+#[test]
+fn tracker_contains_matches_model() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xc077 ^ seed);
         let mut tracker = ByteTracker::new();
         let mut model = vec![false; 2048];
-        for (start, len) in ranges {
+        for (start, len) in ranges(&mut rng, 30, 1000, 200) {
             tracker.on_range(start, start + len);
             for b in &mut model[start as usize..(start + len) as usize] {
                 *b = true;
             }
         }
-        for (start, len) in queries {
-            let end = start + len;
+        let n_queries = rng.gen_range_inclusive(1, 19);
+        for _ in 0..n_queries {
+            let start = rng.gen_below(1200);
+            let end = start + rng.gen_range_inclusive(1, 199);
             let expected = model[start as usize..end as usize].iter().all(|b| *b);
-            prop_assert_eq!(tracker.contains(start, end), expected, "query {}..{}", start, end);
+            assert_eq!(
+                tracker.contains(start, end),
+                expected,
+                "query {start}..{end}"
+            );
         }
     }
+}
 
-    /// The gap count never exceeds the number of disjoint inserted ranges.
-    #[test]
-    fn tracker_gap_count_bounded(ranges in prop::collection::vec((0u64..5000, 1u64..100), 0..50)) {
+/// The gap count never exceeds the number of disjoint inserted ranges.
+#[test]
+fn tracker_gap_count_bounded() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x9a05 ^ seed);
         let mut tracker = ByteTracker::new();
-        for (i, (start, len)) in ranges.iter().enumerate() {
+        for (i, (start, len)) in ranges(&mut rng, 50, 5000, 100).iter().enumerate() {
             tracker.on_range(*start, start + len);
-            prop_assert!(tracker.gaps() <= i + 1);
+            assert!(tracker.gaps() <= i + 1);
         }
     }
+}
 
-    /// RTO stays within its clamps and backoff is monotone.
-    #[test]
-    fn rto_respects_bounds(
-        samples_us in prop::collection::vec(1u64..100_000, 1..50),
-        backoffs in 0u32..10,
-    ) {
+/// RTO stays within its clamps and backoff is monotone.
+#[test]
+fn rto_respects_bounds() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x2707 ^ seed);
+        let n_samples = rng.gen_range_inclusive(1, 49);
+        let samples_us: Vec<u64> = (0..n_samples)
+            .map(|_| rng.gen_range_inclusive(1, 99_999))
+            .collect();
+        let backoffs = rng.gen_below(10);
         let min = SimDuration::from_micros(200);
         let max = SimDuration::from_millis(800);
         let mut est = RttEstimator::new(min, max);
         for s in &samples_us {
             est.on_sample(SimDuration::from_micros(*s));
-            prop_assert!(est.rto() >= min && est.rto() <= max);
+            assert!(est.rto() >= min && est.rto() <= max);
         }
         let mut prev = est.rto();
         for _ in 0..backoffs {
             est.on_timeout();
             let cur = est.rto();
-            prop_assert!(cur >= prev, "backoff must not shrink the RTO");
-            prop_assert!(cur <= max);
+            assert!(cur >= prev, "backoff must not shrink the RTO");
+            assert!(cur <= max);
             prev = cur;
         }
         // A fresh sample resets the backoff.
         est.on_sample(SimDuration::from_micros(samples_us[0]));
-        prop_assert_eq!(est.backoff(), 0);
+        assert_eq!(est.backoff(), 0);
     }
+}
 
-    /// SRTT stays within the convex hull of the samples.
-    #[test]
-    fn srtt_within_sample_range(samples_us in prop::collection::vec(10u64..1_000_000, 1..100)) {
+/// SRTT stays within the convex hull of the samples.
+#[test]
+fn srtt_within_sample_range() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x5277 ^ seed);
+        let n_samples = rng.gen_range_inclusive(1, 99);
+        let samples_us: Vec<u64> = (0..n_samples)
+            .map(|_| rng.gen_range_inclusive(10, 999_999))
+            .collect();
         let mut est = RttEstimator::new(SimDuration::ZERO, SimDuration::from_secs(100));
         for s in &samples_us {
             est.on_sample(SimDuration::from_micros(*s));
@@ -98,7 +137,9 @@ proptest! {
         let lo = *samples_us.iter().min().unwrap();
         let hi = *samples_us.iter().max().unwrap();
         let srtt = est.srtt().unwrap().as_micros_f64();
-        prop_assert!(srtt >= lo as f64 * 0.99 && srtt <= hi as f64 * 1.01,
-            "srtt {} outside [{}, {}]", srtt, lo, hi);
+        assert!(
+            srtt >= lo as f64 * 0.99 && srtt <= hi as f64 * 1.01,
+            "srtt {srtt} outside [{lo}, {hi}]"
+        );
     }
 }

@@ -77,7 +77,13 @@ fn pump_respects_the_window() {
     assert_eq!(h.engine.flight_pkts(), 5);
     assert_eq!(h.pump(), 0, "window full");
     // One ack frees one slot.
-    assert!(matches!(h.ack(1000), AckKind::New { newly_acked: 1000, .. }));
+    assert!(matches!(
+        h.ack(1000),
+        AckKind::New {
+            newly_acked: 1000,
+            ..
+        }
+    ));
     assert_eq!(h.pump(), 1);
 }
 
@@ -101,7 +107,7 @@ fn three_dupacks_trigger_fast_retransmit_once() {
     assert!(h.pump() >= 1, "fast retransmit must be sent");
     let rtx = h.stats.flow(FlowId(0)).map_or(0, |r| r.retransmitted_bytes);
     let _ = rtx; // flow not registered in this harness; accounting is a no-op
-    // Recovery ends when the ack passes the loss point.
+                 // Recovery ends when the ack passes the loss point.
     assert!(matches!(h.ack(recover_end), AckKind::New { .. }));
     assert!(!h.engine.in_recovery());
 }
@@ -123,7 +129,10 @@ fn timeout_rewinds_and_backs_off() {
     h.pump();
     let epoch = h.engine.timer_epoch();
     assert!(h.engine.timer_is_live(epoch));
-    assert!(!h.engine.timer_is_live(epoch + 1), "future tokens are not live");
+    assert!(
+        !h.engine.timer_is_live(epoch + 1),
+        "future tokens are not live"
+    );
     let fired = h.with_ctx(|e, ctx| e.on_timer(epoch, ctx));
     assert!(fired);
     assert_eq!(h.engine.take_loss_event(), Some(LossEvent::Timeout));
@@ -133,6 +142,26 @@ fn timeout_rewinds_and_backs_off() {
     // The same token cannot fire twice.
     let fired_again = h.with_ctx(|e, ctx| e.on_timer(epoch, ctx));
     assert!(!fired_again);
+}
+
+#[test]
+fn idle_pumps_do_not_push_out_a_pending_rto() {
+    let mut h = Harness::new(50_000, 4.0);
+    h.pump();
+    let epoch = h.engine.timer_epoch();
+    // No-op pumps (PASE wakes its sender on every 100 µs arbitration
+    // response) must not reset the timer, or the RTO — the only recovery
+    // path once the ACK clock is lost — could never expire.
+    for _ in 0..10 {
+        assert_eq!(h.pump(), 0, "window is full");
+        assert_eq!(h.engine.timer_epoch(), epoch, "deadline must be kept");
+        assert!(h.engine.timer_is_live(epoch));
+    }
+    // An ACK for new data restarts it (RFC 6298): the old token dies.
+    assert!(matches!(h.ack(1000), AckKind::New { .. }));
+    assert_eq!(h.pump(), 1);
+    assert!(h.engine.timer_epoch() > epoch);
+    assert!(!h.engine.timer_is_live(epoch));
 }
 
 #[test]

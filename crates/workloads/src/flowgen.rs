@@ -1,11 +1,9 @@
 //! Flow generation: Poisson arrivals, size and deadline distributions.
 //!
-//! All randomness is drawn from a caller-seeded [`SmallRng`], so every
+//! All randomness is drawn from a caller-seeded [`Rng`], so every
 //! experiment is reproducible from its `(scenario, load, seed)` triple.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
+use netsim::rng::Rng;
 use netsim::time::{Rate, SimDuration, SimTime};
 
 /// Flow-size distribution.
@@ -29,18 +27,18 @@ pub enum SizeDist {
 
 impl SizeDist {
     /// Draw one flow size.
-    pub fn sample(&self, rng: &mut SmallRng) -> u64 {
+    pub fn sample(&self, rng: &mut Rng) -> u64 {
         match *self {
-            SizeDist::UniformBytes { lo, hi } => rng.gen_range(lo..=hi),
+            SizeDist::UniformBytes { lo, hi } => rng.gen_range_inclusive(lo, hi),
             SizeDist::Fixed(s) => s,
             SizeDist::WebSearch => {
-                let class: f64 = rng.gen();
+                let class: f64 = rng.gen_f64();
                 if class < 0.6 {
-                    rng.gen_range(2_000..=100_000)
+                    rng.gen_range_inclusive(2_000, 100_000)
                 } else if class < 0.9 {
-                    rng.gen_range(100_000..=1_000_000)
+                    rng.gen_range_inclusive(100_000, 1_000_000)
                 } else {
-                    rng.gen_range(1_000_000..=10_000_000)
+                    rng.gen_range_inclusive(1_000_000, 10_000_000)
                 }
             }
         }
@@ -81,15 +79,15 @@ impl DeadlineDist {
     }
 
     /// Draw one deadline.
-    pub fn sample(&self, rng: &mut SmallRng) -> SimDuration {
-        SimDuration::from_micros(rng.gen_range(self.lo_us..=self.hi_us))
+    pub fn sample(&self, rng: &mut Rng) -> SimDuration {
+        SimDuration::from_micros(rng.gen_range_inclusive(self.lo_us, self.hi_us))
     }
 }
 
 /// Poisson (exponential inter-arrival) process generator.
 #[derive(Debug)]
 pub struct PoissonArrivals {
-    rng: SmallRng,
+    rng: Rng,
     /// Mean inter-arrival time in seconds.
     mean_gap_s: f64,
     now: SimTime,
@@ -100,7 +98,7 @@ impl PoissonArrivals {
     pub fn new(rate_per_sec: f64, seed: u64) -> PoissonArrivals {
         assert!(rate_per_sec > 0.0, "arrival rate must be positive");
         PoissonArrivals {
-            rng: SmallRng::seed_from_u64(seed ^ 0x9e37_79b9),
+            rng: Rng::seed_from_u64(seed ^ 0x9e37_79b9),
             mean_gap_s: 1.0 / rate_per_sec,
             now: SimTime::ZERO,
         }
@@ -108,7 +106,7 @@ impl PoissonArrivals {
 
     /// The next arrival instant.
     pub fn next_arrival(&mut self) -> SimTime {
-        let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u: f64 = self.rng.gen_f64_open();
         let gap = -u.ln() * self.mean_gap_s;
         self.now += SimDuration::from_secs_f64(gap);
         self.now
@@ -135,7 +133,7 @@ mod tests {
             lo: 2_000,
             hi: 198_000,
         };
-        let mut rng = SmallRng::seed_from_u64(7);
+        let mut rng = Rng::seed_from_u64(7);
         let n = 20_000;
         let samples: Vec<u64> = (0..n).map(|_| d.sample(&mut rng)).collect();
         assert!(samples.iter().all(|&s| (2_000..=198_000).contains(&s)));
@@ -186,7 +184,7 @@ mod tests {
     #[test]
     fn deadlines_in_range() {
         let d = DeadlineDist::paper_default();
-        let mut rng = SmallRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         for _ in 0..1000 {
             let dl = d.sample(&mut rng);
             assert!(dl >= SimDuration::from_millis(5));

@@ -2,10 +2,9 @@
 //! loss rate and control-plane overhead.
 
 use netsim::sim::Simulation;
-use serde::Serialize;
 
 /// Metrics from one simulation run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RunMetrics {
     /// Measured flows that completed (excluding aborted ones).
     pub n_completed: usize,

@@ -45,7 +45,10 @@ impl RunSpec {
             self.backstop_s,
         )));
         debug_assert!(
-            matches!(outcome, RunOutcome::MeasuredComplete | RunOutcome::TimeLimit),
+            matches!(
+                outcome,
+                RunOutcome::MeasuredComplete | RunOutcome::TimeLimit
+            ),
             "unexpected outcome {outcome:?}"
         );
         collect(&sim)
@@ -66,7 +69,10 @@ pub fn run_seeds(base: RunSpec, seeds: &[u64]) -> RunMetrics {
     }
     let n = runs.len() as f64;
     let mean = |f: &dyn Fn(&RunMetrics) -> f64| runs.iter().map(f).sum::<f64>() / n;
-    let mut fcts_ms: Vec<f64> = runs.iter().flat_map(|m| m.fcts_ms.iter().copied()).collect();
+    let mut fcts_ms: Vec<f64> = runs
+        .iter()
+        .flat_map(|m| m.fcts_ms.iter().copied())
+        .collect();
     fcts_ms.sort_by(|a, b| a.partial_cmp(b).expect("no NaN FCTs"));
     let app = if runs.iter().all(|m| m.app_throughput.is_some()) {
         Some(mean(&|m: &RunMetrics| m.app_throughput.unwrap_or(0.0)))

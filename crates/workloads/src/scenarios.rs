@@ -4,11 +4,9 @@
 //! workload and the capacity that "offered load" normalizes against. Flow
 //! lists are generated deterministically from `(scenario, load, seed)`.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
 use netsim::flow::FlowSpec;
 use netsim::ids::{FlowId, NodeId};
+use netsim::rng::Rng;
 use netsim::time::{Rate, SimTime};
 
 use crate::flowgen::{arrival_rate, DeadlineDist, PoissonArrivals, SizeDist};
@@ -175,7 +173,7 @@ impl Scenario {
     /// Generate the flow list (background flows first, ids `0..`).
     pub fn generate_flows(&self, load: f64, seed: u64, hosts: &[NodeId]) -> Vec<FlowSpec> {
         assert_eq!(hosts.len(), self.topo.n_hosts());
-        let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x5851_f42d_4c95_7f2d) ^ 0xda3e);
+        let mut rng = Rng::seed_from_u64(seed.wrapping_mul(0x5851_f42d_4c95_7f2d) ^ 0xda3e);
         let mut arrivals = PoissonArrivals::new(self.arrivals_per_sec(load), seed);
         let mut flows = Vec::with_capacity(self.n_flows + self.n_background);
         let n = hosts.len();
@@ -205,25 +203,25 @@ impl Scenario {
         flows
     }
 
-    fn sample_pair(&self, rng: &mut SmallRng, hosts: &[NodeId]) -> (NodeId, NodeId) {
+    fn sample_pair(&self, rng: &mut Rng, hosts: &[NodeId]) -> (NodeId, NodeId) {
         let n = hosts.len();
         match self.pattern {
             Pattern::LeftRight => {
                 let half = n / 2;
-                let src = hosts[rng.gen_range(0..half)];
-                let dst = hosts[half + rng.gen_range(0..n - half)];
+                let src = hosts[rng.gen_index(half)];
+                let dst = hosts[half + rng.gen_index(n - half)];
                 (src, dst)
             }
             Pattern::AllToAll => {
-                let src = rng.gen_range(0..n);
-                let mut dst = rng.gen_range(0..n - 1);
+                let src = rng.gen_index(n);
+                let mut dst = rng.gen_index(n - 1);
                 if dst >= src {
                     dst += 1;
                 }
                 (hosts[src], hosts[dst])
             }
             Pattern::Incast { server } => {
-                let mut src = rng.gen_range(0..n - 1);
+                let mut src = rng.gen_index(n - 1);
                 if src >= server {
                     src += 1;
                 }

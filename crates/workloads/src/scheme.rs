@@ -135,9 +135,7 @@ impl Scheme {
                     rto: base_rtt.mul_f64(3.3).max(SimDuration::from_millis(1)),
                     ..PFabricConfig::default()
                 };
-                let q = move |_: &PortSpec| -> Box<dyn Qdisc> {
-                    Box::new(PFabricQdisc::new(76))
-                };
+                let q = move |_: &PortSpec| -> Box<dyn Qdisc> { Box::new(PFabricQdisc::new(76)) };
                 let (net, hosts) = topo.build(Arc::new(PFabricFactory::new(cfg)), &q);
                 (Simulation::new(net), hosts)
             }
@@ -148,11 +146,7 @@ impl Scheme {
                 // give each band the full budget (commodity shared
                 // buffers) and mark per band.
                 let q = move |spec: &PortSpec| -> Box<dyn Qdisc> {
-                    Box::new(pase::pase_qdisc(
-                        &cfg,
-                        500,
-                        Self::mark_thresh(spec.rate),
-                    ))
+                    Box::new(pase::pase_qdisc(&cfg, 500, Self::mark_thresh(spec.rate)))
                 };
                 let (net, hosts) = topo.build(Arc::new(PaseFactory::new(cfg)), &q);
                 let mut sim = Simulation::new(net);

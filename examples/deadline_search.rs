@@ -20,21 +20,27 @@ use pase_repro::workloads::{Scheme, TopologySpec};
 
 fn main() {
     let workers = 15usize;
-    let queries: u64 = std::env::args().nth(1).map(|s| s.parse().unwrap()).unwrap_or(40);
+    let queries: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().unwrap())
+        .unwrap_or(40);
     let response = 100_000u64; // bytes per worker response
-    // One query = 1.5 MB of synchronized responses = ~12.3 ms of service
-    // on the aggregator's 1 Gbps downlink. Queries arrive every 13 ms
-    // (~95% load), so consecutive queries interact: a transport must
-    // finish the *urgent* (older) query's stragglers before the new
-    // query's bulk — the regime where the paper's deadline experiments
-    // separate the schemes.
+                               // One query = 1.5 MB of synchronized responses = ~12.3 ms of service
+                               // on the aggregator's 1 Gbps downlink. Queries arrive every 13 ms
+                               // (~95% load), so consecutive queries interact: a transport must
+                               // finish the *urgent* (older) query's stragglers before the new
+                               // query's bulk — the regime where the paper's deadline experiments
+                               // separate the schemes.
     let deadline = SimDuration::from_millis(20);
     let gap = SimDuration::from_millis(13); // query inter-arrival
 
     println!(
         "partition-aggregate: {workers} workers, {queries} queries, {response} B responses, {deadline} budget\n"
     );
-    println!("{:<10} {:>16} {:>12} {:>12}", "scheme", "deadlines met", "AFCT(ms)", "p99(ms)");
+    println!(
+        "{:<10} {:>16} {:>12} {:>12}",
+        "scheme", "deadlines met", "AFCT(ms)", "p99(ms)"
+    );
 
     let topo = TopologySpec::intra_rack(workers + 1);
     let mut pase_cfg = Scheme::pase_config_for(&topo);
@@ -54,9 +60,9 @@ fn main() {
         for q in 0..queries {
             let t = SimTime::ZERO + gap * q;
             // All workers answer (incast into the aggregator's downlink).
-            for w in 0..workers {
+            for &worker in hosts.iter().take(workers) {
                 sim.add_flow(
-                    FlowSpec::new(FlowId(id), hosts[w], aggregator, response, t)
+                    FlowSpec::new(FlowId(id), worker, aggregator, response, t)
                         .with_deadline(deadline),
                 );
                 id += 1;

@@ -60,7 +60,11 @@ fn run(drop_every: u64) -> (f64, u64, u64, u64) {
         ));
     }
     let outcome = sim.run(RunLimit::until_measured_done(SimTime::from_secs(30)));
-    assert_eq!(outcome, RunOutcome::MeasuredComplete, "all flows must finish");
+    assert_eq!(
+        outcome,
+        RunOutcome::MeasuredComplete,
+        "all flows must finish"
+    );
     let m = pase_repro::workloads::collect(&sim);
     (
         m.afct_ms,

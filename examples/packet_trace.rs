@@ -42,7 +42,13 @@ fn main() {
 
     // Flow 0: a bigger flow that starts first and owns the top queue
     // until flow 1 (smaller) arrives and outranks it.
-    sim.add_flow(FlowSpec::new(FlowId(0), hosts[0], hosts[2], 600_000, SimTime::ZERO));
+    sim.add_flow(FlowSpec::new(
+        FlowId(0),
+        hosts[0],
+        hosts[2],
+        600_000,
+        SimTime::ZERO,
+    ));
     sim.add_flow(FlowSpec::new(
         FlowId(1),
         hosts[1],

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a PR must keep green.
+#
+#   scripts/ci.sh            # build + tests (+ fmt/clippy when installed)
+#
+# The build and the tests are mandatory; fmt/clippy run only where the
+# components are installed so the gate works on minimal toolchains.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release --workspace
+
+echo "== cargo test (workspace) =="
+cargo test --workspace -q
+
+if cargo fmt --version >/dev/null 2>&1; then
+    echo "== cargo fmt --check =="
+    cargo fmt --all -- --check
+else
+    echo "== cargo fmt not installed; skipping =="
+fi
+
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "== cargo clippy -D warnings =="
+    cargo clippy --workspace --all-targets -- -D warnings
+else
+    echo "== cargo clippy not installed; skipping =="
+fi
+
+echo "CI gate passed."

@@ -105,7 +105,11 @@ fn reference_rate_improves_afct() {
     let scenario = Scenario::medium_intra_rack(80);
     let cfg = Scheme::pase_config_for(&TopologySpec::intra_rack(20));
     let with = afct(Scheme::PaseWith(cfg), scenario, 0.5);
-    let without = afct(Scheme::PaseWith(cfg.without_reference_rate()), scenario, 0.5);
+    let without = afct(
+        Scheme::PaseWith(cfg.without_reference_rate()),
+        scenario,
+        0.5,
+    );
     assert!(
         with < without,
         "reference rate should reduce AFCT: {with:.2} vs {without:.2}"
@@ -118,7 +122,12 @@ fn every_scheme_is_deterministic() {
     for scheme in Scheme::all() {
         let a = RunSpec::new(scheme, scenario, 0.5, 2).run();
         let b = RunSpec::new(scheme, scenario, 0.5, 2).run();
-        assert_eq!(a.fcts_ms, b.fcts_ms, "{} must be deterministic", scheme.name());
+        assert_eq!(
+            a.fcts_ms,
+            b.fcts_ms,
+            "{} must be deterministic",
+            scheme.name()
+        );
         assert_eq!(a.events, b.events, "{} event counts differ", scheme.name());
     }
 }
