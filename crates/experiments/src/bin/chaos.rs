@@ -1,0 +1,29 @@
+//! Chaos sweep: seeded fault storms × {PASE, DCTCP} with the global
+//! invariant oracle. Non-zero exit if any case fails; each failing case
+//! prints the command that replays just that seed.
+
+use experiments::chaos::{sweep, ChaosOpts};
+
+fn main() {
+    let opts = ChaosOpts::from_args(std::env::args().skip(1));
+    eprintln!(
+        "chaos sweep: {} seeds x {} intensities x {} schemes ({})",
+        opts.seeds.len(),
+        opts.intensities.len(),
+        opts.schemes.len(),
+        if opts.quick { "quick" } else { "full" },
+    );
+    let results = sweep(&opts);
+    let failed = results.iter().filter(|r| !r.passed()).count();
+    let blackholed: u64 = results.iter().map(|r| r.blackholed).sum();
+    println!(
+        "chaos: {}/{} cases clean; {} data packets blackholed across the sweep",
+        results.len() - failed,
+        results.len(),
+        blackholed
+    );
+    if failed > 0 {
+        eprintln!("chaos: {failed} case(s) FAILED");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,10 @@
+//! Binary wrapper for `experiments::figs::ext_faults::run_link_flap`.
+
+fn main() {
+    let opts = experiments::ExpOpts::from_env();
+    let fig = experiments::figs::ext_faults::run_link_flap(&opts);
+    fig.print();
+    if let Some(dir) = &opts.out_dir {
+        fig.save_json(dir).expect("write JSON result");
+    }
+}

@@ -1,0 +1,325 @@
+//! The chaos harness: seeded fault storms + the global invariant oracle.
+//!
+//! Each case builds a leaf-spine all-to-all workload under PASE or DCTCP,
+//! expands a [`netsim::chaos::ChaosConfig`] into a fault schedule (link
+//! flaps, rack outages, arbitrator crash storms, control-loss bursts),
+//! runs to completion and then demands that
+//!
+//! 1. every flow finished (fast-retransmit/RTO + failure-aware rerouting
+//!    recovered from every injected fault),
+//! 2. every global invariant holds ([`netsim::invariants`]: packet
+//!    conservation, no stuck flow, monotonic time, bounded queues), and
+//! 3. the run is deterministic: the same seed executed twice produces a
+//!    byte-identical event trace.
+//!
+//! The `chaos` binary sweeps seeds × intensity × scheme; `scripts/ci.sh`
+//! runs a fixed 8-seed smoke slice. A failing case prints the exact
+//! command line that replays just that seed.
+
+use netsim::chaos::{self, ChaosConfig, ChaosIntensity};
+use netsim::invariants::InvariantConfig;
+use netsim::prelude::*;
+use netsim::trace::TextTracer;
+use workloads::{Pattern, Scenario, Scheme, SizeDist, TopologySpec};
+
+/// Options for a chaos sweep (parsed by the `chaos` binary).
+#[derive(Debug, Clone)]
+pub struct ChaosOpts {
+    /// Seeds to sweep.
+    pub seeds: Vec<u64>,
+    /// Schemes to exercise.
+    pub schemes: Vec<Scheme>,
+    /// Fault densities to exercise.
+    pub intensities: Vec<ChaosIntensity>,
+    /// Reduced scale (fewer flows): the CI smoke profile.
+    pub quick: bool,
+    /// Per-case progress lines on stderr (also enabled by `CHAOS_LOG`).
+    pub verbose: bool,
+}
+
+impl Default for ChaosOpts {
+    fn default() -> Self {
+        ChaosOpts {
+            seeds: (0..32).collect(),
+            schemes: vec![Scheme::Pase, Scheme::Dctcp],
+            intensities: vec![ChaosIntensity::Low, ChaosIntensity::High],
+            quick: false,
+            verbose: false,
+        }
+    }
+}
+
+impl ChaosOpts {
+    /// Parse the `chaos` binary's arguments.
+    ///
+    /// Recognized: `--seeds N` (sweep 0..N), `--seed-list a,b,c`,
+    /// `--scheme pase|dctcp|both`, `--intensity low|high|both`,
+    /// `--quick`, `--verbose`. Setting the `CHAOS_LOG` environment
+    /// variable (any non-empty value) also enables verbose output.
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> ChaosOpts {
+        let mut opts = ChaosOpts::default();
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            let mut take = |name: &str| -> String {
+                args.next()
+                    .unwrap_or_else(|| panic!("missing value for {name}"))
+            };
+            match arg.as_str() {
+                "--quick" => opts.quick = true,
+                "--verbose" => opts.verbose = true,
+                "--seeds" => {
+                    let n: u64 = take("--seeds").parse().expect("--seeds: integer");
+                    assert!(n > 0, "--seeds must be positive");
+                    opts.seeds = (0..n).collect();
+                }
+                "--seed-list" => {
+                    opts.seeds = take("--seed-list")
+                        .split(',')
+                        .map(|s| s.trim().parse().expect("--seed-list: integers"))
+                        .collect();
+                }
+                "--scheme" => {
+                    opts.schemes = match take("--scheme").as_str() {
+                        "pase" => vec![Scheme::Pase],
+                        "dctcp" => vec![Scheme::Dctcp],
+                        "both" => vec![Scheme::Pase, Scheme::Dctcp],
+                        other => panic!("--scheme: pase|dctcp|both, got {other}"),
+                    };
+                }
+                "--intensity" => {
+                    opts.intensities = match take("--intensity").as_str() {
+                        "low" => vec![ChaosIntensity::Low],
+                        "high" => vec![ChaosIntensity::High],
+                        "both" => vec![ChaosIntensity::Low, ChaosIntensity::High],
+                        other => panic!("--intensity: low|high|both, got {other}"),
+                    };
+                }
+                other => panic!("unknown argument: {other}"),
+            }
+        }
+        if std::env::var("CHAOS_LOG")
+            .map(|v| !v.is_empty())
+            .unwrap_or(false)
+        {
+            opts.verbose = true;
+        }
+        opts
+    }
+}
+
+/// The chaos workload: all-to-all short flows on the small leaf-spine
+/// fabric (2 spines x 4 leaves — every inter-leaf flow has two equal-cost
+/// paths for the rerouter to fall back on). No background flows, so a
+/// finished run has a quiescent data plane and conservation is exact.
+fn chaos_scenario(quick: bool) -> Scenario {
+    Scenario {
+        name: "chaos-leaf-spine",
+        topo: TopologySpec::small_leaf_spine(2),
+        pattern: Pattern::AllToAll,
+        sizes: SizeDist::UniformBytes {
+            lo: 2_000,
+            hi: 100_000,
+        },
+        deadlines: None,
+        n_background: 0,
+        n_flows: if quick { 80 } else { 250 },
+    }
+}
+
+/// Chaos horizon: long enough to overlap most of the flow-arrival window,
+/// short enough that the healed tail lets everything finish.
+fn horizon(quick: bool) -> SimDuration {
+    if quick {
+        SimDuration::from_millis(10)
+    } else {
+        SimDuration::from_millis(30)
+    }
+}
+
+/// What one chaos case did.
+#[derive(Debug)]
+pub struct CaseResult {
+    /// The scheme under test.
+    pub scheme: &'static str,
+    /// Fault density.
+    pub intensity: ChaosIntensity,
+    /// The seed (drives both workload and fault schedule).
+    pub seed: u64,
+    /// Invariant violations (empty = clean).
+    pub violations: Vec<String>,
+    /// Flows that never completed.
+    pub incomplete_flows: usize,
+    /// FNV-1a hash of the full event trace (determinism fingerprint).
+    pub trace_hash: u64,
+    /// Data packets blackholed during the run (visibility, not a failure).
+    pub blackholed: u64,
+}
+
+impl CaseResult {
+    /// Did the case pass (all flows complete, all invariants hold)?
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty() && self.incomplete_flows == 0
+    }
+}
+
+/// FNV-1a over a byte string.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Execute one chaos case once and audit it.
+fn run_once(scheme: Scheme, intensity: ChaosIntensity, seed: u64, quick: bool) -> CaseResult {
+    let scenario = chaos_scenario(quick);
+    let (mut sim, hosts) = scheme.build_sim(&scenario.topo);
+    sim.enable_invariants(InvariantConfig::default());
+    let tracer = TextTracer::new();
+    let trace_buf = tracer.buffer();
+    sim.set_tracer(Box::new(tracer));
+
+    for spec in scenario.generate_flows(0.5, seed, &hosts) {
+        sim.add_flow(spec);
+    }
+    let plan = chaos::generate(
+        sim.topo(),
+        &ChaosConfig {
+            seed,
+            intensity,
+            horizon: horizon(quick),
+        },
+    );
+    sim.inject_faults(&plan);
+    sim.run(RunLimit::until_measured_done(SimTime::from_secs(120)));
+
+    let report = sim.check_invariants();
+    let mut violations: Vec<String> = report.violations.iter().map(|v| v.to_string()).collect();
+    let incomplete_flows = sim
+        .stats()
+        .flows()
+        .filter(|r| r.completed.is_none())
+        .count();
+    if incomplete_flows > 0 {
+        violations.push(format!("{incomplete_flows} flows never completed"));
+    }
+    let trace_hash = fnv1a(trace_buf.lock().expect("trace buffer poisoned").as_bytes());
+    CaseResult {
+        scheme: scheme.name(),
+        intensity,
+        seed,
+        violations,
+        incomplete_flows,
+        trace_hash,
+        blackholed: sim.stats().data_pkts_blackholed,
+    }
+}
+
+/// Execute one chaos case **twice** and require byte-identical traces.
+pub fn run_case(scheme: Scheme, intensity: ChaosIntensity, seed: u64, quick: bool) -> CaseResult {
+    let mut first = run_once(scheme, intensity, seed, quick);
+    let second = run_once(scheme, intensity, seed, quick);
+    if first.trace_hash != second.trace_hash {
+        first.violations.push(format!(
+            "non-deterministic: trace hash {:#018x} != {:#018x} on replay",
+            first.trace_hash, second.trace_hash
+        ));
+    }
+    first
+}
+
+/// The replay command for a failing case.
+pub fn replay_command(r: &CaseResult, quick: bool) -> String {
+    let intensity = match r.intensity {
+        ChaosIntensity::Low => "low",
+        ChaosIntensity::High => "high",
+    };
+    let scheme = match r.scheme {
+        "PASE" => "pase",
+        _ => "dctcp",
+    };
+    format!(
+        "CHAOS_LOG=1 cargo run --release -p experiments --bin chaos -- \
+         --seed-list {} --scheme {} --intensity {}{}",
+        r.seed,
+        scheme,
+        intensity,
+        if quick { " --quick" } else { "" }
+    )
+}
+
+/// Run the full sweep. Returns every case result; the binary turns
+/// failures into a non-zero exit.
+pub fn sweep(opts: &ChaosOpts) -> Vec<CaseResult> {
+    let mut out = Vec::new();
+    for &scheme in &opts.schemes {
+        for &intensity in &opts.intensities {
+            for &seed in &opts.seeds {
+                let r = run_case(scheme, intensity, seed, opts.quick);
+                if opts.verbose || !r.passed() {
+                    eprintln!(
+                        "chaos {:>5} {:?} seed {:>3}: {} (blackholed {}, trace {:#018x})",
+                        r.scheme,
+                        r.intensity,
+                        r.seed,
+                        if r.passed() { "ok" } else { "FAIL" },
+                        r.blackholed,
+                        r.trace_hash,
+                    );
+                }
+                if !r.passed() {
+                    for v in &r.violations {
+                        eprintln!("  violation: {v}");
+                    }
+                    eprintln!("  replay: {}", replay_command(&r, opts.quick));
+                }
+                out.push(r);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> ChaosOpts {
+        ChaosOpts::from_args(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn arg_parsing() {
+        let o = parse("--seeds 4 --scheme pase --intensity high --quick");
+        assert_eq!(o.seeds, vec![0, 1, 2, 3]);
+        assert_eq!(o.schemes.len(), 1);
+        assert_eq!(o.intensities, vec![ChaosIntensity::High]);
+        assert!(o.quick);
+        let o2 = parse("--seed-list 7,9");
+        assert_eq!(o2.seeds, vec![7, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument")]
+    fn unknown_flag_rejected() {
+        parse("--bogus");
+    }
+
+    /// A miniature slice of the CI smoke sweep: one seed per scheme at
+    /// high intensity must complete with every invariant intact and a
+    /// reproducible trace.
+    #[test]
+    fn chaos_smoke_slice_is_clean() {
+        for scheme in [Scheme::Dctcp, Scheme::Pase] {
+            let r = run_case(scheme, ChaosIntensity::High, 3, true);
+            assert!(
+                r.passed(),
+                "{} seed 3 failed:\n{}",
+                r.scheme,
+                r.violations.join("\n")
+            );
+        }
+    }
+}

@@ -67,5 +67,6 @@ pub fn all(opts: &ExpOpts) -> Vec<FigResult> {
     out.extend(ablations::run(opts));
     out.push(ext_incast::run(opts));
     out.push(ext_faults::run(opts));
+    out.push(ext_faults::run_link_flap(opts));
     out
 }

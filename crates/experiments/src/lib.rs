@@ -8,6 +8,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod chaos;
 pub mod figs;
 pub mod opts;
 pub mod report;

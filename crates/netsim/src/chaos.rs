@@ -1,0 +1,350 @@
+//! Seeded random fault-schedule generation (the "chaos monkey").
+//!
+//! [`generate`] expands a [`ChaosConfig`] — a single `u64` seed, an
+//! intensity knob and a time horizon — into a concrete [`FaultPlan`]
+//! against a given topology: fabric-link flaps, correlated rack-level
+//! outages (a ToR losing every uplink at once), arbitrator crash/restart
+//! storms, and control-packet loss bursts. The expansion is a pure
+//! function of `(topology, config)` using the deterministic
+//! [`crate::rng::Rng`], so a failing run is replayed exactly by re-running
+//! the same seed.
+//!
+//! Structural guarantees, relied on by the chaos harness:
+//!
+//! * every `LinkDown` is paired with a later `LinkUp` of the same link,
+//!   and every `ArbitratorCrash` with a later `ArbitratorRestart`, both
+//!   inside the horizon — the network always heals;
+//! * only *fabric* (switch–switch) links are flapped; host access links
+//!   stay up, so endpoints are never permanently unreachable;
+//! * all fault times lie within the first 95% of the horizon, leaving a
+//!   healed tail for flows to finish in.
+
+use crate::fault::FaultPlan;
+use crate::ids::NodeId;
+use crate::rng::Rng;
+use crate::time::{SimDuration, SimTime};
+use crate::topology::{NodeKind, Topology};
+
+/// How hard the chaos monkey shakes the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosIntensity {
+    /// Sparse faults: at most one flap per fabric link, no rack outages,
+    /// one crash storm, a couple of control-loss bursts.
+    Low,
+    /// Dense faults: several flaps per link with longer outages, one or
+    /// two correlated rack outages, two crash storms, many bursts.
+    High,
+}
+
+/// A replayable chaos-schedule specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosConfig {
+    /// The single seed the whole schedule derives from.
+    pub seed: u64,
+    /// Fault density.
+    pub intensity: ChaosIntensity,
+    /// Faults are scheduled within the first 95% of this window.
+    pub horizon: SimDuration,
+}
+
+/// The fabric links of a topology: deduplicated switch–switch pairs, in
+/// deterministic (id-sorted) order, lower id first.
+fn fabric_links(topo: &Topology) -> Vec<(NodeId, NodeId)> {
+    let mut links = Vec::new();
+    for s in topo.switches() {
+        for (_, peer, _, _) in topo.neighbors(s) {
+            if topo.kind(peer) == NodeKind::Switch && s.0 < peer.0 {
+                links.push((s, peer));
+            }
+        }
+    }
+    links
+}
+
+/// Switches that look like ToRs: at least one host neighbor and at least
+/// one switch neighbor (so an "outage" severs uplinks, not hosts).
+fn tor_switches(topo: &Topology) -> Vec<NodeId> {
+    topo.switches()
+        .into_iter()
+        .filter(|&s| {
+            let n = topo.neighbors(s);
+            n.iter().any(|&(_, p, _, _)| topo.kind(p) == NodeKind::Host)
+                && n.iter()
+                    .any(|&(_, p, _, _)| topo.kind(p) == NodeKind::Switch)
+        })
+        .collect()
+}
+
+/// Uniform instant in `[lo, hi]` nanoseconds.
+fn draw_time(rng: &mut Rng, lo: u64, hi: u64) -> SimTime {
+    SimTime::from_nanos(rng.gen_range_inclusive(lo, hi))
+}
+
+/// Expand `cfg` into a concrete fault schedule for `topo`.
+///
+/// Pure and deterministic: the same `(topo, cfg)` always yields the same
+/// plan. Panics if the horizon is shorter than 1 ms (too little room to
+/// schedule a flap and its recovery).
+pub fn generate(topo: &Topology, cfg: &ChaosConfig) -> FaultPlan {
+    let h = cfg.horizon.as_nanos();
+    assert!(h >= 1_000_000, "chaos horizon must be at least 1 ms");
+    // Everything (including recoveries) lands before this.
+    let latest = h * 95 / 100;
+    let mut rng = Rng::seed_from_u64(cfg.seed);
+    let mut plan = FaultPlan::new();
+
+    let links = fabric_links(topo);
+    let switches = topo.switches();
+    let hi = cfg.intensity == ChaosIntensity::High;
+
+    // 1. Per-link flaps (non-overlapping windows on each link).
+    let (dur_lo, dur_hi) = if hi {
+        (h / 50, h / 4)
+    } else {
+        (h / 100, h / 10)
+    };
+    for &(a, b) in &links {
+        let flaps = if hi {
+            rng.gen_range_inclusive(1, 3)
+        } else {
+            rng.gen_range_inclusive(0, 1)
+        };
+        let mut starts: Vec<u64> = (0..flaps)
+            .map(|_| rng.gen_range_inclusive(0, h * 9 / 10))
+            .collect();
+        starts.sort_unstable();
+        let mut cursor = 0u64;
+        for start in starts {
+            if start < cursor {
+                continue; // would overlap the previous window on this link
+            }
+            let dur = rng.gen_range_inclusive(dur_lo, dur_hi);
+            let end = (start + dur).min(latest);
+            if end <= start {
+                continue;
+            }
+            plan = plan.link_down(SimTime::from_nanos(start), a, b).link_up(
+                SimTime::from_nanos(end),
+                a,
+                b,
+            );
+            cursor = end + 1;
+        }
+    }
+
+    // 2. Correlated rack outages: one ToR loses all its uplinks at once.
+    // Each ToR is hit at most once so windows on a link never overlap.
+    let tors = tor_switches(topo);
+    let outages = if hi && !links.is_empty() && !tors.is_empty() {
+        (rng.gen_range_inclusive(1, 2) as usize).min(tors.len())
+    } else {
+        0
+    };
+    let mut hit = Vec::new();
+    for _ in 0..outages {
+        let tor = loop {
+            let t = tors[rng.gen_index(tors.len())];
+            if !hit.contains(&t) {
+                break t;
+            }
+        };
+        hit.push(tor);
+        let start = rng.gen_range_inclusive(0, h * 8 / 10);
+        let dur = rng.gen_range_inclusive(h / 50, h / 8);
+        let end = (start + dur).min(latest);
+        for (_, peer, _, _) in topo.neighbors(tor) {
+            if topo.kind(peer) == NodeKind::Switch {
+                plan = plan
+                    .link_down(SimTime::from_nanos(start), tor, peer)
+                    .link_up(SimTime::from_nanos(end), tor, peer);
+            }
+        }
+    }
+
+    // 3. Arbitrator crash/restart storms over a random subset of switches.
+    let storms = if hi { 2 } else { 1 };
+    for _ in 0..storms {
+        let start = rng.gen_range_inclusive(0, h * 8 / 10);
+        let mut victims: Vec<NodeId> = switches
+            .iter()
+            .copied()
+            .filter(|_| rng.gen_f64() < 0.5)
+            .collect();
+        if victims.is_empty() && !switches.is_empty() {
+            victims.push(switches[rng.gen_index(switches.len())]);
+        }
+        for node in victims {
+            let down = rng.gen_range_inclusive(h / 100, h / 10);
+            let at = draw_time(&mut rng, start, (start + down / 4).min(latest - 1));
+            let back = SimTime::from_nanos((at.as_nanos() + down).min(latest));
+            plan = plan
+                .arbitrator_crash(at, node)
+                .arbitrator_restart(back, node);
+        }
+    }
+
+    // 4. Control-loss bursts on random fabric-link directions.
+    if !links.is_empty() {
+        let bursts = if hi { 6 } else { 2 };
+        for _ in 0..bursts {
+            let (a, b) = links[rng.gen_index(links.len())];
+            let (from, to) = if rng.gen_f64() < 0.5 { (a, b) } else { (b, a) };
+            let at = rng.gen_range_inclusive(0, h * 9 / 10);
+            let n = rng.gen_range_inclusive(1, 8);
+            plan = plan.ctrl_loss_burst(SimTime::from_nanos(at.min(latest)), from, to, n);
+        }
+    }
+
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultEvent;
+    use crate::flow::{FlowSpec, ReceiverHint};
+    use crate::host::{AgentCtx, AgentFactory, FlowAgent};
+    use crate::queue::DropTailQdisc;
+    use crate::time::Rate;
+    use crate::topology::TopologyBuilder;
+    use std::sync::Arc;
+
+    struct NullFactory;
+    struct NullAgent;
+    impl FlowAgent for NullAgent {
+        fn on_start(&mut self, _: &mut AgentCtx<'_, '_>) {}
+        fn on_packet(&mut self, _: crate::packet::Packet, _: &mut AgentCtx<'_, '_>) {}
+        fn on_timer(&mut self, _: u64, _: &mut AgentCtx<'_, '_>) {}
+        fn is_done(&self) -> bool {
+            false
+        }
+    }
+    impl AgentFactory for NullFactory {
+        fn sender(&self, _: &FlowSpec) -> Box<dyn FlowAgent> {
+            Box::new(NullAgent)
+        }
+        fn receiver(&self, _: ReceiverHint) -> Box<dyn FlowAgent> {
+            Box::new(NullAgent)
+        }
+    }
+
+    /// 2 spines, 2 leaves, 2 hosts per leaf — smallest multi-path fabric.
+    fn leaf_spine() -> Topology {
+        let mut b = TopologyBuilder::new();
+        let spines = [b.add_switch(), b.add_switch()];
+        for _ in 0..2 {
+            let leaf = b.add_switch();
+            for s in spines {
+                b.connect(leaf, s, Rate::from_gbps(40), SimDuration::from_micros(2));
+            }
+            for h in b.add_hosts(2) {
+                b.connect(h, leaf, Rate::from_gbps(10), SimDuration::from_micros(1));
+            }
+        }
+        b.build(Arc::new(NullFactory), &|_| Box::new(DropTailQdisc::new(16)))
+            .topo
+    }
+
+    fn cfg(seed: u64, intensity: ChaosIntensity) -> ChaosConfig {
+        ChaosConfig {
+            seed,
+            intensity,
+            horizon: SimDuration::from_millis(100),
+        }
+    }
+
+    #[test]
+    fn same_seed_same_plan() {
+        let topo = leaf_spine();
+        let a = generate(&topo, &cfg(42, ChaosIntensity::High));
+        let b = generate(&topo, &cfg(42, ChaosIntensity::High));
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let topo = leaf_spine();
+        let a = generate(&topo, &cfg(1, ChaosIntensity::High));
+        let b = generate(&topo, &cfg(2, ChaosIntensity::High));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn every_fault_heals_within_the_horizon() {
+        let topo = leaf_spine();
+        for seed in 0..16 {
+            for intensity in [ChaosIntensity::Low, ChaosIntensity::High] {
+                let c = cfg(seed, intensity);
+                let plan = generate(&topo, &c);
+                let latest = SimTime::from_nanos(c.horizon.as_nanos() * 95 / 100);
+                let mut open_links = Vec::new();
+                let mut crashed = Vec::new();
+                for &(at, ev) in plan.events() {
+                    assert!(at <= latest, "seed {seed}: event at {at} past {latest}");
+                    match ev {
+                        FaultEvent::LinkDown { a, b } => open_links.push((a, b)),
+                        FaultEvent::LinkUp { a, b } => {
+                            let i = open_links
+                                .iter()
+                                .position(|&l| l == (a, b))
+                                .unwrap_or_else(|| panic!("seed {seed}: up without down"));
+                            open_links.swap_remove(i);
+                        }
+                        FaultEvent::ArbitratorCrash { node } => crashed.push(node),
+                        FaultEvent::ArbitratorRestart { node } => {
+                            let i = crashed
+                                .iter()
+                                .position(|&n| n == node)
+                                .unwrap_or_else(|| panic!("seed {seed}: restart w/o crash"));
+                            crashed.swap_remove(i);
+                        }
+                        FaultEvent::CtrlLossBurst { .. } => {}
+                    }
+                }
+                assert!(open_links.is_empty(), "seed {seed}: unhealed links");
+                assert!(crashed.is_empty(), "seed {seed}: unrestarted arbitrators");
+            }
+        }
+    }
+
+    #[test]
+    fn high_intensity_generates_more_faults() {
+        let topo = leaf_spine();
+        let total = |i: ChaosIntensity| -> usize {
+            (0..8).map(|s| generate(&topo, &cfg(s, i)).len()).sum()
+        };
+        assert!(
+            total(ChaosIntensity::High) > total(ChaosIntensity::Low),
+            "high intensity should produce more fault events on average"
+        );
+    }
+
+    #[test]
+    fn only_fabric_links_are_flapped() {
+        let topo = leaf_spine();
+        let hosts = topo.hosts();
+        for seed in 0..8 {
+            let plan = generate(&topo, &cfg(seed, ChaosIntensity::High));
+            for &(_, ev) in plan.events() {
+                if let FaultEvent::LinkDown { a, b } | FaultEvent::LinkUp { a, b } = ev {
+                    assert!(!hosts.contains(&a) && !hosts.contains(&b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1 ms")]
+    fn tiny_horizon_is_rejected() {
+        let topo = leaf_spine();
+        generate(
+            &topo,
+            &ChaosConfig {
+                seed: 0,
+                intensity: ChaosIntensity::Low,
+                horizon: SimDuration::from_micros(10),
+            },
+        );
+    }
+}

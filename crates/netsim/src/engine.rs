@@ -81,6 +81,15 @@ impl Scheduler {
     pub fn next_event_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|e| e.time)
     }
+
+    /// Iterate over every pending event in unspecified order.
+    ///
+    /// Used by the [`crate::invariants`] checker to account for packets
+    /// that are "on the wire" (scheduled [`EventKind::Deliver`]s) and
+    /// timers that prove a flow can still make progress.
+    pub fn pending_events(&self) -> impl Iterator<Item = (SimTime, NodeId, &EventKind)> {
+        self.heap.iter().map(|e| (e.time, e.target, &e.kind))
+    }
 }
 
 /// Per-event context handed to node handlers.

@@ -115,8 +115,10 @@ impl<'a, 'b> AgentCtx<'a, 'b> {
     /// Transmit a packet out of the host's access port.
     pub fn send(&mut self, mut pkt: Packet) {
         pkt.ts = self.now();
-        if pkt.kind == PacketKind::Ctrl {
-            self.sim.stats.note_ctrl_sent(pkt.wire_bytes);
+        match pkt.kind {
+            PacketKind::Ctrl => self.sim.stats.note_ctrl_sent(pkt.wire_bytes),
+            PacketKind::Data => self.sim.stats.note_data_injected(),
+            _ => {}
         }
         self.host.port.send(pkt, self.sim);
     }
@@ -176,8 +178,10 @@ impl<'a, 'b, 'c> HostIo<'a, 'b, 'c> {
     /// Transmit a packet out of the host's access port.
     pub fn send(&mut self, mut pkt: Packet) {
         pkt.ts = self.now();
-        if pkt.kind == PacketKind::Ctrl {
-            self.sim.stats.note_ctrl_sent(pkt.wire_bytes);
+        match pkt.kind {
+            PacketKind::Ctrl => self.sim.stats.note_ctrl_sent(pkt.wire_bytes),
+            PacketKind::Data => self.sim.stats.note_data_injected(),
+            _ => {}
         }
         self.host.port.send(pkt, self.sim);
     }
@@ -313,6 +317,9 @@ impl Host {
 
     fn deliver(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
         debug_assert_eq!(pkt.dst, self.core.id, "misrouted packet");
+        if pkt.kind == PacketKind::Data {
+            ctx.stats.note_data_delivered();
+        }
         // Control-plane packets always go to the host service, even when a
         // flow agent exists for the tagged flow: agents learn of control
         // state changes through service wake-ups, not raw packets.

@@ -67,12 +67,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod chaos;
 pub mod engine;
 pub mod event;
 pub mod fault;
 pub mod flow;
 pub mod host;
 pub mod ids;
+pub mod invariants;
 pub mod node;
 pub mod packet;
 pub mod port;
@@ -87,9 +89,11 @@ pub mod trace;
 
 /// The types most users need, in one import.
 pub mod prelude {
+    pub use crate::chaos::{ChaosConfig, ChaosIntensity};
     pub use crate::fault::{FaultEvent, FaultPlan};
     pub use crate::flow::FlowSpec;
     pub use crate::ids::{FlowId, LinkId, NodeId, PortId};
+    pub use crate::invariants::{InvariantConfig, InvariantReport};
     pub use crate::packet::{Packet, PacketKind};
     pub use crate::queue::{DropTailQdisc, Qdisc, RedEcnQdisc, StrictPrioQdisc};
     pub use crate::rng::Rng;

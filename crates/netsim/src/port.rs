@@ -203,6 +203,17 @@ impl Port {
         self.in_flight.is_some()
     }
 
+    /// Visit every packet currently held by this port: queued in the
+    /// qdisc plus the one being serialized, if any. Used by the
+    /// [`crate::invariants`] conservation walk to count in-network
+    /// packets.
+    pub fn for_each_held(&self, f: &mut dyn FnMut(&Packet)) {
+        self.qdisc.for_each_queued(f);
+        if let Some(p) = &self.in_flight {
+            f(p);
+        }
+    }
+
     /// Queue-discipline counters.
     pub fn qdisc_stats(&self) -> QdiscStats {
         self.qdisc.stats()

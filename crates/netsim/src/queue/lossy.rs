@@ -132,6 +132,10 @@ impl Qdisc for LossyQdisc {
         self.inner.len_bytes()
     }
 
+    fn for_each_queued(&self, f: &mut dyn FnMut(&Packet)) {
+        self.inner.for_each_queued(f);
+    }
+
     fn stats(&self) -> QdiscStats {
         let mut s = self.inner.stats();
         s.dropped_pkts += self.forced_drops;

@@ -78,6 +78,12 @@ pub trait Qdisc: Send {
         self.len_pkts() == 0
     }
 
+    /// Visit every queued packet, in an unspecified but deterministic
+    /// order. Used by accounting walks that must count in-network packets
+    /// independently of the queue's own counters (e.g. the
+    /// [`crate::invariants`] conservation check).
+    fn for_each_queued(&self, f: &mut dyn FnMut(&Packet));
+
     /// Cumulative counters.
     fn stats(&self) -> QdiscStats;
 }

@@ -86,6 +86,12 @@ impl Qdisc for RedEcnQdisc {
         self.bytes
     }
 
+    fn for_each_queued(&self, f: &mut dyn FnMut(&Packet)) {
+        for p in &self.queue {
+            f(p);
+        }
+    }
+
     fn stats(&self) -> QdiscStats {
         self.stats
     }

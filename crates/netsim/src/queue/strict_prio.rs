@@ -75,6 +75,12 @@ impl Qdisc for StrictPrioQdisc {
         self.bands.iter().map(|b| b.len_bytes()).sum()
     }
 
+    fn for_each_queued(&self, f: &mut dyn FnMut(&Packet)) {
+        for b in &self.bands {
+            b.for_each_queued(f);
+        }
+    }
+
     fn stats(&self) -> QdiscStats {
         let mut total = QdiscStats::default();
         for b in &self.bands {

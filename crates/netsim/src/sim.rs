@@ -7,7 +7,13 @@ use crate::fault::{FaultDirective, FaultEvent, FaultPlan};
 use crate::flow::FlowSpec;
 use crate::ids::NodeId;
 use crate::ids::PortId;
+use crate::invariants::{
+    is_data_deliver, ConservationTerms, InNetwork, Invariant, InvariantConfig, InvariantMonitor,
+    InvariantReport, ProgressEvidence, Violation,
+};
 use crate::node::Node;
+use crate::packet::PacketKind;
+use crate::port::Port;
 use crate::stats::StatsCollector;
 use crate::time::SimTime;
 use crate::topology::{Network, Topology};
@@ -54,6 +60,7 @@ pub struct Simulation {
     nodes: Vec<Node>,
     topo: Topology,
     stats: StatsCollector,
+    invariants: Option<InvariantMonitor>,
 }
 
 impl Simulation {
@@ -64,6 +71,7 @@ impl Simulation {
             nodes: net.nodes,
             topo: net.topo,
             stats: StatsCollector::new(),
+            invariants: None,
         }
     }
 
@@ -211,12 +219,123 @@ impl Simulation {
                 return RunOutcome::Drained;
             };
             self.stats.events_executed += 1;
+            if let Some(mon) = &mut self.invariants {
+                let now = self.sched.now();
+                if mon.on_event(now) {
+                    Self::scan_queues(&self.nodes, now, mon);
+                }
+            }
             let mut ctx = Ctx {
                 node: target,
                 sched: &mut self.sched,
                 stats: &mut self.stats,
             };
             self.nodes[target.index()].handle(kind, &mut ctx);
+        }
+    }
+
+    /// Turn on online invariant monitoring (clock monotonicity every
+    /// event, queue bounds periodically). Violations accumulate and are
+    /// returned by [`Simulation::check_invariants`].
+    pub fn enable_invariants(&mut self, cfg: InvariantConfig) {
+        self.invariants = Some(InvariantMonitor::new(cfg));
+    }
+
+    /// Audit the global invariants (see [`crate::invariants`]): packet
+    /// conservation, no stuck flow, queue bounds — plus anything the
+    /// online monitor accumulated during [`Simulation::run`]. Usually
+    /// called after a run stops; safe to call at any point, with or
+    /// without [`Simulation::enable_invariants`].
+    pub fn check_invariants(&self) -> InvariantReport {
+        let now = self.sched.now();
+        let cfg = self.invariants.as_ref().map(|m| m.cfg).unwrap_or_default();
+        let mut violations: Vec<Violation> = self
+            .invariants
+            .as_ref()
+            .map(|m| m.violations.clone())
+            .unwrap_or_default();
+
+        // One walk over ports and pending events feeds both the
+        // conservation count and the stuck-flow evidence.
+        let mut evidence = ProgressEvidence::default();
+        let mut in_net = InNetwork::default();
+        Self::for_each_port(&self.nodes, &mut |node, port| {
+            port.for_each_held(&mut |pkt| {
+                evidence.note_flow(pkt.flow);
+                if pkt.kind == PacketKind::Data {
+                    in_net.in_ports += 1;
+                }
+            });
+            let len = port.queue_len_pkts();
+            if len > cfg.max_queue_pkts {
+                violations.push(Violation {
+                    at: now,
+                    invariant: Invariant::QueueBound,
+                    detail: format!(
+                        "queue on {node} holds {len} pkts (bound {})",
+                        cfg.max_queue_pkts
+                    ),
+                });
+            }
+        });
+        for (_, target, kind) in self.sched.pending_events() {
+            evidence.note_event(target, kind);
+            if is_data_deliver(kind) {
+                in_net.on_wire += 1;
+            }
+        }
+
+        ConservationTerms {
+            injected: self.stats.data_pkts_injected,
+            delivered: self.stats.data_pkts_delivered,
+            dropped: self.stats.data_pkts_dropped,
+            blackholed: self.stats.data_pkts_blackholed,
+            consumed: self.stats.data_pkts_consumed,
+            in_network: in_net,
+        }
+        .check(now, &mut violations);
+
+        for rec in self.stats.flows() {
+            if rec.completed.is_none()
+                && !evidence.can_progress(rec.spec.id, rec.spec.src, rec.spec.dst)
+            {
+                violations.push(Violation {
+                    at: now,
+                    invariant: Invariant::StuckFlow,
+                    detail: format!(
+                        "{} ({} -> {}) incomplete with no pending event, packet, \
+                         or control timer that could advance it",
+                        rec.spec.id, rec.spec.src, rec.spec.dst
+                    ),
+                });
+            }
+        }
+
+        InvariantReport { violations }
+    }
+
+    /// Periodic online scan: flag any port whose queue exceeds the bound.
+    fn scan_queues(nodes: &[Node], now: SimTime, mon: &mut InvariantMonitor) {
+        let bound = mon.cfg.max_queue_pkts;
+        Self::for_each_port(nodes, &mut |node, port| {
+            let len = port.queue_len_pkts();
+            if len > bound {
+                mon.note_queue_violation(now, node, len);
+            }
+        });
+    }
+
+    /// Visit every output port in the network.
+    fn for_each_port(nodes: &[Node], f: &mut dyn FnMut(NodeId, &Port)) {
+        for node in nodes {
+            match node {
+                Node::Host(h) => f(h.id(), h.port()),
+                Node::Switch(s) => {
+                    for port in s.ports() {
+                        f(s.id(), port);
+                    }
+                }
+            }
         }
     }
 }

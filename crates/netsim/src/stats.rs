@@ -67,6 +67,19 @@ pub struct StatsCollector {
     pub data_pkts_dropped: u64,
     /// Data packets accepted into queues (all flows); drop-rate denominator.
     pub data_pkts_enqueued: u64,
+    /// Data packets injected by host endpoints (senders and services),
+    /// counting each retransmitted copy separately. Left-hand side of the
+    /// byte-conservation invariant (see [`crate::invariants`]).
+    pub data_pkts_injected: u64,
+    /// Data packets delivered to their destination host.
+    pub data_pkts_delivered: u64,
+    /// Data packets blackholed at switches (no surviving next hop).
+    /// Counted separately from [`StatsCollector::data_pkts_dropped`].
+    pub data_pkts_blackholed: u64,
+    /// Packets of any kind blackholed at switches.
+    pub blackhole_pkts: u64,
+    /// Data packets consumed by switch plugins instead of forwarded.
+    pub data_pkts_consumed: u64,
     /// Control-plane packets sent (PASE arbitration traffic).
     pub ctrl_pkts: u64,
     /// Control-plane bytes sent.
@@ -204,6 +217,37 @@ impl StatsCollector {
     /// Record a data packet accepted into a queue (drop-rate denominator).
     pub fn note_data_enqueued(&mut self) {
         self.data_pkts_enqueued += 1;
+    }
+
+    /// Record a packet blackholed at a switch (no live route). Data
+    /// blackholes count toward the flow's drop tally but not toward
+    /// [`StatsCollector::data_pkts_dropped`], so queue loss and routing
+    /// loss stay separable.
+    pub fn note_blackhole(&mut self, pkt: &Packet) {
+        self.blackhole_pkts += 1;
+        if pkt.kind == PacketKind::Data {
+            self.data_pkts_blackholed += 1;
+            if let Some(rec) = self.flows.get_mut(&pkt.flow) {
+                rec.drops += 1;
+            }
+        }
+    }
+
+    /// Record a data packet injected into the network by a host endpoint.
+    pub fn note_data_injected(&mut self) {
+        self.data_pkts_injected += 1;
+    }
+
+    /// Record a data packet delivered to its destination host.
+    pub fn note_data_delivered(&mut self) {
+        self.data_pkts_delivered += 1;
+    }
+
+    /// Record a packet consumed by a switch plugin instead of forwarded.
+    pub fn note_plugin_consumed(&mut self, pkt: &Packet) {
+        if pkt.kind == PacketKind::Data {
+            self.data_pkts_consumed += 1;
+        }
     }
 
     /// Record a control-plane packet of `bytes` put on the wire.

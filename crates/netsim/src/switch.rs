@@ -35,6 +35,25 @@ fn mix64(mut x: u64) -> u64 {
 /// Per-destination next hops: one or more equal-cost output ports.
 pub type FibEntry = Vec<PortId>;
 
+/// Failure-aware ECMP selection: hash `flow` over the *live* ports of a
+/// FIB entry, so flows re-hash onto surviving equal-cost siblings while a
+/// link is down and fall back to the original spread once it recovers.
+/// With every port up this reduces to `entry[mix64(flow) % entry.len()]`,
+/// the historical healthy-path behaviour. Returns `None` when no next hop
+/// survives (the caller records a blackhole).
+fn route_live(entry: &[PortId], ports: &[Port], flow: FlowId) -> Option<PortId> {
+    let live = entry.iter().filter(|p| ports[p.index()].is_up()).count();
+    if live == 0 {
+        return None;
+    }
+    let k = mix64(flow.0) as usize % live;
+    entry
+        .iter()
+        .filter(|p| ports[p.index()].is_up())
+        .nth(k)
+        .copied()
+}
+
 /// What a plugin decides about a transiting packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Verdict {
@@ -87,6 +106,8 @@ pub struct SwitchIo<'a, 'b> {
     pub ports: &'a mut Vec<Port>,
     /// Forwarding table indexed by destination node id.
     pub fib: &'a Vec<FibEntry>,
+    /// The switch's blackhole counter (see [`Switch::blackhole_drops`]).
+    pub blackhole_drops: &'a mut u64,
     /// Engine context.
     pub sim: &'a mut Ctx<'b>,
 }
@@ -97,22 +118,21 @@ impl<'a, 'b> SwitchIo<'a, 'b> {
         self.sim.now()
     }
 
-    /// Pick the output port toward `dst` for `flow` (ECMP by flow hash).
+    /// Pick the output port toward `dst` for `flow` (ECMP by flow hash
+    /// over the live equal-cost ports). `None` when no next hop survives.
     pub fn route(&self, dst: NodeId, flow: FlowId) -> Option<PortId> {
         let entry = self.fib.get(dst.index())?;
-        match entry.len() {
-            0 => None,
-            1 => Some(entry[0]),
-            n => Some(entry[mix64(flow.0) as usize % n]),
-        }
+        route_live(entry, self.ports, flow)
     }
 
     /// Send a packet toward its destination through the forwarding table.
-    /// Control packets are counted as control-plane overhead.
+    /// Control packets are counted as control-plane overhead. A packet
+    /// with no surviving next hop is blackholed (counted and traced).
     pub fn send(&mut self, mut pkt: Packet) {
         pkt.ts = self.now();
         let Some(port) = self.route(pkt.dst, pkt.flow) else {
-            debug_assert!(false, "no route from {} to {}", self.id, pkt.dst);
+            *self.blackhole_drops += 1;
+            record_blackhole(self.id, &pkt, self.sim);
             return;
         };
         if pkt.kind == PacketKind::Ctrl {
@@ -132,6 +152,21 @@ impl<'a, 'b> SwitchIo<'a, 'b> {
     }
 }
 
+/// Count and trace one blackholed packet (no live route at `node`).
+fn record_blackhole(node: NodeId, pkt: &Packet, ctx: &mut Ctx<'_>) {
+    ctx.stats.note_blackhole(pkt);
+    let now = ctx.now();
+    ctx.stats.trace_event(
+        now,
+        &crate::trace::TraceEvent::Blackhole {
+            node,
+            flow: pkt.flow,
+            kind: pkt.kind,
+            seq: pkt.seq,
+        },
+    );
+}
+
 /// A store-and-forward switch.
 pub struct Switch {
     id: NodeId,
@@ -139,6 +174,9 @@ pub struct Switch {
     /// Forwarding table: `fib[dst_node] = equal-cost output ports`.
     fib: Vec<FibEntry>,
     plugin: Option<Box<dyn SwitchPlugin>>,
+    /// Packets dropped because no next hop toward their destination was
+    /// alive (all equal-cost ports down or the FIB entry empty).
+    blackhole_drops: u64,
 }
 
 impl Switch {
@@ -150,6 +188,7 @@ impl Switch {
             ports,
             fib,
             plugin: None,
+            blackhole_drops: 0,
         }
     }
 
@@ -166,6 +205,11 @@ impl Switch {
     /// The switch's output ports (for tracing).
     pub fn ports(&self) -> &[Port] {
         &self.ports
+    }
+
+    /// Packets dropped at this switch for lack of a live next hop.
+    pub fn blackhole_drops(&self) -> u64 {
+        self.blackhole_drops
     }
 
     /// Downcast the plugin to a concrete type.
@@ -224,7 +268,8 @@ impl Switch {
             return;
         }
         let Some(out) = self.route(pkt.dst, pkt.flow) else {
-            debug_assert!(false, "no route from {} to {}", self.id, pkt.dst);
+            self.blackhole_drops += 1;
+            record_blackhole(self.id, &pkt, ctx);
             return;
         };
         if self.plugin.is_some() {
@@ -239,21 +284,21 @@ impl Switch {
                     let pkt = moved.take().expect("packet present");
                     self.ports[out.index()].send(pkt, ctx);
                 }
-                Verdict::Consume => {}
+                Verdict::Consume => {
+                    let pkt = moved.take().expect("packet present");
+                    ctx.stats.note_plugin_consumed(&pkt);
+                }
             }
         } else {
             self.ports[out.index()].send(pkt, ctx);
         }
     }
 
-    /// Pick the output port toward `dst` for `flow` (ECMP by flow hash).
+    /// Pick the output port toward `dst` for `flow` (ECMP by flow hash
+    /// over the live equal-cost ports). `None` when no next hop survives.
     pub fn route(&self, dst: NodeId, flow: FlowId) -> Option<PortId> {
         let entry = self.fib.get(dst.index())?;
-        match entry.len() {
-            0 => None,
-            1 => Some(entry[0]),
-            n => Some(entry[mix64(flow.0) as usize % n]),
-        }
+        route_live(entry, &self.ports, flow)
     }
 
     /// Run a closure with the plugin detached, so the plugin can borrow the
@@ -270,6 +315,7 @@ impl Switch {
                 id: self.id,
                 ports: &mut self.ports,
                 fib: &self.fib,
+                blackhole_drops: &mut self.blackhole_drops,
                 sim: ctx,
             };
             f(plugin.as_mut(), &mut io);
@@ -291,6 +337,102 @@ impl core::fmt::Debug for Switch {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::Scheduler;
+    use crate::queue::DropTailQdisc;
+    use crate::stats::StatsCollector;
+    use crate::time::Rate;
+
+    /// A switch with two equal-cost ports (to n1 and n2) toward dst n5.
+    fn two_way_switch() -> Switch {
+        let mk = |i: u32, peer: u32| {
+            Port::new(
+                PortId(i),
+                NodeId(peer),
+                Rate::from_gbps(1),
+                SimDuration::from_micros(10),
+                Box::new(DropTailQdisc::new(16)),
+            )
+        };
+        let mut fib = vec![Vec::new(); 6];
+        fib[5] = vec![PortId(0), PortId(1)];
+        Switch::new(NodeId(10), vec![mk(0, 1), mk(1, 2)], fib)
+    }
+
+    fn routes_used(sw: &Switch) -> std::collections::BTreeSet<PortId> {
+        (0..64)
+            .filter_map(|f| sw.route(NodeId(5), FlowId(f)))
+            .collect()
+    }
+
+    #[test]
+    fn reroute_prunes_dead_ecmp_sibling_and_restores() {
+        let mut sw = two_way_switch();
+        let mut sched = Scheduler::new();
+        let mut stats = StatsCollector::new();
+        assert_eq!(routes_used(&sw).len(), 2, "healthy ECMP uses both ports");
+        {
+            let mut ctx = Ctx {
+                node: NodeId(10),
+                sched: &mut sched,
+                stats: &mut stats,
+            };
+            sw.handle(
+                EventKind::Fault(FaultDirective::PortDown(PortId(0))),
+                &mut ctx,
+            );
+        }
+        let live = routes_used(&sw);
+        assert_eq!(
+            live.into_iter().collect::<Vec<_>>(),
+            vec![PortId(1)],
+            "all flows re-hash onto the surviving sibling"
+        );
+        {
+            let mut ctx = Ctx {
+                node: NodeId(10),
+                sched: &mut sched,
+                stats: &mut stats,
+            };
+            sw.handle(
+                EventKind::Fault(FaultDirective::PortUp(PortId(0))),
+                &mut ctx,
+            );
+        }
+        assert_eq!(routes_used(&sw).len(), 2, "recovery restores the spread");
+        assert_eq!(sw.blackhole_drops(), 0);
+    }
+
+    #[test]
+    fn no_live_route_is_a_counted_blackhole() {
+        let mut sw = two_way_switch();
+        let mut sched = Scheduler::new();
+        let mut stats = StatsCollector::new();
+        let tracer = crate::trace::TextTracer::new();
+        let buf = tracer.buffer();
+        stats.set_tracer(Box::new(tracer));
+        let mut ctx = Ctx {
+            node: NodeId(10),
+            sched: &mut sched,
+            stats: &mut stats,
+        };
+        sw.handle(
+            EventKind::Fault(FaultDirective::PortDown(PortId(0))),
+            &mut ctx,
+        );
+        sw.handle(
+            EventKind::Fault(FaultDirective::PortDown(PortId(1))),
+            &mut ctx,
+        );
+        assert_eq!(sw.route(NodeId(5), FlowId(7)), None);
+        let pkt = Packet::data(FlowId(7), NodeId(3), NodeId(5), 0, 1460);
+        sw.handle(EventKind::Deliver(pkt), &mut ctx);
+        assert_eq!(sw.blackhole_drops(), 1);
+        assert_eq!(stats.blackhole_pkts, 1);
+        assert_eq!(stats.data_pkts_blackholed, 1);
+        assert_eq!(stats.data_pkts_dropped, 0, "blackholes are not queue drops");
+        let out = buf.lock().unwrap().clone();
+        assert!(out.contains("BHOL n10 f7 Data seq=0"), "{out}");
+    }
 
     #[test]
     fn mix64_is_deterministic_and_spreads() {

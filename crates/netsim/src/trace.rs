@@ -46,6 +46,20 @@ pub enum TraceEvent {
         /// Sequence number.
         seq: u64,
     },
+    /// A packet was blackholed at a switch: no surviving next hop toward
+    /// its destination (every equal-cost port is down, or the FIB has no
+    /// entry). Distinct from [`TraceEvent::Drop`] so failure-induced
+    /// routing losses are separable from queue overflow.
+    Blackhole {
+        /// The switch that had no live route.
+        node: NodeId,
+        /// The packet's flow.
+        flow: FlowId,
+        /// Packet kind.
+        kind: PacketKind,
+        /// Sequence number.
+        seq: u64,
+    },
     /// A flow completed (or was aborted).
     FlowDone {
         /// The flow.
@@ -127,6 +141,17 @@ impl TraceSink for TextTracer {
                     return;
                 }
                 format!("{now} DROP {flow} {kind:?} seq={seq}")
+            }
+            TraceEvent::Blackhole {
+                node,
+                flow,
+                kind,
+                seq,
+            } => {
+                if !self.matches(flow) {
+                    return;
+                }
+                format!("{now} BHOL {node} {flow} {kind:?} seq={seq}")
             }
             TraceEvent::FlowDone { flow, aborted } => {
                 if !self.matches(flow) {

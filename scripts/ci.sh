@@ -14,6 +14,12 @@ cargo build --release --workspace
 echo "== cargo test (workspace) =="
 cargo test --workspace -q
 
+# Chaos smoke: 8 fixed seeds x {low,high} x {PASE,DCTCP} fault storms at
+# the quick profile, checked by the global invariant oracle. A failing
+# seed prints the exact command line that replays just that case.
+echo "== chaos smoke (8 seeds, quick) =="
+./target/release/chaos --seeds 8 --quick
+
 if cargo fmt --version >/dev/null 2>&1; then
     echo "== cargo fmt --check =="
     cargo fmt --all -- --check
