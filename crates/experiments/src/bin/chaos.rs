@@ -7,20 +7,24 @@ use experiments::chaos::{sweep, ChaosOpts};
 fn main() {
     let opts = ChaosOpts::from_args(std::env::args().skip(1));
     eprintln!(
-        "chaos sweep: {} seeds x {} intensities x {} schemes ({})",
+        "chaos sweep: {} seeds x {} intensities x {} schemes x {} fault classes ({})",
         opts.seeds.len(),
         opts.intensities.len(),
         opts.schemes.len(),
+        opts.fault_classes.len(),
         if opts.quick { "quick" } else { "full" },
     );
     let results = sweep(&opts);
     let failed = results.iter().filter(|r| !r.passed()).count();
     let blackholed: u64 = results.iter().map(|r| r.blackholed).sum();
+    let aborted: usize = results.iter().map(|r| r.aborted_flows).sum();
     println!(
-        "chaos: {}/{} cases clean; {} data packets blackholed across the sweep",
+        "chaos: {}/{} cases clean; {} data packets blackholed, {} flows aborted \
+         (all attributable) across the sweep",
         results.len() - failed,
         results.len(),
-        blackholed
+        blackholed,
+        aborted
     );
     if failed > 0 {
         eprintln!("chaos: {failed} case(s) FAILED");

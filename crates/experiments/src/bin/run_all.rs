@@ -38,6 +38,26 @@ fn main() {
             fig.save_json(dir).expect("write JSON result");
         }
     }
+    // Non-figure acceptance experiments (run separately; pass/fail, no
+    // table): keep EXPERIMENTS.md the single index of what we measure.
+    let _ = writeln!(
+        md,
+        "### chaos — seeded fault storms with fabric *and* host fault classes\n\n\
+         `cargo run --release -p experiments --bin chaos` sweeps seeds \u{d7}\n\
+         {{Low, High}} intensity \u{d7} {{PASE, DCTCP}} \u{d7} {{fabric, host}} fault\n\
+         classes (`--faults fabric|host|both`). The fabric class draws link-flap\n\
+         trains, rack outages, arbitrator crash storms, and control-loss bursts;\n\
+         the host class adds NIC flap trains and end-host crash/restart storms\n\
+         (at least one crash per storm). Every case must run twice with\n\
+         byte-identical traces, keep all invariants clean under the extended\n\
+         conservation law (`injected = delivered + dropped + blackholed +\n\
+         consumed + in-network + lost-to-crash`), and finish every flow either\n\
+         complete or `Aborted {{ reason }}` with the reason attributable to an\n\
+         injected host fault (a `HostCrash` abort needs its source crashed; a\n\
+         `MaxRtosExceeded` abort needs a crashed or NIC-flapped endpoint).\n\
+         A failing case prints its exact replay command. `scripts/ci.sh` runs\n\
+         an 8-seed quick slice of both fault classes on every PR.\n"
+    );
     let _ = writeln!(
         md,
         "\n*Generated in {:.1} s of wall-clock time.*",

@@ -2,25 +2,58 @@
 //!
 //! Each case builds a leaf-spine all-to-all workload under PASE or DCTCP,
 //! expands a [`netsim::chaos::ChaosConfig`] into a fault schedule (link
-//! flaps, rack outages, arbitrator crash storms, control-loss bursts),
-//! runs to completion and then demands that
+//! flaps, rack outages, arbitrator crash storms, control-loss bursts;
+//! with the host fault class also NIC flap trains and whole-host
+//! crash/restart storms), runs to completion and then demands that
 //!
-//! 1. every flow finished (fast-retransmit/RTO + failure-aware rerouting
-//!    recovered from every injected fault),
+//! 1. every flow finished — or ended in a terminal `Aborted { reason }`
+//!    that is attributable to an injected host fault (a crashed endpoint,
+//!    or a max-RTO give-up against a faulted peer),
 //! 2. every global invariant holds ([`netsim::invariants`]: packet
-//!    conservation, no stuck flow, monotonic time, bounded queues), and
+//!    conservation including the lost-to-crash term, no stuck flow,
+//!    monotonic time, bounded queues), and
 //! 3. the run is deterministic: the same seed executed twice produces a
 //!    byte-identical event trace.
 //!
-//! The `chaos` binary sweeps seeds × intensity × scheme; `scripts/ci.sh`
-//! runs a fixed 8-seed smoke slice. A failing case prints the exact
-//! command line that replays just that seed.
+//! The `chaos` binary sweeps seeds × intensity × scheme × fault class;
+//! `scripts/ci.sh` runs a fixed 8-seed smoke slice. A failing case prints
+//! the exact command line that replays just that seed.
+
+use std::collections::BTreeSet;
 
 use netsim::chaos::{self, ChaosConfig, ChaosIntensity};
+use netsim::fault::FaultEvent;
 use netsim::invariants::InvariantConfig;
 use netsim::prelude::*;
+use netsim::topology::NodeKind;
 use netsim::trace::TextTracer;
 use workloads::{Pattern, Scenario, Scheme, SizeDist, TopologySpec};
+
+/// Which fault classes a chaos case injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// Fabric faults only: link flaps, rack outages, arbitrator crash
+    /// storms, control-loss bursts. Every flow must complete.
+    Fabric,
+    /// Fabric faults plus end-host faults: NIC flap trains and whole-host
+    /// crash/restart storms. Flows touching a faulted host may end
+    /// `Aborted`; anything else must still complete.
+    Host,
+}
+
+impl FaultClass {
+    /// CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultClass::Fabric => "fabric",
+            FaultClass::Host => "host",
+        }
+    }
+
+    fn host_faults(self) -> bool {
+        self == FaultClass::Host
+    }
+}
 
 /// Options for a chaos sweep (parsed by the `chaos` binary).
 #[derive(Debug, Clone)]
@@ -31,6 +64,8 @@ pub struct ChaosOpts {
     pub schemes: Vec<Scheme>,
     /// Fault densities to exercise.
     pub intensities: Vec<ChaosIntensity>,
+    /// Fault classes to exercise.
+    pub fault_classes: Vec<FaultClass>,
     /// Reduced scale (fewer flows): the CI smoke profile.
     pub quick: bool,
     /// Per-case progress lines on stderr (also enabled by `CHAOS_LOG`).
@@ -43,6 +78,7 @@ impl Default for ChaosOpts {
             seeds: (0..32).collect(),
             schemes: vec![Scheme::Pase, Scheme::Dctcp],
             intensities: vec![ChaosIntensity::Low, ChaosIntensity::High],
+            fault_classes: vec![FaultClass::Fabric, FaultClass::Host],
             quick: false,
             verbose: false,
         }
@@ -54,8 +90,9 @@ impl ChaosOpts {
     ///
     /// Recognized: `--seeds N` (sweep 0..N), `--seed-list a,b,c`,
     /// `--scheme pase|dctcp|both`, `--intensity low|high|both`,
-    /// `--quick`, `--verbose`. Setting the `CHAOS_LOG` environment
-    /// variable (any non-empty value) also enables verbose output.
+    /// `--faults fabric|host|both`, `--quick`, `--verbose`. Setting the
+    /// `CHAOS_LOG` environment variable (any non-empty value) also
+    /// enables verbose output.
     pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> ChaosOpts {
         let mut opts = ChaosOpts::default();
         let mut args = args.into_iter();
@@ -92,6 +129,14 @@ impl ChaosOpts {
                         "high" => vec![ChaosIntensity::High],
                         "both" => vec![ChaosIntensity::Low, ChaosIntensity::High],
                         other => panic!("--intensity: low|high|both, got {other}"),
+                    };
+                }
+                "--faults" => {
+                    opts.fault_classes = match take("--faults").as_str() {
+                        "fabric" => vec![FaultClass::Fabric],
+                        "host" => vec![FaultClass::Host],
+                        "both" => vec![FaultClass::Fabric, FaultClass::Host],
+                        other => panic!("--faults: fabric|host|both, got {other}"),
                     };
                 }
                 other => panic!("unknown argument: {other}"),
@@ -143,12 +188,17 @@ pub struct CaseResult {
     pub scheme: &'static str,
     /// Fault density.
     pub intensity: ChaosIntensity,
+    /// Fault classes injected.
+    pub fault_class: FaultClass,
     /// The seed (drives both workload and fault schedule).
     pub seed: u64,
     /// Invariant violations (empty = clean).
     pub violations: Vec<String>,
     /// Flows that never completed.
     pub incomplete_flows: usize,
+    /// Flows that ended in a terminal `Aborted` state (all attributable
+    /// to injected host faults, or the case fails).
+    pub aborted_flows: usize,
     /// FNV-1a hash of the full event trace (determinism fingerprint).
     pub trace_hash: u64,
     /// Data packets blackholed during the run (visibility, not a failure).
@@ -173,7 +223,13 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 }
 
 /// Execute one chaos case once and audit it.
-fn run_once(scheme: Scheme, intensity: ChaosIntensity, seed: u64, quick: bool) -> CaseResult {
+fn run_once(
+    scheme: Scheme,
+    intensity: ChaosIntensity,
+    fault_class: FaultClass,
+    seed: u64,
+    quick: bool,
+) -> CaseResult {
     let scenario = chaos_scenario(quick);
     let (mut sim, hosts) = scheme.build_sim(&scenario.topo);
     sim.enable_invariants(InvariantConfig::default());
@@ -190,13 +246,18 @@ fn run_once(scheme: Scheme, intensity: ChaosIntensity, seed: u64, quick: bool) -
             seed,
             intensity,
             horizon: horizon(quick),
+            host_faults: fault_class.host_faults(),
         },
     );
+    let mut violations: Vec<String> = Vec::new();
+    if let Err(e) = plan.validate(sim.topo()) {
+        violations.push(format!("generated fault plan invalid: {e}"));
+    }
     sim.inject_faults(&plan);
     sim.run(RunLimit::until_measured_done(SimTime::from_secs(120)));
 
     let report = sim.check_invariants();
-    let mut violations: Vec<String> = report.violations.iter().map(|v| v.to_string()).collect();
+    violations.extend(report.violations.iter().map(|v| v.to_string()));
     let incomplete_flows = sim
         .stats()
         .flows()
@@ -205,22 +266,74 @@ fn run_once(scheme: Scheme, intensity: ChaosIntensity, seed: u64, quick: bool) -
     if incomplete_flows > 0 {
         violations.push(format!("{incomplete_flows} flows never completed"));
     }
+
+    // Every aborted flow must be attributable to an injected host fault:
+    // its source crashed (HostCrash), or its sender exhausted the RTO
+    // budget against an endpoint that crashed or lost its NIC link.
+    let mut crashed_hosts: BTreeSet<NodeId> = BTreeSet::new();
+    let mut flapped_hosts: BTreeSet<NodeId> = BTreeSet::new();
+    for &(_, ev) in plan.events() {
+        match ev {
+            FaultEvent::HostCrash { node } => {
+                crashed_hosts.insert(node);
+            }
+            FaultEvent::LinkDown { a, b } => {
+                for n in [a, b] {
+                    if sim.topo().kind(n) == NodeKind::Host {
+                        flapped_hosts.insert(n);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut aborted_flows = 0;
+    for rec in sim.stats().flows() {
+        let Some(reason) = rec.abort_reason else {
+            continue;
+        };
+        aborted_flows += 1;
+        let (src, dst) = (rec.spec.src, rec.spec.dst);
+        let attributable = match reason {
+            AbortReason::HostCrash => crashed_hosts.contains(&src),
+            AbortReason::MaxRtosExceeded => [src, dst]
+                .iter()
+                .any(|n| crashed_hosts.contains(n) || flapped_hosts.contains(n)),
+            AbortReason::EarlyTermination => false,
+        };
+        if !attributable {
+            violations.push(format!(
+                "{} ({src} -> {dst}) aborted with {reason:?} but neither endpoint \
+                 was hit by an injected host fault",
+                rec.spec.id
+            ));
+        }
+    }
+
     let trace_hash = fnv1a(trace_buf.lock().expect("trace buffer poisoned").as_bytes());
     CaseResult {
         scheme: scheme.name(),
         intensity,
+        fault_class,
         seed,
         violations,
         incomplete_flows,
+        aborted_flows,
         trace_hash,
         blackholed: sim.stats().data_pkts_blackholed,
     }
 }
 
 /// Execute one chaos case **twice** and require byte-identical traces.
-pub fn run_case(scheme: Scheme, intensity: ChaosIntensity, seed: u64, quick: bool) -> CaseResult {
-    let mut first = run_once(scheme, intensity, seed, quick);
-    let second = run_once(scheme, intensity, seed, quick);
+pub fn run_case(
+    scheme: Scheme,
+    intensity: ChaosIntensity,
+    fault_class: FaultClass,
+    seed: u64,
+    quick: bool,
+) -> CaseResult {
+    let mut first = run_once(scheme, intensity, fault_class, seed, quick);
+    let second = run_once(scheme, intensity, fault_class, seed, quick);
     if first.trace_hash != second.trace_hash {
         first.violations.push(format!(
             "non-deterministic: trace hash {:#018x} != {:#018x} on replay",
@@ -242,10 +355,11 @@ pub fn replay_command(r: &CaseResult, quick: bool) -> String {
     };
     format!(
         "CHAOS_LOG=1 cargo run --release -p experiments --bin chaos -- \
-         --seed-list {} --scheme {} --intensity {}{}",
+         --seed-list {} --scheme {} --intensity {} --faults {}{}",
         r.seed,
         scheme,
         intensity,
+        r.fault_class.name(),
         if quick { " --quick" } else { "" }
     )
 }
@@ -255,27 +369,32 @@ pub fn replay_command(r: &CaseResult, quick: bool) -> String {
 pub fn sweep(opts: &ChaosOpts) -> Vec<CaseResult> {
     let mut out = Vec::new();
     for &scheme in &opts.schemes {
-        for &intensity in &opts.intensities {
-            for &seed in &opts.seeds {
-                let r = run_case(scheme, intensity, seed, opts.quick);
-                if opts.verbose || !r.passed() {
-                    eprintln!(
-                        "chaos {:>5} {:?} seed {:>3}: {} (blackholed {}, trace {:#018x})",
-                        r.scheme,
-                        r.intensity,
-                        r.seed,
-                        if r.passed() { "ok" } else { "FAIL" },
-                        r.blackholed,
-                        r.trace_hash,
-                    );
-                }
-                if !r.passed() {
-                    for v in &r.violations {
-                        eprintln!("  violation: {v}");
+        for &fault_class in &opts.fault_classes {
+            for &intensity in &opts.intensities {
+                for &seed in &opts.seeds {
+                    let r = run_case(scheme, intensity, fault_class, seed, opts.quick);
+                    if opts.verbose || !r.passed() {
+                        eprintln!(
+                            "chaos {:>5} {:?}/{} seed {:>3}: {} (blackholed {}, aborted {}, \
+                             trace {:#018x})",
+                            r.scheme,
+                            r.intensity,
+                            r.fault_class.name(),
+                            r.seed,
+                            if r.passed() { "ok" } else { "FAIL" },
+                            r.blackholed,
+                            r.aborted_flows,
+                            r.trace_hash,
+                        );
                     }
-                    eprintln!("  replay: {}", replay_command(&r, opts.quick));
+                    if !r.passed() {
+                        for v in &r.violations {
+                            eprintln!("  violation: {v}");
+                        }
+                        eprintln!("  replay: {}", replay_command(&r, opts.quick));
+                    }
+                    out.push(r);
                 }
-                out.push(r);
             }
         }
     }
@@ -292,13 +411,19 @@ mod tests {
 
     #[test]
     fn arg_parsing() {
-        let o = parse("--seeds 4 --scheme pase --intensity high --quick");
+        let o = parse("--seeds 4 --scheme pase --intensity high --faults host --quick");
         assert_eq!(o.seeds, vec![0, 1, 2, 3]);
         assert_eq!(o.schemes.len(), 1);
         assert_eq!(o.intensities, vec![ChaosIntensity::High]);
+        assert_eq!(o.fault_classes, vec![FaultClass::Host]);
         assert!(o.quick);
         let o2 = parse("--seed-list 7,9");
         assert_eq!(o2.seeds, vec![7, 9]);
+        assert_eq!(
+            o2.fault_classes,
+            vec![FaultClass::Fabric, FaultClass::Host],
+            "default sweeps both fault classes"
+        );
     }
 
     #[test]
@@ -307,19 +432,22 @@ mod tests {
         parse("--bogus");
     }
 
-    /// A miniature slice of the CI smoke sweep: one seed per scheme at
-    /// high intensity must complete with every invariant intact and a
-    /// reproducible trace.
+    /// A miniature slice of the CI smoke sweep: one seed per scheme and
+    /// fault class at high intensity must complete with every invariant
+    /// intact and a reproducible trace.
     #[test]
     fn chaos_smoke_slice_is_clean() {
         for scheme in [Scheme::Dctcp, Scheme::Pase] {
-            let r = run_case(scheme, ChaosIntensity::High, 3, true);
-            assert!(
-                r.passed(),
-                "{} seed 3 failed:\n{}",
-                r.scheme,
-                r.violations.join("\n")
-            );
+            for fault_class in [FaultClass::Fabric, FaultClass::Host] {
+                let r = run_case(scheme, ChaosIntensity::High, fault_class, 3, true);
+                assert!(
+                    r.passed(),
+                    "{} {} seed 3 failed:\n{}",
+                    r.scheme,
+                    fault_class.name(),
+                    r.violations.join("\n")
+                );
+            }
         }
     }
 }

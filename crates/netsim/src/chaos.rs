@@ -4,20 +4,28 @@
 //! intensity knob and a time horizon — into a concrete [`FaultPlan`]
 //! against a given topology: fabric-link flaps, correlated rack-level
 //! outages (a ToR losing every uplink at once), arbitrator crash/restart
-//! storms, and control-packet loss bursts. The expansion is a pure
-//! function of `(topology, config)` using the deterministic
-//! [`crate::rng::Rng`], so a failing run is replayed exactly by re-running
-//! the same seed.
+//! storms, and control-packet loss bursts. With
+//! [`ChaosConfig::host_faults`] set, the storm also covers the end-host
+//! failure domain: host↔ToR NIC flap trains and whole-host crash/restart
+//! cycles. The expansion is a pure function of `(topology, config)` using
+//! the deterministic [`crate::rng::Rng`], so a failing run is replayed
+//! exactly by re-running the same seed.
 //!
 //! Structural guarantees, relied on by the chaos harness:
 //!
 //! * every `LinkDown` is paired with a later `LinkUp` of the same link,
-//!   and every `ArbitratorCrash` with a later `ArbitratorRestart`, both
-//!   inside the horizon — the network always heals;
-//! * only *fabric* (switch–switch) links are flapped; host access links
-//!   stay up, so endpoints are never permanently unreachable;
+//!   every `ArbitratorCrash` with a later `ArbitratorRestart`, and every
+//!   `HostCrash` with a later `HostRestart`, all inside the horizon — the
+//!   network always heals (generated plans pass
+//!   [`crate::fault::FaultPlan::validate`]);
+//! * with `host_faults` off, only *fabric* (switch–switch) links are
+//!   flapped and hosts never crash, so endpoints are never unreachable;
+//!   the host sections draw from the RNG strictly *after* the fabric
+//!   sections, so turning the flag on never changes the fabric schedule
+//!   of a given seed;
 //! * all fault times lie within the first 95% of the horizon, leaving a
-//!   healed tail for flows to finish in.
+//!   healed tail for flows to finish (or for deserted senders to give up)
+//!   in.
 
 use crate::fault::FaultPlan;
 use crate::ids::NodeId;
@@ -45,6 +53,11 @@ pub struct ChaosConfig {
     pub intensity: ChaosIntensity,
     /// Faults are scheduled within the first 95% of this window.
     pub horizon: SimDuration,
+    /// Also generate end-host faults: NIC (host↔ToR link) flap trains and
+    /// host crash/restart storms. Off, the storm is fabric-only and every
+    /// flow is expected to complete; on, flows touching a crashed host
+    /// may legitimately end `Aborted`.
+    pub host_faults: bool,
 }
 
 /// The fabric links of a topology: deduplicated switch–switch pairs, in
@@ -97,6 +110,14 @@ pub fn generate(topo: &Topology, cfg: &ChaosConfig) -> FaultPlan {
     let switches = topo.switches();
     let hi = cfg.intensity == ChaosIntensity::High;
 
+    // Earliest instant each link is free again (end of its last scheduled
+    // window + 1), shared across sections so windows on one link never
+    // overlap — a second `LinkDown` before the `LinkUp` would leave the
+    // plan unbalanced (rejected by `FaultPlan::validate`).
+    let mut link_free: std::collections::BTreeMap<(NodeId, NodeId), u64> =
+        std::collections::BTreeMap::new();
+    let link_key = |a: NodeId, b: NodeId| if a.0 <= b.0 { (a, b) } else { (b, a) };
+
     // 1. Per-link flaps (non-overlapping windows on each link).
     let (dur_lo, dur_hi) = if hi {
         (h / 50, h / 4)
@@ -113,8 +134,8 @@ pub fn generate(topo: &Topology, cfg: &ChaosConfig) -> FaultPlan {
             .map(|_| rng.gen_range_inclusive(0, h * 9 / 10))
             .collect();
         starts.sort_unstable();
-        let mut cursor = 0u64;
         for start in starts {
+            let cursor = link_free.get(&link_key(a, b)).copied().unwrap_or(0);
             if start < cursor {
                 continue; // would overlap the previous window on this link
             }
@@ -128,12 +149,13 @@ pub fn generate(topo: &Topology, cfg: &ChaosConfig) -> FaultPlan {
                 a,
                 b,
             );
-            cursor = end + 1;
+            link_free.insert(link_key(a, b), end + 1);
         }
     }
 
     // 2. Correlated rack outages: one ToR loses all its uplinks at once.
-    // Each ToR is hit at most once so windows on a link never overlap.
+    // Each ToR is hit at most once; the window is pushed past any earlier
+    // flap window on the involved uplinks so no link is downed twice.
     let tors = tor_switches(topo);
     let outages = if hi && !links.is_empty() && !tors.is_empty() {
         (rng.gen_range_inclusive(1, 2) as usize).min(tors.len())
@@ -149,20 +171,34 @@ pub fn generate(topo: &Topology, cfg: &ChaosConfig) -> FaultPlan {
             }
         };
         hit.push(tor);
-        let start = rng.gen_range_inclusive(0, h * 8 / 10);
+        let mut start = rng.gen_range_inclusive(0, h * 8 / 10);
         let dur = rng.gen_range_inclusive(h / 50, h / 8);
+        let uplinks: Vec<NodeId> = topo
+            .neighbors(tor)
+            .into_iter()
+            .filter(|&(_, peer, _, _)| topo.kind(peer) == NodeKind::Switch)
+            .map(|(_, peer, _, _)| peer)
+            .collect();
+        for &peer in &uplinks {
+            start = start.max(link_free.get(&link_key(tor, peer)).copied().unwrap_or(0));
+        }
         let end = (start + dur).min(latest);
-        for (_, peer, _, _) in topo.neighbors(tor) {
-            if topo.kind(peer) == NodeKind::Switch {
-                plan = plan
-                    .link_down(SimTime::from_nanos(start), tor, peer)
-                    .link_up(SimTime::from_nanos(end), tor, peer);
-            }
+        if end <= start {
+            continue;
+        }
+        for &peer in &uplinks {
+            plan = plan
+                .link_down(SimTime::from_nanos(start), tor, peer)
+                .link_up(SimTime::from_nanos(end), tor, peer);
+            link_free.insert(link_key(tor, peer), end + 1);
         }
     }
 
     // 3. Arbitrator crash/restart storms over a random subset of switches.
+    // A switch hit by both storms has its second crash pushed past its
+    // first restart so the crash/restart windows never overlap.
     let storms = if hi { 2 } else { 1 };
+    let mut arb_free: std::collections::BTreeMap<NodeId, u64> = std::collections::BTreeMap::new();
     for _ in 0..storms {
         let start = rng.gen_range_inclusive(0, h * 8 / 10);
         let mut victims: Vec<NodeId> = switches
@@ -176,10 +212,15 @@ pub fn generate(topo: &Topology, cfg: &ChaosConfig) -> FaultPlan {
         for node in victims {
             let down = rng.gen_range_inclusive(h / 100, h / 10);
             let at = draw_time(&mut rng, start, (start + down / 4).min(latest - 1));
-            let back = SimTime::from_nanos((at.as_nanos() + down).min(latest));
+            let at = at.as_nanos().max(arb_free.get(&node).copied().unwrap_or(0));
+            let back = (at + down).min(latest);
+            if back <= at {
+                continue;
+            }
             plan = plan
-                .arbitrator_crash(at, node)
-                .arbitrator_restart(back, node);
+                .arbitrator_crash(SimTime::from_nanos(at), node)
+                .arbitrator_restart(SimTime::from_nanos(back), node);
+            arb_free.insert(node, back + 1);
         }
     }
 
@@ -192,6 +233,89 @@ pub fn generate(topo: &Topology, cfg: &ChaosConfig) -> FaultPlan {
             let at = rng.gen_range_inclusive(0, h * 9 / 10);
             let n = rng.gen_range_inclusive(1, 8);
             plan = plan.ctrl_loss_burst(SimTime::from_nanos(at.min(latest)), from, to, n);
+        }
+    }
+
+    // Host-fault sections draw strictly after the fabric sections, so the
+    // fabric schedule of a seed is identical with the flag on or off.
+    if cfg.host_faults {
+        let hosts = topo.hosts();
+
+        // 5. NIC flap trains: a host's access link goes down and comes
+        // back, possibly several times (non-overlapping windows). Shorter
+        // than fabric flaps — NIC bounces, not maintenance windows.
+        let (ndur_lo, ndur_hi) = if hi {
+            (h / 100, h / 20)
+        } else {
+            (h / 200, h / 50)
+        };
+        for &host in &hosts {
+            let tor = topo.host_tor(host);
+            let flaps = if hi {
+                rng.gen_range_inclusive(0, 2)
+            } else {
+                rng.gen_range_inclusive(0, 1)
+            };
+            let mut starts: Vec<u64> = (0..flaps)
+                .map(|_| rng.gen_range_inclusive(0, h * 9 / 10))
+                .collect();
+            starts.sort_unstable();
+            let mut cursor = 0u64;
+            for start in starts {
+                if start < cursor {
+                    continue;
+                }
+                let dur = rng.gen_range_inclusive(ndur_lo, ndur_hi);
+                let end = (start + dur).min(latest);
+                if end <= start {
+                    continue;
+                }
+                plan = plan
+                    .link_down(SimTime::from_nanos(start), host, tor)
+                    .link_up(SimTime::from_nanos(end), host, tor);
+                cursor = end + 1;
+            }
+        }
+
+        // 6. Host crash/restart storms: whole machines die mid-flow and
+        // come back empty. Windows on one host never overlap; at least
+        // one crash is forced so the class always exercises the path.
+        let mut any_crash = false;
+        for &host in &hosts {
+            let cycles = if hi {
+                rng.gen_range_inclusive(0, 2)
+            } else {
+                rng.gen_range_inclusive(0, 1)
+            };
+            let mut starts: Vec<u64> = (0..cycles)
+                .map(|_| rng.gen_range_inclusive(0, h * 8 / 10))
+                .collect();
+            starts.sort_unstable();
+            let mut cursor = 0u64;
+            for start in starts {
+                if start < cursor {
+                    continue;
+                }
+                let down = rng.gen_range_inclusive(h / 100, h / 10);
+                let back = (start + down).min(latest);
+                if back <= start {
+                    continue;
+                }
+                plan = plan
+                    .host_crash(SimTime::from_nanos(start), host)
+                    .host_restart(SimTime::from_nanos(back), host);
+                any_crash = true;
+                cursor = back + 1;
+            }
+        }
+        if !any_crash && !hosts.is_empty() {
+            let host = hosts[rng.gen_index(hosts.len())];
+            let start = h / 4;
+            let down = rng.gen_range_inclusive(h / 100, h / 10);
+            let back = (start + down).min(latest);
+            plan = plan
+                .host_crash(SimTime::from_nanos(start), host)
+                .host_restart(SimTime::from_nanos(back), host);
         }
     }
 
@@ -250,6 +374,14 @@ mod tests {
             seed,
             intensity,
             horizon: SimDuration::from_millis(100),
+            host_faults: false,
+        }
+    }
+
+    fn cfg_host(seed: u64, intensity: ChaosIntensity) -> ChaosConfig {
+        ChaosConfig {
+            host_faults: true,
+            ..cfg(seed, intensity)
         }
     }
 
@@ -275,35 +407,68 @@ mod tests {
         let topo = leaf_spine();
         for seed in 0..16 {
             for intensity in [ChaosIntensity::Low, ChaosIntensity::High] {
-                let c = cfg(seed, intensity);
-                let plan = generate(&topo, &c);
-                let latest = SimTime::from_nanos(c.horizon.as_nanos() * 95 / 100);
-                let mut open_links = Vec::new();
-                let mut crashed = Vec::new();
-                for &(at, ev) in plan.events() {
-                    assert!(at <= latest, "seed {seed}: event at {at} past {latest}");
-                    match ev {
-                        FaultEvent::LinkDown { a, b } => open_links.push((a, b)),
-                        FaultEvent::LinkUp { a, b } => {
-                            let i = open_links
-                                .iter()
-                                .position(|&l| l == (a, b))
-                                .unwrap_or_else(|| panic!("seed {seed}: up without down"));
-                            open_links.swap_remove(i);
+                for host_faults in [false, true] {
+                    let c = ChaosConfig {
+                        host_faults,
+                        ..cfg(seed, intensity)
+                    };
+                    let plan = generate(&topo, &c);
+                    let latest = SimTime::from_nanos(c.horizon.as_nanos() * 95 / 100);
+                    let mut open_links = Vec::new();
+                    let mut crashed = Vec::new();
+                    let mut hosts_down = Vec::new();
+                    for &(at, ev) in plan.events() {
+                        assert!(at <= latest, "seed {seed}: event at {at} past {latest}");
+                        match ev {
+                            FaultEvent::LinkDown { a, b } => open_links.push((a, b)),
+                            FaultEvent::LinkUp { a, b } => {
+                                let i = open_links
+                                    .iter()
+                                    .position(|&l| l == (a, b))
+                                    .unwrap_or_else(|| panic!("seed {seed}: up without down"));
+                                open_links.swap_remove(i);
+                            }
+                            FaultEvent::ArbitratorCrash { node } => crashed.push(node),
+                            FaultEvent::ArbitratorRestart { node } => {
+                                let i = crashed
+                                    .iter()
+                                    .position(|&n| n == node)
+                                    .unwrap_or_else(|| panic!("seed {seed}: restart w/o crash"));
+                                crashed.swap_remove(i);
+                            }
+                            FaultEvent::HostCrash { node } => hosts_down.push(node),
+                            FaultEvent::HostRestart { node } => {
+                                let i = hosts_down
+                                    .iter()
+                                    .position(|&n| n == node)
+                                    .unwrap_or_else(|| panic!("seed {seed}: restart w/o crash"));
+                                hosts_down.swap_remove(i);
+                            }
+                            FaultEvent::CtrlLossBurst { .. } => {}
                         }
-                        FaultEvent::ArbitratorCrash { node } => crashed.push(node),
-                        FaultEvent::ArbitratorRestart { node } => {
-                            let i = crashed
-                                .iter()
-                                .position(|&n| n == node)
-                                .unwrap_or_else(|| panic!("seed {seed}: restart w/o crash"));
-                            crashed.swap_remove(i);
-                        }
-                        FaultEvent::CtrlLossBurst { .. } => {}
                     }
+                    assert!(open_links.is_empty(), "seed {seed}: unhealed links");
+                    assert!(crashed.is_empty(), "seed {seed}: unrestarted arbitrators");
+                    assert!(hosts_down.is_empty(), "seed {seed}: unrestarted hosts");
                 }
-                assert!(open_links.is_empty(), "seed {seed}: unhealed links");
-                assert!(crashed.is_empty(), "seed {seed}: unrestarted arbitrators");
+            }
+        }
+    }
+
+    #[test]
+    fn generated_plans_pass_validation() {
+        let topo = leaf_spine();
+        for seed in 0..16 {
+            for intensity in [ChaosIntensity::Low, ChaosIntensity::High] {
+                for host_faults in [false, true] {
+                    let c = ChaosConfig {
+                        host_faults,
+                        ..cfg(seed, intensity)
+                    };
+                    generate(&topo, &c)
+                        .validate(&topo)
+                        .unwrap_or_else(|e| panic!("seed {seed} ({intensity:?}): {e}"));
+                }
             }
         }
     }
@@ -321,14 +486,53 @@ mod tests {
     }
 
     #[test]
-    fn only_fabric_links_are_flapped() {
+    fn without_host_faults_only_fabric_links_are_flapped() {
         let topo = leaf_spine();
         let hosts = topo.hosts();
         for seed in 0..8 {
             let plan = generate(&topo, &cfg(seed, ChaosIntensity::High));
             for &(_, ev) in plan.events() {
+                match ev {
+                    FaultEvent::LinkDown { a, b } | FaultEvent::LinkUp { a, b } => {
+                        assert!(!hosts.contains(&a) && !hosts.contains(&b));
+                    }
+                    FaultEvent::HostCrash { .. } | FaultEvent::HostRestart { .. } => {
+                        panic!("host fault generated with host_faults off")
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn host_faults_flag_adds_host_storms_without_touching_the_fabric_schedule() {
+        let topo = leaf_spine();
+        let hosts = topo.hosts();
+        for seed in 0..8 {
+            let fabric_only = generate(&topo, &cfg(seed, ChaosIntensity::High));
+            let with_hosts = generate(&topo, &cfg_host(seed, ChaosIntensity::High));
+            // The fabric-only plan is a strict prefix: host draws happen
+            // after all fabric draws.
+            assert_eq!(
+                &with_hosts.events()[..fabric_only.len()],
+                fabric_only.events(),
+                "seed {seed}: fabric schedule changed by host_faults"
+            );
+            // Every host-fault class appears somewhere in the sweep, and
+            // every seed gets at least one host crash.
+            let tail = &with_hosts.events()[fabric_only.len()..];
+            assert!(
+                tail.iter()
+                    .any(|&(_, ev)| matches!(ev, FaultEvent::HostCrash { .. })),
+                "seed {seed}: no host crash generated"
+            );
+            for &(_, ev) in tail {
                 if let FaultEvent::LinkDown { a, b } | FaultEvent::LinkUp { a, b } = ev {
-                    assert!(!hosts.contains(&a) && !hosts.contains(&b));
+                    assert!(
+                        hosts.contains(&a) || hosts.contains(&b),
+                        "seed {seed}: host section flapped a fabric link"
+                    );
                 }
             }
         }
@@ -344,6 +548,7 @@ mod tests {
                 seed: 0,
                 intensity: ChaosIntensity::Low,
                 horizon: SimDuration::from_micros(10),
+                host_faults: false,
             },
         );
     }

@@ -27,8 +27,11 @@
 //! and counted on the affected port
 //! ([`crate::port::Port::faults_injected`]).
 
+use std::collections::BTreeSet;
+
 use crate::ids::{NodeId, PortId};
 use crate::time::SimTime;
+use crate::topology::{NodeKind, Topology};
 
 /// One scheduled fault, in topology terms (nodes and links).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,6 +70,21 @@ pub enum FaultEvent {
         to: NodeId,
         /// How many control packets die.
         n: u64,
+    },
+    /// The whole end-host `node` crashes: every live flow agent and the
+    /// host service die, in-flight data addressed to the host is lost
+    /// (accounted as `lost_to_crash`), and flows sourced there are moved
+    /// to the terminal `Aborted` state. Unlike [`FaultEvent::ArbitratorCrash`]
+    /// this kills the data plane endpoint, not just the control process.
+    HostCrash {
+        /// The host that dies.
+        node: NodeId,
+    },
+    /// The crashed host `node` comes back empty, with a new incarnation
+    /// number so pre-crash segments can be told apart from fresh traffic.
+    HostRestart {
+        /// The host that comes back.
+        node: NodeId,
     },
 }
 
@@ -116,6 +134,19 @@ impl FaultPlan {
         self
     }
 
+    /// Schedule the end-host `node` to crash (agents, service and all) at
+    /// `at`.
+    pub fn host_crash(mut self, at: SimTime, node: NodeId) -> Self {
+        self.events.push((at, FaultEvent::HostCrash { node }));
+        self
+    }
+
+    /// Schedule the crashed end-host `node` to come back empty at `at`.
+    pub fn host_restart(mut self, at: SimTime, node: NodeId) -> Self {
+        self.events.push((at, FaultEvent::HostRestart { node }));
+        self
+    }
+
     /// The scheduled events, in insertion order.
     pub fn events(&self) -> &[(SimTime, FaultEvent)] {
         &self.events
@@ -129,6 +160,105 @@ impl FaultPlan {
     /// Whether the plan is empty.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
+    }
+
+    /// Check the plan against a topology before injection: every named
+    /// node must exist, every link event must name an adjacent pair, and
+    /// every down/crash must pair with a later up/restart (and vice
+    /// versa) so a "healing" plan cannot silently leave state wedged.
+    ///
+    /// Validation is opt-in: tests that deliberately model *permanent*
+    /// failures (a crash with no restart) simply skip it. Generated chaos
+    /// storms always pass it.
+    pub fn validate(&self, topo: &Topology) -> Result<(), String> {
+        let n = topo.n_nodes() as u32;
+        let node_ok = |id: NodeId| id.0 < n;
+        let check_link = |what: &str, a: NodeId, b: NodeId| -> Result<(), String> {
+            if !node_ok(a) || !node_ok(b) {
+                return Err(format!(
+                    "{what} names unknown node ({a}, {b}; topology has {n} nodes)"
+                ));
+            }
+            if topo.port_between(a, b).is_none() || topo.port_between(b, a).is_none() {
+                return Err(format!("{what} names non-adjacent nodes {a} and {b}"));
+            }
+            Ok(())
+        };
+
+        // Process events in time order (stable, so same-time events keep
+        // insertion order) and track what is down at each point.
+        let mut ordered: Vec<&(SimTime, FaultEvent)> = self.events.iter().collect();
+        ordered.sort_by_key(|(at, _)| *at);
+        let mut links_down: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
+        let mut arbs_down: BTreeSet<NodeId> = BTreeSet::new();
+        let mut hosts_down: BTreeSet<NodeId> = BTreeSet::new();
+        let key = |a: NodeId, b: NodeId| if a.0 <= b.0 { (a, b) } else { (b, a) };
+        for &&(at, ev) in &ordered {
+            match ev {
+                FaultEvent::LinkDown { a, b } => {
+                    check_link("LinkDown", a, b)?;
+                    if !links_down.insert(key(a, b)) {
+                        return Err(format!("link {a}–{b} taken down twice (at {at})"));
+                    }
+                }
+                FaultEvent::LinkUp { a, b } => {
+                    check_link("LinkUp", a, b)?;
+                    if !links_down.remove(&key(a, b)) {
+                        return Err(format!("link {a}–{b} brought up while not down (at {at})"));
+                    }
+                }
+                FaultEvent::ArbitratorCrash { node } => {
+                    if !node_ok(node) {
+                        return Err(format!("ArbitratorCrash names unknown node {node}"));
+                    }
+                    if !arbs_down.insert(node) {
+                        return Err(format!("arbitrator on {node} crashed twice (at {at})"));
+                    }
+                }
+                FaultEvent::ArbitratorRestart { node } => {
+                    if !node_ok(node) {
+                        return Err(format!("ArbitratorRestart names unknown node {node}"));
+                    }
+                    if !arbs_down.remove(&node) {
+                        return Err(format!(
+                            "arbitrator on {node} restarted while not crashed (at {at})"
+                        ));
+                    }
+                }
+                FaultEvent::CtrlLossBurst { from, to, .. } => {
+                    check_link("CtrlLossBurst", from, to)?;
+                }
+                FaultEvent::HostCrash { node } => {
+                    if !node_ok(node) {
+                        return Err(format!("HostCrash names unknown node {node}"));
+                    }
+                    if topo.kind(node) != NodeKind::Host {
+                        return Err(format!("HostCrash targets non-host node {node}"));
+                    }
+                    if !hosts_down.insert(node) {
+                        return Err(format!("host {node} crashed twice (at {at})"));
+                    }
+                }
+                FaultEvent::HostRestart { node } => {
+                    if !node_ok(node) {
+                        return Err(format!("HostRestart names unknown node {node}"));
+                    }
+                    if !hosts_down.remove(&node) {
+                        return Err(format!("host {node} restarted while not crashed (at {at})"));
+                    }
+                }
+            }
+        }
+        if let Some(&(a, b)) = links_down.iter().next() {
+            return Err(format!("link {a}–{b} is never brought back up"));
+        }
+        if let Some(&node) = arbs_down.iter().next() {
+            return Err(format!("arbitrator on {node} is never restarted"));
+        }
+        if let Some(&node) = hosts_down.iter().next() {
+            return Err(format!("host {node} is never restarted"));
+        }
+        Ok(())
     }
 }
 
@@ -151,6 +281,10 @@ pub enum FaultDirective {
         /// How many control packets die.
         n: u64,
     },
+    /// Crash the whole end host: agents, service, in-flight deliveries.
+    HostCrash,
+    /// Bring the crashed end host back empty with a new incarnation.
+    HostRestart,
 }
 
 /// What a control plugin or host service is told when its node's
@@ -167,6 +301,147 @@ pub enum NodeFault {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::flow::{FlowSpec, ReceiverHint};
+    use crate::host::{AgentCtx, AgentFactory, FlowAgent};
+    use crate::queue::DropTailQdisc;
+    use crate::time::{Rate, SimDuration};
+    use crate::topology::TopologyBuilder;
+    use std::sync::Arc;
+
+    struct NullFactory;
+    struct NullAgent;
+    impl FlowAgent for NullAgent {
+        fn on_start(&mut self, _: &mut AgentCtx<'_, '_>) {}
+        fn on_packet(&mut self, _: crate::packet::Packet, _: &mut AgentCtx<'_, '_>) {}
+        fn on_timer(&mut self, _: u64, _: &mut AgentCtx<'_, '_>) {}
+        fn is_done(&self) -> bool {
+            false
+        }
+    }
+    impl AgentFactory for NullFactory {
+        fn sender(&self, _: &FlowSpec) -> Box<dyn FlowAgent> {
+            Box::new(NullAgent)
+        }
+        fn receiver(&self, _: ReceiverHint) -> Box<dyn FlowAgent> {
+            Box::new(NullAgent)
+        }
+    }
+
+    /// s0 — s1, with hosts h2 and h3 hanging off s1.
+    fn tiny_topo() -> Topology {
+        let mut b = TopologyBuilder::new();
+        let s0 = b.add_switch();
+        let s1 = b.add_switch();
+        b.connect(s0, s1, Rate::from_gbps(40), SimDuration::from_micros(2));
+        for h in b.add_hosts(2) {
+            b.connect(h, s1, Rate::from_gbps(10), SimDuration::from_micros(1));
+        }
+        b.build(Arc::new(NullFactory), &|_| Box::new(DropTailQdisc::new(16)))
+            .topo
+    }
+
+    fn ms(n: u64) -> SimTime {
+        SimTime::from_millis(n)
+    }
+
+    #[test]
+    fn validate_accepts_a_balanced_plan() {
+        let topo = tiny_topo();
+        let plan = FaultPlan::new()
+            .link_down(ms(1), NodeId(0), NodeId(1))
+            .arbitrator_crash(ms(2), NodeId(1))
+            .host_crash(ms(2), NodeId(2))
+            .ctrl_loss_burst(ms(3), NodeId(1), NodeId(0), 4)
+            .link_up(ms(4), NodeId(1), NodeId(0)) // endpoint order may differ
+            .arbitrator_restart(ms(5), NodeId(1))
+            .host_restart(ms(6), NodeId(2));
+        assert_eq!(plan.validate(&topo), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_unknown_nodes() {
+        let topo = tiny_topo();
+        let err = FaultPlan::new()
+            .arbitrator_crash(ms(1), NodeId(99))
+            .validate(&topo)
+            .unwrap_err();
+        assert!(err.contains("unknown node n99"), "{err}");
+        let err = FaultPlan::new()
+            .link_down(ms(1), NodeId(0), NodeId(42))
+            .validate(&topo)
+            .unwrap_err();
+        assert!(err.contains("unknown node"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_non_adjacent_links() {
+        let topo = tiny_topo();
+        // h2 and h3 both hang off s1 but have no direct link.
+        let err = FaultPlan::new()
+            .link_down(ms(1), NodeId(2), NodeId(3))
+            .link_up(ms(2), NodeId(2), NodeId(3))
+            .validate(&topo)
+            .unwrap_err();
+        assert!(err.contains("non-adjacent"), "{err}");
+        let err = FaultPlan::new()
+            .ctrl_loss_burst(ms(1), NodeId(0), NodeId(2), 3)
+            .validate(&topo)
+            .unwrap_err();
+        assert!(err.contains("non-adjacent"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_unbalanced_down_up_pairs() {
+        let topo = tiny_topo();
+        let err = FaultPlan::new()
+            .link_down(ms(1), NodeId(0), NodeId(1))
+            .validate(&topo)
+            .unwrap_err();
+        assert!(err.contains("never brought back up"), "{err}");
+        let err = FaultPlan::new()
+            .link_up(ms(1), NodeId(0), NodeId(1))
+            .validate(&topo)
+            .unwrap_err();
+        assert!(err.contains("while not down"), "{err}");
+        let err = FaultPlan::new()
+            .arbitrator_crash(ms(1), NodeId(0))
+            .arbitrator_crash(ms(2), NodeId(0))
+            .arbitrator_restart(ms(3), NodeId(0))
+            .validate(&topo)
+            .unwrap_err();
+        assert!(err.contains("crashed twice"), "{err}");
+        let err = FaultPlan::new()
+            .host_restart(ms(1), NodeId(2))
+            .validate(&topo)
+            .unwrap_err();
+        assert!(err.contains("while not crashed"), "{err}");
+        let err = FaultPlan::new()
+            .host_crash(ms(1), NodeId(2))
+            .validate(&topo)
+            .unwrap_err();
+        assert!(err.contains("never restarted"), "{err}");
+    }
+
+    #[test]
+    fn validate_orders_by_time_not_insertion() {
+        let topo = tiny_topo();
+        // Inserted up-before-down, but the *times* are ordered correctly.
+        let plan = FaultPlan::new()
+            .link_up(ms(4), NodeId(0), NodeId(1))
+            .link_down(ms(1), NodeId(0), NodeId(1));
+        assert_eq!(plan.validate(&topo), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_host_crash_on_a_switch() {
+        let topo = tiny_topo();
+        let err = FaultPlan::new()
+            .host_crash(ms(1), NodeId(0))
+            .host_restart(ms(2), NodeId(0))
+            .validate(&topo)
+            .unwrap_err();
+        assert!(err.contains("non-host"), "{err}");
+    }
 
     #[test]
     fn builder_preserves_order_and_times() {

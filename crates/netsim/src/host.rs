@@ -84,6 +84,10 @@ pub struct HostCore {
     pub id: NodeId,
     /// The single access port toward the ToR switch.
     pub port: Port,
+    /// Crash/restart generation counter, stamped onto every packet this
+    /// host sends ([`crate::packet::Packet::incarnation`]). Bumped by
+    /// [`crate::fault::FaultDirective::HostRestart`].
+    pub incarnation: u32,
 }
 
 /// An end host: one access port, per-flow agents, optional service.
@@ -92,6 +96,9 @@ pub struct Host {
     factory: Arc<dyn AgentFactory>,
     service: Option<Box<dyn HostService>>,
     agents: HashMap<FlowId, Box<dyn FlowAgent>>,
+    /// Set by [`crate::fault::FaultDirective::HostCrash`]: the machine is
+    /// down. Nothing is consumed or started until the matching restart.
+    crashed: bool,
 }
 
 /// The interface a [`FlowAgent`] uses to act on the world.
@@ -115,6 +122,7 @@ impl<'a, 'b> AgentCtx<'a, 'b> {
     /// Transmit a packet out of the host's access port.
     pub fn send(&mut self, mut pkt: Packet) {
         pkt.ts = self.now();
+        pkt.incarnation = self.host.incarnation;
         match pkt.kind {
             PacketKind::Ctrl => self.sim.stats.note_ctrl_sent(pkt.wire_bytes),
             PacketKind::Data => self.sim.stats.note_data_injected(),
@@ -142,11 +150,11 @@ impl<'a, 'b> AgentCtx<'a, 'b> {
         self.sim.stats.flow_completed(self.flow, now);
     }
 
-    /// Record that this flow's sender aborted the transfer (PDQ early
-    /// termination).
-    pub fn flow_aborted(&mut self) {
+    /// Record that this flow's sender aborted the transfer, with the
+    /// reason (PDQ early termination, bounded RTO give-up, ...).
+    pub fn flow_aborted(&mut self, reason: crate::trace::AbortReason) {
         let now = self.now();
-        self.sim.stats.flow_aborted(self.flow, now);
+        self.sim.stats.flow_aborted(self.flow, now, reason);
     }
 
     /// Downcast the host service to a concrete type.
@@ -178,6 +186,7 @@ impl<'a, 'b, 'c> HostIo<'a, 'b, 'c> {
     /// Transmit a packet out of the host's access port.
     pub fn send(&mut self, mut pkt: Packet) {
         pkt.ts = self.now();
+        pkt.incarnation = self.host.incarnation;
         match pkt.kind {
             PacketKind::Ctrl => self.sim.stats.note_ctrl_sent(pkt.wire_bytes),
             PacketKind::Data => self.sim.stats.note_data_injected(),
@@ -204,6 +213,15 @@ impl<'a, 'b, 'c> HostIo<'a, 'b, 'c> {
 /// token spaces agents use for their own timers.
 pub const WAKEUP_TOKEN: u64 = u64::MAX;
 
+/// Plugin-timer tokens at or above this base mark *background maintenance*
+/// work (periodic state GC, bookkeeping) rather than forward progress on
+/// any flow. The stuck-flow oracle ([`crate::invariants`]) ignores pending
+/// `PluginTimer` events in this range when deciding whether an incomplete
+/// flow can still advance — a perpetual GC tick must not masquerade as
+/// progress evidence. Services and plugins typically use
+/// `MAINTENANCE_TIMER_BASE + epoch` so restarts invalidate stale ticks.
+pub const MAINTENANCE_TIMER_BASE: u64 = 1 << 62;
+
 impl Host {
     /// Create a host with the given access port, agent factory, and
     /// optional host-local service.
@@ -214,11 +232,27 @@ impl Host {
         service: Option<Box<dyn HostService>>,
     ) -> Host {
         Host {
-            core: HostCore { id, port },
+            core: HostCore {
+                id,
+                port,
+                incarnation: 0,
+            },
             factory,
             service,
             agents: HashMap::new(),
+            crashed: false,
         }
+    }
+
+    /// Whether the host is currently crashed (between a `HostCrash` and
+    /// the matching `HostRestart`).
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// The host's current incarnation (bumped on every restart).
+    pub fn incarnation(&self) -> u32 {
+        self.core.incarnation
     }
 
     /// This host's node id.
@@ -262,6 +296,15 @@ impl Host {
     pub fn handle(&mut self, kind: EventKind, ctx: &mut Ctx<'_>) {
         match kind {
             EventKind::FlowStart(spec) => {
+                if self.crashed {
+                    // A flow scheduled to start while its source host is
+                    // down never runs: terminal abort, attributable to the
+                    // crash.
+                    let now = ctx.now();
+                    ctx.stats
+                        .flow_aborted(spec.id, now, crate::trace::AbortReason::HostCrash);
+                    return;
+                }
                 let agent = self.factory.sender(&spec);
                 self.run_agent(spec.id, agent, ctx, |agent, actx| agent.on_start(actx));
             }
@@ -312,11 +355,51 @@ impl Host {
             FaultDirective::Restart => {
                 self.run_service(ctx, |svc, io| svc.on_fault(NodeFault::Restart, io));
             }
+            FaultDirective::HostCrash => {
+                if !self.crashed {
+                    self.crashed = true;
+                    // Every live agent dies with the machine. Flows this
+                    // host *sources* move to the terminal Aborted state
+                    // (the record's completion keeps runs terminating);
+                    // flows it receives are left for the remote sender to
+                    // give up on via the bounded-RTO abort. Sorted order
+                    // keeps the emitted FlowDone trace deterministic.
+                    let mut flows: Vec<FlowId> = self.agents.keys().copied().collect();
+                    flows.sort_unstable();
+                    self.agents.clear();
+                    let now = ctx.now();
+                    for flow in flows {
+                        if ctx.stats.flow(flow).map(|r| r.spec.src) == Some(self.core.id) {
+                            ctx.stats
+                                .flow_aborted(flow, now, crate::trace::AbortReason::HostCrash);
+                        }
+                    }
+                    self.run_service(ctx, |svc, io| svc.on_fault(NodeFault::Crash, io));
+                }
+            }
+            FaultDirective::HostRestart => {
+                if self.crashed {
+                    self.crashed = false;
+                    // New incarnation: receivers can tell post-restart
+                    // traffic from pre-crash segments still in flight.
+                    self.core.incarnation += 1;
+                    self.run_service(ctx, |svc, io| svc.on_fault(NodeFault::Restart, io));
+                }
+            }
         }
     }
 
     fn deliver(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
         debug_assert_eq!(pkt.dst, self.core.id, "misrouted packet");
+        if self.crashed {
+            // A crashed machine consumes nothing. Data is accounted as
+            // lost-to-crash so conservation still balances; everything
+            // else (acks, probes, control) just evaporates.
+            if pkt.kind == PacketKind::Data {
+                ctx.stats.note_data_lost_to_crash();
+            }
+            return;
+        }
         if pkt.kind == PacketKind::Data {
             ctx.stats.note_data_delivered();
         }

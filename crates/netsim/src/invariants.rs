@@ -6,15 +6,22 @@
 //!
 //! 1. **Packet conservation.** Every data packet injected by a host is
 //!    eventually accounted for exactly once:
-//!    `injected = delivered + dropped + blackholed + consumed + in-network`,
-//!    where *in-network* counts packets sitting in queues, mid-
-//!    serialization, or propagating (pending `Deliver` events) at the
-//!    moment of the check.
+//!    `injected = delivered + dropped + blackholed + consumed +
+//!    in-network + lost-to-crash`, where *in-network* counts packets
+//!    sitting in queues, mid-serialization, or propagating (pending
+//!    `Deliver` events) at the moment of the check, and *lost-to-crash*
+//!    counts packets that arrived at a crashed destination host.
 //! 2. **No stuck flow.** An incomplete flow must have *some* way to make
 //!    progress: a pending event referencing it (timer, delivery, start),
 //!    one of its packets still in the network, or a control-plane timer
 //!    pending at its endpoints. A flow with none of these will never
-//!    finish — a lost-wakeup bug, not congestion.
+//!    finish — a lost-wakeup bug, not congestion. Background maintenance
+//!    timers (tokens at or above
+//!    [`crate::host::MAINTENANCE_TIMER_BASE`]) are *not* progress
+//!    evidence: a perpetual GC tick can never advance a flow. Flows that
+//!    ended in the terminal `Aborted` state count as complete — an
+//!    endpoint crash with a recorded abort reason is a legitimate
+//!    terminal outcome, not a stuck flow.
 //! 3. **Monotonic event time.** The clock never runs backwards while
 //!    processing events (checked online, every event).
 //! 4. **Bounded queues.** No port's queue occupancy ever exceeds a
@@ -223,6 +230,9 @@ impl ProgressEvidence {
             EventKind::Deliver(pkt) => self.note_flow(pkt.flow),
             EventKind::AgentTimer { flow, .. } => self.note_flow(*flow),
             EventKind::FlowStart(spec) => self.note_flow(spec.id),
+            // Maintenance ticks (state GC) recur forever and advance no
+            // flow; counting them would blind the stuck-flow check.
+            EventKind::PluginTimer(token) if *token >= crate::host::MAINTENANCE_TIMER_BASE => {}
             EventKind::PluginTimer(_) => self.note_plugin_timer(target),
             // A pending TxComplete proves a port will drain, but the
             // packet it carries is already counted via the port walk;
@@ -248,6 +258,7 @@ pub(crate) struct ConservationTerms {
     pub dropped: u64,
     pub blackholed: u64,
     pub consumed: u64,
+    pub lost_to_crash: u64,
     pub in_network: InNetwork,
 }
 
@@ -258,6 +269,7 @@ impl ConservationTerms {
             + self.dropped
             + self.blackholed
             + self.consumed
+            + self.lost_to_crash
             + self.in_network.total();
         if self.injected != accounted {
             out.push(Violation {
@@ -265,13 +277,15 @@ impl ConservationTerms {
                 invariant: Invariant::Conservation,
                 detail: format!(
                     "injected {} != accounted {} (delivered {} + dropped {} + \
-                     blackholed {} + consumed {} + in-ports {} + on-wire {})",
+                     blackholed {} + consumed {} + lost-to-crash {} + \
+                     in-ports {} + on-wire {})",
                     self.injected,
                     accounted,
                     self.delivered,
                     self.dropped,
                     self.blackholed,
                     self.consumed,
+                    self.lost_to_crash,
                     self.in_network.in_ports,
                     self.in_network.on_wire,
                 ),
@@ -293,10 +307,11 @@ mod tests {
     fn conservation_balanced_books_are_clean() {
         let terms = ConservationTerms {
             injected: 10,
-            delivered: 6,
+            delivered: 5,
             dropped: 1,
             blackholed: 1,
             consumed: 0,
+            lost_to_crash: 1,
             in_network: InNetwork {
                 in_ports: 1,
                 on_wire: 1,
@@ -315,6 +330,7 @@ mod tests {
             dropped: 1,
             blackholed: 0,
             consumed: 0,
+            lost_to_crash: 0,
             in_network: InNetwork::default(),
         };
         let mut out = Vec::new();
@@ -322,6 +338,11 @@ mod tests {
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].invariant, Invariant::Conservation);
         assert!(out[0].detail.contains("injected 10"), "{}", out[0].detail);
+        assert!(
+            out[0].detail.contains("lost-to-crash 0"),
+            "{}",
+            out[0].detail
+        );
     }
 
     #[test]
@@ -357,6 +378,21 @@ mod tests {
         // No direct reference, but a control timer pends at the source.
         assert!(ev.can_progress(FlowId(2), NodeId(9), NodeId(3)));
         assert!(!ev.can_progress(FlowId(2), NodeId(0), NodeId(3)));
+    }
+
+    #[test]
+    fn maintenance_timers_are_not_progress_evidence() {
+        use crate::host::MAINTENANCE_TIMER_BASE;
+        let mut ev = ProgressEvidence::default();
+        ev.note_event(NodeId(4), &EventKind::PluginTimer(MAINTENANCE_TIMER_BASE));
+        ev.note_event(
+            NodeId(4),
+            &EventKind::PluginTimer(MAINTENANCE_TIMER_BASE + 17),
+        );
+        assert!(!ev.can_progress(FlowId(0), NodeId(4), NodeId(5)));
+        // An ordinary control timer below the base still counts.
+        ev.note_event(NodeId(4), &EventKind::PluginTimer(1));
+        assert!(ev.can_progress(FlowId(0), NodeId(4), NodeId(5)));
     }
 
     #[test]

@@ -100,4 +100,5 @@ pub mod prelude {
     pub use crate::sim::{RunLimit, RunOutcome, Simulation};
     pub use crate::time::{Rate, SimDuration, SimTime};
     pub use crate::topology::{Network, Topology, TopologyBuilder};
+    pub use crate::trace::AbortReason;
 }

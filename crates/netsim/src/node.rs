@@ -7,6 +7,12 @@ use crate::ids::NodeId;
 use crate::switch::Switch;
 
 /// A node in the simulated network.
+///
+/// `Host` is larger than `Switch`, but nodes are constructed once into
+/// the topology vector and never moved afterwards, so the size skew
+/// costs nothing; boxing the host would add a pointer chase to every
+/// event dispatch instead.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub enum Node {
     /// An end host running flow agents.

@@ -80,6 +80,12 @@ pub struct Packet {
     pub ecn_ce: bool,
     /// Echo of CE back to the sender (carried on ACKs, like TCP's ECE).
     pub ece: bool,
+    /// Incarnation of the sending host when the packet entered its access
+    /// port (stamped alongside `ts`). A host's incarnation bumps on every
+    /// crash/restart cycle, so receivers can tell segments of a pre-crash
+    /// flow incarnation from post-restart traffic and discard the former
+    /// instead of corrupting the restarted flow's byte stream.
+    pub incarnation: u32,
     /// Origin timestamp, stamped by the sending host when the packet first
     /// enters its access port. Switches never modify it.
     pub ts: SimTime,
@@ -109,6 +115,7 @@ impl Packet {
             ecn_capable: true,
             ecn_ce: false,
             ece: false,
+            incarnation: 0,
             ts: SimTime::ZERO,
             ts_echo: None,
             proto: None,
@@ -132,6 +139,7 @@ impl Packet {
             ecn_capable: false,
             ecn_ce: false,
             ece: false,
+            incarnation: 0,
             ts: SimTime::ZERO,
             ts_echo: None,
             proto: None,
@@ -171,6 +179,7 @@ impl Packet {
             ecn_capable: false,
             ecn_ce: false,
             ece: false,
+            incarnation: 0,
             ts: SimTime::ZERO,
             ts_echo: None,
             proto: Some(proto),

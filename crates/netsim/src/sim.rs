@@ -169,6 +169,14 @@ impl Simulation {
                     self.sched
                         .schedule_at(at, node, EventKind::Fault(FaultDirective::Restart));
                 }
+                FaultEvent::HostCrash { node } => {
+                    self.sched
+                        .schedule_at(at, node, EventKind::Fault(FaultDirective::HostCrash));
+                }
+                FaultEvent::HostRestart { node } => {
+                    self.sched
+                        .schedule_at(at, node, EventKind::Fault(FaultDirective::HostRestart));
+                }
                 FaultEvent::CtrlLossBurst { from, to, n } => {
                     let port = self
                         .topo
@@ -291,6 +299,7 @@ impl Simulation {
             dropped: self.stats.data_pkts_dropped,
             blackholed: self.stats.data_pkts_blackholed,
             consumed: self.stats.data_pkts_consumed,
+            lost_to_crash: self.stats.data_pkts_lost_to_crash,
             in_network: in_net,
         }
         .check(now, &mut violations);

@@ -9,10 +9,10 @@
 use std::collections::BTreeMap;
 
 use crate::flow::FlowSpec;
-use crate::ids::FlowId;
+use crate::ids::{FlowId, NodeId};
 use crate::packet::{Packet, PacketKind};
 use crate::time::{SimDuration, SimTime};
-use crate::trace::{TraceEvent, TraceSink};
+use crate::trace::{AbortReason, TraceEvent, TraceSink};
 
 /// Lifecycle record for one flow.
 #[derive(Debug, Clone)]
@@ -27,6 +27,8 @@ pub struct FlowRecord {
     /// than finishing its transfer. Aborted flows record a `completed`
     /// time (so runs terminate) but never count as meeting a deadline.
     pub aborted: bool,
+    /// Why the flow was aborted; `None` unless `aborted` is set.
+    pub abort_reason: Option<AbortReason>,
     /// Payload bytes retransmitted.
     pub retransmitted_bytes: u64,
     /// Retransmission timeouts experienced.
@@ -73,6 +75,12 @@ pub struct StatsCollector {
     pub data_pkts_injected: u64,
     /// Data packets delivered to their destination host.
     pub data_pkts_delivered: u64,
+    /// Data packets that reached a crashed destination host and were lost
+    /// there (no live agents to consume them). A separate conservation
+    /// term so the books still balance across host crashes.
+    pub data_pkts_lost_to_crash: u64,
+    /// Aborted flows per source host, keyed by the flow's source.
+    aborts_by_host: BTreeMap<NodeId, u64>,
     /// Data packets blackholed at switches (no surviving next hop).
     /// Counted separately from [`StatsCollector::data_pkts_dropped`].
     pub data_pkts_blackholed: u64,
@@ -135,6 +143,7 @@ impl StatsCollector {
                 started: spec.start,
                 completed: None,
                 aborted: false,
+                abort_reason: None,
                 retransmitted_bytes: 0,
                 timeouts: 0,
                 probes_sent: 0,
@@ -156,6 +165,7 @@ impl StatsCollector {
                     &TraceEvent::FlowDone {
                         flow,
                         aborted: false,
+                        reason: None,
                     },
                 );
             }
@@ -163,24 +173,39 @@ impl StatsCollector {
     }
 
     /// Record that a flow was aborted (counts as completed for run
-    /// termination, but flagged so metrics can treat it separately).
-    pub fn flow_aborted(&mut self, flow: FlowId, now: SimTime) {
+    /// termination, but flagged so metrics can treat it separately). The
+    /// reason is recorded on the flow and tallied against the flow's
+    /// source host.
+    pub fn flow_aborted(&mut self, flow: FlowId, now: SimTime, reason: AbortReason) {
         if let Some(rec) = self.flows.get_mut(&flow) {
             if rec.completed.is_none() {
                 rec.completed = Some(now);
                 rec.aborted = true;
+                rec.abort_reason = Some(reason);
                 if rec.spec.measured {
                     self.completed_measured += 1;
                 }
+                *self.aborts_by_host.entry(rec.spec.src).or_insert(0) += 1;
                 self.trace_event(
                     now,
                     &TraceEvent::FlowDone {
                         flow,
                         aborted: true,
+                        reason: Some(reason),
                     },
                 );
             }
         }
+    }
+
+    /// Number of aborted flows whose source was `host`.
+    pub fn aborts_on(&self, host: NodeId) -> u64 {
+        self.aborts_by_host.get(&host).copied().unwrap_or(0)
+    }
+
+    /// Per-source-host abort tallies, in node-id order (deterministic).
+    pub fn aborts_by_host(&self) -> impl Iterator<Item = (NodeId, u64)> + '_ {
+        self.aborts_by_host.iter().map(|(&n, &c)| (n, c))
     }
 
     /// Record a retransmission of `bytes` payload bytes.
@@ -241,6 +266,11 @@ impl StatsCollector {
     /// Record a data packet delivered to its destination host.
     pub fn note_data_delivered(&mut self) {
         self.data_pkts_delivered += 1;
+    }
+
+    /// Record a data packet that arrived at a crashed destination host.
+    pub fn note_data_lost_to_crash(&mut self) {
+        self.data_pkts_lost_to_crash += 1;
     }
 
     /// Record a packet consumed by a switch plugin instead of forwarded.
@@ -368,6 +398,29 @@ mod tests {
         let ack = Packet::ack(FlowId(0), NodeId(1), NodeId(0), 0);
         st.note_drop(&ack);
         assert_eq!(st.data_pkts_dropped, 0);
+    }
+
+    #[test]
+    fn aborts_record_reason_and_per_host_tally() {
+        let mut st = StatsCollector::new();
+        st.register_flow(&spec(0, true));
+        st.register_flow(&spec(1, true));
+        st.flow_aborted(FlowId(0), SimTime::from_millis(1), AbortReason::HostCrash);
+        st.flow_aborted(
+            FlowId(1),
+            SimTime::from_millis(2),
+            AbortReason::MaxRtosExceeded,
+        );
+        // A second abort of the same flow must not double-count.
+        st.flow_aborted(FlowId(0), SimTime::from_millis(3), AbortReason::HostCrash);
+        let rec = st.flow(FlowId(0)).unwrap();
+        assert!(rec.aborted);
+        assert_eq!(rec.abort_reason, Some(AbortReason::HostCrash));
+        assert_eq!(rec.completed, Some(SimTime::from_millis(1)));
+        assert_eq!(st.aborts_on(NodeId(0)), 2, "both flows originate at n0");
+        assert_eq!(st.aborts_on(NodeId(1)), 0);
+        assert_eq!(st.aborts_by_host().collect::<Vec<_>>(), [(NodeId(0), 2)]);
+        assert!(st.all_measured_complete(), "aborts terminate the run");
     }
 
     #[test]

@@ -258,6 +258,13 @@ impl Switch {
             FaultDirective::Restart => {
                 self.with_plugin(ctx, |plugin, io| plugin.on_fault(NodeFault::Restart, io));
             }
+            FaultDirective::HostCrash | FaultDirective::HostRestart => {
+                debug_assert!(
+                    false,
+                    "host fault directive delivered to switch {}",
+                    self.id
+                );
+            }
         }
     }
 

@@ -17,6 +17,22 @@ use crate::ids::{FlowId, NodeId, PortId};
 use crate::packet::{Packet, PacketKind};
 use crate::time::SimTime;
 
+/// Why a flow ended in the terminal `Aborted` state instead of
+/// completing. Attached to the flow record and the `FlowDone` trace event
+/// so post-run audits can attribute every abort to a concrete cause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AbortReason {
+    /// The scheme decided the flow was not worth finishing (e.g. PDQ's
+    /// early termination of a flow whose deadline is unmeetable).
+    EarlyTermination,
+    /// The sender gave up after the bounded number of consecutive
+    /// retransmission timeouts with zero forward progress (dead peer).
+    MaxRtosExceeded,
+    /// The flow's endpoint host crashed while the flow was live (or the
+    /// flow started while its source host was down).
+    HostCrash,
+}
+
 /// One trace event.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum TraceEvent {
@@ -66,6 +82,8 @@ pub enum TraceEvent {
         flow: FlowId,
         /// Whether it was aborted rather than finished.
         aborted: bool,
+        /// Why it was aborted (`None` for a normal completion).
+        reason: Option<AbortReason>,
     },
     /// An injected fault was applied at a node.
     Fault {
@@ -153,12 +171,19 @@ impl TraceSink for TextTracer {
                 }
                 format!("{now} BHOL {node} {flow} {kind:?} seq={seq}")
             }
-            TraceEvent::FlowDone { flow, aborted } => {
+            TraceEvent::FlowDone {
+                flow,
+                aborted,
+                reason,
+            } => {
                 if !self.matches(flow) {
                     return;
                 }
-                let what = if aborted { "ABRT" } else { "DONE" };
-                format!("{now} {what} {flow}")
+                match (aborted, reason) {
+                    (true, Some(r)) => format!("{now} ABRT {flow} reason={r:?}"),
+                    (true, None) => format!("{now} ABRT {flow}"),
+                    (false, _) => format!("{now} DONE {flow}"),
+                }
             }
             // Faults are never flow-filtered: an injected fault is part of
             // the run's identity regardless of which flow is being watched.
@@ -218,6 +243,7 @@ mod tests {
             &TraceEvent::FlowDone {
                 flow: FlowId(1),
                 aborted: false,
+                reason: None,
             },
         );
         let out = buf.lock().unwrap().clone();
@@ -236,6 +262,22 @@ mod tests {
         let out = buf.lock().unwrap().clone();
         assert_eq!(out.lines().count(), 1);
         assert!(out.contains("f7"));
+    }
+
+    #[test]
+    fn aborted_flows_render_their_reason() {
+        let mut t = TextTracer::new();
+        let buf = t.buffer();
+        t.on_event(
+            SimTime::from_micros(8),
+            &TraceEvent::FlowDone {
+                flow: FlowId(3),
+                aborted: true,
+                reason: Some(AbortReason::MaxRtosExceeded),
+            },
+        );
+        let out = buf.lock().unwrap().clone();
+        assert!(out.contains("ABRT f3 reason=MaxRtosExceeded"), "{out}");
     }
 
     #[test]

@@ -218,6 +218,12 @@ impl PaseSender {
             // No control plane installed: degrade to a single queue.
             return false;
         };
+        if svc.is_crashed() {
+            // The local control process is down: the synchronous uplink
+            // decision fails exactly like the remote legs do, and the
+            // watchdog drops the flow to self-adjusting fallback.
+            return false;
+        }
         self.plan = svc.plan(self.spec.dst);
         self.local = svc.local_update(flow, remaining, deadline, task, demand, now);
 
@@ -484,10 +490,25 @@ impl PaseSender {
     fn finish(&mut self, ctx: &mut AgentCtx<'_, '_>) {
         ctx.flow_completed();
         self.done = true;
+        self.release_arbitration(ctx);
+    }
+
+    /// Terminal give-up: the peer stopped responding for the engine's
+    /// whole RTO budget (crashed host). The flow ends in an attributable
+    /// `Aborted` state and releases its arbitrator claims so PrioQue/Rref
+    /// capacity returns to live flows immediately rather than waiting for
+    /// lease expiry.
+    fn abort(&mut self, ctx: &mut AgentCtx<'_, '_>) {
+        ctx.flow_aborted(netsim::trace::AbortReason::MaxRtosExceeded);
+        self.done = true;
+        self.release_arbitration(ctx);
+    }
+
+    /// Tell the arbitrators to release our state (both legs).
+    fn release_arbitration(&mut self, ctx: &mut AgentCtx<'_, '_>) {
         if self.spec.is_background() {
             return;
         }
-        // Tell the arbitrators to release our state (both legs).
         let flow = self.spec.id;
         if let Some(svc) = ctx.service::<PaseHostService>() {
             svc.local_remove(flow);
@@ -717,6 +738,12 @@ impl FlowAgent for PaseSender {
                 // parked behind higher-priority traffic.
                 ctx.sim.stats.note_timeout(self.spec.id);
                 self.engine.defer_timeout(ctx);
+                if self.engine.gave_up() {
+                    // Deferrals spend the same RTO budget as real fires; a
+                    // dead receiver cannot be probed forever.
+                    self.abort(ctx);
+                    return;
+                }
                 self.recovery_probe = Some(self.engine.acked());
                 let mut probe = Packet::probe(
                     self.spec.id,
@@ -732,6 +759,8 @@ impl FlowAgent for PaseSender {
                     self.on_loss(loss);
                 }
                 self.pump(ctx);
+            } else if self.engine.gave_up() {
+                self.abort(ctx);
             }
         }
     }

@@ -18,7 +18,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use netsim::fault::NodeFault;
-use netsim::host::{HostIo, HostService};
+use netsim::host::{HostIo, HostService, MAINTENANCE_TIMER_BASE};
 use netsim::ids::{FlowId, NodeId};
 use netsim::packet::Packet;
 use netsim::time::{Rate, SimTime};
@@ -56,6 +56,13 @@ pub struct PaseHostService {
     uplink: LinkArbitrator,
     downlink: LinkArbitrator,
     legs: HashMap<FlowId, LegResults>,
+    /// Injected-fault state: a crashed control process ignores control
+    /// packets and timers until restarted (mirrors
+    /// [`crate::plugin::PaseSwitchPlugin`]).
+    crashed: bool,
+    /// Generation counter for the periodic lease-GC tick; bumped on
+    /// restart so pre-crash ticks die silently.
+    gc_epoch: u64,
 }
 
 impl PaseHostService {
@@ -68,7 +75,15 @@ impl PaseHostService {
             uplink: LinkArbitrator::new(access_rate, &cfg),
             downlink: LinkArbitrator::new(access_rate, &cfg),
             legs: HashMap::new(),
+            crashed: false,
+            gc_epoch: 0,
         }
+    }
+
+    /// Whether an injected crash currently has the control process down
+    /// (tests).
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
     }
 
     /// Compute the control-plane plan for a flow sourced at this host.
@@ -183,6 +198,12 @@ impl PaseHostService {
 
 impl HostService for PaseHostService {
     fn on_ctrl(&mut self, mut pkt: Packet, io: &mut HostIo<'_, '_, '_>) {
+        if self.crashed {
+            // A crashed control process is a black hole: remote requests
+            // and leg responses die here and the senders' watchdogs
+            // handle the silence (see [`crate::endpoint`]).
+            return;
+        }
         let Some(msg) = pkt.take_proto::<ArbMsg>() else {
             return;
         };
@@ -230,19 +251,45 @@ impl HostService for PaseHostService {
         }
     }
 
-    fn on_timer(&mut self, _token: u64, _io: &mut HostIo<'_, '_, '_>) {}
+    fn on_timer(&mut self, token: u64, io: &mut HostIo<'_, '_, '_>) {
+        // Periodic lease GC: entries whose owner stopped refreshing
+        // (crashed endpoint, lost FlowDone) expire after `arb_expiry` even
+        // when no request traffic touches the arbitrator in the meantime,
+        // so a dead flow cannot wedge the top priority queue. The tick is
+        // infrastructure (not flow progress): the token rides above
+        // [`MAINTENANCE_TIMER_BASE`] so the stuck-flow oracle ignores it.
+        if token != MAINTENANCE_TIMER_BASE + self.gc_epoch || self.crashed {
+            return;
+        }
+        let now = io.now();
+        self.uplink.gc(now, self.cfg.arb_expiry);
+        self.downlink.gc(now, self.cfg.arb_expiry);
+        io.set_timer(self.cfg.arb_expiry, MAINTENANCE_TIMER_BASE + self.gc_epoch);
+    }
 
-    fn on_fault(&mut self, fault: NodeFault, _io: &mut HostIo<'_, '_, '_>) {
-        if fault == NodeFault::Crash {
-            // The endpoint control process loses everything: both leaf
-            // arbitrators and the cached leg responses. Local senders
-            // repopulate the uplink (and re-request the legs) on their
-            // next refresh; remote senders repopulate the downlink the
-            // same way. A restart needs no action — the state is already
-            // gone and rebuilds from refreshes alone.
-            self.uplink.clear();
-            self.downlink.clear();
-            self.legs.clear();
+    fn on_fault(&mut self, fault: NodeFault, io: &mut HostIo<'_, '_, '_>) {
+        match fault {
+            NodeFault::Crash => {
+                // The endpoint control process loses everything: both leaf
+                // arbitrators and the cached leg responses. Local senders
+                // repopulate the uplink (and re-request the legs) on their
+                // next refresh; remote senders repopulate the downlink the
+                // same way once the process restarts.
+                self.crashed = true;
+                self.uplink.clear();
+                self.downlink.clear();
+                self.legs.clear();
+            }
+            NodeFault::Restart => {
+                if !self.crashed {
+                    return;
+                }
+                self.crashed = false;
+                // Fresh process, fresh GC loop: a tick still pending from
+                // before the crash is now stale and inert.
+                self.gc_epoch += 1;
+                io.set_timer(self.cfg.arb_expiry, MAINTENANCE_TIMER_BASE + self.gc_epoch);
+            }
         }
     }
 

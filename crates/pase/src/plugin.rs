@@ -17,6 +17,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use netsim::fault::NodeFault;
+use netsim::host::MAINTENANCE_TIMER_BASE;
 use netsim::ids::NodeId;
 use netsim::packet::Packet;
 use netsim::switch::{SwitchIo, SwitchPlugin};
@@ -56,6 +57,9 @@ pub struct PaseSwitchPlugin {
     /// starts a fresh chain under a new epoch so a timer still pending
     /// from before the crash cannot double the reporting rate.
     deleg_epoch: u64,
+    /// Generation counter for the periodic lease-GC tick (same restart
+    /// discipline as `deleg_epoch`).
+    maint_epoch: u64,
 }
 
 impl PaseSwitchPlugin {
@@ -101,6 +105,26 @@ impl PaseSwitchPlugin {
             child_demands: HashMap::new(),
             crashed: false,
             deleg_epoch: 0,
+            maint_epoch: 0,
+        }
+    }
+
+    /// Expire leases on every arbitrator this plugin owns: entries whose
+    /// endpoint stopped refreshing (crashed host) are dropped after
+    /// `arb_expiry` even when no request traffic arrives to trigger the
+    /// request-path GC, so a dead flow cannot wedge the top queue.
+    fn gc_all(&mut self, now: SimTime) {
+        let expiry = self.cfg.arb_expiry;
+        for arb in [
+            self.up.as_mut(),
+            self.down.as_mut(),
+            self.deleg_up.as_mut(),
+            self.deleg_down.as_mut(),
+        ]
+        .into_iter()
+        .flatten()
+        {
+            arb.gc(now, expiry);
         }
     }
 
@@ -328,6 +352,19 @@ impl SwitchPlugin for PaseSwitchPlugin {
     }
 
     fn on_timer(&mut self, token: u64, io: &mut SwitchIo<'_, '_>) {
+        if token == MAINTENANCE_TIMER_BASE + self.maint_epoch {
+            // Lease GC. A crashed plugin skips the tick (its state is
+            // already gone); the restart path re-arms under a new epoch.
+            if !self.crashed {
+                let now = io.now();
+                self.gc_all(now);
+                io.set_timer(
+                    self.cfg.arb_expiry,
+                    MAINTENANCE_TIMER_BASE + self.maint_epoch,
+                );
+            }
+            return;
+        }
         if self.crashed
             || token != DELEG_TIMER_TOKEN + self.deleg_epoch
             || !self.cfg.delegation
@@ -390,8 +427,9 @@ impl SwitchPlugin for PaseSwitchPlugin {
                 self.crashed = false;
                 // The fresh process starts empty and re-learns purely from
                 // the next refresh round (within `arb_expiry`). Restart the
-                // delegation report loop under a new epoch: a timer still
-                // pending from before the crash is now stale and inert.
+                // delegation report and lease-GC loops under new epochs: a
+                // timer still pending from before the crash is now stale
+                // and inert.
                 self.deleg_epoch += 1;
                 if self.cfg.delegation
                     && self.level == Level::Tor
@@ -399,6 +437,11 @@ impl SwitchPlugin for PaseSwitchPlugin {
                 {
                     io.set_timer(self.cfg.deleg_period, DELEG_TIMER_TOKEN + self.deleg_epoch);
                 }
+                self.maint_epoch += 1;
+                io.set_timer(
+                    self.cfg.arb_expiry,
+                    MAINTENANCE_TIMER_BASE + self.maint_epoch,
+                );
             }
         }
     }

@@ -3,6 +3,7 @@
 use std::sync::Arc;
 
 use netsim::event::EventKind;
+use netsim::host::MAINTENANCE_TIMER_BASE;
 use netsim::node::Node;
 use netsim::sim::Simulation;
 
@@ -35,6 +36,12 @@ pub fn install(sim: &mut Simulation, cfg: PaseConfig) -> Arc<TreeInfo> {
                 Arc::clone(&tree),
             )));
         }
+        // Kick off the periodic lease GC of the endpoint arbitrators.
+        sim.scheduler_mut().schedule_in(
+            cfg.arb_expiry,
+            h,
+            EventKind::PluginTimer(MAINTENANCE_TIMER_BASE),
+        );
     }
     // Switches: ToR and aggregation arbitrators (the core needs none: all
     // of its links are arbitrated from below).
@@ -55,6 +62,12 @@ pub fn install(sim: &mut Simulation, cfg: PaseConfig) -> Arc<TreeInfo> {
                     EventKind::PluginTimer(DELEG_TIMER_TOKEN),
                 );
             }
+            // And the periodic lease GC of the switch arbitrators.
+            sim.scheduler_mut().schedule_in(
+                cfg.arb_expiry,
+                sw,
+                EventKind::PluginTimer(MAINTENANCE_TIMER_BASE),
+            );
         }
     }
     tree

@@ -423,6 +423,131 @@ fn identical_fault_plans_give_byte_identical_traces() {
 }
 
 #[test]
+fn host_arbitrator_crash_wipes_service_and_falls_back() {
+    // Crash the control *process* on hosts[3] (not the machine): both of
+    // its leaf arbitrators and the cached legs are wiped, and every flow
+    // that depended on it — a remote sender waiting on its receiver leg
+    // and a local sender using its uplink arbitrator — trips the watchdog
+    // and still completes in self-adjusting fallback.
+    let cfg = cfg();
+    let (mut sim, hosts) = star_sim_with(4, cfg, &|_| Box::new(pase_qdisc(&cfg, 250, 20)));
+    // Remote sender whose receiver leg terminates at hosts[3]...
+    sim.add_flow(FlowSpec::new(
+        FlowId(0),
+        hosts[0],
+        hosts[3],
+        2_000_000,
+        SimTime::ZERO,
+    ));
+    // ...and a local sender arbitrating hosts[3]'s own uplink.
+    sim.add_flow(FlowSpec::new(
+        FlowId(1),
+        hosts[3],
+        hosts[1],
+        2_000_000,
+        SimTime::ZERO,
+    ));
+    let plan = FaultPlan::new().arbitrator_crash(SimTime::from_millis(1), hosts[3]);
+    sim.inject_faults(&plan);
+
+    sim.run(until(4));
+    {
+        let Node::Host(h) = sim.node_mut(hosts[3]) else {
+            panic!()
+        };
+        let svc = h.service_as::<pase::PaseHostService>().unwrap();
+        assert!(svc.is_crashed(), "crash directive must reach the service");
+        assert_eq!(svc.uplink_flows(), 0, "uplink arbitrator must be wiped");
+        assert_eq!(svc.downlink_flows(), 0, "downlink arbitrator must be wiped");
+    }
+    let (fb0, q0, _) = sender_state(&mut sim, hosts[0], 0);
+    assert!(
+        fb0,
+        "remote sender loses its receiver leg and must fall back"
+    );
+    assert_eq!(q0, cfg.lowest_queue());
+    let (fb1, q1, _) = sender_state(&mut sim, hosts[3], 1);
+    assert!(
+        fb1,
+        "local sender loses its uplink arbitrator and must fall back"
+    );
+    assert_eq!(q1, cfg.lowest_queue());
+
+    let outcome = sim.run(RunLimit::until_measured_done(SimTime::from_secs(30)));
+    assert_eq!(
+        outcome,
+        RunOutcome::MeasuredComplete,
+        "watchdog fallback must still complete both flows"
+    );
+}
+
+#[test]
+fn crashed_host_lease_expiry_frees_the_top_queue() {
+    // A machine crash kills a top-queue flow without any FlowDone: only
+    // the lease GC can reclaim its PrioQue/Rref share. The demoted
+    // competitor must be promoted back to the top queue once the dead
+    // entry expires — a crashed host cannot wedge the priority ladder.
+    let cfg = cfg();
+    let (mut sim, hosts) = three_tier_sim(2, cfg);
+    // Small cross-core flow: wins the top queue on every shared link.
+    sim.add_flow(FlowSpec::new(
+        FlowId(0),
+        hosts[0],
+        hosts[7],
+        400_000,
+        SimTime::ZERO,
+    ));
+    // Big flow to the *same receiver*: contends for the 1 Gbps downlink
+    // (and the whole shared path) and is demoted behind the small one.
+    sim.add_flow(FlowSpec::new(
+        FlowId(1),
+        hosts[1],
+        hosts[7],
+        8_000_000,
+        SimTime::ZERO,
+    ));
+    let plan = FaultPlan::new()
+        .host_crash(SimTime::from_micros(1100), hosts[0])
+        .host_restart(SimTime::from_millis(20), hosts[0]);
+    sim.inject_faults(&plan);
+
+    // Just before the crash: the small flow holds the top queue.
+    sim.run(until(1));
+    let (_, q0, _) = sender_state(&mut sim, hosts[0], 0);
+    assert_eq!(q0, 0, "small flow must own the top queue pre-crash");
+    let (_, q1, _) = sender_state(&mut sim, hosts[1], 1);
+    assert!(q1 > 0, "big flow must start demoted (q{q1})");
+
+    // Well past `arb_expiry` after the crash: every arbitrator on the
+    // shared path has expired the dead flow's lease and the survivor is
+    // solo again.
+    sim.run(until(6));
+    assert_eq!(sim.stats().aborts_on(hosts[0]), 1, "crash aborts the flow");
+    let tor = sim.topo().host_tor(hosts[1]);
+    {
+        let Node::Switch(sw) = sim.node_mut(tor) else {
+            panic!()
+        };
+        let plugin = sw.plugin_as::<PaseSwitchPlugin>().unwrap();
+        assert_eq!(
+            plugin.up_flows(),
+            1,
+            "dead flow's ToR lease must expire without a FlowDone"
+        );
+    }
+    let (fb1, q1, rref1) = sender_state(&mut sim, hosts[1], 1);
+    assert!(!fb1, "survivor never lost its own control plane");
+    assert_eq!(q1, 0, "survivor must be promoted once the lease expires");
+    assert!(
+        rref1.as_bps() > 2 * cfg.base_rate().as_bps(),
+        "survivor must inherit the freed reference rate, got {rref1}"
+    );
+
+    let outcome = sim.run(RunLimit::until_measured_done(SimTime::from_secs(30)));
+    assert_eq!(outcome, RunOutcome::MeasuredComplete);
+}
+
+#[test]
 fn total_arbitration_blackout_still_completes() {
     // Drop EVERY control packet: PASE degrades to endpoint-local
     // arbitration plus self-adjustment, and still finishes.

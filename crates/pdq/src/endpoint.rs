@@ -228,7 +228,7 @@ impl FlowAgent for PdqSender {
         }
         if self.deadline_unmeetable(now) {
             self.send_term(ctx);
-            ctx.flow_aborted();
+            ctx.flow_aborted(netsim::trace::AbortReason::EarlyTermination);
             self.done = true;
             return;
         }

@@ -251,6 +251,12 @@ impl FlowAgent for FamilySender {
                 self.on_loss(loss);
             }
             self.engine.pump(ctx, Self::customize(self.flavor));
+        } else if self.engine.gave_up() {
+            // The peer stopped responding for the engine's whole RTO
+            // budget — almost certainly a crashed host. Stop retrying and
+            // end the flow in a terminal, attributable state.
+            ctx.flow_aborted(netsim::trace::AbortReason::MaxRtosExceeded);
+            self.done = true;
         }
     }
 

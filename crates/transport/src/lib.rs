@@ -31,4 +31,4 @@ pub use params::FamilyConfig;
 pub use receiver::{ReceiverConfig, SimpleReceiver};
 pub use rtt::{RttEstimator, DEFAULT_BACKOFF_CAP};
 pub use tracker::ByteTracker;
-pub use tx::{AckKind, LossEvent, TxEngine};
+pub use tx::{AckKind, LossEvent, TxEngine, DEFAULT_MAX_CONSECUTIVE_RTOS};

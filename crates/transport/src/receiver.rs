@@ -31,6 +31,12 @@ pub struct SimpleReceiver {
     hint: ReceiverHint,
     cfg: ReceiverConfig,
     tracker: ByteTracker,
+    /// Sender-host incarnation this flow's state belongs to, pinned from
+    /// the first packet seen. A crashed-and-restarted sender comes back
+    /// with a higher incarnation: its (restarted) flows must not be
+    /// corrupted by state accumulated from the pre-crash instance, so a
+    /// higher incarnation resets the tracker and lower ones are discarded.
+    incarnation: Option<u32>,
 }
 
 impl SimpleReceiver {
@@ -40,6 +46,28 @@ impl SimpleReceiver {
             hint,
             cfg,
             tracker: ByteTracker::new(),
+            incarnation: None,
+        }
+    }
+
+    /// Admission check against the sender-incarnation pin. Returns `false`
+    /// for packets from an older incarnation (drop silently: any ACK would
+    /// confuse the restarted flow); resets received-range state when a
+    /// newer incarnation appears.
+    fn admit(&mut self, pkt: &Packet) -> bool {
+        match self.incarnation {
+            None => {
+                self.incarnation = Some(pkt.incarnation);
+                true
+            }
+            Some(cur) if pkt.incarnation < cur => false,
+            Some(cur) => {
+                if pkt.incarnation > cur {
+                    self.incarnation = Some(pkt.incarnation);
+                    self.tracker = ByteTracker::new();
+                }
+                true
+            }
         }
     }
 
@@ -78,11 +106,17 @@ impl FlowAgent for SimpleReceiver {
     fn on_packet(&mut self, pkt: Packet, ctx: &mut AgentCtx<'_, '_>) {
         match pkt.kind {
             PacketKind::Data => {
+                if !self.admit(&pkt) {
+                    return;
+                }
                 self.tracker.on_range(pkt.seq, pkt.seq_end());
                 let ack = self.make_ack(&pkt, PacketKind::Ack);
                 ctx.send(ack);
             }
             PacketKind::Probe => {
+                if !self.admit(&pkt) {
+                    return;
+                }
                 let ack = self.make_ack(&pkt, PacketKind::ProbeAck);
                 ctx.send(ack);
             }

@@ -87,7 +87,23 @@ pub struct TxEngine {
     /// Loss event raised by ack/timer processing, consumed by the agent via
     /// [`TxEngine::take_loss_event`].
     pending_loss: Option<LossEvent>,
+    /// RTOs fired (or deferred) since the last ACK for new data. When this
+    /// reaches [`TxEngine::max_consecutive_rtos`] the engine gives up: the
+    /// peer is unreachable (crashed host, partitioned rack) and retrying
+    /// forever would just keep a dead flow alive.
+    consecutive_rtos: u32,
+    /// Give-up threshold; see [`DEFAULT_MAX_CONSECUTIVE_RTOS`].
+    pub max_consecutive_rtos: u32,
+    /// Set once the give-up threshold is crossed; the engine stops sending
+    /// and arming timers. The agent should abort the flow.
+    gave_up: bool,
 }
+
+/// Default bound on consecutive RTOs before a sender gives up on its peer.
+/// With exponential backoff capped at `max_rto` this puts the give-up point
+/// seconds out — far beyond any transient fabric fault, so only a genuinely
+/// dead endpoint trips it.
+pub const DEFAULT_MAX_CONSECUTIVE_RTOS: u32 = 8;
 
 impl TxEngine {
     /// Create an engine for one flow.
@@ -121,7 +137,22 @@ impl TxEngine {
             timer_restart: false,
             hold_at: None,
             pending_loss: None,
+            consecutive_rtos: 0,
+            max_consecutive_rtos: DEFAULT_MAX_CONSECUTIVE_RTOS,
+            gave_up: false,
         }
+    }
+
+    /// RTOs fired (or deferred) since the last ACK for new data.
+    pub fn consecutive_rtos(&self) -> u32 {
+        self.consecutive_rtos
+    }
+
+    /// Has the engine exhausted its RTO budget and given up on the peer?
+    /// Once set, [`TxEngine::pump`] sends nothing and the RTO timer stays
+    /// disarmed; the agent should move the flow to a terminal state.
+    pub fn gave_up(&self) -> bool {
+        self.gave_up
     }
 
     /// Bytes acknowledged so far.
@@ -187,6 +218,7 @@ impl TxEngine {
             let newly = ack_seq - self.cum_ack;
             self.cum_ack = ack_seq;
             self.dupacks = 0;
+            self.consecutive_rtos = 0;
             if self.snd_nxt < ack_seq {
                 // Receiver knows more than we sent? Impossible unless the
                 // counterpart acknowledged a retransmitted tail; clamp.
@@ -259,6 +291,13 @@ impl TxEngine {
             return false;
         }
         self.rtt.on_timeout();
+        self.consecutive_rtos += 1;
+        if self.consecutive_rtos >= self.max_consecutive_rtos {
+            // Out of retries: no rewind, no re-arm. The agent observes
+            // `gave_up()` and aborts the flow.
+            self.gave_up = true;
+            return false;
+        }
         self.force_loss_rewind(ctx);
         true
     }
@@ -273,9 +312,16 @@ impl TxEngine {
     /// re-arm. Used by PASE's probe-based loss recovery, which first asks
     /// the receiver whether data was lost or merely delayed in a low
     /// priority queue.
+    /// Deferrals count against the same give-up budget as real RTO fires,
+    /// so a prober cannot keep a flow to a dead receiver alive forever.
     pub fn defer_timeout(&mut self, ctx: &mut AgentCtx<'_, '_>) {
         self.timer_armed = false;
         self.rtt.on_timeout();
+        self.consecutive_rtos += 1;
+        if self.consecutive_rtos >= self.max_consecutive_rtos {
+            self.gave_up = true;
+            return;
+        }
         self.arm_timer(ctx);
     }
 
@@ -304,7 +350,8 @@ impl TxEngine {
     /// the expiry out forever and starve the only recovery path once
     /// the ACK clock is lost.
     pub fn arm_timer(&mut self, ctx: &mut AgentCtx<'_, '_>) {
-        if self.complete() || (self.flight_bytes() == 0 && self.rtx_head.is_none()) {
+        if self.gave_up || self.complete() || (self.flight_bytes() == 0 && self.rtx_head.is_none())
+        {
             return;
         }
         if self.timer_armed && !self.timer_restart {
@@ -318,7 +365,7 @@ impl TxEngine {
 
     /// Is there anything the window would let us send right now?
     pub fn can_send(&self) -> bool {
-        if self.complete() {
+        if self.gave_up || self.complete() {
             return false;
         }
         let window_pkts = self.cwnd.floor().max(1.0) as u64;

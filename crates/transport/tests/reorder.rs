@@ -38,6 +38,7 @@ impl Rig {
                 SimDuration::from_micros(25),
                 Box::new(DropTailQdisc::new(64)),
             ),
+            incarnation: 0,
         };
         let hint = ReceiverHint {
             flow: FlowId(7),
@@ -55,7 +56,19 @@ impl Rig {
     /// Feed one data segment (seq in segment units) into the receiver and
     /// return the ACK it emitted.
     fn deliver_segment(&mut self, segment: u64) -> Packet {
-        let pkt = Packet::data(FlowId(7), NodeId(0), NodeId(1), segment * MSS as u64, MSS);
+        self.deliver_segment_from_incarnation(segment, 0)
+            .expect("receiver must emit an ACK for every data segment")
+    }
+
+    /// Feed a segment stamped with a sender-host incarnation; returns the
+    /// ACK, or `None` when the receiver discarded the segment.
+    fn deliver_segment_from_incarnation(
+        &mut self,
+        segment: u64,
+        incarnation: u32,
+    ) -> Option<Packet> {
+        let mut pkt = Packet::data(FlowId(7), NodeId(0), NodeId(1), segment * MSS as u64, MSS);
+        pkt.incarnation = incarnation;
         {
             let mut ctx = Ctx {
                 node: NodeId(1),
@@ -73,13 +86,10 @@ impl Rig {
         self.drain_one_ack()
     }
 
-    /// Run the port's serializer until the ACK lands on the wire.
-    fn drain_one_ack(&mut self) -> Packet {
+    /// Run the port's serializer until the ACK (if any) lands on the wire.
+    fn drain_one_ack(&mut self) -> Option<Packet> {
         loop {
-            let (target, kind) = self
-                .sched
-                .pop()
-                .expect("receiver must emit an ACK for every data segment");
+            let (target, kind) = self.sched.pop()?;
             match kind {
                 EventKind::TxComplete(_) => {
                     let mut c = Ctx {
@@ -91,7 +101,7 @@ impl Rig {
                 }
                 EventKind::Deliver(pkt) => {
                     assert_eq!(pkt.kind, PacketKind::Ack);
-                    return pkt;
+                    return Some(pkt);
                 }
                 other => panic!("unexpected event {other:?}"),
             }
@@ -139,6 +149,43 @@ fn duplicate_segment_reacks_without_double_counting() {
     // A duplicate still produces an ACK (the original may have been lost)
     // but received-byte accounting must not inflate.
     assert_eq!(dup.seq, MSS as u64);
+    assert_eq!(rig.rx.bytes_received(), MSS as u64);
+}
+
+#[test]
+fn segments_from_an_older_incarnation_are_discarded() {
+    let mut rig = Rig::new();
+    // The flow's first packet pins incarnation 3 (the sender host had
+    // crashed and restarted before this flow started).
+    let ack = rig
+        .deliver_segment_from_incarnation(0, 3)
+        .expect("first-seen incarnation is admitted");
+    assert_eq!(ack.seq, MSS as u64);
+    // A stray pre-crash packet (older incarnation) must be dropped
+    // silently: no ACK — acknowledging it would confuse the restarted
+    // sender — and no byte accounting.
+    assert!(rig.deliver_segment_from_incarnation(1, 1).is_none());
+    assert_eq!(rig.rx.bytes_received(), MSS as u64);
+    // Current-incarnation traffic keeps flowing.
+    let ack = rig
+        .deliver_segment_from_incarnation(1, 3)
+        .expect("pinned incarnation still admitted");
+    assert_eq!(ack.seq, 2 * MSS as u64);
+}
+
+#[test]
+fn a_newer_incarnation_resets_received_state() {
+    let mut rig = Rig::new();
+    rig.deliver_segment_from_incarnation(0, 0).unwrap();
+    rig.deliver_segment_from_incarnation(1, 0).unwrap();
+    assert_eq!(rig.rx.bytes_received(), 2 * MSS as u64);
+    // The sender crashed and restarted; its new instance resends from
+    // zero. Ranges received from the pre-crash instance must not make the
+    // restarted flow appear further along than it is.
+    let ack = rig
+        .deliver_segment_from_incarnation(0, 1)
+        .expect("newer incarnation admitted");
+    assert_eq!(ack.seq, MSS as u64, "tracker must restart from scratch");
     assert_eq!(rig.rx.bytes_received(), MSS as u64);
 }
 

@@ -37,6 +37,7 @@ impl Harness {
             core: HostCore {
                 id: NodeId(0),
                 port,
+                incarnation: 0,
             },
             engine: TxEngine::new(FlowId(0), NodeId(0), NodeId(1), size, 1000, cwnd, rtt),
         }
@@ -176,6 +177,68 @@ fn deferred_timeout_keeps_data_outstanding() {
     assert_eq!(h.engine.flight_bytes(), flight);
     assert!(h.engine.timer_epoch() > epoch);
     assert_eq!(h.engine.take_loss_event(), None);
+}
+
+#[test]
+fn consecutive_rtos_exhaust_into_give_up() {
+    let mut h = Harness::new(50_000, 4.0);
+    h.pump();
+    let max = h.engine.max_consecutive_rtos;
+    // Every RTO up to the budget rewinds and retries as before.
+    for i in 1..max {
+        let epoch = h.engine.timer_epoch();
+        let fired = h.with_ctx(|e, ctx| e.on_timer(epoch, ctx));
+        assert!(fired, "RTO {i} still retries");
+        assert_eq!(h.engine.consecutive_rtos(), i);
+        h.engine.take_loss_event();
+        assert!(h.pump() > 0, "go-back-N resend after RTO {i}");
+    }
+    assert!(!h.engine.gave_up());
+    // The RTO that exhausts the budget does not retry: no rewind, no
+    // loss event, and the timer stays disarmed for good.
+    let epoch = h.engine.timer_epoch();
+    let fired = h.with_ctx(|e, ctx| e.on_timer(epoch, ctx));
+    assert!(!fired, "exhausted engines do not retransmit");
+    assert!(h.engine.gave_up());
+    assert_eq!(h.engine.take_loss_event(), None, "no rewind on give-up");
+    assert_eq!(h.pump(), 0, "given-up engines send nothing");
+    assert!(
+        !h.engine.timer_is_live(h.engine.timer_epoch()),
+        "timer must stay disarmed after give-up"
+    );
+}
+
+#[test]
+fn an_ack_for_new_data_resets_the_rto_budget() {
+    let mut h = Harness::new(50_000, 4.0);
+    h.pump();
+    let epoch = h.engine.timer_epoch();
+    assert!(h.with_ctx(|e, ctx| e.on_timer(epoch, ctx)));
+    h.engine.take_loss_event();
+    h.pump();
+    assert_eq!(h.engine.consecutive_rtos(), 1);
+    assert!(matches!(h.ack(1000), AckKind::New { .. }));
+    assert_eq!(
+        h.engine.consecutive_rtos(),
+        0,
+        "progress refills the budget"
+    );
+    assert!(!h.engine.gave_up());
+}
+
+#[test]
+fn deferrals_count_against_the_give_up_budget() {
+    let mut h = Harness::new(50_000, 4.0);
+    h.pump();
+    // A prober deferring every timeout (PASE asks the receiver before
+    // retransmitting) must still run out of budget against a dead peer.
+    let max = h.engine.max_consecutive_rtos;
+    for _ in 0..max {
+        assert!(!h.engine.gave_up());
+        h.with_ctx(|e, ctx| e.defer_timeout(ctx));
+    }
+    assert!(h.engine.gave_up());
+    assert!(!h.engine.timer_is_live(h.engine.timer_epoch()));
 }
 
 #[test]

@@ -14,11 +14,14 @@ cargo build --release --workspace
 echo "== cargo test (workspace) =="
 cargo test --workspace -q
 
-# Chaos smoke: 8 fixed seeds x {low,high} x {PASE,DCTCP} fault storms at
-# the quick profile, checked by the global invariant oracle. A failing
-# seed prints the exact command line that replays just that case.
-echo "== chaos smoke (8 seeds, quick) =="
-./target/release/chaos --seeds 8 --quick
+# Chaos smoke: 8 fixed seeds x {low,high} x {PASE,DCTCP} x
+# {fabric,host} fault storms at the quick profile, checked by the
+# global invariant oracle. The host class adds NIC flap trains and
+# end-host crash/restart storms; every abort must be attributable to an
+# injected host fault. A failing seed prints the exact command line
+# that replays just that case (~16 s for all 64 cases).
+echo "== chaos smoke (8 seeds, fabric+host, quick) =="
+./target/release/chaos --seeds 8 --faults both --quick
 
 if cargo fmt --version >/dev/null 2>&1; then
     echo "== cargo fmt --check =="
