@@ -1,1 +1,481 @@
-//! Criterion benchmark harness for the PASE reproduction (see `benches/`).
+//! Deterministic wall-clock benchmark harness for the simulator.
+//!
+//! No external benchmarking framework: every scenario is a fixed, seeded
+//! workload timed with [`std::time::Instant`] around the hot loop, so the
+//! executed event sequence is byte-for-byte identical run-to-run and the
+//! only varying quantity is wall-clock time. Results are rendered as a
+//! small hand-written JSON document (`BENCH_netsim.json`) so the repo's
+//! perf trajectory is machine-readable without pulling a serializer into
+//! the dependency graph.
+//!
+//! Scenarios (see `ALL_SCENARIOS`):
+//!
+//! - `sched-storm` — raw [`Scheduler`] push/pop microbenchmark using
+//!   full-size `Deliver` payloads, the heap's worst case: bursts of
+//!   pseudo-randomly timed events are pushed and then drained in rounds.
+//! - `incast-pase` / `incast-dctcp` — many-to-one incast on the paper's
+//!   32-host three-tier fat-tree at offered load 0.6, run end-to-end
+//!   through `Simulation::run` (tracing disabled: measures the pure
+//!   simulation hot path).
+//! - `chaos-storm` — seeded chaos cases (high intensity, host faults)
+//!   through the full harness: tracing enabled, online invariant
+//!   monitoring, each case executed twice for the determinism check.
+//!   This is the "experiment sweep" figure — the throughput that bounds
+//!   how fast CI and seed sweeps can go.
+//!
+//! The time spent *building* each simulation is excluded where the
+//! scenario measures the engine (`sched-storm`, incast) and included
+//! where it measures the end-to-end harness (`chaos-storm`), because a
+//! chaos sweep rebuilds its world for every case by design.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use experiments::chaos::{run_case, FaultClass};
+use netsim::chaos::ChaosIntensity;
+use netsim::engine::Scheduler;
+use netsim::event::EventKind;
+use netsim::ids::{FlowId, NodeId};
+use netsim::packet::Packet;
+use netsim::rng::Rng;
+use netsim::sim::{RunLimit, RunOutcome};
+use netsim::time::{Rate, SimDuration, SimTime};
+use workloads::{Pattern, Scenario, Scheme, SizeDist, TopologySpec};
+
+/// Every scenario the harness knows, in execution order.
+pub const ALL_SCENARIOS: &[&str] = &["sched-storm", "incast-pase", "incast-dctcp", "chaos-storm"];
+
+/// Harness options (parsed by the `netsim-bench` binary).
+#[derive(Debug, Clone)]
+pub struct BenchOpts {
+    /// Reduced scale: the CI smoke profile.
+    pub quick: bool,
+    /// Measured iterations per scenario (a warmup iteration runs first
+    /// unless `quick`).
+    pub iters: u32,
+    /// Scenario names to run (empty = all, in `ALL_SCENARIOS` order).
+    pub scenarios: Vec<String>,
+    /// Seeds for the chaos-storm scenario.
+    pub chaos_seeds: u64,
+    /// Where to write the JSON document (stdout always gets a copy).
+    pub out: Option<PathBuf>,
+}
+
+impl Default for BenchOpts {
+    fn default() -> Self {
+        BenchOpts {
+            quick: false,
+            iters: 3,
+            scenarios: Vec::new(),
+            chaos_seeds: 8,
+            out: None,
+        }
+    }
+}
+
+impl BenchOpts {
+    /// Parse binary arguments. Recognized: `--quick`, `--iters N`,
+    /// `--scenario NAME` (repeatable or comma-separated),
+    /// `--chaos-seeds N`, `--out PATH`.
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> BenchOpts {
+        let mut opts = BenchOpts::default();
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            let mut take = |name: &str| -> String {
+                args.next()
+                    .unwrap_or_else(|| panic!("missing value for {name}"))
+            };
+            match arg.as_str() {
+                "--quick" => {
+                    opts.quick = true;
+                    opts.iters = 1;
+                }
+                "--iters" => {
+                    opts.iters = take("--iters").parse().expect("--iters: integer");
+                    assert!(opts.iters > 0, "--iters must be positive");
+                }
+                "--chaos-seeds" => {
+                    opts.chaos_seeds = take("--chaos-seeds")
+                        .parse()
+                        .expect("--chaos-seeds: integer");
+                }
+                "--scenario" => {
+                    for name in take("--scenario").split(',') {
+                        let name = name.trim();
+                        assert!(
+                            ALL_SCENARIOS.contains(&name),
+                            "unknown scenario {name}; known: {ALL_SCENARIOS:?}"
+                        );
+                        opts.scenarios.push(name.to_string());
+                    }
+                }
+                "--out" => opts.out = Some(PathBuf::from(take("--out"))),
+                other => panic!("unknown argument: {other}"),
+            }
+        }
+        opts
+    }
+
+    fn selected(&self) -> Vec<&'static str> {
+        ALL_SCENARIOS
+            .iter()
+            .copied()
+            .filter(|n| self.scenarios.is_empty() || self.scenarios.iter().any(|s| s == n))
+            .collect()
+    }
+}
+
+/// One scenario's measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Scenario name.
+    pub name: &'static str,
+    /// Measured iterations (excluding warmup).
+    pub iters: u32,
+    /// Best iteration wall time, milliseconds.
+    pub wall_ms: f64,
+    /// Mean iteration wall time, milliseconds.
+    pub wall_ms_mean: f64,
+    /// Events executed per iteration (identical across iterations).
+    pub events: u64,
+    /// Data packets delivered per iteration.
+    pub packets: u64,
+    /// Events per wall-clock second (best iteration).
+    pub events_per_sec: f64,
+    /// Delivered data packets per wall-clock second (best iteration).
+    pub packets_per_sec: f64,
+    /// Peak pending-event count (heap high-water mark).
+    pub peak_pending: usize,
+}
+
+/// What one timed iteration of a scenario produced.
+struct IterOut {
+    wall_s: f64,
+    events: u64,
+    packets: u64,
+    peak: usize,
+}
+
+/// Time `f` for `iters` iterations (plus an optional warmup) and check
+/// that the simulated work is identical every time.
+fn measure(
+    name: &'static str,
+    iters: u32,
+    warmup: bool,
+    mut f: impl FnMut() -> IterOut,
+) -> BenchResult {
+    if warmup {
+        f();
+    }
+    let mut best = f64::INFINITY;
+    let mut total = 0.0;
+    let mut first: Option<(u64, u64)> = None;
+    let mut events = 0;
+    let mut packets = 0;
+    let mut peak = 0;
+    for _ in 0..iters {
+        let out = f();
+        match first {
+            None => first = Some((out.events, out.packets)),
+            Some(expect) => assert_eq!(
+                (out.events, out.packets),
+                expect,
+                "scenario {name} executed different work across iterations"
+            ),
+        }
+        best = best.min(out.wall_s);
+        total += out.wall_s;
+        events = out.events;
+        packets = out.packets;
+        peak = peak.max(out.peak);
+    }
+    let best = best.max(1e-9);
+    BenchResult {
+        name,
+        iters,
+        wall_ms: best * 1e3,
+        wall_ms_mean: total * 1e3 / iters as f64,
+        events,
+        packets,
+        events_per_sec: events as f64 / best,
+        packets_per_sec: packets as f64 / best,
+        peak_pending: peak,
+    }
+}
+
+/// Raw scheduler push/pop storm: rounds of `per_round` events with
+/// pseudo-random timestamps inside a 1 ms window, each fully drained
+/// before the next round begins. Payloads are full-size data-packet
+/// `Deliver`s so the heap moves its worst-case entry.
+fn sched_storm(quick: bool) -> IterOut {
+    let rounds = 10u64;
+    let per_round: u64 = if quick { 10_000 } else { 100_000 };
+    let mut sched = Scheduler::new();
+    let mut rng = Rng::seed_from_u64(0x5eed_b0a7);
+    let mut pops = 0u64;
+    let t = Instant::now();
+    for round in 0..rounds {
+        let base = SimTime::from_millis(round);
+        for i in 0..per_round {
+            let at = base + SimDuration::from_nanos(rng.gen_below(1_000_000));
+            let pkt = Packet::data(FlowId(i), NodeId(0), NodeId(1), i * 1460, 1460);
+            sched.schedule_at(at, NodeId((i % 64) as u32), EventKind::deliver(pkt));
+        }
+        while let Some(ev) = sched.pop() {
+            std::hint::black_box(&ev);
+            pops += 1;
+        }
+    }
+    IterOut {
+        wall_s: t.elapsed().as_secs_f64(),
+        events: pops,
+        packets: pops,
+        peak: sched.peak_pending(),
+    }
+}
+
+/// The incast workload: every sender targets host 0 on the paper's
+/// 32-host three-tier baseline fat-tree.
+fn incast_scenario(quick: bool) -> Scenario {
+    Scenario {
+        name: "bench-incast",
+        topo: TopologySpec::ThreeTier {
+            hosts_per_rack: 8,
+            racks: 4,
+            access: Rate::from_gbps(1),
+            fabric: Rate::from_gbps(10),
+            link_delay: SimDuration::from_micros(25),
+        },
+        pattern: Pattern::Incast { server: 0 },
+        sizes: SizeDist::UniformBytes {
+            lo: 2_000,
+            hi: 198_000,
+        },
+        deadlines: None,
+        n_background: 0,
+        n_flows: if quick { 60 } else { 300 },
+    }
+}
+
+/// Build and run one incast simulation; only `Simulation::run` is timed.
+fn incast(scheme: Scheme, quick: bool) -> IterOut {
+    let scenario = incast_scenario(quick);
+    let (mut sim, hosts) = scheme.build_sim(&scenario.topo);
+    sim.add_flows(scenario.generate_flows(0.6, 1, &hosts));
+    let t = Instant::now();
+    let outcome = sim.run(RunLimit::until_measured_done(SimTime::from_secs(30)));
+    let wall_s = t.elapsed().as_secs_f64();
+    assert_eq!(
+        outcome,
+        RunOutcome::MeasuredComplete,
+        "bench incast must run to completion"
+    );
+    IterOut {
+        wall_s,
+        events: sim.stats().events_executed,
+        packets: sim.stats().data_pkts_delivered,
+        peak: sim.scheduler().peak_pending(),
+    }
+}
+
+/// End-to-end chaos throughput: `seeds` high-intensity host-fault cases
+/// under PASE, each built, traced, invariant-checked and executed twice
+/// (the determinism replay) exactly as the chaos sweep does.
+fn chaos_storm(quick: bool, seeds: u64) -> IterOut {
+    let t = Instant::now();
+    let mut events = 0u64;
+    let mut delivered = 0u64;
+    let mut peak = 0usize;
+    for seed in 0..seeds {
+        let r = run_case(
+            Scheme::Pase,
+            ChaosIntensity::High,
+            FaultClass::Host,
+            seed,
+            quick,
+        );
+        assert!(
+            r.passed(),
+            "chaos case seed {seed} failed in bench:\n{}",
+            r.violations.join("\n")
+        );
+        // run_case executes every case twice (determinism replay), so
+        // both executions count toward the throughput numerator.
+        events += 2 * r.events;
+        delivered += 2 * r.delivered;
+        peak = peak.max(r.peak_pending);
+    }
+    IterOut {
+        wall_s: t.elapsed().as_secs_f64(),
+        events,
+        packets: delivered,
+        peak,
+    }
+}
+
+/// Run every selected scenario, printing one summary line per scenario
+/// to stderr as it completes.
+pub fn run(opts: &BenchOpts) -> Vec<BenchResult> {
+    let warmup = !opts.quick;
+    let mut results = Vec::new();
+    for name in opts.selected() {
+        let r = match name {
+            "sched-storm" => measure(name, opts.iters, warmup, || sched_storm(opts.quick)),
+            "incast-pase" => measure(name, opts.iters, warmup, || {
+                incast(Scheme::Pase, opts.quick)
+            }),
+            "incast-dctcp" => measure(name, opts.iters, warmup, || {
+                incast(Scheme::Dctcp, opts.quick)
+            }),
+            "chaos-storm" => measure(name, opts.iters, warmup, || {
+                chaos_storm(opts.quick, opts.chaos_seeds)
+            }),
+            other => unreachable!("unknown scenario {other}"),
+        };
+        eprintln!(
+            "bench {:>12}: {:>10.3} ms, {:>9} events, {:>11.0} events/s, {:>10.0} pkts/s, peak {}",
+            r.name, r.wall_ms, r.events, r.events_per_sec, r.packets_per_sec, r.peak_pending
+        );
+        results.push(r);
+    }
+    results
+}
+
+/// Render results as the `BENCH_netsim.json` document.
+pub fn render_json(results: &[BenchResult], opts: &BenchOpts) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"netsim-bench/1\",\n");
+    s.push_str(&format!(
+        "  \"profile\": \"{}\",\n",
+        if opts.quick { "quick" } else { "full" }
+    ));
+    s.push_str("  \"scenarios\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"iters\": {}, \"wall_ms\": {:.3}, \
+             \"wall_ms_mean\": {:.3}, \"events\": {}, \"packets\": {}, \
+             \"events_per_sec\": {:.1}, \"packets_per_sec\": {:.1}, \
+             \"peak_pending_events\": {}}}{}\n",
+            r.name,
+            r.iters,
+            r.wall_ms,
+            r.wall_ms_mean,
+            r.events,
+            r.packets,
+            r.events_per_sec,
+            r.packets_per_sec,
+            r.peak_pending,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Minimal structural JSON check for the smoke test: balanced braces and
+/// brackets outside strings, no unterminated string, non-empty, and no
+/// bare NaN/inf tokens (which `format!` would emit for broken math).
+pub fn validate_json(s: &str) -> Result<(), String> {
+    let mut depth_obj = 0i64;
+    let mut depth_arr = 0i64;
+    let mut in_str = false;
+    let mut escape = false;
+    for c in s.chars() {
+        if in_str {
+            if escape {
+                escape = false;
+            } else if c == '\\' {
+                escape = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' => depth_obj += 1,
+            '}' => depth_obj -= 1,
+            '[' => depth_arr += 1,
+            ']' => depth_arr -= 1,
+            _ => {}
+        }
+        if depth_obj < 0 || depth_arr < 0 {
+            return Err("unbalanced close".into());
+        }
+    }
+    if in_str {
+        return Err("unterminated string".into());
+    }
+    if depth_obj != 0 || depth_arr != 0 {
+        return Err("unbalanced open".into());
+    }
+    if depth_obj == 0 && !s.trim_start().starts_with('{') {
+        return Err("not a JSON object".into());
+    }
+    for bad in ["NaN", "inf"] {
+        if s.contains(bad) {
+            return Err(format!("non-finite number rendered: {bad}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every scenario runs at the smoke profile and the rendered document
+    /// is valid JSON naming each of them with a positive events/sec.
+    #[test]
+    fn smoke_all_scenarios_emit_valid_json() {
+        let opts = BenchOpts {
+            quick: true,
+            iters: 1,
+            chaos_seeds: 1,
+            ..BenchOpts::default()
+        };
+        let results = run(&opts);
+        assert_eq!(results.len(), ALL_SCENARIOS.len());
+        for r in &results {
+            assert!(r.events > 0, "{} executed no events", r.name);
+            assert!(r.events_per_sec > 0.0, "{} has no throughput", r.name);
+        }
+        let json = render_json(&results, &opts);
+        validate_json(&json).expect("rendered document must be valid JSON");
+        for name in ALL_SCENARIOS {
+            assert!(json.contains(name), "{name} missing from JSON");
+        }
+        assert!(json.contains("\"events_per_sec\""));
+    }
+
+    #[test]
+    fn json_validator_rejects_garbage() {
+        assert!(validate_json("{\"a\": [1, 2]}").is_ok());
+        assert!(validate_json("{\"a\": [1, 2}").is_err());
+        assert!(validate_json("{\"a\": \"unterminated}").is_err());
+        assert!(validate_json("{\"a\": NaN}").is_err());
+        assert!(validate_json("[1, 2]").is_err());
+    }
+
+    #[test]
+    fn arg_parsing() {
+        let o = BenchOpts::from_args(
+            "--quick --scenario sched-storm,incast-pase --chaos-seeds 2 --out /tmp/x.json"
+                .split_whitespace()
+                .map(String::from),
+        );
+        assert!(o.quick);
+        assert_eq!(o.iters, 1);
+        assert_eq!(o.scenarios, vec!["sched-storm", "incast-pase"]);
+        assert_eq!(o.chaos_seeds, 2);
+        assert_eq!(o.selected(), vec!["sched-storm", "incast-pase"]);
+        assert_eq!(o.out, Some(PathBuf::from("/tmp/x.json")));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown scenario")]
+    fn unknown_scenario_rejected() {
+        BenchOpts::from_args(["--scenario".to_string(), "bogus".to_string()]);
+    }
+}

@@ -1,0 +1,18 @@
+//! `netsim-bench`: run the deterministic benchmark scenarios and emit
+//! `BENCH_netsim.json` (see the crate docs and DESIGN.md §8).
+//!
+//! Usage: `netsim-bench [--quick] [--iters N] [--scenario NAME[,NAME]]
+//! [--chaos-seeds N] [--out PATH]`. The JSON document goes to stdout,
+//! and additionally to `--out` when given; progress lines go to stderr.
+
+fn main() {
+    let opts = bench::BenchOpts::from_args(std::env::args().skip(1));
+    let results = bench::run(&opts);
+    let json = bench::render_json(&results, &opts);
+    bench::validate_json(&json).expect("rendered benchmark document must be valid JSON");
+    if let Some(path) = &opts.out {
+        std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        eprintln!("bench results written to {}", path.display());
+    }
+    print!("{json}");
+}

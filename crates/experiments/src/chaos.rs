@@ -201,8 +201,19 @@ pub struct CaseResult {
     pub aborted_flows: usize,
     /// FNV-1a hash of the full event trace (determinism fingerprint).
     pub trace_hash: u64,
+    /// FNV-1a hash of the aggregate stats counters and every flow's
+    /// terminal record. The trace hash proves the event *sequence* is
+    /// unchanged; this proves the bookkeeping derived from it is too, so
+    /// sweeps can be compared across engine-optimization changes.
+    pub stats_hash: u64,
     /// Data packets blackholed during the run (visibility, not a failure).
     pub blackholed: u64,
+    /// Events executed by one run of the case (throughput numerator).
+    pub events: u64,
+    /// Data packets delivered by one run of the case.
+    pub delivered: u64,
+    /// Peak pending-event count in one run of the case.
+    pub peak_pending: usize,
 }
 
 impl CaseResult {
@@ -222,6 +233,50 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+/// FNV-1a fingerprint of the run's [`netsim::stats::StatsCollector`]
+/// totals plus every flow's terminal record, serialized in a fixed
+/// little-endian order.
+fn stats_fingerprint(sim: &Simulation) -> u64 {
+    fn push(bytes: &mut Vec<u8>, v: u64) {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    let st = sim.stats();
+    let mut bytes: Vec<u8> = Vec::with_capacity(4096);
+    for v in [
+        st.events_executed,
+        st.data_pkts_injected,
+        st.data_pkts_delivered,
+        st.data_pkts_dropped,
+        st.data_pkts_enqueued,
+        st.data_pkts_blackholed,
+        st.data_pkts_consumed,
+        st.data_pkts_lost_to_crash,
+        st.blackhole_pkts,
+        st.ctrl_pkts,
+        st.ctrl_bytes,
+        st.ctrl_msgs_processed,
+    ] {
+        push(&mut bytes, v);
+    }
+    for rec in st.flows() {
+        push(&mut bytes, rec.spec.id.0);
+        push(&mut bytes, rec.completed.map_or(u64::MAX, |t| t.as_nanos()));
+        let reason = match (rec.aborted, rec.abort_reason) {
+            (false, _) => 0,
+            (true, None) => 1,
+            (true, Some(AbortReason::EarlyTermination)) => 2,
+            (true, Some(AbortReason::MaxRtosExceeded)) => 3,
+            (true, Some(AbortReason::HostCrash)) => 4,
+        };
+        push(&mut bytes, reason);
+        push(&mut bytes, rec.retransmitted_bytes);
+        push(&mut bytes, rec.timeouts);
+        push(&mut bytes, rec.probes_sent);
+        push(&mut bytes, rec.drops);
+    }
+    fnv1a(&bytes)
+}
+
 /// Execute one chaos case once and audit it.
 fn run_once(
     scheme: Scheme,
@@ -237,9 +292,7 @@ fn run_once(
     let trace_buf = tracer.buffer();
     sim.set_tracer(Box::new(tracer));
 
-    for spec in scenario.generate_flows(0.5, seed, &hosts) {
-        sim.add_flow(spec);
-    }
+    sim.add_flows(scenario.generate_flows(0.5, seed, &hosts));
     let plan = chaos::generate(
         sim.topo(),
         &ChaosConfig {
@@ -320,7 +373,11 @@ fn run_once(
         incomplete_flows,
         aborted_flows,
         trace_hash,
+        stats_hash: stats_fingerprint(&sim),
         blackholed: sim.stats().data_pkts_blackholed,
+        events: sim.stats().events_executed,
+        delivered: sim.stats().data_pkts_delivered,
+        peak_pending: sim.scheduler().peak_pending(),
     }
 }
 
@@ -338,6 +395,12 @@ pub fn run_case(
         first.violations.push(format!(
             "non-deterministic: trace hash {:#018x} != {:#018x} on replay",
             first.trace_hash, second.trace_hash
+        ));
+    }
+    if first.stats_hash != second.stats_hash {
+        first.violations.push(format!(
+            "non-deterministic: stats hash {:#018x} != {:#018x} on replay",
+            first.stats_hash, second.stats_hash
         ));
     }
     first
@@ -376,7 +439,7 @@ pub fn sweep(opts: &ChaosOpts) -> Vec<CaseResult> {
                     if opts.verbose || !r.passed() {
                         eprintln!(
                             "chaos {:>5} {:?}/{} seed {:>3}: {} (blackholed {}, aborted {}, \
-                             trace {:#018x})",
+                             events {}, trace {:#018x}, stats {:#018x})",
                             r.scheme,
                             r.intensity,
                             r.fault_class.name(),
@@ -384,7 +447,9 @@ pub fn sweep(opts: &ChaosOpts) -> Vec<CaseResult> {
                             if r.passed() { "ok" } else { "FAIL" },
                             r.blackholed,
                             r.aborted_flows,
+                            r.events,
                             r.trace_hash,
+                            r.stats_hash,
                         );
                     }
                     if !r.passed() {

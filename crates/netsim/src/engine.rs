@@ -19,6 +19,7 @@ pub struct Scheduler {
     heap: BinaryHeap<ScheduledEvent>,
     next_seq: u64,
     now: SimTime,
+    peak_pending: usize,
 }
 
 impl Scheduler {
@@ -28,6 +29,7 @@ impl Scheduler {
             heap: BinaryHeap::new(),
             next_seq: 0,
             now: SimTime::ZERO,
+            peak_pending: 0,
         }
     }
 
@@ -41,12 +43,47 @@ impl Scheduler {
         self.heap.len()
     }
 
+    /// High-water mark of the pending-event count over the scheduler's
+    /// lifetime (peak heap size; memory-pressure figure for benchmarks).
+    pub fn peak_pending(&self) -> usize {
+        self.peak_pending
+    }
+
+    /// Pre-allocate heap room for `additional` more pending events.
+    ///
+    /// Bulk schedulers ([`Scheduler::schedule_batch`],
+    /// [`crate::sim::Simulation::add_flows`]) call this so an arrival
+    /// burst costs one allocation instead of a growth-doubling series.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
+    /// Schedule a batch of `(time, target, kind)` events, reserving heap
+    /// capacity up front. Semantically identical to calling
+    /// [`Scheduler::schedule_at`] per item in iteration order (the batch
+    /// members get consecutive sequence numbers, so same-instant ties
+    /// still fire in iteration order).
+    pub fn schedule_batch<I>(&mut self, events: I)
+    where
+        I: IntoIterator<Item = (SimTime, NodeId, EventKind)>,
+    {
+        let events = events.into_iter();
+        let (lo, hi) = events.size_hint();
+        self.reserve(hi.unwrap_or(lo));
+        for (at, target, kind) in events {
+            self.schedule_at(at, target, kind);
+        }
+    }
+
     /// Schedule `kind` to fire on `target` at absolute time `at`.
     ///
     /// # Panics
-    /// In debug builds, panics if `at` is in the past.
+    /// Panics if `at` is in the past (in every build profile: a
+    /// time-travelling event would silently corrupt the causal order of
+    /// everything scheduled after it, so release builds must not limp
+    /// past it either).
     pub fn schedule_at(&mut self, at: SimTime, target: NodeId, kind: EventKind) {
-        debug_assert!(
+        assert!(
             at >= self.now,
             "scheduling into the past: {at} < {}",
             self.now
@@ -59,6 +96,9 @@ impl Scheduler {
             target,
             kind,
         });
+        if self.heap.len() > self.peak_pending {
+            self.peak_pending = self.heap.len();
+        }
     }
 
     /// Schedule `kind` to fire on `target` after `delay`.
@@ -70,9 +110,12 @@ impl Scheduler {
     ///
     /// Public for benchmarking and custom drivers; the normal entry point
     /// is [`crate::sim::Simulation::run`].
+    /// # Panics
+    /// Panics if the queue yields an event timestamped before `now`
+    /// (in every build profile; see [`Scheduler::schedule_at`]).
     pub fn pop(&mut self) -> Option<(NodeId, EventKind)> {
         let ev = self.heap.pop()?;
-        debug_assert!(ev.time >= self.now, "event queue went backwards");
+        assert!(ev.time >= self.now, "event queue went backwards");
         self.now = ev.time;
         Some((ev.target, ev.kind))
     }
@@ -184,10 +227,12 @@ mod tests {
         assert_eq!(s.now(), SimTime::from_micros(150));
     }
 
+    // Deliberately NOT gated on debug_assertions: the causal-order check
+    // must hold in release builds too (it guards every benchmark and
+    // long chaos sweep, which run with --release).
     #[test]
-    #[cfg_attr(not(debug_assertions), ignore)]
     #[should_panic(expected = "scheduling into the past")]
-    fn scheduling_into_the_past_panics_in_debug() {
+    fn scheduling_into_the_past_panics_in_every_profile() {
         let mut s = Scheduler::new();
         s.schedule_at(
             SimTime::from_micros(100),
@@ -200,5 +245,42 @@ mod tests {
             NodeId(0),
             EventKind::PluginTimer(1),
         );
+    }
+
+    #[test]
+    fn schedule_batch_matches_sequential_semantics() {
+        let mut batched = Scheduler::new();
+        batched.schedule_batch((0..100u64).map(|i| {
+            (
+                SimTime::from_micros(i / 10), // ten-way ties per instant
+                NodeId((i % 7) as u32),
+                EventKind::PluginTimer(i),
+            )
+        }));
+        let mut sequential = Scheduler::new();
+        for i in 0..100u64 {
+            sequential.schedule_at(
+                SimTime::from_micros(i / 10),
+                NodeId((i % 7) as u32),
+                EventKind::PluginTimer(i),
+            );
+        }
+        loop {
+            match (batched.pop(), sequential.pop()) {
+                (None, None) => break,
+                (a, b) => {
+                    let (an, ak) = a.expect("batched drained early");
+                    let (bn, bk) = b.expect("sequential drained early");
+                    assert_eq!(an, bn);
+                    assert_eq!(batched.now(), sequential.now());
+                    match (ak, bk) {
+                        (EventKind::PluginTimer(x), EventKind::PluginTimer(y)) => {
+                            assert_eq!(x, y)
+                        }
+                        _ => panic!("unexpected event kind"),
+                    }
+                }
+            }
+        }
     }
 }

@@ -7,10 +7,17 @@ use crate::packet::Packet;
 use crate::time::SimTime;
 
 /// What happens when an event fires. Every event targets exactly one node.
+///
+/// The two large payloads ([`Packet`], [`FlowSpec`]) are boxed so the
+/// enum — and with it every [`ScheduledEvent`] the heap sifts — stays
+/// pointer-sized-plus-discriminant instead of inheriting the ~140-byte
+/// packet inline. Packets already live on the heap for their whole
+/// wire-to-delivery lifetime, so the box is one allocation per packet,
+/// not one per hop.
 #[derive(Debug)]
 pub enum EventKind {
     /// A packet finishes propagating across a link and arrives at the node.
-    Deliver(Packet),
+    Deliver(Box<Packet>),
     /// The node's output port finishes serializing its in-flight packet.
     TxComplete(PortId),
     /// A timer set by one of the node's flow agents fires.
@@ -25,9 +32,25 @@ pub enum EventKind {
     /// service) fires.
     PluginTimer(u64),
     /// A new flow arrives at its source host.
-    FlowStart(FlowSpec),
+    FlowStart(Box<FlowSpec>),
     /// An injected fault fires at the node (see [`crate::fault`]).
     Fault(FaultDirective),
+}
+
+impl EventKind {
+    /// Build a [`EventKind::Deliver`] from a packet by value.
+    ///
+    /// Use this instead of the variant constructor so call sites stay
+    /// agnostic to how the payload is stored inside the event.
+    pub fn deliver(pkt: Packet) -> EventKind {
+        EventKind::Deliver(Box::new(pkt))
+    }
+
+    /// Build a [`EventKind::FlowStart`] from a spec by value (see
+    /// [`EventKind::deliver`] for why this indirection exists).
+    pub fn flow_start(spec: FlowSpec) -> EventKind {
+        EventKind::FlowStart(Box::new(spec))
+    }
 }
 
 /// An event scheduled for execution.
@@ -74,6 +97,19 @@ mod tests {
             target: NodeId(0),
             kind: EventKind::PluginTimer(0),
         }
+    }
+
+    #[test]
+    fn scheduled_event_stays_small() {
+        // The event heap sifts events by move; boxing the packet and
+        // flow-spec payloads is what keeps this at (time, seq, target,
+        // kind) ≈ 48 bytes. A regression here silently taxes every
+        // schedule/pop on the hot path.
+        assert!(
+            core::mem::size_of::<ScheduledEvent>() <= 64,
+            "ScheduledEvent grew to {} bytes",
+            core::mem::size_of::<ScheduledEvent>()
+        );
     }
 
     #[test]

@@ -20,7 +20,7 @@ use crate::engine::Ctx;
 use crate::event::EventKind;
 use crate::fault::{FaultDirective, NodeFault};
 use crate::flow::{FlowSpec, ReceiverHint};
-use crate::ids::{FlowId, NodeId};
+use crate::ids::{FlowId, IdHashBuilder, NodeId};
 use crate::packet::{Packet, PacketKind};
 use crate::port::Port;
 use crate::time::{SimDuration, SimTime};
@@ -95,7 +95,11 @@ pub struct Host {
     core: HostCore,
     factory: Arc<dyn AgentFactory>,
     service: Option<Box<dyn HostService>>,
-    agents: HashMap<FlowId, Box<dyn FlowAgent>>,
+    /// Live agents, keyed by flow. The deterministic [`IdHashBuilder`]
+    /// keeps the per-packet lookup off SipHash; every iteration over this
+    /// map sorts its keys first, so the hasher never leaks into event
+    /// order.
+    agents: HashMap<FlowId, Box<dyn FlowAgent>, IdHashBuilder>,
     /// Set by [`crate::fault::FaultDirective::HostCrash`]: the machine is
     /// down. Nothing is consumed or started until the matching restart.
     crashed: bool,
@@ -128,7 +132,9 @@ impl<'a, 'b> AgentCtx<'a, 'b> {
             PacketKind::Data => self.sim.stats.note_data_injected(),
             _ => {}
         }
-        self.host.port.send(pkt, self.sim);
+        // Injection is where a packet is boxed, once; it stays in this
+        // allocation through every queue and hop until consumed.
+        self.host.port.send(Box::new(pkt), self.sim);
     }
 
     /// Arrange for [`FlowAgent::on_timer`] to fire after `delay` with
@@ -192,7 +198,7 @@ impl<'a, 'b, 'c> HostIo<'a, 'b, 'c> {
             PacketKind::Data => self.sim.stats.note_data_injected(),
             _ => {}
         }
-        self.host.port.send(pkt, self.sim);
+        self.host.port.send(Box::new(pkt), self.sim);
     }
 
     /// Arrange for [`HostService::on_timer`] to fire after `delay`.
@@ -239,7 +245,7 @@ impl Host {
             },
             factory,
             service,
-            agents: HashMap::new(),
+            agents: HashMap::default(),
             crashed: false,
         }
     }
@@ -306,7 +312,7 @@ impl Host {
                     return;
                 }
                 let agent = self.factory.sender(&spec);
-                self.run_agent(spec.id, agent, ctx, |agent, actx| agent.on_start(actx));
+                self.install_and_run(spec.id, agent, ctx, |agent, actx| agent.on_start(actx));
             }
             EventKind::Deliver(pkt) => self.deliver(pkt, ctx),
             EventKind::TxComplete(port) => {
@@ -314,10 +320,9 @@ impl Host {
                 self.core.port.on_tx_complete(ctx);
             }
             EventKind::AgentTimer { flow, token } => {
-                if let Some(agent) = self.agents.remove(&flow) {
-                    self.run_agent(flow, agent, ctx, |agent, actx| agent.on_timer(token, actx));
-                }
-                // Stale timer for a completed flow: ignore.
+                // A stale timer for a completed flow finds no agent and is
+                // ignored.
+                self.run_agent(flow, ctx, |agent, actx| agent.on_timer(token, actx));
             }
             EventKind::PluginTimer(token) => {
                 self.run_service(ctx, |svc, io| svc.on_timer(token, io));
@@ -389,7 +394,7 @@ impl Host {
         }
     }
 
-    fn deliver(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+    fn deliver(&mut self, pkt: Box<Packet>, ctx: &mut Ctx<'_>) {
         debug_assert_eq!(pkt.dst, self.core.id, "misrouted packet");
         if self.crashed {
             // A crashed machine consumes nothing. Data is accounted as
@@ -407,14 +412,20 @@ impl Host {
         // flow agent exists for the tagged flow: agents learn of control
         // state changes through service wake-ups, not raw packets.
         if pkt.kind == PacketKind::Ctrl {
-            self.run_service(ctx, |svc, io| svc.on_ctrl(pkt, io));
+            self.run_service(ctx, |svc, io| svc.on_ctrl(*pkt, io));
             return;
         }
         let flow = pkt.flow;
-        if let Some(agent) = self.agents.remove(&flow) {
-            self.run_agent(flow, agent, ctx, |agent, actx| agent.on_packet(pkt, actx));
+        // Hot path: hand the packet to the flow's live agent. It rides in
+        // an Option so the closure can move it out while the host keeps
+        // it when no agent exists (first packet of a new flow).
+        let mut arriving = Some(pkt);
+        if self.run_agent(flow, ctx, |agent, actx| {
+            agent.on_packet(*arriving.take().expect("packet present"), actx);
+        }) {
             return;
         }
+        let pkt = arriving.expect("no agent ran, packet kept");
         match pkt.kind {
             PacketKind::Data | PacketKind::Probe => {
                 // First packet of an unknown flow: create the receiver.
@@ -425,9 +436,9 @@ impl Host {
                 };
                 let agent = self.factory.receiver(hint);
                 // Start, then deliver the packet.
-                self.run_agent(flow, agent, ctx, |agent, actx| {
+                self.install_and_run(flow, agent, ctx, |agent, actx| {
                     agent.on_start(actx);
-                    agent.on_packet(pkt, actx);
+                    agent.on_packet(*pkt, actx);
                 });
             }
             PacketKind::Ctrl => unreachable!("handled above"),
@@ -437,13 +448,19 @@ impl Host {
         }
     }
 
-    /// Run a closure over an agent that has been temporarily removed from
-    /// the map (so the agent can borrow the rest of the host), then either
-    /// reinstall or garbage-collect it.
-    fn run_agent<F>(&mut self, flow: FlowId, mut agent: Box<dyn FlowAgent>, ctx: &mut Ctx<'_>, f: F)
+    /// Run a closure over the agent registered for `flow`, then
+    /// garbage-collect the agent once it reports done. Returns whether an
+    /// agent existed. The agents map and the rest of the host are
+    /// disjoint fields, so the agent stays in the map while it borrows
+    /// the core through [`AgentCtx`] — no remove/re-insert pair per
+    /// delivered packet.
+    fn run_agent<F>(&mut self, flow: FlowId, ctx: &mut Ctx<'_>, f: F) -> bool
     where
         F: FnOnce(&mut dyn FlowAgent, &mut AgentCtx<'_, '_>),
     {
+        let Some(agent) = self.agents.get_mut(&flow) else {
+            return false;
+        };
         {
             let mut actx = AgentCtx {
                 flow,
@@ -453,9 +470,27 @@ impl Host {
             };
             f(agent.as_mut(), &mut actx);
         }
-        if !agent.is_done() {
-            self.agents.insert(flow, agent);
+        if agent.is_done() {
+            self.agents.remove(&flow);
         }
+        true
+    }
+
+    /// Register a freshly built agent, then run it (sender on flow start,
+    /// receiver on first packet). An immediately-done agent is inserted
+    /// and garbage-collected in one motion.
+    fn install_and_run<F>(
+        &mut self,
+        flow: FlowId,
+        agent: Box<dyn FlowAgent>,
+        ctx: &mut Ctx<'_>,
+        f: F,
+    ) where
+        F: FnOnce(&mut dyn FlowAgent, &mut AgentCtx<'_, '_>),
+    {
+        let prev = self.agents.insert(flow, agent);
+        debug_assert!(prev.is_none(), "{flow} already has a live agent");
+        self.run_agent(flow, ctx, f);
     }
 
     /// Run a closure over the host service (temporarily detached), then
@@ -479,11 +514,8 @@ impl Host {
         }
         self.service = Some(svc);
         for flow in wakeups {
-            if let Some(agent) = self.agents.remove(&flow) {
-                self.run_agent(flow, agent, ctx, |agent, actx| {
-                    agent.on_timer(WAKEUP_TOKEN, actx)
-                });
-            }
+            // A wake-up for an already-collected agent is a no-op.
+            self.run_agent(flow, ctx, |agent, actx| agent.on_timer(WAKEUP_TOKEN, actx));
         }
     }
 }

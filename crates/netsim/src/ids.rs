@@ -5,6 +5,7 @@
 //! index at a call site.
 
 use core::fmt;
+use core::hash::{BuildHasherDefault, Hasher};
 
 /// Identifies a node (host or switch) in the topology.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -46,6 +47,63 @@ impl FlowId {
     /// The underlying dense index.
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+}
+
+/// Deterministic, allocation-free hasher for the dense numeric ids above
+/// (splitmix64 finalizer per integer write). `std`'s default SipHash buys
+/// HashDoS resistance the simulator doesn't need and seeds itself
+/// randomly per process; this keeps id-keyed map lookups on the hot path
+/// cheap and their behaviour identical across runs and platforms. Only
+/// for id keys — not a general-purpose string hasher.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct IdHasher(u64);
+
+/// `BuildHasher` for [`IdHasher`], for use as a `HashMap` type parameter.
+pub type IdHashBuilder = BuildHasherDefault<IdHasher>;
+
+impl IdHasher {
+    #[inline]
+    fn mix(&mut self, x: u64) {
+        // splitmix64 finalizer over the running state.
+        let mut z = self.0 ^ x;
+        z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        self.0 = z ^ (z >> 31);
+    }
+}
+
+impl Hasher for IdHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Fallback for non-integer fragments (derived Hash on structs may
+        // route discriminants here): fold 8-byte chunks through the mixer.
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.mix(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, x: u32) {
+        self.mix(x as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, x: u64) {
+        self.mix(x);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, x: usize) {
+        self.mix(x as u64);
     }
 }
 
@@ -99,5 +157,23 @@ mod tests {
         assert_eq!(NodeId(7).index(), 7);
         assert_eq!(PortId(2).index(), 2);
         assert_eq!(FlowId(42).index(), 42);
+    }
+
+    #[test]
+    fn id_hasher_is_deterministic_and_spreads() {
+        use core::hash::BuildHasher;
+        let build = IdHashBuilder::default();
+        let hash_of = |id: FlowId| build.hash_one(id);
+        assert_eq!(hash_of(FlowId(7)), hash_of(FlowId(7)));
+        assert_ne!(hash_of(FlowId(7)), hash_of(FlowId(8)));
+        // Dense consecutive ids must not collide in the low bits the
+        // table actually indexes with.
+        let low: std::collections::BTreeSet<u64> =
+            (0..64).map(|i| hash_of(FlowId(i)) % 64).collect();
+        assert!(
+            low.len() > 32,
+            "only {} distinct low-bit buckets",
+            low.len()
+        );
     }
 }

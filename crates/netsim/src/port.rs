@@ -25,7 +25,7 @@ pub struct Port {
     pub delay: SimDuration,
     qdisc: Box<dyn Qdisc>,
     /// The packet currently being serialized, if any.
-    in_flight: Option<Packet>,
+    in_flight: Option<Box<Packet>>,
     /// Whether the link is up. Downed ports drop everything offered to
     /// them (see [`Port::set_down`]).
     up: bool,
@@ -68,7 +68,7 @@ impl Port {
     /// Offer a packet to this port: enqueue it and, if the serializer is
     /// idle, begin transmission. Drops are recorded in `ctx.stats`.
     /// Everything offered to a downed port is dropped (and counted).
-    pub fn send(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+    pub fn send(&mut self, pkt: Box<Packet>, ctx: &mut Ctx<'_>) {
         if !self.up {
             self.drops_while_down += 1;
             Self::record_drop(&pkt, ctx);
@@ -100,15 +100,17 @@ impl Port {
     /// Count and trace one dropped packet.
     fn record_drop(pkt: &Packet, ctx: &mut Ctx<'_>) {
         ctx.stats.note_drop(pkt);
-        let now = ctx.now();
-        ctx.stats.trace_event(
-            now,
-            &crate::trace::TraceEvent::Drop {
-                flow: pkt.flow,
-                kind: pkt.kind,
-                seq: pkt.seq,
-            },
-        );
+        if ctx.stats.tracing() {
+            let now = ctx.now();
+            ctx.stats.trace_event(
+                now,
+                &crate::trace::TraceEvent::Drop {
+                    flow: pkt.flow,
+                    kind: pkt.kind,
+                    seq: pkt.seq,
+                },
+            );
+        }
     }
 
     /// Take the link down: flush and drop everything queued; reject all
@@ -181,9 +183,11 @@ impl Port {
         }
         self.tx_pkts += 1;
         self.tx_bytes += pkt.wire_bytes as u64;
-        let now = ctx.now();
-        let ev = crate::trace::tx_event(ctx.node, self.id, &pkt);
-        ctx.stats.trace_event(now, &ev);
+        if ctx.stats.tracing() {
+            let now = ctx.now();
+            let ev = crate::trace::tx_event(ctx.node, self.id, &pkt);
+            ctx.stats.trace_event(now, &ev);
+        }
         ctx.schedule(self.delay, self.peer, EventKind::Deliver(pkt));
         self.start_tx(ctx);
     }
@@ -264,8 +268,8 @@ mod tests {
         )
     }
 
-    fn data(flow: u64) -> Packet {
-        Packet::data(FlowId(flow), NodeId(0), NodeId(1), 0, 1460)
+    fn data(flow: u64) -> Box<Packet> {
+        Box::new(Packet::data(FlowId(flow), NodeId(0), NodeId(1), 0, 1460))
     }
 
     #[test]

@@ -12,7 +12,7 @@ use crate::time::SimTime;
 /// sizes (Table 3: e.g. `qSize = 225 pkts` for DCTCP).
 #[derive(Debug)]
 pub struct DropTailQdisc {
-    queue: VecDeque<Packet>,
+    queue: VecDeque<Box<Packet>>,
     cap_pkts: usize,
     bytes: u64,
     stats: QdiscStats,
@@ -37,7 +37,7 @@ impl DropTailQdisc {
 }
 
 impl Qdisc for DropTailQdisc {
-    fn enqueue(&mut self, pkt: Packet, _now: SimTime) -> Enqueued {
+    fn enqueue(&mut self, pkt: Box<Packet>, _now: SimTime) -> Enqueued {
         if self.queue.len() >= self.cap_pkts {
             self.stats.dropped_pkts += 1;
             self.stats.dropped_bytes += pkt.wire_bytes as u64;
@@ -50,7 +50,7 @@ impl Qdisc for DropTailQdisc {
         Enqueued::Ok
     }
 
-    fn dequeue(&mut self, _now: SimTime) -> Option<Packet> {
+    fn dequeue(&mut self, _now: SimTime) -> Option<Box<Packet>> {
         let pkt = self.queue.pop_front()?;
         self.bytes -= pkt.wire_bytes as u64;
         Some(pkt)

@@ -109,7 +109,7 @@ impl LossyQdisc {
 }
 
 impl Qdisc for LossyQdisc {
-    fn enqueue(&mut self, pkt: Packet, now: SimTime) -> Enqueued {
+    fn enqueue(&mut self, pkt: Box<Packet>, now: SimTime) -> Enqueued {
         if pkt.kind == self.target {
             self.seen += 1;
             if self.should_drop() {
@@ -120,7 +120,7 @@ impl Qdisc for LossyQdisc {
         self.inner.enqueue(pkt, now)
     }
 
-    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+    fn dequeue(&mut self, now: SimTime) -> Option<Box<Packet>> {
         self.inner.dequeue(now)
     }
 
@@ -199,7 +199,7 @@ mod tests {
             Enqueued::Ok
         ));
         // Every ctrl packet dies.
-        let ctrl = Packet::ctrl(FlowId(1), NodeId(0), NodeId(1), Box::new(1u8));
+        let ctrl = Box::new(Packet::ctrl(FlowId(1), NodeId(0), NodeId(1), Box::new(1u8)));
         assert!(matches!(
             q.enqueue(ctrl, SimTime::ZERO),
             Enqueued::RejectedArrival(_)
@@ -272,7 +272,7 @@ mod tests {
                 Enqueued::Ok
             ));
         }
-        let ctrl = |f: u64| Packet::ctrl(FlowId(f), NodeId(0), NodeId(1), Box::new(0u8));
+        let ctrl = |f: u64| Box::new(Packet::ctrl(FlowId(f), NodeId(0), NodeId(1), Box::new(0u8)));
         assert!(matches!(
             q.enqueue(ctrl(10), SimTime::ZERO),
             Enqueued::RejectedArrival(_)

@@ -35,10 +35,10 @@ pub enum Enqueued {
     /// The packet was accepted (it may have been ECN-marked in place).
     Ok,
     /// The arriving packet was rejected and dropped.
-    RejectedArrival(Packet),
+    RejectedArrival(Box<Packet>),
     /// The arriving packet was accepted; a lower-priority resident was
     /// evicted to make room (pFabric-style dropping).
-    Evicted(Packet),
+    Evicted(Box<Packet>),
 }
 
 /// Counters every discipline keeps; read by the tracing layer.
@@ -60,12 +60,17 @@ pub struct QdiscStats {
 ///
 /// Implementations must be deterministic: identical sequences of calls must
 /// produce identical outcomes.
+///
+/// Packets move in and out as `Box<Packet>`: a packet is boxed once when
+/// a host injects it and stays in the same allocation through every
+/// queue, in-flight slot and `Deliver` event until it is consumed, so
+/// queue churn shuffles pointers instead of ~140-byte payloads.
 pub trait Qdisc: Send {
     /// Offer `pkt` to the queue at time `now`.
-    fn enqueue(&mut self, pkt: Packet, now: SimTime) -> Enqueued;
+    fn enqueue(&mut self, pkt: Box<Packet>, now: SimTime) -> Enqueued;
 
     /// Remove the next packet to transmit, if any.
-    fn dequeue(&mut self, now: SimTime) -> Option<Packet>;
+    fn dequeue(&mut self, now: SimTime) -> Option<Box<Packet>>;
 
     /// Number of packets currently queued.
     fn len_pkts(&self) -> usize;
@@ -107,15 +112,15 @@ pub(crate) mod test_util {
     use crate::ids::{FlowId, NodeId};
 
     /// A data packet with a given flow id, priority band and rank.
-    pub fn pkt(flow: u64, prio: u8, rank: u64) -> Packet {
+    pub fn pkt(flow: u64, prio: u8, rank: u64) -> Box<Packet> {
         let mut p = Packet::data(FlowId(flow), NodeId(0), NodeId(1), 0, 1460);
         p.prio = prio;
         p.rank = rank;
-        p
+        Box::new(p)
     }
 
     /// A header-only, non-ECN-capable packet (like an ACK).
-    pub fn ack_pkt(flow: u64) -> Packet {
-        Packet::ack(FlowId(flow), NodeId(1), NodeId(0), 0)
+    pub fn ack_pkt(flow: u64) -> Box<Packet> {
+        Box::new(Packet::ack(FlowId(flow), NodeId(1), NodeId(0), 0))
     }
 }

@@ -16,7 +16,7 @@ use crate::time::SimTime;
 /// FIFO queue with threshold ECN marking on instantaneous occupancy.
 #[derive(Debug)]
 pub struct RedEcnQdisc {
-    queue: VecDeque<Packet>,
+    queue: VecDeque<Box<Packet>>,
     cap_pkts: usize,
     /// Marking threshold `K` in packets.
     mark_thresh: usize,
@@ -54,7 +54,7 @@ impl RedEcnQdisc {
 }
 
 impl Qdisc for RedEcnQdisc {
-    fn enqueue(&mut self, mut pkt: Packet, _now: SimTime) -> Enqueued {
+    fn enqueue(&mut self, mut pkt: Box<Packet>, _now: SimTime) -> Enqueued {
         if self.queue.len() >= self.cap_pkts {
             self.stats.dropped_pkts += 1;
             self.stats.dropped_bytes += pkt.wire_bytes as u64;
@@ -72,7 +72,7 @@ impl Qdisc for RedEcnQdisc {
         Enqueued::Ok
     }
 
-    fn dequeue(&mut self, _now: SimTime) -> Option<Packet> {
+    fn dequeue(&mut self, _now: SimTime) -> Option<Box<Packet>> {
         let pkt = self.queue.pop_front()?;
         self.bytes -= pkt.wire_bytes as u64;
         Some(pkt)

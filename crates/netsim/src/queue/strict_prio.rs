@@ -53,12 +53,12 @@ impl StrictPrioQdisc {
 }
 
 impl Qdisc for StrictPrioQdisc {
-    fn enqueue(&mut self, pkt: Packet, now: SimTime) -> Enqueued {
+    fn enqueue(&mut self, pkt: Box<Packet>, now: SimTime) -> Enqueued {
         let band = self.band_of(&pkt);
         self.bands[band].enqueue(pkt, now)
     }
 
-    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+    fn dequeue(&mut self, now: SimTime) -> Option<Box<Packet>> {
         for band in &mut self.bands {
             if !band.is_empty() {
                 return band.dequeue(now);

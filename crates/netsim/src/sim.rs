@@ -118,6 +118,11 @@ impl Simulation {
         &mut self.sched
     }
 
+    /// Shared access to the scheduler (clock, pending-event counts).
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.sched
+    }
+
     /// Register a flow and schedule its start at `spec.start`.
     pub fn add_flow(&mut self, spec: FlowSpec) {
         assert!(
@@ -134,7 +139,23 @@ impl Simulation {
         self.stats.register_flow(&spec);
         let src = spec.src;
         let at = spec.start;
-        self.sched.schedule_at(at, src, EventKind::FlowStart(spec));
+        self.sched.schedule_at(at, src, EventKind::flow_start(spec));
+    }
+
+    /// Register many flows at once. Equivalent to calling
+    /// [`Simulation::add_flow`] per spec, but reserves scheduler capacity
+    /// up front so a workload's arrival burst doesn't grow the event heap
+    /// incrementally.
+    pub fn add_flows<I>(&mut self, flows: I)
+    where
+        I: IntoIterator<Item = FlowSpec>,
+    {
+        let flows = flows.into_iter();
+        let (lo, hi) = flows.size_hint();
+        self.sched.reserve(hi.unwrap_or(lo));
+        for spec in flows {
+            self.add_flow(spec);
+        }
     }
 
     /// Schedule every event of a [`FaultPlan`]. Link events are resolved
@@ -206,7 +227,17 @@ impl Simulation {
     }
 
     /// Run the event loop until a limit is reached or the queue drains.
+    ///
+    /// Flushes the trace sink (if any) before returning, so buffered
+    /// sinks like [`crate::trace::TextTracer`] are readable at every
+    /// point a caller regains control.
     pub fn run(&mut self, limit: RunLimit) -> RunOutcome {
+        let outcome = self.run_inner(limit);
+        self.stats.flush_tracer();
+        outcome
+    }
+
+    fn run_inner(&mut self, limit: RunLimit) -> RunOutcome {
         loop {
             if limit.stop_when_measured_done && self.stats.all_measured_complete() {
                 return RunOutcome::MeasuredComplete;

@@ -130,6 +130,24 @@ impl StatsCollector {
         }
     }
 
+    /// Whether a trace sink is installed. Hot paths gate trace-event
+    /// construction on this so a disabled tracer costs one branch and
+    /// nothing else (no formatting, no allocation).
+    #[inline]
+    pub fn tracing(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// Flush the installed sink's buffered output (no-op without a
+    /// sink). [`crate::sim::Simulation::run`] calls this before
+    /// returning; call it manually only when reading a sink's output
+    /// mid-run.
+    pub fn flush_tracer(&mut self) {
+        if let Some(t) = self.tracer.as_mut() {
+            t.flush();
+        }
+    }
+
     /// Register a flow that will be simulated. Called by the simulation
     /// when the flow is scheduled (before it starts).
     pub fn register_flow(&mut self, spec: &FlowSpec) {

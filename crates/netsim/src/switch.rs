@@ -138,7 +138,7 @@ impl<'a, 'b> SwitchIo<'a, 'b> {
         if pkt.kind == PacketKind::Ctrl {
             self.sim.stats.note_ctrl_sent(pkt.wire_bytes);
         }
-        self.ports[port.index()].send(pkt, self.sim);
+        self.ports[port.index()].send(Box::new(pkt), self.sim);
     }
 
     /// The capacity of one of this switch's links.
@@ -155,16 +155,18 @@ impl<'a, 'b> SwitchIo<'a, 'b> {
 /// Count and trace one blackholed packet (no live route at `node`).
 fn record_blackhole(node: NodeId, pkt: &Packet, ctx: &mut Ctx<'_>) {
     ctx.stats.note_blackhole(pkt);
-    let now = ctx.now();
-    ctx.stats.trace_event(
-        now,
-        &crate::trace::TraceEvent::Blackhole {
-            node,
-            flow: pkt.flow,
-            kind: pkt.kind,
-            seq: pkt.seq,
-        },
-    );
+    if ctx.stats.tracing() {
+        let now = ctx.now();
+        ctx.stats.trace_event(
+            now,
+            &crate::trace::TraceEvent::Blackhole {
+                node,
+                flow: pkt.flow,
+                kind: pkt.kind,
+                seq: pkt.seq,
+            },
+        );
+    }
 }
 
 /// A store-and-forward switch.
@@ -268,10 +270,10 @@ impl Switch {
         }
     }
 
-    fn deliver(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+    fn deliver(&mut self, pkt: Box<Packet>, ctx: &mut Ctx<'_>) {
         if pkt.dst == self.id {
             // Addressed to this switch: control-plane traffic.
-            self.with_plugin(ctx, |plugin, io| plugin.on_ctrl(pkt, io));
+            self.with_plugin(ctx, |plugin, io| plugin.on_ctrl(*pkt, io));
             return;
         }
         let Some(out) = self.route(pkt.dst, pkt.flow) else {
@@ -432,7 +434,8 @@ mod tests {
         );
         assert_eq!(sw.route(NodeId(5), FlowId(7)), None);
         let pkt = Packet::data(FlowId(7), NodeId(3), NodeId(5), 0, 1460);
-        sw.handle(EventKind::Deliver(pkt), &mut ctx);
+        sw.handle(EventKind::deliver(pkt), &mut ctx);
+        ctx.stats.flush_tracer();
         assert_eq!(sw.blackhole_drops(), 1);
         assert_eq!(stats.blackhole_pkts, 1);
         assert_eq!(stats.data_pkts_blackholed, 1);

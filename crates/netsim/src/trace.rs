@@ -7,7 +7,17 @@
 //! can compute whatever online statistics they need.
 //!
 //! Tracing is strictly opt-in: with no sink installed the hot path pays
-//! one branch per event.
+//! one branch per event, and call sites are expected to gate event
+//! construction on [`crate::stats::StatsCollector::tracing`] so no
+//! formatting or allocation happens either.
+//!
+//! The [`TextTracer`] renders into a thread-local `String` and only
+//! takes its shared-buffer lock once per [`FLUSH_THRESHOLD`] bytes, so
+//! per-event cost is a couple of `write!` calls rather than an
+//! allocation plus a mutex round trip. Buffered output reaches the
+//! shared handle on [`TraceSink::flush`] (called by
+//! [`crate::sim::Simulation::run`] before it returns) or when the
+//! tracer is dropped; read the buffer only after one of those points.
 
 use std::fmt::Write as _;
 use std::sync::{Arc, Mutex};
@@ -16,6 +26,12 @@ use crate::fault::FaultDirective;
 use crate::ids::{FlowId, NodeId, PortId};
 use crate::packet::{Packet, PacketKind};
 use crate::time::SimTime;
+
+/// Bytes of locally rendered text the [`TextTracer`] accumulates before
+/// pushing a batch into the shared buffer. Large enough that the mutex
+/// and the shared `String` growth are amortized over thousands of
+/// lines; small enough that memory overhead per tracer is negligible.
+const FLUSH_THRESHOLD: usize = 32 * 1024;
 
 /// Why a flow ended in the terminal `Aborted` state instead of
 /// completing. Attached to the flow record and the `FlowDone` trace event
@@ -98,15 +114,28 @@ pub enum TraceEvent {
 pub trait TraceSink: Send {
     /// Handle one event at simulated time `now`.
     fn on_event(&mut self, now: SimTime, event: &TraceEvent);
+
+    /// Push any internally buffered output to where readers can see it.
+    ///
+    /// Called by [`crate::sim::Simulation::run`] before it returns, so
+    /// sinks may batch freely between flushes. Sinks that publish every
+    /// event eagerly can ignore this (the default is a no-op).
+    fn flush(&mut self) {}
 }
 
 /// A sink that renders events as text lines into a shared buffer.
 ///
 /// The buffer is shared (`Arc<Mutex<String>>`) so the caller can keep a
-/// handle while the simulation owns the sink.
-#[derive(Debug, Clone, Default)]
+/// handle while the simulation owns the sink. Lines are staged in a
+/// private `String` and pushed to the shared buffer in
+/// [`FLUSH_THRESHOLD`]-byte batches; the staged remainder reaches the
+/// shared handle on [`TraceSink::flush`] or drop (cloned handles carry
+/// the shared buffer but never the staged lines).
+#[derive(Debug, Default)]
 pub struct TextTracer {
-    buf: Arc<Mutex<String>>,
+    shared: Arc<Mutex<String>>,
+    /// Staged lines not yet pushed to `shared`.
+    local: String,
     /// Only record events for this flow, when set.
     filter_flow: Option<FlowId>,
 }
@@ -120,24 +149,53 @@ impl TextTracer {
     /// Trace only one flow.
     pub fn for_flow(flow: FlowId) -> TextTracer {
         TextTracer {
-            buf: Arc::default(),
+            shared: Arc::default(),
+            local: String::new(),
             filter_flow: Some(flow),
         }
     }
 
     /// A handle to the output buffer (clone before installing the sink).
     pub fn buffer(&self) -> Arc<Mutex<String>> {
-        Arc::clone(&self.buf)
+        Arc::clone(&self.shared)
     }
 
     fn matches(&self, flow: FlowId) -> bool {
         self.filter_flow.is_none_or(|f| f == flow)
     }
+
+    fn flush_local(&mut self) {
+        if self.local.is_empty() {
+            return;
+        }
+        let mut buf = self.shared.lock().expect("tracer buffer poisoned");
+        buf.push_str(&self.local);
+        self.local.clear();
+    }
+}
+
+impl Clone for TextTracer {
+    /// Clones share the output buffer but start with an empty staging
+    /// area: staged lines belong to exactly one writer, so a handle
+    /// cloned off an installed sink never duplicates its output.
+    fn clone(&self) -> TextTracer {
+        TextTracer {
+            shared: Arc::clone(&self.shared),
+            local: String::new(),
+            filter_flow: self.filter_flow,
+        }
+    }
+}
+
+impl Drop for TextTracer {
+    fn drop(&mut self) {
+        self.flush_local();
+    }
 }
 
 impl TraceSink for TextTracer {
     fn on_event(&mut self, now: SimTime, event: &TraceEvent) {
-        let line = match *event {
+        match *event {
             TraceEvent::Tx {
                 node,
                 port,
@@ -150,15 +208,16 @@ impl TraceSink for TextTracer {
                 if !self.matches(flow) {
                     return;
                 }
-                format!(
+                let _ = writeln!(
+                    self.local,
                     "{now} TX   {node}:{port} {flow} {kind:?} seq={seq} len={wire_bytes} prio={prio}"
-                )
+                );
             }
             TraceEvent::Drop { flow, kind, seq } => {
                 if !self.matches(flow) {
                     return;
                 }
-                format!("{now} DROP {flow} {kind:?} seq={seq}")
+                let _ = writeln!(self.local, "{now} DROP {flow} {kind:?} seq={seq}");
             }
             TraceEvent::Blackhole {
                 node,
@@ -169,7 +228,7 @@ impl TraceSink for TextTracer {
                 if !self.matches(flow) {
                     return;
                 }
-                format!("{now} BHOL {node} {flow} {kind:?} seq={seq}")
+                let _ = writeln!(self.local, "{now} BHOL {node} {flow} {kind:?} seq={seq}");
             }
             TraceEvent::FlowDone {
                 flow,
@@ -179,20 +238,25 @@ impl TraceSink for TextTracer {
                 if !self.matches(flow) {
                     return;
                 }
-                match (aborted, reason) {
-                    (true, Some(r)) => format!("{now} ABRT {flow} reason={r:?}"),
-                    (true, None) => format!("{now} ABRT {flow}"),
-                    (false, _) => format!("{now} DONE {flow}"),
-                }
+                let _ = match (aborted, reason) {
+                    (true, Some(r)) => writeln!(self.local, "{now} ABRT {flow} reason={r:?}"),
+                    (true, None) => writeln!(self.local, "{now} ABRT {flow}"),
+                    (false, _) => writeln!(self.local, "{now} DONE {flow}"),
+                };
             }
             // Faults are never flow-filtered: an injected fault is part of
             // the run's identity regardless of which flow is being watched.
             TraceEvent::Fault { node, fault } => {
-                format!("{now} FLT  {node} {fault:?}")
+                let _ = writeln!(self.local, "{now} FLT  {node} {fault:?}");
             }
-        };
-        let mut buf = self.buf.lock().expect("tracer buffer poisoned");
-        let _ = writeln!(buf, "{line}");
+        }
+        if self.local.len() >= FLUSH_THRESHOLD {
+            self.flush_local();
+        }
+    }
+
+    fn flush(&mut self) {
+        self.flush_local();
     }
 }
 
@@ -246,6 +310,7 @@ mod tests {
                 reason: None,
             },
         );
+        t.flush();
         let out = buf.lock().unwrap().clone();
         assert_eq!(out.lines().count(), 3);
         assert!(out.contains("TX   n0:p0 f1 Data seq=0 len=1500 prio=3"));
@@ -259,6 +324,7 @@ mod tests {
         let buf = t.buffer();
         t.on_event(SimTime::ZERO, &tx(1));
         t.on_event(SimTime::ZERO, &tx(7));
+        t.flush();
         let out = buf.lock().unwrap().clone();
         assert_eq!(out.lines().count(), 1);
         assert!(out.contains("f7"));
@@ -276,6 +342,7 @@ mod tests {
                 reason: Some(AbortReason::MaxRtosExceeded),
             },
         );
+        t.flush();
         let out = buf.lock().unwrap().clone();
         assert!(out.contains("ABRT f3 reason=MaxRtosExceeded"), "{out}");
     }
@@ -291,8 +358,33 @@ mod tests {
                 fault: FaultDirective::PortDown(PortId(1)),
             },
         );
+        t.flush();
         let out = buf.lock().unwrap().clone();
         assert_eq!(out.lines().count(), 1);
         assert!(out.contains("FLT  n2 PortDown"), "{out}");
+    }
+
+    #[test]
+    fn drop_flushes_staged_lines() {
+        let buf;
+        {
+            let mut t = TextTracer::new();
+            buf = t.buffer();
+            t.on_event(SimTime::from_micros(1), &tx(1));
+            // No explicit flush: going out of scope must publish the line.
+        }
+        assert_eq!(buf.lock().unwrap().lines().count(), 1);
+    }
+
+    #[test]
+    fn clones_share_the_buffer_but_not_staged_lines() {
+        let mut t = TextTracer::new();
+        t.on_event(SimTime::from_micros(1), &tx(1));
+        let handle = t.clone();
+        let buf = handle.buffer();
+        assert!(buf.lock().unwrap().is_empty(), "staged line leaked early");
+        drop(handle); // must not duplicate the staged line
+        t.flush();
+        assert_eq!(buf.lock().unwrap().lines().count(), 1);
     }
 }

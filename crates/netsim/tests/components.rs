@@ -181,7 +181,7 @@ fn ctrl_packets_route_to_service_and_wake_agents() {
         sim.scheduler_mut().schedule_at(
             SimTime::from_micros(t),
             hosts[0],
-            EventKind::Deliver(Packet::ctrl(
+            EventKind::deliver(Packet::ctrl(
                 FlowId(3),
                 hosts[1],
                 hosts[0],
@@ -304,7 +304,7 @@ fn ctrl_loss_burst_kills_exactly_the_burst_window() {
         sim.scheduler_mut().schedule_at(
             SimTime::from_micros(t),
             sw,
-            EventKind::Deliver(Packet::ctrl(FlowId(7), hosts[0], hosts[1], Box::new(t))),
+            EventKind::deliver(Packet::ctrl(FlowId(7), hosts[0], hosts[1], Box::new(t))),
         );
     }
     sim.run(RunLimit::default());
@@ -369,7 +369,7 @@ fn plugin_can_consume_packets_and_run_timers() {
     sim.scheduler_mut().schedule_at(
         SimTime::ZERO,
         hosts[0],
-        EventKind::Deliver(Packet::ack(FlowId(9), hosts[1], hosts[0], 0)), // stale ack: ignored
+        EventKind::deliver(Packet::ack(FlowId(9), hosts[1], hosts[0], 0)), // stale ack: ignored
     );
     sim.add_flow(FlowSpec::new(
         FlowId(0),
@@ -382,7 +382,7 @@ fn plugin_can_consume_packets_and_run_timers() {
     sim.scheduler_mut().schedule_at(
         SimTime::from_micros(3),
         sw,
-        EventKind::Deliver(Packet::probe(FlowId(5), hosts[0], hosts[1], 0)),
+        EventKind::deliver(Packet::probe(FlowId(5), hosts[0], hosts[1], 0)),
     );
     sim.run(RunLimit::default());
     let Node::Switch(s) = sim.node_mut(sw) else {

@@ -33,11 +33,11 @@ fn ops(rng: &mut Rng) -> Vec<Op> {
         .collect()
 }
 
-fn mk_pkt(flow: u64, prio: u8, len: u16) -> Packet {
+fn mk_pkt(flow: u64, prio: u8, len: u16) -> Box<Packet> {
     let mut p = Packet::data(FlowId(flow), NodeId(0), NodeId(1), 0, len as u32);
     p.prio = prio;
     p.rank = flow * 1000;
-    p
+    Box::new(p)
 }
 
 /// Run an op sequence, checking the universal qdisc invariants:

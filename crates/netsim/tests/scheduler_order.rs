@@ -1,0 +1,99 @@
+//! Property test: the scheduler's `(time, seq)` ordering is total and
+//! deterministic. Events scheduled at the same instant must pop in the
+//! exact order they were scheduled, regardless of how many pile up —
+//! this is the tie-break every deterministic-replay guarantee rests on.
+
+use netsim::engine::Scheduler;
+use netsim::event::EventKind;
+use netsim::ids::{FlowId, NodeId};
+use netsim::time::SimTime;
+
+fn timer(token: u64) -> EventKind {
+    EventKind::AgentTimer {
+        flow: FlowId(0),
+        token,
+    }
+}
+
+fn token_of(kind: &EventKind) -> u64 {
+    match kind {
+        EventKind::AgentTimer { token, .. } => *token,
+        other => panic!("unexpected event {other:?}"),
+    }
+}
+
+/// 10k events at one instant pop in scheduling order (FIFO among ties).
+#[test]
+fn ten_thousand_ties_pop_in_scheduling_order() {
+    let mut sched = Scheduler::new();
+    let t = SimTime::from_micros(5);
+    const N: u64 = 10_000;
+    sched.reserve(N as usize);
+    for i in 0..N {
+        // Encode the scheduling order in both the target and the token so
+        // the pop side recovers it from the event alone.
+        sched.schedule_at(t, NodeId(i as u32), timer(i));
+    }
+    let mut popped = 0u64;
+    while let Some((target, kind)) = sched.pop() {
+        assert_eq!(sched.now(), t);
+        assert_eq!(target, NodeId(popped as u32), "tie broke out of order");
+        assert_eq!(token_of(&kind), popped);
+        popped += 1;
+    }
+    assert_eq!(popped, N);
+}
+
+/// Mixed times + ties: pops are sorted by time, and within a time the
+/// relative scheduling order is preserved. The interleaving pattern is a
+/// fixed stride so the test is deterministic without any RNG dependency.
+#[test]
+fn ordering_is_total_across_times_and_ties() {
+    let mut sched = Scheduler::new();
+    // 1000 events over 10 distinct instants, scheduled in a scrambled
+    // but deterministic order (stride 7 visits every residue mod 1000).
+    let mut schedule_order = Vec::new();
+    let mut k = 0u64;
+    for _ in 0..1000 {
+        k = (k + 7) % 1000;
+        let time = SimTime::from_micros(k % 10);
+        sched.schedule_at(time, NodeId(0), timer(k));
+        schedule_order.push((time, k));
+    }
+    // Expected pop order: stable sort by time (stable = preserves
+    // scheduling order among equal times).
+    let mut expected = schedule_order.clone();
+    expected.sort_by_key(|&(time, _)| time);
+
+    let mut got = Vec::new();
+    while let Some((_, kind)) = sched.pop() {
+        got.push((sched.now(), token_of(&kind)));
+    }
+    assert_eq!(got, expected, "pop order is not the stable time-sort");
+}
+
+/// `schedule_batch` preserves the same total order as sequential
+/// `schedule_at` calls, including tie-breaks.
+#[test]
+fn batch_scheduling_preserves_tie_order() {
+    let mut a = Scheduler::new();
+    let mut b = Scheduler::new();
+    let events: Vec<(SimTime, NodeId, u64)> = (0..500u64)
+        .map(|i| (SimTime::from_micros(i % 5), NodeId(0), i))
+        .collect();
+    for &(t, n, tok) in &events {
+        a.schedule_at(t, n, timer(tok));
+    }
+    b.schedule_batch(events.iter().map(|&(t, n, tok)| (t, n, timer(tok))));
+    loop {
+        match (a.pop(), b.pop()) {
+            (None, None) => break,
+            (Some((nx, kx)), Some((ny, ky))) => {
+                assert_eq!(a.now(), b.now());
+                assert_eq!(nx, ny);
+                assert_eq!(token_of(&kx), token_of(&ky));
+            }
+            (x, y) => panic!("schedulers diverged: {x:?} vs {y:?}"),
+        }
+    }
+}

@@ -25,7 +25,7 @@ use netsim::time::SimTime;
 #[derive(Debug)]
 pub struct PFabricQdisc {
     /// Packets in arrival order (index 0 = oldest).
-    queue: VecDeque<Packet>,
+    queue: VecDeque<Box<Packet>>,
     cap_pkts: usize,
     bytes: u64,
     stats: QdiscStats,
@@ -55,7 +55,7 @@ impl PFabricQdisc {
         worst.map(|(i, _)| i)
     }
 
-    fn accept(&mut self, pkt: Packet) {
+    fn accept(&mut self, pkt: Box<Packet>) {
         self.bytes += pkt.wire_bytes as u64;
         self.stats.enqueued_pkts += 1;
         self.stats.enqueued_bytes += pkt.wire_bytes as u64;
@@ -69,7 +69,7 @@ impl PFabricQdisc {
 }
 
 impl Qdisc for PFabricQdisc {
-    fn enqueue(&mut self, pkt: Packet, _now: SimTime) -> Enqueued {
+    fn enqueue(&mut self, pkt: Box<Packet>, _now: SimTime) -> Enqueued {
         if self.queue.len() < self.cap_pkts {
             self.accept(pkt);
             return Enqueued::Ok;
@@ -88,7 +88,7 @@ impl Qdisc for PFabricQdisc {
         }
     }
 
-    fn dequeue(&mut self, _now: SimTime) -> Option<Packet> {
+    fn dequeue(&mut self, _now: SimTime) -> Option<Box<Packet>> {
         if self.queue.is_empty() {
             return None;
         }
@@ -134,10 +134,10 @@ mod tests {
     use super::*;
     use netsim::ids::{FlowId, NodeId};
 
-    fn pkt(flow: u64, seq: u64, rank: u64) -> Packet {
+    fn pkt(flow: u64, seq: u64, rank: u64) -> Box<Packet> {
         let mut p = Packet::data(FlowId(flow), NodeId(0), NodeId(1), seq, 1460);
         p.rank = rank;
-        p
+        Box::new(p)
     }
 
     fn drain_flows(q: &mut PFabricQdisc) -> Vec<u64> {

@@ -101,7 +101,7 @@ impl Rig {
                 }
                 EventKind::Deliver(pkt) => {
                     assert_eq!(pkt.kind, PacketKind::Ack);
-                    return Some(pkt);
+                    return Some(*pkt);
                 }
                 other => panic!("unexpected event {other:?}"),
             }

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Benchmark harness entry point: build release, run every scenario, and
+# leave the machine-readable baseline in BENCH_netsim.json at the repo
+# root (committed numbers live in EXPERIMENTS.md; this file is the raw
+# artifact for the current machine).
+#
+#   scripts/bench.sh                 # full run (3 iterations/scenario)
+#   scripts/bench.sh --quick         # fast sanity pass (1 iteration,
+#                                    # shrunk scenario sizes)
+#   scripts/bench.sh --scenario incast-pase,incast-dctcp
+#
+# All flags are forwarded to the netsim-bench binary.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p bench
+
+echo "== netsim-bench ==" >&2
+./target/release/netsim-bench --out BENCH_netsim.json "$@" >/dev/null
+echo "== summary ==" >&2
+# One line per scenario: name, events/sec, wall ms.
+python3 - <<'EOF' 2>/dev/null || cat BENCH_netsim.json
+import json
+doc = json.load(open("BENCH_netsim.json"))
+for s in doc["scenarios"]:
+    print(f'{s["name"]:>14}: {s["events_per_sec"]:>12,.0f} events/s  '
+          f'{s["wall_ms"]:>10.1f} ms  peak_pending={s["peak_pending_events"]}')
+EOF

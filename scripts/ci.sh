@@ -23,6 +23,12 @@ cargo test --workspace -q
 echo "== chaos smoke (8 seeds, fabric+host, quick) =="
 ./target/release/chaos --seeds 8 --faults both --quick
 
+# Bench smoke: one quick scenario end-to-end; asserts the harness still
+# runs and emits valid JSON (throughput numbers are NOT checked here —
+# CI machines are too noisy for perf gates; see scripts/bench.sh).
+echo "== bench smoke (sched-storm, quick) =="
+./target/release/netsim-bench --quick --scenario sched-storm >/dev/null
+
 if cargo fmt --version >/dev/null 2>&1; then
     echo "== cargo fmt --check =="
     cargo fmt --all -- --check
