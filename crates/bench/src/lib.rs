@@ -57,6 +57,10 @@ pub struct BenchOpts {
     pub scenarios: Vec<String>,
     /// Seeds for the chaos-storm scenario.
     pub chaos_seeds: u64,
+    /// Worker threads for chaos-storm case execution
+    /// (`workloads::exec`). The executed event sequence per case is
+    /// identical at any value; only wall clock changes.
+    pub jobs: usize,
     /// Where to write the JSON document (stdout always gets a copy).
     pub out: Option<PathBuf>,
 }
@@ -68,6 +72,7 @@ impl Default for BenchOpts {
             iters: 3,
             scenarios: Vec::new(),
             chaos_seeds: 8,
+            jobs: workloads::default_jobs(),
             out: None,
         }
     }
@@ -76,7 +81,7 @@ impl Default for BenchOpts {
 impl BenchOpts {
     /// Parse binary arguments. Recognized: `--quick`, `--iters N`,
     /// `--scenario NAME` (repeatable or comma-separated),
-    /// `--chaos-seeds N`, `--out PATH`.
+    /// `--chaos-seeds N`, `--jobs N`, `--out PATH`.
     pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> BenchOpts {
         let mut opts = BenchOpts::default();
         let mut args = args.into_iter();
@@ -98,6 +103,10 @@ impl BenchOpts {
                     opts.chaos_seeds = take("--chaos-seeds")
                         .parse()
                         .expect("--chaos-seeds: integer");
+                }
+                "--jobs" => {
+                    opts.jobs = take("--jobs").parse().expect("--jobs: integer");
+                    assert!(opts.jobs > 0, "--jobs must be positive");
                 }
                 "--scenario" => {
                     for name in take("--scenario").split(',') {
@@ -280,23 +289,31 @@ fn incast(scheme: Scheme, quick: bool) -> IterOut {
 
 /// End-to-end chaos throughput: `seeds` high-intensity host-fault cases
 /// under PASE, each built, traced, invariant-checked and executed twice
-/// (the determinism replay) exactly as the chaos sweep does.
-fn chaos_storm(quick: bool, seeds: u64) -> IterOut {
+/// (the determinism replay) exactly as the chaos sweep does. Cases run
+/// on the `workloads::exec` engine with `jobs` workers; the per-case
+/// event counts are identical at any job count, so throughput numbers
+/// stay comparable across machines.
+fn chaos_storm(quick: bool, seeds: u64, jobs: usize) -> IterOut {
+    let case_seeds: Vec<u64> = (0..seeds).collect();
     let t = Instant::now();
-    let mut events = 0u64;
-    let mut delivered = 0u64;
-    let mut peak = 0usize;
-    for seed in 0..seeds {
-        let r = run_case(
+    let results = workloads::run_cases(&case_seeds, jobs, |&seed| {
+        run_case(
             Scheme::Pase,
             ChaosIntensity::High,
             FaultClass::Host,
             seed,
             quick,
-        );
+        )
+    });
+    let wall_s = t.elapsed().as_secs_f64();
+    let mut events = 0u64;
+    let mut delivered = 0u64;
+    let mut peak = 0usize;
+    for r in &results {
         assert!(
             r.passed(),
-            "chaos case seed {seed} failed in bench:\n{}",
+            "chaos case seed {} failed in bench:\n{}",
+            r.seed,
             r.violations.join("\n")
         );
         // run_case executes every case twice (determinism replay), so
@@ -306,7 +323,7 @@ fn chaos_storm(quick: bool, seeds: u64) -> IterOut {
         peak = peak.max(r.peak_pending);
     }
     IterOut {
-        wall_s: t.elapsed().as_secs_f64(),
+        wall_s,
         events,
         packets: delivered,
         peak,
@@ -328,7 +345,7 @@ pub fn run(opts: &BenchOpts) -> Vec<BenchResult> {
                 incast(Scheme::Dctcp, opts.quick)
             }),
             "chaos-storm" => measure(name, opts.iters, warmup, || {
-                chaos_storm(opts.quick, opts.chaos_seeds)
+                chaos_storm(opts.quick, opts.chaos_seeds, opts.jobs)
             }),
             other => unreachable!("unknown scenario {other}"),
         };
@@ -349,6 +366,11 @@ pub fn render_json(results: &[BenchResult], opts: &BenchOpts) -> String {
     s.push_str(&format!(
         "  \"profile\": \"{}\",\n",
         if opts.quick { "quick" } else { "full" }
+    ));
+    s.push_str(&format!("  \"jobs\": {},\n", opts.jobs));
+    s.push_str(&format!(
+        "  \"detected_cores\": {},\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
     ));
     s.push_str("  \"scenarios\": [\n");
     for (i, r) in results.iter().enumerate() {
@@ -447,6 +469,8 @@ mod tests {
             assert!(json.contains(name), "{name} missing from JSON");
         }
         assert!(json.contains("\"events_per_sec\""));
+        assert!(json.contains(&format!("\"jobs\": {}", opts.jobs)));
+        assert!(json.contains("\"detected_cores\": "));
     }
 
     #[test]
@@ -461,7 +485,7 @@ mod tests {
     #[test]
     fn arg_parsing() {
         let o = BenchOpts::from_args(
-            "--quick --scenario sched-storm,incast-pase --chaos-seeds 2 --out /tmp/x.json"
+            "--quick --scenario sched-storm,incast-pase --chaos-seeds 2 --jobs 2 --out /tmp/x.json"
                 .split_whitespace()
                 .map(String::from),
         );
@@ -469,8 +493,15 @@ mod tests {
         assert_eq!(o.iters, 1);
         assert_eq!(o.scenarios, vec!["sched-storm", "incast-pase"]);
         assert_eq!(o.chaos_seeds, 2);
+        assert_eq!(o.jobs, 2);
         assert_eq!(o.selected(), vec!["sched-storm", "incast-pase"]);
         assert_eq!(o.out, Some(PathBuf::from("/tmp/x.json")));
+    }
+
+    #[test]
+    #[should_panic(expected = "--jobs must be positive")]
+    fn zero_jobs_rejected() {
+        BenchOpts::from_args(["--jobs".to_string(), "0".to_string()]);
     }
 
     #[test]

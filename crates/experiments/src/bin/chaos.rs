@@ -7,12 +7,13 @@ use experiments::chaos::{sweep, ChaosOpts};
 fn main() {
     let opts = ChaosOpts::from_args(std::env::args().skip(1));
     eprintln!(
-        "chaos sweep: {} seeds x {} intensities x {} schemes x {} fault classes ({})",
+        "chaos sweep: {} seeds x {} intensities x {} schemes x {} fault classes ({}, {} jobs)",
         opts.seeds.len(),
         opts.intensities.len(),
         opts.schemes.len(),
         opts.fault_classes.len(),
         if opts.quick { "quick" } else { "full" },
+        opts.jobs,
     );
     let results = sweep(&opts);
     let failed = results.iter().filter(|r| !r.passed()).count();

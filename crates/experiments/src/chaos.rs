@@ -27,7 +27,7 @@ use netsim::invariants::InvariantConfig;
 use netsim::prelude::*;
 use netsim::topology::NodeKind;
 use netsim::trace::TextTracer;
-use workloads::{Pattern, Scenario, Scheme, SizeDist, TopologySpec};
+use workloads::{CasePlan, Pattern, Scenario, Scheme, SizeDist, TopologySpec};
 
 /// Which fault classes a chaos case injects.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,6 +70,9 @@ pub struct ChaosOpts {
     pub quick: bool,
     /// Per-case progress lines on stderr (also enabled by `CHAOS_LOG`).
     pub verbose: bool,
+    /// Worker threads for case execution (`workloads::exec`); results
+    /// and reporting stay in case order at any value.
+    pub jobs: usize,
 }
 
 impl Default for ChaosOpts {
@@ -81,6 +84,7 @@ impl Default for ChaosOpts {
             fault_classes: vec![FaultClass::Fabric, FaultClass::Host],
             quick: false,
             verbose: false,
+            jobs: workloads::default_jobs(),
         }
     }
 }
@@ -90,9 +94,9 @@ impl ChaosOpts {
     ///
     /// Recognized: `--seeds N` (sweep 0..N), `--seed-list a,b,c`,
     /// `--scheme pase|dctcp|both`, `--intensity low|high|both`,
-    /// `--faults fabric|host|both`, `--quick`, `--verbose`. Setting the
-    /// `CHAOS_LOG` environment variable (any non-empty value) also
-    /// enables verbose output.
+    /// `--faults fabric|host|both`, `--jobs N`, `--quick`, `--verbose`.
+    /// Setting the `CHAOS_LOG` environment variable (any non-empty
+    /// value) also enables verbose output.
     pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> ChaosOpts {
         let mut opts = ChaosOpts::default();
         let mut args = args.into_iter();
@@ -138,6 +142,10 @@ impl ChaosOpts {
                         "both" => vec![FaultClass::Fabric, FaultClass::Host],
                         other => panic!("--faults: fabric|host|both, got {other}"),
                     };
+                }
+                "--jobs" => {
+                    opts.jobs = take("--jobs").parse().expect("--jobs: integer");
+                    assert!(opts.jobs > 0, "--jobs must be positive");
                 }
                 other => panic!("unknown argument: {other}"),
             }
@@ -429,38 +437,52 @@ pub fn replay_command(r: &CaseResult, quick: bool) -> String {
 
 /// Run the full sweep. Returns every case result; the binary turns
 /// failures into a non-zero exit.
+///
+/// Cases execute on the [`workloads::exec`] engine with `opts.jobs`
+/// workers. The case order (scheme → fault class → intensity → seed) and
+/// all stderr reporting are identical to the sequential sweep at any job
+/// count: results come back ordered by case index and reporting happens
+/// afterwards, in that order.
 pub fn sweep(opts: &ChaosOpts) -> Vec<CaseResult> {
-    let mut out = Vec::new();
-    for &scheme in &opts.schemes {
-        for &fault_class in &opts.fault_classes {
-            for &intensity in &opts.intensities {
-                for &seed in &opts.seeds {
-                    let r = run_case(scheme, intensity, fault_class, seed, opts.quick);
-                    if opts.verbose || !r.passed() {
-                        eprintln!(
-                            "chaos {:>5} {:?}/{} seed {:>3}: {} (blackholed {}, aborted {}, \
-                             events {}, trace {:#018x}, stats {:#018x})",
-                            r.scheme,
-                            r.intensity,
-                            r.fault_class.name(),
-                            r.seed,
-                            if r.passed() { "ok" } else { "FAIL" },
-                            r.blackholed,
-                            r.aborted_flows,
-                            r.events,
-                            r.trace_hash,
-                            r.stats_hash,
-                        );
-                    }
-                    if !r.passed() {
-                        for v in &r.violations {
-                            eprintln!("  violation: {v}");
-                        }
-                        eprintln!("  replay: {}", replay_command(&r, opts.quick));
-                    }
-                    out.push(r);
-                }
+    let plan = CasePlan::new(
+        opts.schemes
+            .iter()
+            .flat_map(|&scheme| {
+                opts.fault_classes.iter().flat_map(move |&fault_class| {
+                    opts.intensities.iter().flat_map(move |&intensity| {
+                        opts.seeds
+                            .iter()
+                            .map(move |&seed| (scheme, fault_class, intensity, seed))
+                    })
+                })
+            })
+            .collect::<Vec<_>>(),
+    );
+    let out = plan.execute(opts.jobs, |&(scheme, fault_class, intensity, seed)| {
+        run_case(scheme, intensity, fault_class, seed, opts.quick)
+    });
+    for r in &out {
+        if opts.verbose || !r.passed() {
+            eprintln!(
+                "chaos {:>5} {:?}/{} seed {:>3}: {} (blackholed {}, aborted {}, \
+                 events {}, trace {:#018x}, stats {:#018x})",
+                r.scheme,
+                r.intensity,
+                r.fault_class.name(),
+                r.seed,
+                if r.passed() { "ok" } else { "FAIL" },
+                r.blackholed,
+                r.aborted_flows,
+                r.events,
+                r.trace_hash,
+                r.stats_hash,
+            );
+        }
+        if !r.passed() {
+            for v in &r.violations {
+                eprintln!("  violation: {v}");
             }
+            eprintln!("  replay: {}", replay_command(r, opts.quick));
         }
     }
     out
@@ -495,6 +517,18 @@ mod tests {
     #[should_panic(expected = "unknown argument")]
     fn unknown_flag_rejected() {
         parse("--bogus");
+    }
+
+    #[test]
+    fn jobs_flag_parses() {
+        assert_eq!(parse("--jobs 3").jobs, 3);
+        assert!(parse("--quick").jobs > 0, "default comes from the engine");
+    }
+
+    #[test]
+    #[should_panic(expected = "--jobs must be positive")]
+    fn zero_jobs_rejected() {
+        parse("--jobs 0");
     }
 
     /// A miniature slice of the CI smoke sweep: one seed per scheme and

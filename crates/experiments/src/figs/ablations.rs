@@ -8,9 +8,9 @@
 //! * **heavy-tailed workload** — PASE vs DCTCP vs pFabric on a
 //!   web-search-like size mix (intro motivation).
 
-use workloads::{RunSpec, Scenario, Scheme};
+use workloads::{Scenario, Scheme};
 
-use super::common::improvement_pct;
+use super::common::{improvement_pct, sweep_grid, sweep_into};
 use crate::opts::ExpOpts;
 use crate::report::FigResult;
 
@@ -32,9 +32,13 @@ pub fn prune_depth(opts: &ExpOpts) -> FigResult {
         "AFCT (ms) / ctrl packets",
         vec![1.0, 2.0, 3.0, f64::INFINITY],
     );
-    let mut afcts = vec![];
-    let mut ctrls = vec![];
-    for depth in [Some(1u8), Some(2), Some(3), None] {
+    let entries: Vec<(&str, Scheme)> = [
+        ("depth 1", Some(1u8)),
+        ("depth 2", Some(2)),
+        ("depth 3", Some(3)),
+        ("no pruning", None),
+    ]
+    .map(|(label, depth)| {
         let mut cfg = base;
         match depth {
             Some(d) => {
@@ -43,10 +47,12 @@ pub fn prune_depth(opts: &ExpOpts) -> FigResult {
             }
             None => cfg.early_pruning = false,
         }
-        let m = RunSpec::new(Scheme::PaseWith(cfg), scenario, ABLATION_LOAD, opts.seed).run();
-        afcts.push(m.afct_ms);
-        ctrls.push(m.ctrl_pkts as f64);
-    }
+        (label, Scheme::PaseWith(cfg))
+    })
+    .to_vec();
+    let rows = sweep_grid(&entries, scenario, &[ABLATION_LOAD], opts);
+    let afcts: Vec<f64> = rows.iter().map(|r| r[0].afct_ms).collect();
+    let ctrls: Vec<f64> = rows.iter().map(|r| r[0].ctrl_pkts as f64).collect();
     fig.push_series("AFCT(ms)", afcts.clone());
     fig.push_series("ctrl pkts", ctrls.clone());
     fig.note(format!(
@@ -71,18 +77,23 @@ pub fn refresh_period(opts: &ExpOpts) -> FigResult {
         "AFCT (ms) / ctrl packets",
         multiples.to_vec(),
     );
-    let mut afcts = vec![];
-    let mut ctrls = vec![];
-    for &m in &multiples {
-        let mut cfg = base;
-        cfg.arb_refresh = base.base_rtt.mul_f64(m);
-        cfg.arb_expiry = cfg.arb_refresh.saturating_mul(4);
-        let r = RunSpec::new(Scheme::PaseWith(cfg), scenario, ABLATION_LOAD, opts.seed).run();
-        afcts.push(r.afct_ms);
-        ctrls.push(r.ctrl_pkts as f64);
-    }
-    fig.push_series("AFCT(ms)", afcts);
-    fig.push_series("ctrl pkts", ctrls);
+    let labels: Vec<String> = multiples.iter().map(|m| format!("{m}x RTT")).collect();
+    let entries: Vec<(&str, Scheme)> = multiples
+        .iter()
+        .zip(&labels)
+        .map(|(&m, label)| {
+            let mut cfg = base;
+            cfg.arb_refresh = base.base_rtt.mul_f64(m);
+            cfg.arb_expiry = cfg.arb_refresh.saturating_mul(4);
+            (label.as_str(), Scheme::PaseWith(cfg))
+        })
+        .collect();
+    let rows = sweep_grid(&entries, scenario, &[ABLATION_LOAD], opts);
+    fig.push_series("AFCT(ms)", rows.iter().map(|r| r[0].afct_ms).collect());
+    fig.push_series(
+        "ctrl pkts",
+        rows.iter().map(|r| r[0].ctrl_pkts as f64).collect(),
+    );
     fig.note("staler arbitration trades AFCT for control overhead; one RTT is the paper's operating point");
     fig
 }
@@ -102,17 +113,21 @@ pub fn websearch(opts: &ExpOpts) -> FigResult {
         "AFCT (ms)",
         loads.iter().map(|l| l * 100.0).collect(),
     );
-    for (label, scheme) in [
-        ("PASE", Scheme::Pase),
-        ("DCTCP", Scheme::Dctcp),
-        ("pFabric", Scheme::PFabric),
-    ] {
-        let ys = loads
-            .iter()
-            .map(|&l| RunSpec::new(scheme, scenario, l, opts.seed).run().afct_ms)
-            .collect();
-        fig.push_series(label, ys);
-    }
+    let opts_at = ExpOpts {
+        loads: loads.clone(),
+        ..opts.clone()
+    };
+    sweep_into(
+        &mut fig,
+        &[
+            ("PASE", Scheme::Pase),
+            ("DCTCP", Scheme::Dctcp),
+            ("pFabric", Scheme::PFabric),
+        ],
+        scenario,
+        &opts_at,
+        super::common::afct,
+    );
     fig.note("with a long tail, SRPT-style scheduling helps even more: most flows are short and jump the few elephants");
     fig
 }

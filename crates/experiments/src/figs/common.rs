@@ -1,22 +1,74 @@
 //! Shared helpers for figure modules.
+//!
+//! Every figure expresses its cases as a flat [`CasePlan`] and executes
+//! it through `workloads::exec` ([`sweep_grid`] for (scheme, load)
+//! grids); no figure module hand-rolls case iteration. Results come
+//! back ordered by case index, so figure output is byte-identical at
+//! any `--jobs` value.
 
-use workloads::{RunMetrics, RunSpec, Scenario, Scheme};
+use netsim::sim::RunOutcome;
+use workloads::{run_specs, CasePlan, RunMetrics, RunSpec, Scenario, Scheme};
 
 use crate::opts::ExpOpts;
 use crate::report::FigResult;
+
+/// Run a `(label, scheme)` × `loads` grid on `scenario` through the
+/// parallel engine, returning one row of [`RunMetrics`] per entry
+/// (row order = entry order, column order = load order).
+pub fn sweep_grid(
+    entries: &[(&str, Scheme)],
+    scenario: Scenario,
+    loads: &[f64],
+    opts: &ExpOpts,
+) -> Vec<Vec<RunMetrics>> {
+    let plan = CasePlan::new(
+        entries
+            .iter()
+            .flat_map(|&(_, scheme)| {
+                loads
+                    .iter()
+                    .map(move |&load| RunSpec::new(scheme, scenario, load, opts.seed))
+            })
+            .collect::<Vec<_>>(),
+    );
+    let mut flat = run_specs(plan.cases(), opts.jobs).into_iter();
+    entries
+        .iter()
+        .map(|_| {
+            loads
+                .iter()
+                .map(|_| flat.next().expect("full grid"))
+                .collect()
+        })
+        .collect()
+}
 
 /// Run `scheme` over `loads` on `scenario`, extracting one y per load.
 pub fn load_sweep(
     scheme: Scheme,
     scenario: Scenario,
     loads: &[f64],
-    seed: u64,
+    opts: &ExpOpts,
     metric: impl Fn(&RunMetrics) -> f64,
 ) -> Vec<f64> {
-    loads
-        .iter()
-        .map(|&load| metric(&RunSpec::new(scheme, scenario, load, seed).run()))
-        .collect()
+    let row = sweep_grid(&[("", scheme)], scenario, loads, opts)
+        .pop()
+        .expect("one row");
+    row.iter().map(metric).collect()
+}
+
+/// Append a note for every truncated cell in a row, so a sweep never
+/// silently averages a run the backstop cut short.
+pub fn note_backstops(fig: &mut FigResult, label: &str, loads: &[f64], row: &[RunMetrics]) {
+    for (&load, m) in loads.iter().zip(row) {
+        if m.outcome != RunOutcome::MeasuredComplete {
+            fig.note(format!(
+                "WARNING: {label} at load {load:.2} hit the run backstop ({:?}): only {}/{} \
+                 measured flows finished; its cells are computed from a truncated population",
+                m.outcome, m.n_completed, m.n_flows
+            ));
+        }
+    }
 }
 
 /// Sweep several `(label, scheme)` pairs into a figure. The figure's x
@@ -29,9 +81,26 @@ pub fn sweep_into(
     metric: impl Fn(&RunMetrics) -> f64 + Copy,
 ) {
     debug_assert_eq!(fig.xs.len(), opts.loads.len());
-    for &(label, scheme) in entries {
-        let ys = load_sweep(scheme, scenario, &opts.loads, opts.seed, metric);
-        fig.push_series(label, ys);
+    let rows = sweep_grid(entries, scenario, &opts.loads, opts);
+    for (&(label, _), row) in entries.iter().zip(&rows) {
+        fig.push_series(label, row.iter().map(metric).collect());
+        note_backstops(fig, label, &opts.loads, row);
+    }
+}
+
+/// Run each `(label, scheme)` once at `load` and tabulate its FCT CDF
+/// (one series per entry, x = [`CDF_PERCENTILES`]).
+pub fn cdf_sweep_into(
+    fig: &mut FigResult,
+    entries: &[(&str, Scheme)],
+    scenario: Scenario,
+    load: f64,
+    opts: &ExpOpts,
+) {
+    let rows = sweep_grid(entries, scenario, &[load], opts);
+    for (&(label, _), row) in entries.iter().zip(&rows) {
+        fig.push_series(label, cdf_row(&row[0]));
+        note_backstops(fig, label, &[load], row);
     }
 }
 
@@ -104,5 +173,49 @@ mod tests {
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
         assert_eq!(sorted, CDF_PERCENTILES.to_vec());
         assert_eq!(*CDF_PERCENTILES.last().unwrap(), 100.0);
+    }
+
+    #[test]
+    fn sweep_grid_rows_line_up_with_entries() {
+        let opts = ExpOpts {
+            flows: 20,
+            hosts_per_rack: 4,
+            quick: true,
+            jobs: 2,
+            ..ExpOpts::quick()
+        };
+        let scenario = workloads::Scenario::all_to_all_intra(5, opts.flows);
+        let rows = sweep_grid(
+            &[("DCTCP", Scheme::Dctcp), ("TCP", Scheme::Tcp)],
+            scenario,
+            &[0.3, 0.6],
+            &opts,
+        );
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|r| r.len() == 2));
+        // Row 0 really is DCTCP at loads [0.3, 0.6]: spot-check against a
+        // direct sequential run.
+        let direct = RunSpec::new(Scheme::Dctcp, scenario, 0.6, opts.seed).run();
+        assert_eq!(rows[0][1].fcts_ms, direct.fcts_ms);
+    }
+
+    #[test]
+    fn truncated_cells_are_noted() {
+        let mut fig = FigResult::new("t", "t", "x", "y", vec![30.0]);
+        let opts = ExpOpts {
+            flows: 10,
+            jobs: 1,
+            ..ExpOpts::quick()
+        };
+        let scenario = workloads::Scenario::all_to_all_intra(5, opts.flows);
+        // Forge a truncated row by running with a zero backstop.
+        let spec = RunSpec {
+            backstop_s: 0,
+            ..RunSpec::new(Scheme::Dctcp, scenario, 0.3, opts.seed)
+        };
+        let row = vec![spec.run()];
+        note_backstops(&mut fig, "DCTCP", &[0.3], &row);
+        assert_eq!(fig.notes.len(), 1);
+        assert!(fig.notes[0].contains("backstop"), "{}", fig.notes[0]);
     }
 }

@@ -13,7 +13,7 @@
 //! line, and with a restart it should recover most of the gap.
 
 use netsim::prelude::*;
-use workloads::{collect, RunMetrics, Scenario, Scheme};
+use workloads::{collect, CasePlan, RunMetrics, Scenario, Scheme};
 
 use crate::opts::ExpOpts;
 use crate::report::FigResult;
@@ -55,7 +55,7 @@ fn run_with_outage(
         "{} must complete even under the outage",
         scheme.name()
     );
-    collect(&sim)
+    collect(&sim, outcome)
 }
 
 /// Regenerate the fault-tolerance extension table.
@@ -97,12 +97,17 @@ pub fn run(opts: &ExpOpts) -> FigResult {
         ("DCTCP", Scheme::Dctcp, None),
         ("DCTCP outage", Scheme::Dctcp, Some(outage)),
     ];
-    for (name, scheme, o) in cases {
-        let ys: Vec<f64> = loads
+    let plan = CasePlan::new(
+        cases
             .iter()
-            .map(|&load| run_with_outage(scheme, &scenario, load, opts.seed, o).afct_ms)
-            .collect();
-        fig.push_series(name, ys);
+            .flat_map(|&(_, scheme, o)| loads.iter().map(move |&load| (scheme, load, o)))
+            .collect::<Vec<_>>(),
+    );
+    let afcts = plan.execute(opts.jobs, |&(scheme, load, o)| {
+        run_with_outage(scheme, &scenario, load, opts.seed, o).afct_ms
+    });
+    for ((name, _, _), row) in cases.iter().zip(afcts.chunks(loads.len())) {
+        fig.push_series(*name, row.to_vec());
     }
     fig.note(format!(
         "arbitrators crash at {crash}; the outage variant restarts them at {restart} \
@@ -161,7 +166,7 @@ fn run_with_flaps(
         "{} must complete despite the flapping uplink",
         scheme.name()
     );
-    collect(&sim)
+    collect(&sim, outcome)
 }
 
 /// Regenerate the link-flap extension table: AFCT vs. flap period for a
@@ -189,23 +194,26 @@ pub fn run_link_flap(opts: &ExpOpts) -> FigResult {
         "AFCT (ms)",
         periods_ms.iter().map(|&p| p as f64).collect(),
     );
-    for scheme in [Scheme::Pase, Scheme::Dctcp] {
-        let ys: Vec<f64> = periods_ms
+    let schemes = [Scheme::Pase, Scheme::Dctcp];
+    // One case per (scheme, period) plus a healthy baseline per scheme.
+    let plan = CasePlan::new(
+        schemes
             .iter()
-            .map(|&p| {
-                let period = SimDuration::from_millis(p);
-                run_with_flaps(
-                    scheme,
-                    &scenario,
-                    load,
-                    opts.seed,
-                    Some((first, period, window)),
-                )
-                .afct_ms
+            .flat_map(|&scheme| {
+                periods_ms
+                    .iter()
+                    .map(move |&p| (scheme, Some(p)))
+                    .chain(std::iter::once((scheme, None)))
             })
-            .collect();
-        fig.push_series(scheme.name(), ys);
-        let healthy = run_with_flaps(scheme, &scenario, load, opts.seed, None).afct_ms;
+            .collect::<Vec<_>>(),
+    );
+    let afcts = plan.execute(opts.jobs, |&(scheme, period_ms)| {
+        let flap = period_ms.map(|p| (first, SimDuration::from_millis(p), window));
+        run_with_flaps(scheme, &scenario, load, opts.seed, flap).afct_ms
+    });
+    for (scheme, row) in schemes.iter().zip(afcts.chunks(periods_ms.len() + 1)) {
+        fig.push_series(scheme.name(), row[..periods_ms.len()].to_vec());
+        let healthy = row[periods_ms.len()];
         fig.push_series(
             format!("{} no-fault", scheme.name()),
             vec![healthy; periods_ms.len()],

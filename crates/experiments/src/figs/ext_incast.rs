@@ -8,7 +8,7 @@
 //! designs stall on timeouts, ECN/arbitration designs absorb the wave.
 
 use netsim::prelude::*;
-use workloads::{Scheme, TopologySpec};
+use workloads::{CasePlan, Scheme, TopologySpec};
 
 use crate::opts::ExpOpts;
 use crate::report::FigResult;
@@ -55,17 +55,21 @@ pub fn run(opts: &ExpOpts) -> FigResult {
         "wave completion (ms)",
         fan_ins.iter().map(|&n| n as f64).collect(),
     );
-    for scheme in [Scheme::Pase, Scheme::Dctcp, Scheme::PFabric, Scheme::Tcp] {
-        let mut times = vec![];
-        let mut losses = vec![];
-        for &n in &fan_ins {
-            let (t, l) = run_wave(scheme, n);
-            times.push(t);
-            losses.push(l * 100.0);
-        }
-        fig.push_series(scheme.name(), times);
-        if scheme == Scheme::PFabric || scheme == Scheme::Tcp {
-            fig.push_series(format!("{} loss(%)", scheme.name()), losses);
+    let schemes = [Scheme::Pase, Scheme::Dctcp, Scheme::PFabric, Scheme::Tcp];
+    let plan = CasePlan::new(
+        schemes
+            .iter()
+            .flat_map(|&scheme| fan_ins.iter().map(move |&n| (scheme, n)))
+            .collect::<Vec<_>>(),
+    );
+    let waves = plan.execute(opts.jobs, |&(scheme, n)| run_wave(scheme, n));
+    for (scheme, row) in schemes.iter().zip(waves.chunks(fan_ins.len())) {
+        fig.push_series(scheme.name(), row.iter().map(|&(t, _)| t).collect());
+        if *scheme == Scheme::PFabric || *scheme == Scheme::Tcp {
+            fig.push_series(
+                format!("{} loss(%)", scheme.name()),
+                row.iter().map(|&(_, l)| l * 100.0).collect(),
+            );
         }
     }
     // The ideal completion: N x 64KB + headers at 1 Gbps.

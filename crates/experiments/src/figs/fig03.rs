@@ -14,7 +14,7 @@ use std::sync::Arc;
 use netsim::prelude::*;
 use pase::{install, pase_qdisc, PaseFactory};
 use pfabric::{PFabricConfig, PFabricFactory, PFabricQdisc};
-use workloads::Scheme;
+use workloads::{CasePlan, Scheme};
 
 use crate::opts::ExpOpts;
 use crate::report::FigResult;
@@ -73,31 +73,47 @@ fn fcts_ms(sim: &Simulation) -> Vec<f64> {
         .collect()
 }
 
+/// Which of the two toy fabrics a case runs.
+#[derive(Debug, Clone, Copy)]
+enum ToyFabric {
+    PFabric,
+    Pase,
+}
+
+/// One toy case end to end: (per-flow FCTs ms, data packets dropped).
+fn run_toy(fabric: ToyFabric) -> (Vec<f64>, u64) {
+    let (mut sim, hosts) = match fabric {
+        ToyFabric::PFabric => {
+            let cfg = PFabricConfig {
+                cwnd_pkts: 38,
+                rto: SimDuration::from_millis(1),
+                ..PFabricConfig::default()
+            };
+            toy_topology(Arc::new(PFabricFactory::new(cfg)), &|_| {
+                Box::new(PFabricQdisc::new(24))
+            })
+        }
+        ToyFabric::Pase => {
+            let cfg = Scheme::pase_config_for(&workloads::TopologySpec::intra_rack(4));
+            let built = toy_topology(Arc::new(PaseFactory::new(cfg)), &|_| {
+                Box::new(pase_qdisc(&cfg, 500, 20))
+            });
+            let (mut sim, hosts) = built;
+            install(&mut sim, cfg);
+            (sim, hosts)
+        }
+    };
+    add_toy_flows(&mut sim, &hosts);
+    sim.run(RunLimit::until_measured_done(SimTime::from_secs(60)));
+    (fcts_ms(&sim), sim.stats().data_pkts_dropped)
+}
+
 /// Regenerate Figure 3 (as per-flow FCTs under both fabrics).
 pub fn run(opts: &ExpOpts) -> FigResult {
-    let _ = opts;
-    // pFabric run.
-    let pf_cfg = PFabricConfig {
-        cwnd_pkts: 38,
-        rto: SimDuration::from_millis(1),
-        ..PFabricConfig::default()
-    };
-    let (mut sim_pf, hosts) = toy_topology(Arc::new(PFabricFactory::new(pf_cfg)), &|_| {
-        Box::new(PFabricQdisc::new(24))
-    });
-    add_toy_flows(&mut sim_pf, &hosts);
-    sim_pf.run(RunLimit::until_measured_done(SimTime::from_secs(60)));
-    let pf = fcts_ms(&sim_pf);
-
-    // PASE run.
-    let pase_cfg = Scheme::pase_config_for(&workloads::TopologySpec::intra_rack(4));
-    let (mut sim_pase, hosts) = toy_topology(Arc::new(PaseFactory::new(pase_cfg)), &|_| {
-        Box::new(pase_qdisc(&pase_cfg, 500, 20))
-    });
-    install(&mut sim_pase, pase_cfg);
-    add_toy_flows(&mut sim_pase, &hosts);
-    sim_pase.run(RunLimit::until_measured_done(SimTime::from_secs(60)));
-    let pase = fcts_ms(&sim_pase);
+    let plan = CasePlan::new(vec![ToyFabric::PFabric, ToyFabric::Pase]);
+    let mut results = plan.execute(opts.jobs, |&fabric| run_toy(fabric));
+    let (pase, pase_drops) = results.pop().expect("PASE case");
+    let (pf, pf_drops) = results.pop().expect("pFabric case");
 
     let mut fig = FigResult::new(
         "fig03",
@@ -116,9 +132,7 @@ pub fn run(opts: &ExpOpts) -> FigResult {
         pf[2], pase[2]
     ));
     fig.note(format!(
-        "pFabric drops {} data packets on the toy; PASE drops {}",
-        sim_pf.stats().data_pkts_dropped,
-        sim_pase.stats().data_pkts_dropped
+        "pFabric drops {pf_drops} data packets on the toy; PASE drops {pase_drops}"
     ));
     fig
 }

@@ -1,9 +1,9 @@
 //! Figure 9b: distribution of FCTs at 70% load on the left-right scenario
 //! (the paper plots a CDF; we tabulate FCT at fixed percentiles).
 
-use workloads::{RunSpec, Scenario, Scheme};
+use workloads::{Scenario, Scheme};
 
-use super::common::{cdf_row, CDF_PERCENTILES};
+use super::common::{cdf_sweep_into, CDF_PERCENTILES};
 use crate::opts::ExpOpts;
 use crate::report::FigResult;
 
@@ -20,14 +20,17 @@ pub fn run(opts: &ExpOpts) -> FigResult {
         "FCT (ms)",
         CDF_PERCENTILES.to_vec(),
     );
-    for (label, scheme) in [
-        ("PASE", Scheme::Pase),
-        ("L2DCT", Scheme::L2dct),
-        ("DCTCP", Scheme::Dctcp),
-    ] {
-        let m = RunSpec::new(scheme, scenario, CDF_LOAD, opts.seed).run();
-        fig.push_series(label, cdf_row(&m));
-    }
+    cdf_sweep_into(
+        &mut fig,
+        &[
+            ("PASE", Scheme::Pase),
+            ("L2DCT", Scheme::L2dct),
+            ("DCTCP", Scheme::Dctcp),
+        ],
+        scenario,
+        CDF_LOAD,
+        opts,
+    );
     fig.note("paper shape: PASE's distribution dominates (better FCT at almost every percentile)");
     fig
 }

@@ -1,9 +1,9 @@
 //! Figure 10b: FCT distribution at 70% load, PASE vs pFabric
 //! (left-right scenario; tabulated CDF).
 
-use workloads::{RunSpec, Scenario, Scheme};
+use workloads::{Scenario, Scheme};
 
-use super::common::{cdf_row, CDF_PERCENTILES};
+use super::common::{cdf_sweep_into, CDF_PERCENTILES};
 use crate::opts::ExpOpts;
 use crate::report::FigResult;
 
@@ -17,10 +17,13 @@ pub fn run(opts: &ExpOpts) -> FigResult {
         "FCT (ms)",
         CDF_PERCENTILES.to_vec(),
     );
-    for (label, scheme) in [("PASE", Scheme::Pase), ("pFabric", Scheme::PFabric)] {
-        let m = RunSpec::new(scheme, scenario, super::fig09b::CDF_LOAD, opts.seed).run();
-        fig.push_series(label, cdf_row(&m));
-    }
+    cdf_sweep_into(
+        &mut fig,
+        &[("PASE", Scheme::Pase), ("pFabric", Scheme::PFabric)],
+        scenario,
+        super::fig09b::CDF_LOAD,
+        opts,
+    );
     fig.note("paper shape: similar bodies; pFabric's tail inflates from persistent loss");
     fig
 }

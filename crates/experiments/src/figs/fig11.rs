@@ -2,9 +2,9 @@
 //! delegation) buy — AFCT improvement (a) and overhead reduction (b) on
 //! the left-right scenario.
 
-use workloads::{RunSpec, Scenario, Scheme};
+use workloads::{Scenario, Scheme};
 
-use super::common::{improvement_pct, loads_pct};
+use super::common::{improvement_pct, loads_pct, sweep_grid};
 use crate::opts::ExpOpts;
 use crate::report::FigResult;
 
@@ -12,24 +12,22 @@ use crate::report::FigResult;
 pub fn run(opts: &ExpOpts) -> Vec<FigResult> {
     let scenario = Scenario::left_right(opts.hosts_per_rack, opts.flows);
     let base_cfg = Scheme::pase_config_for(&scenario.topo);
-    let mut afct_on = vec![];
-    let mut afct_off = vec![];
-    let mut ctrl_on = vec![];
-    let mut ctrl_off = vec![];
-    for &load in &opts.loads {
-        let on = RunSpec::new(Scheme::PaseWith(base_cfg), scenario, load, opts.seed).run();
-        let off = RunSpec::new(
-            Scheme::PaseWith(base_cfg.without_optimizations()),
-            scenario,
-            load,
-            opts.seed,
-        )
-        .run();
-        afct_on.push(on.afct_ms);
-        afct_off.push(off.afct_ms);
-        ctrl_on.push(on.ctrl_pkts as f64);
-        ctrl_off.push(off.ctrl_pkts as f64);
-    }
+    let rows = sweep_grid(
+        &[
+            ("optimizations ON", Scheme::PaseWith(base_cfg)),
+            (
+                "optimizations OFF",
+                Scheme::PaseWith(base_cfg.without_optimizations()),
+            ),
+        ],
+        scenario,
+        &opts.loads,
+        opts,
+    );
+    let afct_on: Vec<f64> = rows[0].iter().map(|m| m.afct_ms).collect();
+    let ctrl_on: Vec<f64> = rows[0].iter().map(|m| m.ctrl_pkts as f64).collect();
+    let afct_off: Vec<f64> = rows[1].iter().map(|m| m.afct_ms).collect();
+    let ctrl_off: Vec<f64> = rows[1].iter().map(|m| m.ctrl_pkts as f64).collect();
     let mut fig_a = FigResult::new(
         "fig11a",
         "AFCT improvement from early pruning + delegation",

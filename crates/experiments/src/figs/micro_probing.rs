@@ -2,9 +2,9 @@
 //! load on the all-to-all intra-rack scenario (paper: ~2.4% at 80% load,
 //! ~11% at 90%).
 
-use workloads::{RunSpec, Scenario, Scheme};
+use workloads::{Scenario, Scheme};
 
-use super::common::{improvement_pct, loads_pct};
+use super::common::{improvement_pct, loads_pct, sweep_grid};
 use crate::opts::ExpOpts;
 use crate::report::FigResult;
 
@@ -13,6 +13,9 @@ pub fn run(opts: &ExpOpts) -> FigResult {
     let hosts = if opts.quick { 8 } else { 20 };
     let scenario = Scenario::all_to_all_intra(hosts, opts.flows);
     let cfg = Scheme::pase_config_for(&scenario.topo);
+    let mut cfg_off = cfg;
+    cfg_off.probe_bottom_queue = false;
+    cfg_off.probe_on_timeout = false;
     let loads = if opts.quick {
         vec![0.8]
     } else {
@@ -25,23 +28,17 @@ pub fn run(opts: &ExpOpts) -> FigResult {
         "AFCT (ms)",
         loads_pct(&loads),
     );
-    let mut on = vec![];
-    let mut off = vec![];
-    for &load in &loads {
-        on.push(
-            RunSpec::new(Scheme::PaseWith(cfg), scenario, load, opts.seed)
-                .run()
-                .afct_ms,
-        );
-        let mut cfg_off = cfg;
-        cfg_off.probe_bottom_queue = false;
-        cfg_off.probe_on_timeout = false;
-        off.push(
-            RunSpec::new(Scheme::PaseWith(cfg_off), scenario, load, opts.seed)
-                .run()
-                .afct_ms,
-        );
-    }
+    let rows = sweep_grid(
+        &[
+            ("probing ON", Scheme::PaseWith(cfg)),
+            ("probing OFF", Scheme::PaseWith(cfg_off)),
+        ],
+        scenario,
+        &loads,
+        opts,
+    );
+    let on: Vec<f64> = rows[0].iter().map(|m| m.afct_ms).collect();
+    let off: Vec<f64> = rows[1].iter().map(|m| m.afct_ms).collect();
     fig.push_series("probing ON", on.clone());
     fig.push_series("probing OFF", off.clone());
     fig.push_series(

@@ -17,6 +17,10 @@ pub struct ExpOpts {
     pub out_dir: Option<PathBuf>,
     /// Quick mode (used by tests and smoke runs).
     pub quick: bool,
+    /// Worker threads for case execution (`workloads::exec`). Defaults
+    /// to the machine's available parallelism, overridable with the
+    /// `NETSIM_JOBS` environment variable or `--jobs`.
+    pub jobs: usize,
 }
 
 impl Default for ExpOpts {
@@ -28,6 +32,7 @@ impl Default for ExpOpts {
             hosts_per_rack: 40,
             out_dir: None,
             quick: false,
+            jobs: workloads::default_jobs(),
         }
     }
 }
@@ -47,7 +52,7 @@ impl ExpOpts {
     /// Parse from the process arguments.
     ///
     /// Recognized flags: `--quick`, `--flows N`, `--seed S`,
-    /// `--loads a,b,c`, `--hosts-per-rack N`, `--out DIR`.
+    /// `--loads a,b,c`, `--hosts-per-rack N`, `--out DIR`, `--jobs N`.
     pub fn from_env() -> ExpOpts {
         Self::from_args(std::env::args().skip(1))
     }
@@ -67,6 +72,7 @@ impl ExpOpts {
                     let keep = opts.clone();
                     opts = ExpOpts::quick();
                     opts.seed = keep.seed;
+                    opts.jobs = keep.jobs;
                 }
                 "--flows" => {
                     explicit_flows = Some(take("--flows").parse().expect("--flows: integer"));
@@ -84,6 +90,10 @@ impl ExpOpts {
                         .expect("--hosts-per-rack: integer");
                 }
                 "--out" => opts.out_dir = Some(PathBuf::from(take("--out"))),
+                "--jobs" => {
+                    opts.jobs = take("--jobs").parse().expect("--jobs: integer");
+                    assert!(opts.jobs > 0, "--jobs must be positive");
+                }
                 other => panic!("unknown argument: {other}"),
             }
         }
@@ -133,6 +143,19 @@ mod tests {
     fn loads_parse() {
         let o = parse("--loads 0.2,0.5,0.9");
         assert_eq!(o.loads, vec![0.2, 0.5, 0.9]);
+    }
+
+    #[test]
+    fn jobs_parse_and_survive_quick() {
+        assert!(parse("").jobs >= 1, "default jobs must be positive");
+        assert_eq!(parse("--jobs 3").jobs, 3);
+        assert_eq!(parse("--jobs 3 --quick").jobs, 3, "--quick keeps --jobs");
+    }
+
+    #[test]
+    #[should_panic(expected = "--jobs must be positive")]
+    fn zero_jobs_rejected() {
+        parse("--jobs 0");
     }
 
     #[test]

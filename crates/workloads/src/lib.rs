@@ -5,10 +5,13 @@
 //! collection ([`metrics`]): everything needed to run
 //! "(protocol, scenario, load, seed) → AFCT / tail FCT / deadlines /
 //! loss / control overhead" in one call ([`runner::RunSpec::run`]).
+//! Sweeps over many such cases go through the deterministic parallel
+//! execution engine in [`exec`].
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod exec;
 pub mod flowgen;
 pub mod metrics;
 pub mod runner;
@@ -16,9 +19,10 @@ pub mod scenarios;
 pub mod scheme;
 pub mod topologies;
 
+pub use exec::{default_jobs, run_cases, CasePlan};
 pub use flowgen::{DeadlineDist, PoissonArrivals, SizeDist};
 pub use metrics::{collect, fct_cdf, percentile, RunMetrics};
-pub use runner::{run_seeds, sweep, RunSpec};
+pub use runner::{run_seeds, run_specs, sweep, RunSpec};
 pub use scenarios::{Pattern, Scenario};
 pub use scheme::Scheme;
 pub use topologies::TopologySpec;

@@ -1,11 +1,16 @@
 //! Experiment metrics: AFCT, tail FCT, CDFs, application throughput,
 //! loss rate and control-plane overhead.
 
-use netsim::sim::Simulation;
+use netsim::sim::{RunOutcome, Simulation};
 
 /// Metrics from one simulation run.
 #[derive(Debug, Clone)]
 pub struct RunMetrics {
+    /// Why the run stopped. [`RunOutcome::TimeLimit`] means the wall
+    /// backstop fired with measured flows still in flight: the FCT
+    /// population is truncated and sweeps must say so instead of
+    /// silently averaging it (see [`crate::runner`]).
+    pub outcome: RunOutcome,
     /// Measured flows that completed (excluding aborted ones).
     pub n_completed: usize,
     /// Measured flows registered.
@@ -61,8 +66,10 @@ pub fn percentile(sorted: &[f64], p: f64) -> f64 {
     sorted[lo] * (1.0 - frac) + sorted[hi] * frac
 }
 
-/// Collect metrics from a finished run.
-pub fn collect(sim: &Simulation) -> RunMetrics {
+/// Collect metrics from a finished run. `outcome` is what
+/// [`Simulation::run`] returned for it; callers must pass it through
+/// rather than assuming completion, so truncated runs stay visible.
+pub fn collect(sim: &Simulation, outcome: RunOutcome) -> RunMetrics {
     let stats = sim.stats();
     let mut fcts_ms: Vec<f64> = Vec::new();
     let mut deadline_total = 0usize;
@@ -111,6 +118,7 @@ pub fn collect(sim: &Simulation) -> RunMetrics {
         .map(|p| p.utilization(sim.now()))
         .fold(0.0, f64::max);
     RunMetrics {
+        outcome,
         n_completed,
         n_flows,
         afct_ms,
@@ -178,6 +186,7 @@ mod tests {
     #[test]
     fn cdf_is_monotone() {
         let m = RunMetrics {
+            outcome: RunOutcome::MeasuredComplete,
             n_completed: 4,
             n_flows: 4,
             fcts_ms: vec![1.0, 2.0, 3.0, 10.0],

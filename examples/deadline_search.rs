@@ -68,8 +68,8 @@ fn main() {
                 id += 1;
             }
         }
-        sim.run(RunLimit::until_measured_done(SimTime::from_secs(30)));
-        let m = pase_repro::workloads::collect(&sim);
+        let outcome = sim.run(RunLimit::until_measured_done(SimTime::from_secs(30)));
+        let m = pase_repro::workloads::collect(&sim, outcome);
         let met = m.app_throughput.unwrap_or(0.0);
         println!(
             "{name:<10} {:>15.1}% {:>12.2} {:>12.2}",

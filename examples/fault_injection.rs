@@ -65,7 +65,7 @@ fn run(drop_every: u64) -> (f64, u64, u64, u64) {
         RunOutcome::MeasuredComplete,
         "all flows must finish"
     );
-    let m = pase_repro::workloads::collect(&sim);
+    let m = pase_repro::workloads::collect(&sim, outcome);
     (
         m.afct_ms,
         m.timeouts,

@@ -8,8 +8,14 @@
 #   scripts/bench.sh --quick         # fast sanity pass (1 iteration,
 #                                    # shrunk scenario sizes)
 #   scripts/bench.sh --scenario incast-pase,incast-dctcp
+#   scripts/bench.sh --jobs 4        # chaos-storm case parallelism
+#                                    # (default: detected cores; the
+#                                    # executed event sequence is
+#                                    # identical at any job count)
 #
-# All flags are forwarded to the netsim-bench binary.
+# All flags are forwarded to the netsim-bench binary. The emitted
+# document records "jobs" and "detected_cores" so baselines from
+# different machines are interpretable.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -19,15 +19,18 @@ cargo test --workspace -q
 # global invariant oracle. The host class adds NIC flap trains and
 # end-host crash/restart storms; every abort must be attributable to an
 # injected host fault. A failing seed prints the exact command line
-# that replays just that case (~16 s for all 64 cases).
-echo "== chaos smoke (8 seeds, fabric+host, quick) =="
-./target/release/chaos --seeds 8 --faults both --quick
+# that replays just that case (~16 s for all 64 cases at one job).
+# JOBS is pinned (default 2) rather than auto-detected so CI timing is
+# reproducible across machines; results are byte-identical either way.
+echo "== chaos smoke (8 seeds, fabric+host, quick, ${JOBS:-2} jobs) =="
+./target/release/chaos --seeds 8 --faults both --quick --jobs "${JOBS:-2}"
 
 # Bench smoke: one quick scenario end-to-end; asserts the harness still
 # runs and emits valid JSON (throughput numbers are NOT checked here —
-# CI machines are too noisy for perf gates; see scripts/bench.sh).
+# CI machines are too noisy for perf gates; see scripts/bench.sh). The
+# pinned job count is recorded in the emitted document's "jobs" field.
 echo "== bench smoke (sched-storm, quick) =="
-./target/release/netsim-bench --quick --scenario sched-storm >/dev/null
+./target/release/netsim-bench --quick --scenario sched-storm --jobs "${JOBS:-2}" >/dev/null
 
 if cargo fmt --version >/dev/null 2>&1; then
     echo "== cargo fmt --check =="
