@@ -22,6 +22,10 @@
 //!   monitoring, each case executed twice for the determinism check.
 //!   This is the "experiment sweep" figure — the throughput that bounds
 //!   how fast CI and seed sweeps can go.
+//! - `gray-storm` — the same harness under the gray fault class: degrade
+//!   trains (stochastic loss, corruption, latency inflation) with
+//!   health-aware rerouting enabled, so the per-packet degrade RNG and
+//!   EWMA health path are on the measured hot path.
 //!
 //! The time spent *building* each simulation is excluded where the
 //! scenario measures the engine (`sched-storm`, incast) and included
@@ -42,8 +46,18 @@ use netsim::sim::{RunLimit, RunOutcome};
 use netsim::time::{Rate, SimDuration, SimTime};
 use workloads::{Pattern, Scenario, Scheme, SizeDist, TopologySpec};
 
+/// Version tag of the emitted JSON document. Bumped whenever the
+/// scenario set or field shapes change (v2 added `gray-storm`).
+pub const SCHEMA: &str = "netsim-bench/2";
+
 /// Every scenario the harness knows, in execution order.
-pub const ALL_SCENARIOS: &[&str] = &["sched-storm", "incast-pase", "incast-dctcp", "chaos-storm"];
+pub const ALL_SCENARIOS: &[&str] = &[
+    "sched-storm",
+    "incast-pase",
+    "incast-dctcp",
+    "chaos-storm",
+    "gray-storm",
+];
 
 /// Harness options (parsed by the `netsim-bench` binary).
 #[derive(Debug, Clone)]
@@ -287,23 +301,17 @@ fn incast(scheme: Scheme, quick: bool) -> IterOut {
     }
 }
 
-/// End-to-end chaos throughput: `seeds` high-intensity host-fault cases
-/// under PASE, each built, traced, invariant-checked and executed twice
-/// (the determinism replay) exactly as the chaos sweep does. Cases run
-/// on the `workloads::exec` engine with `jobs` workers; the per-case
-/// event counts are identical at any job count, so throughput numbers
-/// stay comparable across machines.
-fn chaos_storm(quick: bool, seeds: u64, jobs: usize) -> IterOut {
+/// End-to-end chaos throughput: `seeds` high-intensity cases of one
+/// fault class under PASE, each built, traced, invariant-checked and
+/// executed twice (the determinism replay) exactly as the chaos sweep
+/// does. Cases run on the `workloads::exec` engine with `jobs` workers;
+/// the per-case event counts are identical at any job count, so
+/// throughput numbers stay comparable across machines.
+fn chaos_storm(fault_class: FaultClass, quick: bool, seeds: u64, jobs: usize) -> IterOut {
     let case_seeds: Vec<u64> = (0..seeds).collect();
     let t = Instant::now();
     let results = workloads::run_cases(&case_seeds, jobs, |&seed| {
-        run_case(
-            Scheme::Pase,
-            ChaosIntensity::High,
-            FaultClass::Host,
-            seed,
-            quick,
-        )
+        run_case(Scheme::Pase, ChaosIntensity::High, fault_class, seed, quick)
     });
     let wall_s = t.elapsed().as_secs_f64();
     let mut events = 0u64;
@@ -345,7 +353,10 @@ pub fn run(opts: &BenchOpts) -> Vec<BenchResult> {
                 incast(Scheme::Dctcp, opts.quick)
             }),
             "chaos-storm" => measure(name, opts.iters, warmup, || {
-                chaos_storm(opts.quick, opts.chaos_seeds, opts.jobs)
+                chaos_storm(FaultClass::Host, opts.quick, opts.chaos_seeds, opts.jobs)
+            }),
+            "gray-storm" => measure(name, opts.iters, warmup, || {
+                chaos_storm(FaultClass::Gray, opts.quick, opts.chaos_seeds, opts.jobs)
             }),
             other => unreachable!("unknown scenario {other}"),
         };
@@ -362,7 +373,7 @@ pub fn run(opts: &BenchOpts) -> Vec<BenchResult> {
 pub fn render_json(results: &[BenchResult], opts: &BenchOpts) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"netsim-bench/1\",\n");
+    s.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
     s.push_str(&format!(
         "  \"profile\": \"{}\",\n",
         if opts.quick { "quick" } else { "full" }
@@ -465,6 +476,10 @@ mod tests {
         }
         let json = render_json(&results, &opts);
         validate_json(&json).expect("rendered document must be valid JSON");
+        assert!(
+            json.contains("\"schema\": \"netsim-bench/2\""),
+            "document must carry the current schema tag"
+        );
         for name in ALL_SCENARIOS {
             assert!(json.contains(name), "{name} missing from JSON");
         }

@@ -5,8 +5,8 @@
 //! [--chaos-seeds N] [--jobs N] [--out PATH]`. The JSON document goes to
 //! stdout, and additionally to `--out` when given; progress lines go to
 //! stderr. `--jobs` (default: detected cores, `NETSIM_JOBS` overrides)
-//! parallelizes chaos-storm case execution without changing the executed
-//! event sequence.
+//! parallelizes chaos-storm/gray-storm case execution without changing
+//! the executed event sequence.
 
 fn main() {
     let opts = bench::BenchOpts::from_args(std::env::args().skip(1));

@@ -4,7 +4,10 @@
 //! expands a [`netsim::chaos::ChaosConfig`] into a fault schedule (link
 //! flaps, rack outages, arbitrator crash storms, control-loss bursts;
 //! with the host fault class also NIC flap trains and whole-host
-//! crash/restart storms), runs to completion and then demands that
+//! crash/restart storms; with the gray fault class degrade trains that
+//! impose stochastic loss, payload corruption and latency inflation, run
+//! with health-aware rerouting enabled), runs to completion and then
+//! demands that
 //!
 //! 1. every flow finished — or ended in a terminal `Aborted { reason }`
 //!    that is attributable to an injected host fault (a crashed endpoint,
@@ -39,6 +42,12 @@ pub enum FaultClass {
     /// crash/restart storms. Flows touching a faulted host may end
     /// `Aborted`; anything else must still complete.
     Host,
+    /// Fabric faults plus gray failures: degrade trains on fabric and NIC
+    /// links (stochastic loss, payload corruption, latency inflation).
+    /// Hosts never crash; switches run with health-aware rerouting so
+    /// flows hash off degraded ECMP siblings. Every flow must complete
+    /// unless its endpoint sat behind a degraded NIC link.
+    Gray,
 }
 
 impl FaultClass {
@@ -47,11 +56,16 @@ impl FaultClass {
         match self {
             FaultClass::Fabric => "fabric",
             FaultClass::Host => "host",
+            FaultClass::Gray => "gray",
         }
     }
 
     fn host_faults(self) -> bool {
         self == FaultClass::Host
+    }
+
+    fn gray_faults(self) -> bool {
+        self == FaultClass::Gray
     }
 }
 
@@ -81,7 +95,7 @@ impl Default for ChaosOpts {
             seeds: (0..32).collect(),
             schemes: vec![Scheme::Pase, Scheme::Dctcp],
             intensities: vec![ChaosIntensity::Low, ChaosIntensity::High],
-            fault_classes: vec![FaultClass::Fabric, FaultClass::Host],
+            fault_classes: vec![FaultClass::Fabric, FaultClass::Host, FaultClass::Gray],
             quick: false,
             verbose: false,
             jobs: workloads::default_jobs(),
@@ -94,7 +108,8 @@ impl ChaosOpts {
     ///
     /// Recognized: `--seeds N` (sweep 0..N), `--seed-list a,b,c`,
     /// `--scheme pase|dctcp|both`, `--intensity low|high|both`,
-    /// `--faults fabric|host|both`, `--jobs N`, `--quick`, `--verbose`.
+    /// `--faults fabric|host|gray|both|all`, `--jobs N`, `--quick`,
+    /// `--verbose`.
     /// Setting the `CHAOS_LOG` environment variable (any non-empty
     /// value) also enables verbose output.
     pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> ChaosOpts {
@@ -139,8 +154,10 @@ impl ChaosOpts {
                     opts.fault_classes = match take("--faults").as_str() {
                         "fabric" => vec![FaultClass::Fabric],
                         "host" => vec![FaultClass::Host],
+                        "gray" => vec![FaultClass::Gray],
                         "both" => vec![FaultClass::Fabric, FaultClass::Host],
-                        other => panic!("--faults: fabric|host|both, got {other}"),
+                        "all" => vec![FaultClass::Fabric, FaultClass::Host, FaultClass::Gray],
+                        other => panic!("--faults: fabric|host|gray|both|all, got {other}"),
                     };
                 }
                 "--jobs" => {
@@ -259,6 +276,7 @@ fn stats_fingerprint(sim: &Simulation) -> u64 {
         st.data_pkts_blackholed,
         st.data_pkts_consumed,
         st.data_pkts_lost_to_crash,
+        st.data_pkts_corrupted,
         st.blackhole_pkts,
         st.ctrl_pkts,
         st.ctrl_bytes,
@@ -296,6 +314,11 @@ fn run_once(
     let scenario = chaos_scenario(quick);
     let (mut sim, hosts) = scheme.build_sim(&scenario.topo);
     sim.enable_invariants(InvariantConfig::default());
+    if fault_class.gray_faults() {
+        // The gray class is the detection/recovery story: switches keep
+        // per-port health scores and re-hash flows off degraded siblings.
+        sim.enable_health_aware_routing();
+    }
     let tracer = TextTracer::new();
     let trace_buf = tracer.buffer();
     sim.set_tracer(Box::new(tracer));
@@ -308,6 +331,7 @@ fn run_once(
             intensity,
             horizon: horizon(quick),
             host_faults: fault_class.host_faults(),
+            gray_faults: fault_class.gray_faults(),
         },
     );
     let mut violations: Vec<String> = Vec::new();
@@ -330,7 +354,8 @@ fn run_once(
 
     // Every aborted flow must be attributable to an injected host fault:
     // its source crashed (HostCrash), or its sender exhausted the RTO
-    // budget against an endpoint that crashed or lost its NIC link.
+    // budget against an endpoint that crashed, lost its NIC link, or sat
+    // behind a degraded (gray) NIC link.
     let mut crashed_hosts: BTreeSet<NodeId> = BTreeSet::new();
     let mut flapped_hosts: BTreeSet<NodeId> = BTreeSet::new();
     for &(_, ev) in plan.events() {
@@ -338,7 +363,7 @@ fn run_once(
             FaultEvent::HostCrash { node } => {
                 crashed_hosts.insert(node);
             }
-            FaultEvent::LinkDown { a, b } => {
+            FaultEvent::LinkDown { a, b } | FaultEvent::LinkDegrade { a, b, .. } => {
                 for n in [a, b] {
                     if sim.topo().kind(n) == NodeKind::Host {
                         flapped_hosts.insert(n);
@@ -424,9 +449,12 @@ pub fn replay_command(r: &CaseResult, quick: bool) -> String {
         "PASE" => "pase",
         _ => "dctcp",
     };
+    // The full flag set, so the replay reproduces the failing case
+    // exactly: `--jobs 1` pins single-threaded execution (results are
+    // identical at any job count, but the failure is easier to follow).
     format!(
         "CHAOS_LOG=1 cargo run --release -p experiments --bin chaos -- \
-         --seed-list {} --scheme {} --intensity {} --faults {}{}",
+         --seed-list {} --scheme {} --intensity {} --faults {} --jobs 1{}",
         r.seed,
         scheme,
         intensity,
@@ -508,9 +536,56 @@ mod tests {
         assert_eq!(o2.seeds, vec![7, 9]);
         assert_eq!(
             o2.fault_classes,
-            vec![FaultClass::Fabric, FaultClass::Host],
-            "default sweeps both fault classes"
+            vec![FaultClass::Fabric, FaultClass::Host, FaultClass::Gray],
+            "default sweeps all three fault classes"
         );
+        let o3 = parse("--faults gray");
+        assert_eq!(o3.fault_classes, vec![FaultClass::Gray]);
+        let o4 = parse("--faults all");
+        assert_eq!(
+            o4.fault_classes,
+            vec![FaultClass::Fabric, FaultClass::Host, FaultClass::Gray]
+        );
+    }
+
+    /// The replay line a failing case prints must parse back into exactly
+    /// that case's options — a drifted flag set would replay the wrong
+    /// configuration.
+    #[test]
+    fn replay_command_round_trips_through_the_parser() {
+        for (fault_class, quick) in [
+            (FaultClass::Fabric, false),
+            (FaultClass::Host, true),
+            (FaultClass::Gray, true),
+        ] {
+            let r = CaseResult {
+                scheme: "PASE",
+                intensity: ChaosIntensity::High,
+                fault_class,
+                seed: 17,
+                violations: vec![],
+                incomplete_flows: 0,
+                aborted_flows: 0,
+                trace_hash: 0,
+                stats_hash: 0,
+                blackholed: 0,
+                events: 0,
+                delivered: 0,
+                peak_pending: 0,
+            };
+            let cmd = replay_command(&r, quick);
+            let args = cmd
+                .split_once(" -- ")
+                .expect("replay command has a `--` separator")
+                .1;
+            let o = parse(args);
+            assert_eq!(o.seeds, vec![17]);
+            assert_eq!(o.schemes, vec![Scheme::Pase]);
+            assert_eq!(o.intensities, vec![ChaosIntensity::High]);
+            assert_eq!(o.fault_classes, vec![fault_class]);
+            assert_eq!(o.quick, quick);
+            assert_eq!(o.jobs, 1, "replay pins single-threaded execution");
+        }
     }
 
     #[test]
@@ -537,7 +612,7 @@ mod tests {
     #[test]
     fn chaos_smoke_slice_is_clean() {
         for scheme in [Scheme::Dctcp, Scheme::Pase] {
-            for fault_class in [FaultClass::Fabric, FaultClass::Host] {
+            for fault_class in [FaultClass::Fabric, FaultClass::Host, FaultClass::Gray] {
                 let r = run_case(scheme, ChaosIntensity::High, fault_class, 3, true);
                 assert!(
                     r.passed(),

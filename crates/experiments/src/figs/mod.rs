@@ -22,6 +22,7 @@
 pub mod ablations;
 pub mod common;
 pub mod ext_faults;
+pub mod ext_gray;
 pub mod ext_incast;
 
 pub mod fig01;
@@ -68,5 +69,6 @@ pub fn all(opts: &ExpOpts) -> Vec<FigResult> {
     out.push(ext_incast::run(opts));
     out.push(ext_faults::run(opts));
     out.push(ext_faults::run_link_flap(opts));
+    out.push(ext_gray::run(opts));
     out
 }

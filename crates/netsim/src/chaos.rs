@@ -7,27 +7,36 @@
 //! storms, and control-packet loss bursts. With
 //! [`ChaosConfig::host_faults`] set, the storm also covers the end-host
 //! failure domain: host↔ToR NIC flap trains and whole-host crash/restart
-//! cycles. The expansion is a pure function of `(topology, config)` using
+//! cycles. With [`ChaosConfig::gray_faults`] set, it also generates *gray*
+//! failures: degrade trains on fabric and NIC links that impose stochastic
+//! loss, payload corruption and latency inflation instead of a clean cut.
+//! The expansion is a pure function of `(topology, config)` using
 //! the deterministic [`crate::rng::Rng`], so a failing run is replayed
 //! exactly by re-running the same seed.
 //!
 //! Structural guarantees, relied on by the chaos harness:
 //!
 //! * every `LinkDown` is paired with a later `LinkUp` of the same link,
-//!   every `ArbitratorCrash` with a later `ArbitratorRestart`, and every
+//!   every `LinkDegrade` with a later `LinkRestore`, every
+//!   `ArbitratorCrash` with a later `ArbitratorRestart`, and every
 //!   `HostCrash` with a later `HostRestart`, all inside the horizon — the
 //!   network always heals (generated plans pass
 //!   [`crate::fault::FaultPlan::validate`]);
 //! * with `host_faults` off, only *fabric* (switch–switch) links are
 //!   flapped and hosts never crash, so endpoints are never unreachable;
 //!   the host sections draw from the RNG strictly *after* the fabric
-//!   sections, so turning the flag on never changes the fabric schedule
-//!   of a given seed;
+//!   sections, and the gray section strictly after the host sections, so
+//!   turning either flag on never changes the earlier schedule of a given
+//!   seed;
+//! * degrade windows share the per-link busy cursors with the outage
+//!   sections, so a gray episode never overlaps an outright `LinkDown` of
+//!   the same link (the two fault families compose without double-downing
+//!   a link);
 //! * all fault times lie within the first 95% of the horizon, leaving a
 //!   healed tail for flows to finish (or for deserted senders to give up)
 //!   in.
 
-use crate::fault::FaultPlan;
+use crate::fault::{DegradeProfile, FaultPlan};
 use crate::ids::NodeId;
 use crate::rng::Rng;
 use crate::time::{SimDuration, SimTime};
@@ -58,6 +67,11 @@ pub struct ChaosConfig {
     /// flow is expected to complete; on, flows touching a crashed host
     /// may legitimately end `Aborted`.
     pub host_faults: bool,
+    /// Also generate gray failures: degrade trains on fabric and NIC
+    /// links (stochastic loss, payload corruption, latency inflation)
+    /// rather than clean cuts. Independent of `host_faults`; the gray
+    /// section draws strictly after every other section.
+    pub gray_faults: bool,
 }
 
 /// The fabric links of a topology: deduplicated switch–switch pairs, in
@@ -260,8 +274,8 @@ pub fn generate(topo: &Topology, cfg: &ChaosConfig) -> FaultPlan {
                 .map(|_| rng.gen_range_inclusive(0, h * 9 / 10))
                 .collect();
             starts.sort_unstable();
-            let mut cursor = 0u64;
             for start in starts {
+                let cursor = link_free.get(&link_key(host, tor)).copied().unwrap_or(0);
                 if start < cursor {
                     continue;
                 }
@@ -273,7 +287,7 @@ pub fn generate(topo: &Topology, cfg: &ChaosConfig) -> FaultPlan {
                 plan = plan
                     .link_down(SimTime::from_nanos(start), host, tor)
                     .link_up(SimTime::from_nanos(end), host, tor);
-                cursor = end + 1;
+                link_free.insert(link_key(host, tor), end + 1);
             }
         }
 
@@ -319,7 +333,87 @@ pub fn generate(topo: &Topology, cfg: &ChaosConfig) -> FaultPlan {
         }
     }
 
+    // 7. Gray storms: degrade trains on fabric and NIC links — stochastic
+    // loss, payload corruption and latency inflation instead of a clean
+    // cut. Draws strictly after the host sections, so turning the flag on
+    // never changes the fabric or host schedule of a seed. Degrade windows
+    // share the per-link busy cursors with the outage sections, so a gray
+    // episode never overlaps an outright `LinkDown` of the same link, and
+    // every episode is restored by `latest`.
+    if cfg.gray_faults {
+        let mut gray_links = links.clone();
+        for host in topo.hosts() {
+            gray_links.push((host, topo.host_tor(host)));
+        }
+        // Gray failures persist longer than flaps: a flaky transceiver is
+        // degraded for a stretch, not bounced.
+        let (gdur_lo, gdur_hi) = if hi {
+            (h / 20, h / 4)
+        } else {
+            (h / 50, h / 10)
+        };
+        let mut any_gray = false;
+        for &(a, b) in &gray_links {
+            let episodes = if hi {
+                rng.gen_range_inclusive(1, 2)
+            } else {
+                rng.gen_range_inclusive(0, 1)
+            };
+            let mut starts: Vec<u64> = (0..episodes)
+                .map(|_| rng.gen_range_inclusive(0, h * 9 / 10))
+                .collect();
+            starts.sort_unstable();
+            for start in starts {
+                let cursor = link_free.get(&link_key(a, b)).copied().unwrap_or(0);
+                if start < cursor {
+                    continue;
+                }
+                let dur = rng.gen_range_inclusive(gdur_lo, gdur_hi);
+                let end = (start + dur).min(latest);
+                if end <= start {
+                    continue;
+                }
+                let profile = draw_profile(&mut rng);
+                plan = plan
+                    .link_degrade(SimTime::from_nanos(start), a, b, profile)
+                    .link_restore(SimTime::from_nanos(end), a, b);
+                link_free.insert(link_key(a, b), end + 1);
+                any_gray = true;
+            }
+        }
+        // Force at least one episode so the class is always exercised.
+        if !any_gray {
+            for &(a, b) in &gray_links {
+                let start = (h / 4).max(link_free.get(&link_key(a, b)).copied().unwrap_or(0));
+                let dur = rng.gen_range_inclusive(gdur_lo, gdur_hi);
+                let end = (start + dur).min(latest);
+                if end <= start {
+                    continue;
+                }
+                let profile = draw_profile(&mut rng);
+                plan = plan
+                    .link_degrade(SimTime::from_nanos(start), a, b, profile)
+                    .link_restore(SimTime::from_nanos(end), a, b);
+                link_free.insert(link_key(a, b), end + 1);
+                break;
+            }
+        }
+    }
+
     plan
+}
+
+/// Draw a plausible gray-failure profile: up to ~3% loss, up to ~1%
+/// corruption, and a few microseconds of added latency and jitter — bad
+/// enough to hurt tail latency, mild enough that traffic still flows.
+fn draw_profile(rng: &mut Rng) -> DegradeProfile {
+    DegradeProfile {
+        seed: rng.next_u64(),
+        loss_ppm: rng.gen_range_inclusive(500, 30_000) as u32,
+        corrupt_ppm: rng.gen_range_inclusive(0, 10_000) as u32,
+        extra_delay_ns: rng.gen_range_inclusive(0, 20_000) as u32,
+        jitter_ns: rng.gen_range_inclusive(0, 10_000) as u32,
+    }
 }
 
 #[cfg(test)]
@@ -375,12 +469,21 @@ mod tests {
             intensity,
             horizon: SimDuration::from_millis(100),
             host_faults: false,
+            gray_faults: false,
         }
     }
 
     fn cfg_host(seed: u64, intensity: ChaosIntensity) -> ChaosConfig {
         ChaosConfig {
             host_faults: true,
+            ..cfg(seed, intensity)
+        }
+    }
+
+    fn cfg_gray(seed: u64, intensity: ChaosIntensity) -> ChaosConfig {
+        ChaosConfig {
+            host_faults: true,
+            gray_faults: true,
             ..cfg(seed, intensity)
         }
     }
@@ -407,14 +510,18 @@ mod tests {
         let topo = leaf_spine();
         for seed in 0..16 {
             for intensity in [ChaosIntensity::Low, ChaosIntensity::High] {
-                for host_faults in [false, true] {
+                for (host_faults, gray_faults) in
+                    [(false, false), (true, false), (false, true), (true, true)]
+                {
                     let c = ChaosConfig {
                         host_faults,
+                        gray_faults,
                         ..cfg(seed, intensity)
                     };
                     let plan = generate(&topo, &c);
                     let latest = SimTime::from_nanos(c.horizon.as_nanos() * 95 / 100);
                     let mut open_links = Vec::new();
+                    let mut degraded = Vec::new();
                     let mut crashed = Vec::new();
                     let mut hosts_down = Vec::new();
                     for &(at, ev) in plan.events() {
@@ -427,6 +534,13 @@ mod tests {
                                     .position(|&l| l == (a, b))
                                     .unwrap_or_else(|| panic!("seed {seed}: up without down"));
                                 open_links.swap_remove(i);
+                            }
+                            FaultEvent::LinkDegrade { a, b, .. } => degraded.push((a, b)),
+                            FaultEvent::LinkRestore { a, b } => {
+                                let i = degraded.iter().position(|&l| l == (a, b)).unwrap_or_else(
+                                    || panic!("seed {seed}: restore without degrade"),
+                                );
+                                degraded.swap_remove(i);
                             }
                             FaultEvent::ArbitratorCrash { node } => crashed.push(node),
                             FaultEvent::ArbitratorRestart { node } => {
@@ -448,6 +562,7 @@ mod tests {
                         }
                     }
                     assert!(open_links.is_empty(), "seed {seed}: unhealed links");
+                    assert!(degraded.is_empty(), "seed {seed}: unrestored degradations");
                     assert!(crashed.is_empty(), "seed {seed}: unrestarted arbitrators");
                     assert!(hosts_down.is_empty(), "seed {seed}: unrestarted hosts");
                 }
@@ -460,9 +575,12 @@ mod tests {
         let topo = leaf_spine();
         for seed in 0..16 {
             for intensity in [ChaosIntensity::Low, ChaosIntensity::High] {
-                for host_faults in [false, true] {
+                for (host_faults, gray_faults) in
+                    [(false, false), (true, false), (false, true), (true, true)]
+                {
                     let c = ChaosConfig {
                         host_faults,
+                        gray_faults,
                         ..cfg(seed, intensity)
                     };
                     generate(&topo, &c)
@@ -539,6 +657,78 @@ mod tests {
     }
 
     #[test]
+    fn gray_faults_extend_the_plan_without_touching_earlier_sections() {
+        let topo = leaf_spine();
+        for seed in 0..8 {
+            let without = generate(&topo, &cfg_host(seed, ChaosIntensity::High));
+            let with_gray = generate(&topo, &cfg_gray(seed, ChaosIntensity::High));
+            // The gray-free plan is a strict prefix: gray draws happen
+            // after every fabric and host draw.
+            assert_eq!(
+                &with_gray.events()[..without.len()],
+                without.events(),
+                "seed {seed}: earlier schedule changed by gray_faults"
+            );
+            let tail = &with_gray.events()[without.len()..];
+            assert!(!tail.is_empty(), "seed {seed}: no gray episodes generated");
+            assert!(
+                tail.iter().all(|&(_, ev)| matches!(
+                    ev,
+                    FaultEvent::LinkDegrade { .. } | FaultEvent::LinkRestore { .. }
+                )),
+                "seed {seed}: non-gray event in the gray section"
+            );
+        }
+    }
+
+    #[test]
+    fn gray_windows_heal_and_never_overlap_an_outage_of_the_same_link() {
+        let topo = leaf_spine();
+        let key = |a: NodeId, b: NodeId| if a.0 <= b.0 { (a, b) } else { (b, a) };
+        for seed in 0..16 {
+            let plan = generate(&topo, &cfg_gray(seed, ChaosIntensity::High));
+            let latest = SimTime::from_nanos(100_000_000 * 95 / 100);
+            let mut open_down = std::collections::BTreeMap::new();
+            let mut open_gray = std::collections::BTreeMap::new();
+            let mut outages = Vec::new();
+            let mut grays = Vec::new();
+            for &(at, ev) in plan.events() {
+                match ev {
+                    FaultEvent::LinkDown { a, b } => {
+                        open_down.insert(key(a, b), at);
+                    }
+                    FaultEvent::LinkUp { a, b } => {
+                        let s = open_down.remove(&key(a, b)).unwrap();
+                        outages.push((key(a, b), s, at));
+                    }
+                    FaultEvent::LinkDegrade { a, b, .. } => {
+                        open_gray.insert(key(a, b), at);
+                    }
+                    FaultEvent::LinkRestore { a, b } => {
+                        let s = open_gray.remove(&key(a, b)).unwrap();
+                        assert!(at <= latest, "seed {seed}: gray heals past 95% horizon");
+                        grays.push((key(a, b), s, at));
+                    }
+                    _ => {}
+                }
+            }
+            assert!(open_gray.is_empty(), "seed {seed}: unhealed gray window");
+            assert!(!grays.is_empty(), "seed {seed}: no gray episodes");
+            for &(gl, gs, ge) in &grays {
+                for &(ol, os, oe) in &outages {
+                    if gl == ol {
+                        assert!(
+                            ge < os || oe < gs,
+                            "seed {seed}: degrade [{gs}, {ge}] overlaps \
+                             outage [{os}, {oe}] on {gl:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "at least 1 ms")]
     fn tiny_horizon_is_rejected() {
         let topo = leaf_spine();
@@ -549,6 +739,7 @@ mod tests {
                 intensity: ChaosIntensity::Low,
                 horizon: SimDuration::from_micros(10),
                 host_faults: false,
+                gray_faults: false,
             },
         );
     }

@@ -22,6 +22,14 @@
 //! * A **control-loss burst** kills the next `n` control packets on one
 //!   *direction* of a link (it wraps the port's queue discipline in a
 //!   burst-mode [`crate::queue::LossyQdisc`]).
+//! * A **degraded link** (gray failure) keeps forwarding but hurts: a
+//!   seeded [`DegradeProfile`] imposes stochastic packet loss, payload
+//!   corruption (detected and discarded by the destination's checksum,
+//!   charged to the `corrupted` conservation term) and/or latency
+//!   inflation with bounded jitter on both directions. Each direction
+//!   draws from its own deterministic RNG (profile seed salted with the
+//!   transmitting node and port), so degraded runs replay byte-identically
+//!   and healthy runs never consume randomness.
 //!
 //! Every injection is recorded as a [`crate::trace::TraceEvent::Fault`]
 //! and counted on the affected port
@@ -32,6 +40,30 @@ use std::collections::BTreeSet;
 use crate::ids::{NodeId, PortId};
 use crate::time::SimTime;
 use crate::topology::{NodeKind, Topology};
+
+/// How a degraded (gray-failing) link misbehaves. All fields are
+/// per-packet odds or bounds; `seed` makes the misbehaviour reproducible.
+///
+/// Kept small and `Copy` so a [`FaultDirective::PortDegrade`] carrying it
+/// fits the scheduler's 64-byte event budget.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DegradeProfile {
+    /// Seed for the per-direction degradation RNG. Each port salts it
+    /// with its own identity, so the two directions of a link (and any
+    /// two degraded links sharing a seed) draw independent sequences.
+    pub seed: u64,
+    /// Probability (parts per million) that a transmitted packet is lost.
+    pub loss_ppm: u32,
+    /// Probability (parts per million) that a transmitted packet is
+    /// corrupted in flight (delivered, then discarded by the receiver's
+    /// checksum).
+    pub corrupt_ppm: u32,
+    /// Fixed extra propagation delay added to every packet, nanoseconds.
+    pub extra_delay_ns: u32,
+    /// Uniform jitter bound: each packet gets an extra delay drawn from
+    /// `[0, jitter_ns]` nanoseconds.
+    pub jitter_ns: u32,
+}
 
 /// One scheduled fault, in topology terms (nodes and links).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,6 +117,24 @@ pub enum FaultEvent {
     HostRestart {
         /// The host that comes back.
         node: NodeId,
+    },
+    /// Both directions of the `a`–`b` link degrade per `profile` (gray
+    /// failure: the link stays up but loses, corrupts and/or delays
+    /// packets).
+    LinkDegrade {
+        /// One endpoint of the link.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+        /// How the link misbehaves while degraded.
+        profile: DegradeProfile,
+    },
+    /// Both directions of the `a`–`b` link return to nominal behaviour.
+    LinkRestore {
+        /// One endpoint of the link.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
     },
 }
 
@@ -147,6 +197,27 @@ impl FaultPlan {
         self
     }
 
+    /// Schedule both directions of the `a`–`b` link to degrade per
+    /// `profile` at `at` (gray failure).
+    pub fn link_degrade(
+        mut self,
+        at: SimTime,
+        a: NodeId,
+        b: NodeId,
+        profile: DegradeProfile,
+    ) -> Self {
+        self.events
+            .push((at, FaultEvent::LinkDegrade { a, b, profile }));
+        self
+    }
+
+    /// Schedule both directions of the `a`–`b` link to return to nominal
+    /// behaviour at `at`.
+    pub fn link_restore(mut self, at: SimTime, a: NodeId, b: NodeId) -> Self {
+        self.events.push((at, FaultEvent::LinkRestore { a, b }));
+        self
+    }
+
     /// The scheduled events, in insertion order.
     pub fn events(&self) -> &[(SimTime, FaultEvent)] {
         &self.events
@@ -190,6 +261,7 @@ impl FaultPlan {
         let mut ordered: Vec<&(SimTime, FaultEvent)> = self.events.iter().collect();
         ordered.sort_by_key(|(at, _)| *at);
         let mut links_down: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
+        let mut links_degraded: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
         let mut arbs_down: BTreeSet<NodeId> = BTreeSet::new();
         let mut hosts_down: BTreeSet<NodeId> = BTreeSet::new();
         let key = |a: NodeId, b: NodeId| if a.0 <= b.0 { (a, b) } else { (b, a) };
@@ -247,10 +319,27 @@ impl FaultPlan {
                         return Err(format!("host {node} restarted while not crashed (at {at})"));
                     }
                 }
+                FaultEvent::LinkDegrade { a, b, .. } => {
+                    check_link("LinkDegrade", a, b)?;
+                    if !links_degraded.insert(key(a, b)) {
+                        return Err(format!("link {a}–{b} degraded twice (at {at})"));
+                    }
+                }
+                FaultEvent::LinkRestore { a, b } => {
+                    check_link("LinkRestore", a, b)?;
+                    if !links_degraded.remove(&key(a, b)) {
+                        return Err(format!(
+                            "link {a}–{b} restored while not degraded (at {at})"
+                        ));
+                    }
+                }
             }
         }
         if let Some(&(a, b)) = links_down.iter().next() {
             return Err(format!("link {a}–{b} is never brought back up"));
+        }
+        if let Some(&(a, b)) = links_degraded.iter().next() {
+            return Err(format!("link {a}–{b} is never restored from degradation"));
         }
         if let Some(&node) = arbs_down.iter().next() {
             return Err(format!("arbitrator on {node} is never restarted"));
@@ -285,6 +374,15 @@ pub enum FaultDirective {
     HostCrash,
     /// Bring the crashed end host back empty with a new incarnation.
     HostRestart,
+    /// Degrade the node's output port per the profile (gray failure).
+    PortDegrade {
+        /// The affected output port.
+        port: PortId,
+        /// How the port misbehaves while degraded.
+        profile: DegradeProfile,
+    },
+    /// Restore the node's output port to nominal behaviour.
+    PortRestore(PortId),
 }
 
 /// What a control plugin or host service is told when its node's
@@ -420,6 +518,78 @@ mod tests {
             .validate(&topo)
             .unwrap_err();
         assert!(err.contains("never restarted"), "{err}");
+    }
+
+    fn profile(seed: u64) -> DegradeProfile {
+        DegradeProfile {
+            seed,
+            loss_ppm: 10_000,
+            corrupt_ppm: 5_000,
+            extra_delay_ns: 2_000,
+            jitter_ns: 1_000,
+        }
+    }
+
+    #[test]
+    fn validate_accepts_balanced_degrade_restore() {
+        let topo = tiny_topo();
+        let plan = FaultPlan::new()
+            .link_degrade(ms(1), NodeId(0), NodeId(1), profile(7))
+            .link_restore(ms(3), NodeId(1), NodeId(0)); // endpoint order may differ
+        assert_eq!(plan.validate(&topo), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_unbalanced_degrade_restore_pairs() {
+        let topo = tiny_topo();
+        let err = FaultPlan::new()
+            .link_degrade(ms(1), NodeId(0), NodeId(1), profile(7))
+            .validate(&topo)
+            .unwrap_err();
+        assert!(err.contains("never restored"), "{err}");
+        let err = FaultPlan::new()
+            .link_restore(ms(1), NodeId(0), NodeId(1))
+            .validate(&topo)
+            .unwrap_err();
+        assert!(err.contains("while not degraded"), "{err}");
+        let err = FaultPlan::new()
+            .link_degrade(ms(1), NodeId(0), NodeId(1), profile(7))
+            .link_degrade(ms(2), NodeId(1), NodeId(0), profile(8))
+            .link_restore(ms(3), NodeId(0), NodeId(1))
+            .validate(&topo)
+            .unwrap_err();
+        assert!(err.contains("degraded twice"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_degrade_on_unknown_or_non_adjacent_link() {
+        let topo = tiny_topo();
+        let err = FaultPlan::new()
+            .link_degrade(ms(1), NodeId(0), NodeId(42), profile(7))
+            .link_restore(ms(2), NodeId(0), NodeId(42))
+            .validate(&topo)
+            .unwrap_err();
+        assert!(err.contains("unknown node"), "{err}");
+        // h2 and h3 both hang off s1 but have no direct link.
+        let err = FaultPlan::new()
+            .link_degrade(ms(1), NodeId(2), NodeId(3), profile(7))
+            .link_restore(ms(2), NodeId(2), NodeId(3))
+            .validate(&topo)
+            .unwrap_err();
+        assert!(err.contains("non-adjacent"), "{err}");
+    }
+
+    #[test]
+    fn degrade_and_down_are_independent_state_machines() {
+        // A link may be degraded and then (while still degraded) go fully
+        // down; validate tracks the two conditions separately.
+        let topo = tiny_topo();
+        let plan = FaultPlan::new()
+            .link_degrade(ms(1), NodeId(0), NodeId(1), profile(7))
+            .link_down(ms(2), NodeId(0), NodeId(1))
+            .link_up(ms(3), NodeId(0), NodeId(1))
+            .link_restore(ms(4), NodeId(0), NodeId(1));
+        assert_eq!(plan.validate(&topo), Ok(()));
     }
 
     #[test]

@@ -391,6 +391,14 @@ impl Host {
                     self.run_service(ctx, |svc, io| svc.on_fault(NodeFault::Restart, io));
                 }
             }
+            FaultDirective::PortDegrade { port, profile } => {
+                debug_assert_eq!(port.index(), 0, "hosts have a single port");
+                self.core.port.set_degraded(self.core.id, profile);
+            }
+            FaultDirective::PortRestore(port) => {
+                debug_assert_eq!(port.index(), 0, "hosts have a single port");
+                self.core.port.set_restored();
+            }
         }
     }
 
@@ -402,6 +410,28 @@ impl Host {
             // else (acks, probes, control) just evaporates.
             if pkt.kind == PacketKind::Data {
                 ctx.stats.note_data_lost_to_crash();
+            }
+            return;
+        }
+        if pkt.corrupted {
+            // Checksum failure: discard silently, like real NICs do. The
+            // missing ACK (or missing arbitration response) is what the
+            // transport's RTO/SACK machinery recovers from. Data packets
+            // are charged to the `corrupted` conservation term.
+            if pkt.kind == PacketKind::Data {
+                ctx.stats.note_data_corrupted(self.core.id, &pkt);
+            }
+            if ctx.stats.tracing() {
+                let now = ctx.now();
+                ctx.stats.trace_event(
+                    now,
+                    &crate::trace::TraceEvent::Corrupt {
+                        node: self.core.id,
+                        flow: pkt.flow,
+                        kind: pkt.kind,
+                        seq: pkt.seq,
+                    },
+                );
             }
             return;
         }

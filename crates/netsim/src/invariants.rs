@@ -6,11 +6,13 @@
 //!
 //! 1. **Packet conservation.** Every data packet injected by a host is
 //!    eventually accounted for exactly once:
-//!    `injected = delivered + dropped + blackholed + consumed +
-//!    in-network + lost-to-crash`, where *in-network* counts packets
-//!    sitting in queues, mid-serialization, or propagating (pending
-//!    `Deliver` events) at the moment of the check, and *lost-to-crash*
-//!    counts packets that arrived at a crashed destination host.
+//!    `injected = delivered + dropped + corrupted + blackholed +
+//!    consumed + in-network + lost-to-crash`, where *in-network* counts
+//!    packets sitting in queues, mid-serialization, or propagating
+//!    (pending `Deliver` events) at the moment of the check,
+//!    *lost-to-crash* counts packets that arrived at a crashed
+//!    destination host, and *corrupted* counts packets mangled by a
+//!    degraded link and discarded by the destination's checksum.
 //! 2. **No stuck flow.** An incomplete flow must have *some* way to make
 //!    progress: a pending event referencing it (timer, delivery, start),
 //!    one of its packets still in the network, or a control-plane timer
@@ -256,6 +258,7 @@ pub(crate) struct ConservationTerms {
     pub injected: u64,
     pub delivered: u64,
     pub dropped: u64,
+    pub corrupted: u64,
     pub blackholed: u64,
     pub consumed: u64,
     pub lost_to_crash: u64,
@@ -267,6 +270,7 @@ impl ConservationTerms {
     pub(crate) fn check(&self, now: SimTime, out: &mut Vec<Violation>) {
         let accounted = self.delivered
             + self.dropped
+            + self.corrupted
             + self.blackholed
             + self.consumed
             + self.lost_to_crash
@@ -277,12 +281,13 @@ impl ConservationTerms {
                 invariant: Invariant::Conservation,
                 detail: format!(
                     "injected {} != accounted {} (delivered {} + dropped {} + \
-                     blackholed {} + consumed {} + lost-to-crash {} + \
-                     in-ports {} + on-wire {})",
+                     corrupted {} + blackholed {} + consumed {} + \
+                     lost-to-crash {} + in-ports {} + on-wire {})",
                     self.injected,
                     accounted,
                     self.delivered,
                     self.dropped,
+                    self.corrupted,
                     self.blackholed,
                     self.consumed,
                     self.lost_to_crash,
@@ -307,8 +312,9 @@ mod tests {
     fn conservation_balanced_books_are_clean() {
         let terms = ConservationTerms {
             injected: 10,
-            delivered: 5,
+            delivered: 4,
             dropped: 1,
+            corrupted: 1,
             blackholed: 1,
             consumed: 0,
             lost_to_crash: 1,
@@ -328,6 +334,7 @@ mod tests {
             injected: 10,
             delivered: 6,
             dropped: 1,
+            corrupted: 0,
             blackholed: 0,
             consumed: 0,
             lost_to_crash: 0,
@@ -338,6 +345,7 @@ mod tests {
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].invariant, Invariant::Conservation);
         assert!(out[0].detail.contains("injected 10"), "{}", out[0].detail);
+        assert!(out[0].detail.contains("corrupted 0"), "{}", out[0].detail);
         assert!(
             out[0].detail.contains("lost-to-crash 0"),
             "{}",

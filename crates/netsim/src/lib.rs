@@ -90,7 +90,7 @@ pub mod trace;
 /// The types most users need, in one import.
 pub mod prelude {
     pub use crate::chaos::{ChaosConfig, ChaosIntensity};
-    pub use crate::fault::{FaultEvent, FaultPlan};
+    pub use crate::fault::{DegradeProfile, FaultEvent, FaultPlan};
     pub use crate::flow::FlowSpec;
     pub use crate::ids::{FlowId, LinkId, NodeId, PortId};
     pub use crate::invariants::{InvariantConfig, InvariantReport};

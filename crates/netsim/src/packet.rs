@@ -96,6 +96,10 @@ pub struct Packet {
     /// Protocol-specific header extension (PDQ scheduling header, PASE
     /// arbitration payload, ...). `None` for plain transports.
     pub proto: Option<Box<dyn Any + Send>>,
+    /// Payload corrupted in flight by a degraded link (gray failure). The
+    /// destination's checksum detects it and discards the packet; the
+    /// simulator charges it to the `corrupted` conservation term there.
+    pub corrupted: bool,
 }
 
 impl Packet {
@@ -119,6 +123,7 @@ impl Packet {
             ts: SimTime::ZERO,
             ts_echo: None,
             proto: None,
+            corrupted: false,
         }
     }
 
@@ -143,6 +148,7 @@ impl Packet {
             ts: SimTime::ZERO,
             ts_echo: None,
             proto: None,
+            corrupted: false,
         }
     }
 
@@ -183,6 +189,7 @@ impl Packet {
             ts: SimTime::ZERO,
             ts_echo: None,
             proto: Some(proto),
+            corrupted: false,
         }
     }
 

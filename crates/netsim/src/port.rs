@@ -8,10 +8,36 @@
 
 use crate::engine::Ctx;
 use crate::event::EventKind;
+use crate::fault::DegradeProfile;
 use crate::ids::{NodeId, PortId};
 use crate::packet::{Packet, PacketKind};
 use crate::queue::{Enqueued, Qdisc, QdiscStats};
+use crate::rng::Rng;
 use crate::time::{Rate, SimDuration};
+
+/// Ports with an EWMA health score below this are considered degraded by
+/// health-aware routing (see [`crate::switch`]). A healthy port's TX path
+/// never observes loss or corruption (congestion drops happen in the
+/// qdisc, before serialization), so its score is exactly 1.0; a single
+/// observed gray event dips below this floor and sustained clean traffic
+/// climbs back above it.
+pub const HEALTHY_THRESHOLD: f64 = 0.9;
+
+/// EWMA gain for a bad TX sample (loss or corruption): fast detection.
+const HEALTH_GAIN_BAD: f64 = 1.0 / 8.0;
+/// EWMA gain for a clean TX sample: slow forgiveness, so a port must
+/// sustain clean traffic for ~100 packets before being trusted again.
+const HEALTH_GAIN_GOOD: f64 = 1.0 / 512.0;
+
+/// Live degradation state of a gray-failing port: the profile plus the
+/// per-direction RNG its misbehaviour is drawn from. Created when the
+/// degrade directive lands, dropped on restore — healthy ports carry no
+/// RNG and consume no randomness.
+#[derive(Debug)]
+struct DegradeState {
+    profile: DegradeProfile,
+    rng: Rng,
+}
 
 /// The transmit side of a link.
 pub struct Port {
@@ -38,6 +64,18 @@ pub struct Port {
     /// Packets dropped because the link was down (flushed, rejected on
     /// arrival, or caught mid-serialization).
     pub drops_while_down: u64,
+    /// Gray-failure state while the link is degraded.
+    degrade: Option<DegradeState>,
+    /// Packets lost to link degradation (drawn at TX; part of the
+    /// synthetic-loss counter family together with
+    /// [`crate::queue::QdiscStats::forced_drops`]).
+    pub degrade_drops: u64,
+    /// Packets corrupted by link degradation (stamped at TX, discarded by
+    /// the destination's checksum).
+    pub degrade_corrupts: u64,
+    /// EWMA health score over TX outcomes: 1.0 = pristine, dips on every
+    /// observed loss/corruption. See [`HEALTHY_THRESHOLD`].
+    health: f64,
 }
 
 impl Port {
@@ -62,6 +100,10 @@ impl Port {
             tx_bytes: 0,
             faults_injected: 0,
             drops_while_down: 0,
+            degrade: None,
+            degrade_drops: 0,
+            degrade_corrupts: 0,
+            health: 1.0,
         }
     }
 
@@ -156,6 +198,61 @@ impl Port {
         ));
     }
 
+    /// Degrade this port per `profile` (gray failure). `node` is the
+    /// owning node, used to salt the profile seed so the two directions
+    /// of a link draw independent deterministic sequences.
+    pub fn set_degraded(&mut self, node: NodeId, profile: DegradeProfile) {
+        self.faults_injected += 1;
+        let salt = splitmix(((node.0 as u64) << 32) | self.id.0 as u64);
+        self.degrade = Some(DegradeState {
+            profile,
+            rng: Rng::seed_from_u64(profile.seed ^ salt),
+        });
+    }
+
+    /// Restore this port to nominal behaviour. The health score is left
+    /// where the degradation pushed it and recovers through clean TX
+    /// samples, so health-aware routing observes the recovery rather
+    /// than being told about it.
+    pub fn set_restored(&mut self) {
+        self.faults_injected += 1;
+        self.degrade = None;
+    }
+
+    /// Whether the port is currently degraded.
+    pub fn is_degraded(&self) -> bool {
+        self.degrade.is_some()
+    }
+
+    /// Current EWMA health score (1.0 = pristine).
+    pub fn health(&self) -> f64 {
+        self.health
+    }
+
+    /// Whether the health score is above [`HEALTHY_THRESHOLD`].
+    pub fn is_healthy(&self) -> bool {
+        self.health >= HEALTHY_THRESHOLD
+    }
+
+    /// Total synthetic (fault-injected) losses on this port: degrade
+    /// losses plus any forced drops from a wrapping
+    /// [`crate::queue::LossyQdisc`]. One counter family for every loss
+    /// that is *not* congestion.
+    pub fn synthetic_drops(&self) -> u64 {
+        self.degrade_drops + self.qdisc.stats().forced_drops
+    }
+
+    /// Fold one TX outcome into the EWMA health score.
+    fn note_health_sample(&mut self, clean: bool) {
+        if clean {
+            if self.health < 1.0 {
+                self.health += (1.0 - self.health) * HEALTH_GAIN_GOOD;
+            }
+        } else {
+            self.health *= 1.0 - HEALTH_GAIN_BAD;
+        }
+    }
+
     /// Begin serializing the next queued packet, if any.
     /// Schedules a [`EventKind::TxComplete`] for this port.
     fn start_tx(&mut self, ctx: &mut Ctx<'_>) {
@@ -170,9 +267,10 @@ impl Port {
     /// Handle the completion of serialization: put the packet on the wire
     /// (schedule delivery at the peer after propagation) and start on the
     /// next queued packet. If the link went down mid-serialization, the
-    /// packet dies here instead of being delivered.
+    /// packet dies here instead of being delivered. A degraded link may
+    /// lose the packet, corrupt it, or inflate its propagation delay.
     pub fn on_tx_complete(&mut self, ctx: &mut Ctx<'_>) {
-        let pkt = self
+        let mut pkt = self
             .in_flight
             .take()
             .expect("TxComplete with no in-flight packet");
@@ -181,6 +279,32 @@ impl Port {
             Self::record_drop(&pkt, ctx);
             return;
         }
+        // Gray-failure draws, in a fixed per-packet order (loss, then
+        // corruption, then jitter) so replays are byte-identical.
+        let mut extra_delay = SimDuration::ZERO;
+        let mut corrupt = false;
+        if let Some(deg) = &mut self.degrade {
+            let p = deg.profile;
+            if p.loss_ppm > 0 && deg.rng.gen_below(1_000_000) < p.loss_ppm as u64 {
+                self.degrade_drops += 1;
+                self.note_health_sample(false);
+                Self::record_drop(&pkt, ctx);
+                self.start_tx(ctx);
+                return;
+            }
+            corrupt = p.corrupt_ppm > 0 && deg.rng.gen_below(1_000_000) < p.corrupt_ppm as u64;
+            let jitter = if p.jitter_ns > 0 {
+                deg.rng.gen_below(p.jitter_ns as u64 + 1)
+            } else {
+                0
+            };
+            extra_delay = SimDuration::from_nanos(p.extra_delay_ns as u64 + jitter);
+        }
+        if corrupt {
+            self.degrade_corrupts += 1;
+            pkt.corrupted = true;
+        }
+        self.note_health_sample(!corrupt);
         self.tx_pkts += 1;
         self.tx_bytes += pkt.wire_bytes as u64;
         if ctx.stats.tracing() {
@@ -188,7 +312,7 @@ impl Port {
             let ev = crate::trace::tx_event(ctx.node, self.id, &pkt);
             ctx.stats.trace_event(now, &ev);
         }
-        ctx.schedule(self.delay, self.peer, EventKind::Deliver(pkt));
+        ctx.schedule(self.delay + extra_delay, self.peer, EventKind::Deliver(pkt));
         self.start_tx(ctx);
     }
 
@@ -233,6 +357,14 @@ impl Port {
         let busy = self.rate.tx_time(self.tx_bytes).as_secs_f64();
         (busy / elapsed).min(1.0)
     }
+}
+
+/// splitmix64 finalizer: salts the degrade seed with the port identity.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 impl core::fmt::Debug for Port {
@@ -443,6 +575,120 @@ mod tests {
         assert!(sched.pop().is_none(), "no delivery while down");
         assert_eq!(port.tx_pkts, 0);
         assert_eq!(port.drops_while_down, 1);
+    }
+
+    /// Drive `n` packets through the port, returning how many deliveries
+    /// were scheduled and at what times.
+    fn drive(port: &mut Port, n: u64) -> Vec<SimTime> {
+        let mut sched = Scheduler::new();
+        let mut stats = StatsCollector::new();
+        let mut deliveries = vec![];
+        for i in 0..n {
+            let mut ctx = Ctx {
+                node: NodeId(0),
+                sched: &mut sched,
+                stats: &mut stats,
+            };
+            port.send(data(i), &mut ctx);
+            while let Some((target, kind)) = sched.pop() {
+                match kind {
+                    EventKind::TxComplete(_) => {
+                        let mut ctx = Ctx {
+                            node: NodeId(0),
+                            sched: &mut sched,
+                            stats: &mut stats,
+                        };
+                        port.on_tx_complete(&mut ctx);
+                    }
+                    EventKind::Deliver(_) => {
+                        assert_eq!(target, NodeId(1));
+                        deliveries.push(sched.now());
+                    }
+                    _ => {}
+                }
+            }
+        }
+        deliveries
+    }
+
+    fn heavy_profile(seed: u64) -> crate::fault::DegradeProfile {
+        crate::fault::DegradeProfile {
+            seed,
+            loss_ppm: 250_000,    // 25 %
+            corrupt_ppm: 250_000, // 25 % of survivors
+            extra_delay_ns: 0,
+            jitter_ns: 0,
+        }
+    }
+
+    #[test]
+    fn degraded_port_loses_and_corrupts_deterministically() {
+        let mut a = mk_port();
+        let mut b = mk_port();
+        a.set_degraded(NodeId(0), heavy_profile(42));
+        b.set_degraded(NodeId(0), heavy_profile(42));
+        let da = drive(&mut a, 400);
+        let db = drive(&mut b, 400);
+        assert_eq!(da, db, "same seed, same behaviour");
+        assert_eq!(a.degrade_drops, b.degrade_drops);
+        assert_eq!(a.degrade_corrupts, b.degrade_corrupts);
+        // At 25 % each over 400 packets, both odds certainly fire.
+        assert!(a.degrade_drops > 0, "no losses in 400 packets");
+        assert!(a.degrade_corrupts > 0, "no corruptions in 400 packets");
+        assert_eq!(da.len() as u64 + a.degrade_drops, 400);
+        assert_eq!(a.synthetic_drops(), a.degrade_drops);
+        // A different seed draws a different sequence.
+        let mut c = mk_port();
+        c.set_degraded(NodeId(0), heavy_profile(43));
+        drive(&mut c, 400);
+        assert!(
+            c.degrade_drops != a.degrade_drops || c.degrade_corrupts != a.degrade_corrupts,
+            "different seeds should diverge"
+        );
+    }
+
+    #[test]
+    fn degrade_inflates_latency_without_losing_packets() {
+        let mut port = mk_port();
+        port.set_degraded(
+            NodeId(0),
+            crate::fault::DegradeProfile {
+                seed: 1,
+                loss_ppm: 0,
+                corrupt_ppm: 0,
+                extra_delay_ns: 5_000, // +5 us on a 10 us link
+                jitter_ns: 0,
+            },
+        );
+        let deliveries = drive(&mut port, 1);
+        // 12 us serialization + 10 us propagation + 5 us inflation.
+        assert_eq!(deliveries, vec![SimTime::from_micros(27)]);
+        assert_eq!(port.degrade_drops, 0);
+        assert_eq!(port.tx_pkts, 1);
+    }
+
+    #[test]
+    fn health_dips_under_degradation_and_recovers_after_restore() {
+        let mut port = mk_port();
+        assert!(port.is_healthy());
+        port.set_degraded(NodeId(0), heavy_profile(7));
+        drive(&mut port, 200);
+        assert!(
+            !port.is_healthy(),
+            "health {} after 200 packets at 25 % loss",
+            port.health()
+        );
+        port.set_restored();
+        assert!(!port.is_degraded());
+        // Health is earned back through clean traffic, not reset.
+        assert!(!port.is_healthy());
+        drive(&mut port, 3000);
+        assert!(
+            port.is_healthy(),
+            "health {} after 3000 clean packets",
+            port.health()
+        );
+        assert_eq!(port.faults_injected, 2);
     }
 
     #[test]

@@ -139,6 +139,7 @@ impl Qdisc for LossyQdisc {
     fn stats(&self) -> QdiscStats {
         let mut s = self.inner.stats();
         s.dropped_pkts += self.forced_drops;
+        s.forced_drops += self.forced_drops;
         s
     }
 }
@@ -179,6 +180,7 @@ mod tests {
         assert_eq!(q.forced_drops(), 3);
         assert_eq!(q.len_pkts(), 6);
         assert_eq!(q.stats().dropped_pkts, 3);
+        assert_eq!(q.stats().forced_drops, 3, "injection is tallied separately");
     }
 
     #[test]

@@ -54,6 +54,10 @@ pub struct QdiscStats {
     pub dropped_bytes: u64,
     /// Packets that received an ECN CE mark.
     pub marked_pkts: u64,
+    /// Of `dropped_pkts`, the drops forced by a fault injector (e.g.
+    /// [`LossyQdisc`]) rather than by queue overflow. Ports fold these
+    /// together with degraded-link losses into one synthetic-drop family.
+    pub forced_drops: u64,
 }
 
 /// A queue discipline on a switch/host output port.

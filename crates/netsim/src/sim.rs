@@ -198,6 +198,32 @@ impl Simulation {
                     self.sched
                         .schedule_at(at, node, EventKind::Fault(FaultDirective::HostRestart));
                 }
+                FaultEvent::LinkDegrade { a, b, profile } => {
+                    let (pa, pb) = self.link_ports(a, b);
+                    self.sched.schedule_at(
+                        at,
+                        a,
+                        EventKind::Fault(FaultDirective::PortDegrade { port: pa, profile }),
+                    );
+                    self.sched.schedule_at(
+                        at,
+                        b,
+                        EventKind::Fault(FaultDirective::PortDegrade { port: pb, profile }),
+                    );
+                }
+                FaultEvent::LinkRestore { a, b } => {
+                    let (pa, pb) = self.link_ports(a, b);
+                    self.sched.schedule_at(
+                        at,
+                        a,
+                        EventKind::Fault(FaultDirective::PortRestore(pa)),
+                    );
+                    self.sched.schedule_at(
+                        at,
+                        b,
+                        EventKind::Fault(FaultDirective::PortRestore(pb)),
+                    );
+                }
                 FaultEvent::CtrlLossBurst { from, to, n } => {
                     let port = self
                         .topo
@@ -209,6 +235,19 @@ impl Simulation {
                         EventKind::Fault(FaultDirective::CtrlLossBurst { port, n }),
                     );
                 }
+            }
+        }
+    }
+
+    /// Turn on health-aware ECMP routing on every switch: flows are
+    /// re-hashed off live-but-degraded siblings (per-port EWMA health
+    /// below [`crate::port::HEALTHY_THRESHOLD`]) and return once the
+    /// port's health recovers. Off by default — static `route_live`
+    /// keeps traces of healthy runs byte-identical to earlier seeds.
+    pub fn enable_health_aware_routing(&mut self) {
+        for node in &mut self.nodes {
+            if let Node::Switch(s) = node {
+                s.set_health_aware(true);
             }
         }
     }
@@ -328,6 +367,7 @@ impl Simulation {
             injected: self.stats.data_pkts_injected,
             delivered: self.stats.data_pkts_delivered,
             dropped: self.stats.data_pkts_dropped,
+            corrupted: self.stats.data_pkts_corrupted,
             blackholed: self.stats.data_pkts_blackholed,
             consumed: self.stats.data_pkts_consumed,
             lost_to_crash: self.stats.data_pkts_lost_to_crash,

@@ -79,6 +79,13 @@ pub struct StatsCollector {
     /// there (no live agents to consume them). A separate conservation
     /// term so the books still balance across host crashes.
     pub data_pkts_lost_to_crash: u64,
+    /// Data packets corrupted in flight by a degraded link and discarded
+    /// by the destination host's checksum. A separate conservation term
+    /// (see [`crate::invariants`]) so gray losses stay distinguishable
+    /// from queue drops.
+    pub data_pkts_corrupted: u64,
+    /// Corrupted-and-discarded data packets per destination host.
+    corrupted_by_host: BTreeMap<NodeId, u64>,
     /// Aborted flows per source host, keyed by the flow's source.
     aborts_by_host: BTreeMap<NodeId, u64>,
     /// Data packets blackholed at switches (no surviving next hop).
@@ -291,6 +298,28 @@ impl StatsCollector {
         self.data_pkts_lost_to_crash += 1;
     }
 
+    /// Record a corrupted data packet discarded by the checksum at its
+    /// destination `host`. Counts toward the flow's drop tally (the
+    /// sender experiences it as loss) but to its own conservation term.
+    pub fn note_data_corrupted(&mut self, host: NodeId, pkt: &Packet) {
+        self.data_pkts_corrupted += 1;
+        *self.corrupted_by_host.entry(host).or_insert(0) += 1;
+        if let Some(rec) = self.flows.get_mut(&pkt.flow) {
+            rec.drops += 1;
+        }
+    }
+
+    /// Corrupted data packets discarded at `host`.
+    pub fn corrupted_on(&self, host: NodeId) -> u64 {
+        self.corrupted_by_host.get(&host).copied().unwrap_or(0)
+    }
+
+    /// Per-destination-host corruption tallies, in node-id order
+    /// (deterministic).
+    pub fn corrupted_by_host(&self) -> impl Iterator<Item = (NodeId, u64)> + '_ {
+        self.corrupted_by_host.iter().map(|(&n, &c)| (n, c))
+    }
+
     /// Record a packet consumed by a switch plugin instead of forwarded.
     pub fn note_plugin_consumed(&mut self, pkt: &Packet) {
         if pkt.kind == PacketKind::Data {
@@ -439,6 +468,21 @@ mod tests {
         assert_eq!(st.aborts_on(NodeId(1)), 0);
         assert_eq!(st.aborts_by_host().collect::<Vec<_>>(), [(NodeId(0), 2)]);
         assert!(st.all_measured_complete(), "aborts terminate the run");
+    }
+
+    #[test]
+    fn corruption_has_its_own_term_and_per_host_tally() {
+        let mut st = StatsCollector::new();
+        st.register_flow(&spec(0, true));
+        let pkt = Packet::data(FlowId(0), NodeId(0), NodeId(1), 0, 1460);
+        st.note_data_corrupted(NodeId(1), &pkt);
+        st.note_data_corrupted(NodeId(1), &pkt);
+        assert_eq!(st.data_pkts_corrupted, 2);
+        assert_eq!(st.data_pkts_dropped, 0, "corruption is not a queue drop");
+        assert_eq!(st.corrupted_on(NodeId(1)), 2);
+        assert_eq!(st.corrupted_on(NodeId(0)), 0);
+        assert_eq!(st.corrupted_by_host().collect::<Vec<_>>(), [(NodeId(1), 2)]);
+        assert_eq!(st.flow(FlowId(0)).unwrap().drops, 2, "sender sees loss");
     }
 
     #[test]

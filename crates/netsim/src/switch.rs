@@ -41,7 +41,27 @@ pub type FibEntry = Vec<PortId>;
 /// With every port up this reduces to `entry[mix64(flow) % entry.len()]`,
 /// the historical healthy-path behaviour. Returns `None` when no next hop
 /// survives (the caller records a blackhole).
-fn route_live(entry: &[PortId], ports: &[Port], flow: FlowId) -> Option<PortId> {
+///
+/// In health-aware mode the eligible set shrinks further to live ports
+/// whose EWMA health is above [`crate::port::HEALTHY_THRESHOLD`], pushing
+/// flows off gray-failing (degraded but up) siblings; they return once
+/// clean traffic earns the port's health back. When *no* live port is
+/// healthy, selection falls back to all live ports — a degraded path
+/// beats a blackhole.
+fn route_live(
+    entry: &[PortId],
+    ports: &[Port],
+    flow: FlowId,
+    health_aware: bool,
+) -> Option<PortId> {
+    if health_aware {
+        let eligible = |p: &&PortId| ports[p.index()].is_up() && ports[p.index()].is_healthy();
+        let healthy = entry.iter().filter(eligible).count();
+        if healthy > 0 {
+            let k = mix64(flow.0) as usize % healthy;
+            return entry.iter().filter(eligible).nth(k).copied();
+        }
+    }
     let live = entry.iter().filter(|p| ports[p.index()].is_up()).count();
     if live == 0 {
         return None;
@@ -108,6 +128,9 @@ pub struct SwitchIo<'a, 'b> {
     pub fib: &'a Vec<FibEntry>,
     /// The switch's blackhole counter (see [`Switch::blackhole_drops`]).
     pub blackhole_drops: &'a mut u64,
+    /// Whether the owning switch routes health-aware (see
+    /// [`Switch::set_health_aware`]).
+    pub health_aware: bool,
     /// Engine context.
     pub sim: &'a mut Ctx<'b>,
 }
@@ -122,7 +145,7 @@ impl<'a, 'b> SwitchIo<'a, 'b> {
     /// over the live equal-cost ports). `None` when no next hop survives.
     pub fn route(&self, dst: NodeId, flow: FlowId) -> Option<PortId> {
         let entry = self.fib.get(dst.index())?;
-        route_live(entry, self.ports, flow)
+        route_live(entry, self.ports, flow, self.health_aware)
     }
 
     /// Send a packet toward its destination through the forwarding table.
@@ -179,6 +202,11 @@ pub struct Switch {
     /// Packets dropped because no next hop toward their destination was
     /// alive (all equal-cost ports down or the FIB entry empty).
     blackhole_drops: u64,
+    /// Whether ECMP selection avoids live-but-degraded ports (per-port
+    /// EWMA health). Off by default so healthy-run traces stay
+    /// byte-identical to historical seeds; enabled fleet-wide by
+    /// [`crate::sim::Simulation::enable_health_aware_routing`].
+    health_aware: bool,
 }
 
 impl Switch {
@@ -191,12 +219,23 @@ impl Switch {
             fib,
             plugin: None,
             blackhole_drops: 0,
+            health_aware: false,
         }
     }
 
     /// Install a protocol plugin.
     pub fn set_plugin(&mut self, plugin: Box<dyn SwitchPlugin>) {
         self.plugin = Some(plugin);
+    }
+
+    /// Toggle health-aware ECMP (see [`route_live`]).
+    pub fn set_health_aware(&mut self, on: bool) {
+        self.health_aware = on;
+    }
+
+    /// Whether health-aware ECMP is enabled.
+    pub fn health_aware(&self) -> bool {
+        self.health_aware
     }
 
     /// This switch's node id.
@@ -260,6 +299,12 @@ impl Switch {
             FaultDirective::Restart => {
                 self.with_plugin(ctx, |plugin, io| plugin.on_fault(NodeFault::Restart, io));
             }
+            FaultDirective::PortDegrade { port, profile } => {
+                self.ports[port.index()].set_degraded(self.id, profile);
+            }
+            FaultDirective::PortRestore(port) => {
+                self.ports[port.index()].set_restored();
+            }
             FaultDirective::HostCrash | FaultDirective::HostRestart => {
                 debug_assert!(
                     false,
@@ -272,6 +317,24 @@ impl Switch {
 
     fn deliver(&mut self, pkt: Box<Packet>, ctx: &mut Ctx<'_>) {
         if pkt.dst == self.id {
+            if pkt.corrupted {
+                // A corrupted arbitration request dies at the switch's
+                // checksum like anywhere else; the sender recovers by
+                // re-requesting (or falling back) on the missing response.
+                if ctx.stats.tracing() {
+                    let now = ctx.now();
+                    ctx.stats.trace_event(
+                        now,
+                        &crate::trace::TraceEvent::Corrupt {
+                            node: self.id,
+                            flow: pkt.flow,
+                            kind: pkt.kind,
+                            seq: pkt.seq,
+                        },
+                    );
+                }
+                return;
+            }
             // Addressed to this switch: control-plane traffic.
             self.with_plugin(ctx, |plugin, io| plugin.on_ctrl(*pkt, io));
             return;
@@ -307,7 +370,7 @@ impl Switch {
     /// over the live equal-cost ports). `None` when no next hop survives.
     pub fn route(&self, dst: NodeId, flow: FlowId) -> Option<PortId> {
         let entry = self.fib.get(dst.index())?;
-        route_live(entry, &self.ports, flow)
+        route_live(entry, &self.ports, flow, self.health_aware)
     }
 
     /// Run a closure with the plugin detached, so the plugin can borrow the
@@ -325,6 +388,7 @@ impl Switch {
                 ports: &mut self.ports,
                 fib: &self.fib,
                 blackhole_drops: &mut self.blackhole_drops,
+                health_aware: self.health_aware,
                 sim: ctx,
             };
             f(plugin.as_mut(), &mut io);
@@ -442,6 +506,122 @@ mod tests {
         assert_eq!(stats.data_pkts_dropped, 0, "blackholes are not queue drops");
         let out = buf.lock().unwrap().clone();
         assert!(out.contains("BHOL n10 f7 Data seq=0"), "{out}");
+    }
+
+    /// Push `n` data packets through one of the switch's ports, servicing
+    /// the TxComplete events, so TX-path health sampling runs.
+    fn drive_port(sw: &mut Switch, port: usize, n: u64) {
+        let mut sched = Scheduler::new();
+        let mut stats = StatsCollector::new();
+        for i in 0..n {
+            let mut ctx = Ctx {
+                node: NodeId(10),
+                sched: &mut sched,
+                stats: &mut stats,
+            };
+            let pkt = Packet::data(FlowId(i), NodeId(3), NodeId(5), 0, 1460);
+            sw.ports[port].send(Box::new(pkt), &mut ctx);
+            while let Some((_, kind)) = sched.pop() {
+                if matches!(kind, EventKind::TxComplete(_)) {
+                    let mut ctx = Ctx {
+                        node: NodeId(10),
+                        sched: &mut sched,
+                        stats: &mut stats,
+                    };
+                    sw.ports[port].on_tx_complete(&mut ctx);
+                }
+            }
+        }
+    }
+
+    fn all_loss() -> crate::fault::DegradeProfile {
+        crate::fault::DegradeProfile {
+            seed: 9,
+            loss_ppm: 1_000_000,
+            corrupt_ppm: 0,
+            extra_delay_ns: 0,
+            jitter_ns: 0,
+        }
+    }
+
+    #[test]
+    fn health_aware_routing_shuns_degraded_sibling_and_restores() {
+        let mut sw = two_way_switch();
+        sw.set_health_aware(true);
+        assert_eq!(routes_used(&sw).len(), 2, "healthy ECMP uses both ports");
+        // Degrade port 0 into total loss and let it observe a few TXes.
+        sw.ports[0].set_degraded(NodeId(10), all_loss());
+        drive_port(&mut sw, 0, 10);
+        assert!(!sw.ports[0].is_healthy());
+        assert_eq!(
+            routes_used(&sw).into_iter().collect::<Vec<_>>(),
+            vec![PortId(1)],
+            "flows re-hash off the gray sibling"
+        );
+        // Port 1 degrades too: with no healthy sibling left, selection
+        // falls back to all live ports rather than blackholing.
+        sw.ports[1].set_degraded(NodeId(10), all_loss());
+        drive_port(&mut sw, 1, 10);
+        assert_eq!(
+            routes_used(&sw).len(),
+            2,
+            "no healthy port: fall back to live spread"
+        );
+        assert_eq!(sw.blackhole_drops(), 0);
+        // Port 0 recovers; clean traffic earns its health back.
+        sw.ports[0].set_restored();
+        drive_port(&mut sw, 0, 3000);
+        assert!(sw.ports[0].is_healthy());
+        assert_eq!(
+            routes_used(&sw).into_iter().collect::<Vec<_>>(),
+            vec![PortId(0)],
+            "the recovered port is the only healthy sibling"
+        );
+    }
+
+    #[test]
+    fn static_routing_ignores_health() {
+        let mut sw = two_way_switch();
+        sw.ports[0].set_degraded(NodeId(10), all_loss());
+        drive_port(&mut sw, 0, 10);
+        assert!(!sw.ports[0].is_healthy());
+        assert_eq!(
+            routes_used(&sw).len(),
+            2,
+            "default ECMP keeps hashing onto the degraded port"
+        );
+    }
+
+    #[test]
+    fn corrupted_ctrl_addressed_to_switch_is_discarded() {
+        struct CountingPlugin(u64);
+        impl SwitchPlugin for CountingPlugin {
+            fn on_ctrl(&mut self, _pkt: Packet, _io: &mut SwitchIo<'_, '_>) {
+                self.0 += 1;
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut sw = two_way_switch();
+        sw.set_plugin(Box::new(CountingPlugin(0)));
+        let mut sched = Scheduler::new();
+        let mut stats = StatsCollector::new();
+        let mut ctx = Ctx {
+            node: NodeId(10),
+            sched: &mut sched,
+            stats: &mut stats,
+        };
+        let mut ctrl = Packet::ctrl(FlowId(1), NodeId(3), NodeId(10), Box::new(0u32));
+        ctrl.corrupted = true;
+        sw.handle(EventKind::deliver(ctrl), &mut ctx);
+        let clean = Packet::ctrl(FlowId(1), NodeId(3), NodeId(10), Box::new(0u32));
+        sw.handle(EventKind::deliver(clean), &mut ctx);
+        assert_eq!(
+            sw.plugin_as::<CountingPlugin>().unwrap().0,
+            1,
+            "only the clean control packet reaches the arbitrator"
+        );
     }
 
     #[test]

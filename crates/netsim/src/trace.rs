@@ -108,6 +108,18 @@ pub enum TraceEvent {
         /// The resolved per-node directive.
         fault: FaultDirective,
     },
+    /// A corrupted packet was detected and discarded by the checksum at
+    /// its destination node (gray failure; see [`crate::fault`]).
+    Corrupt {
+        /// The node that discarded the packet.
+        node: NodeId,
+        /// The packet's flow.
+        flow: FlowId,
+        /// Packet kind.
+        kind: PacketKind,
+        /// Sequence number.
+        seq: u64,
+    },
 }
 
 /// Receives trace events.
@@ -249,6 +261,17 @@ impl TraceSink for TextTracer {
             TraceEvent::Fault { node, fault } => {
                 let _ = writeln!(self.local, "{now} FLT  {node} {fault:?}");
             }
+            TraceEvent::Corrupt {
+                node,
+                flow,
+                kind,
+                seq,
+            } => {
+                if !self.matches(flow) {
+                    return;
+                }
+                let _ = writeln!(self.local, "{now} CRPT {node} {flow} {kind:?} seq={seq}");
+            }
         }
         if self.local.len() >= FLUSH_THRESHOLD {
             self.flush_local();
@@ -362,6 +385,24 @@ mod tests {
         let out = buf.lock().unwrap().clone();
         assert_eq!(out.lines().count(), 1);
         assert!(out.contains("FLT  n2 PortDown"), "{out}");
+    }
+
+    #[test]
+    fn corrupt_events_render_and_respect_the_flow_filter() {
+        let mut t = TextTracer::for_flow(FlowId(7));
+        let buf = t.buffer();
+        let crpt = |flow: u64| TraceEvent::Corrupt {
+            node: NodeId(3),
+            flow: FlowId(flow),
+            kind: PacketKind::Data,
+            seq: 1460,
+        };
+        t.on_event(SimTime::from_micros(2), &crpt(1));
+        t.on_event(SimTime::from_micros(4), &crpt(7));
+        t.flush();
+        let out = buf.lock().unwrap().clone();
+        assert_eq!(out.lines().count(), 1);
+        assert!(out.contains("CRPT n3 f7 Data seq=1460"), "{out}");
     }
 
     #[test]

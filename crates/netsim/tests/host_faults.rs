@@ -201,6 +201,87 @@ fn flows_starting_on_a_crashed_host_abort_immediately() {
 }
 
 #[test]
+fn degraded_access_link_corrupts_data_and_retry_recovers() {
+    // Gray failure on the access link: every data packet is corrupted in
+    // flight until the link is restored. The receiver's checksum discards
+    // them (charged to the `corrupted` conservation term), the sender's
+    // retries go unanswered, and the first post-restore retry completes.
+    let (mut sim, hosts, sw) = two_hosts();
+    sim.add_flow(FlowSpec::new(
+        FlowId(0),
+        hosts[0],
+        hosts[1],
+        1000,
+        SimTime::ZERO,
+    ));
+    let profile = DegradeProfile {
+        seed: 3,
+        loss_ppm: 0,
+        corrupt_ppm: 1_000_000,
+        extra_delay_ns: 0,
+        jitter_ns: 0,
+    };
+    sim.inject_faults(
+        &FaultPlan::new()
+            .link_degrade(SimTime::from_nanos(1), hosts[0], sw, profile)
+            .link_restore(SimTime::from_micros(3500), hosts[0], sw),
+    );
+    let outcome = sim.run(RunLimit::until_measured_done(SimTime::from_secs(1)));
+    assert_eq!(outcome, RunOutcome::MeasuredComplete);
+    let stats = sim.stats();
+    assert!(
+        stats.data_pkts_corrupted > 0,
+        "corrupted deliveries must be counted, got {}",
+        stats.data_pkts_corrupted
+    );
+    assert_eq!(
+        stats.corrupted_on(hosts[1]),
+        stats.data_pkts_corrupted,
+        "all corruption lands on the receiver"
+    );
+    let rec = stats.flow(FlowId(0)).unwrap();
+    assert!(rec.completed.is_some());
+    assert_eq!(rec.abort_reason, None, "the flow recovered, not aborted");
+    sim.check_invariants().assert_clean();
+}
+
+#[test]
+fn degraded_link_loss_is_charged_to_synthetic_drops() {
+    // Total loss on the access link behaves like an outage the transport
+    // can ride out, but the packets are charged to the degrade-loss
+    // counter, not `drops_while_down`.
+    let (mut sim, hosts, sw) = two_hosts();
+    sim.add_flow(FlowSpec::new(
+        FlowId(0),
+        hosts[0],
+        hosts[1],
+        1000,
+        SimTime::ZERO,
+    ));
+    let profile = DegradeProfile {
+        seed: 5,
+        loss_ppm: 1_000_000,
+        corrupt_ppm: 0,
+        extra_delay_ns: 0,
+        jitter_ns: 0,
+    };
+    sim.inject_faults(
+        &FaultPlan::new()
+            .link_degrade(SimTime::from_nanos(1), hosts[0], sw, profile)
+            .link_restore(SimTime::from_micros(3500), hosts[0], sw),
+    );
+    let outcome = sim.run(RunLimit::until_measured_done(SimTime::from_secs(1)));
+    assert_eq!(outcome, RunOutcome::MeasuredComplete);
+    let Node::Host(h) = sim.node(hosts[0]) else {
+        panic!()
+    };
+    assert!(h.port().degrade_drops > 0, "losses charged to the degrade");
+    assert_eq!(h.port().drops_while_down, 0, "the link was never down");
+    assert!(h.port().synthetic_drops() >= h.port().degrade_drops);
+    sim.check_invariants().assert_clean();
+}
+
+#[test]
 fn nic_flap_on_the_access_link_drops_and_recovers() {
     // The host<->ToR link is flappable like any fabric link: offered
     // packets die while it is down, and the retrying sender completes

@@ -85,6 +85,13 @@ pub struct PaseSender {
     /// Consecutive refresh rounds without any arbitration response;
     /// drives the bounded exponential re-request backoff.
     refresh_misses: u32,
+    /// Decaying tally of missed refresh rounds: +1 per round with no
+    /// response, −1 (floor 0) per round with one. Catches a *degraded*
+    /// control channel — one that still answers occasionally, so every
+    /// response resets `last_response` and defeats the hard-silence
+    /// watchdog — by integrating misses faster than sporadic responses
+    /// drain them.
+    degraded_rounds: u32,
     /// Arbitration declared unreachable: the flow runs in pure
     /// self-adjusting mode (lowest queue, DCTCP laws) until a response
     /// resumes.
@@ -130,6 +137,7 @@ impl PaseSender {
             started: false,
             last_response: SimTime::ZERO,
             refresh_misses: 0,
+            degraded_rounds: 0,
             in_fallback: false,
             awaiting_initial_arb: false,
             done: false,
@@ -155,6 +163,12 @@ impl PaseSender {
     /// (tests/inspection).
     pub fn in_fallback(&self) -> bool {
         self.in_fallback
+    }
+
+    /// Net missed refresh rounds on the control channel
+    /// (tests/inspection).
+    pub fn degraded_rounds(&self) -> u32 {
+        self.degraded_rounds
     }
 
     fn srtt(&self) -> SimDuration {
@@ -573,6 +587,17 @@ impl PaseSender {
                         .saturating_mul(self.cfg.watchdog_k as u64)
     }
 
+    /// Has the control channel *degraded* — `watchdog_k` net-missed
+    /// refresh rounds on a flow that expects responses? Complements
+    /// [`Self::watchdog_expired`]: a gray channel that answers one round
+    /// in several keeps resetting `last_response` (so the silence test
+    /// never fires) yet accumulates net misses here.
+    fn channel_degraded(&self) -> bool {
+        let expects_responses =
+            self.plan.sender_leg_to.is_some() || self.plan.receiver_leg_to.is_some();
+        expects_responses && self.degraded_rounds >= self.cfg.watchdog_k
+    }
+
     /// Degrade to pure self-adjusting mode: lowest queue, base rate,
     /// conservative DCTCP restart. The flow keeps making progress with no
     /// control plane at all and re-attaches when responses resume.
@@ -716,13 +741,16 @@ impl FlowAgent for PaseSender {
                 // Watchdog bookkeeping: count silent rounds (a response
                 // resets the counter via the WAKEUP path) and degrade to
                 // self-adjusting mode after `watchdog_k` refresh periods
-                // of silence.
+                // of silence — or after `watchdog_k` *net* misses on a
+                // channel that is degraded rather than dead.
                 if now >= self.last_response + self.cfg.arb_refresh {
                     self.refresh_misses = self.refresh_misses.saturating_add(1);
+                    self.degraded_rounds = self.degraded_rounds.saturating_add(1);
                 } else {
                     self.refresh_misses = 0;
+                    self.degraded_rounds = self.degraded_rounds.saturating_sub(1);
                 }
-                if !self.in_fallback && self.watchdog_expired(now) {
+                if !self.in_fallback && (self.watchdog_expired(now) || self.channel_degraded()) {
                     self.enter_fallback();
                 }
                 let _ = self.arbitrate(ctx);

@@ -548,6 +548,64 @@ fn crashed_host_lease_expiry_frees_the_top_queue() {
 }
 
 #[test]
+fn degraded_control_channel_trips_the_watchdog_and_flows_complete() {
+    // Gray failures on both access links: the sender's drops most
+    // packets in each direction, but arbitration responses still trickle
+    // through — and each one resets `last_response`, defeating the
+    // hard-silence watchdog, so only the decaying net-miss counter can
+    // drive the flow into bounded self-adjusting fallback. The
+    // receiver's link corrupts (but never drops) payloads, so the
+    // receiver-side checksum discard and RTO/probe recovery get
+    // exercised at full transmission rate once the lossy link heals.
+    let cfg = cfg();
+    let (mut sim, hosts) = star_sim_with(4, cfg, &|_| Box::new(pase_qdisc(&cfg, 250, 20)));
+    sim.add_flow(FlowSpec::new(
+        FlowId(0),
+        hosts[0],
+        hosts[3],
+        1_000_000,
+        SimTime::ZERO,
+    ));
+    let sw = NodeId(0);
+    let lossy = DegradeProfile {
+        seed: 7,
+        loss_ppm: 700_000,
+        corrupt_ppm: 0,
+        extra_delay_ns: 0,
+        jitter_ns: 0,
+    };
+    let corrupting = DegradeProfile {
+        seed: 11,
+        loss_ppm: 0,
+        corrupt_ppm: 200_000,
+        extra_delay_ns: 0,
+        jitter_ns: 0,
+    };
+    let plan = FaultPlan::new()
+        .link_degrade(SimTime::from_micros(500), hosts[0], sw, lossy)
+        .link_restore(SimTime::from_millis(50), hosts[0], sw)
+        .link_degrade(SimTime::from_micros(500), hosts[3], sw, corrupting)
+        .link_restore(SimTime::from_millis(400), hosts[3], sw);
+    sim.inject_faults(&plan);
+
+    sim.run(until(10));
+    let (fb, q, _) = sender_state(&mut sim, hosts[0], 0);
+    assert!(fb, "net-missed refresh rounds must trip the watchdog");
+    assert_eq!(q, cfg.lowest_queue(), "fallback rides the lowest queue");
+
+    let outcome = sim.run(RunLimit::until_measured_done(SimTime::from_secs(30)));
+    assert_eq!(
+        outcome,
+        RunOutcome::MeasuredComplete,
+        "transport recovery must finish the flow on a gray link"
+    );
+    assert!(
+        sim.stats().data_pkts_corrupted > 0,
+        "the degraded link must corrupt some payloads"
+    );
+}
+
+#[test]
 fn total_arbitration_blackout_still_completes() {
     // Drop EVERY control packet: PASE degrades to endpoint-local
     // arbitration plus self-adjustment, and still finishes.

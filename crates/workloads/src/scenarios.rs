@@ -129,6 +129,25 @@ impl Scenario {
         }
     }
 
+    /// Extension beyond the paper: left-right over the small leaf–spine
+    /// fabric (gray-failure experiments). Inter-leaf flows have two
+    /// equal-cost spine paths, so health-aware re-hashing has a healthy
+    /// sibling to move to when one uplink degrades.
+    pub fn gray_leaf_spine(hosts_per_leaf: usize, n_flows: usize) -> Scenario {
+        Scenario {
+            name: "gray-leaf-spine",
+            topo: TopologySpec::small_leaf_spine(hosts_per_leaf),
+            pattern: Pattern::LeftRight,
+            sizes: SizeDist::UniformBytes {
+                lo: 2_000,
+                hi: 198_000,
+            },
+            deadlines: None,
+            n_background: 2,
+            n_flows,
+        }
+    }
+
     /// The testbed scenario (Fig. 13b): 9 clients → 1 server, 1 Gbps,
     /// 250 µs RTT, U[100 KB, 500 KB], one background flow.
     pub fn testbed(n_flows: usize) -> Scenario {
@@ -248,6 +267,17 @@ mod tests {
         for f in flows.iter().skip(2) {
             assert!(f.src.0 < 10, "source in left half");
             assert!(f.dst.0 >= 10, "destination in right half");
+        }
+    }
+
+    #[test]
+    fn gray_leaf_spine_pairs_cross_the_leaves() {
+        let s = Scenario::gray_leaf_spine(3, 100);
+        assert_eq!(s.topo.n_hosts(), 12);
+        let hs = hosts(12);
+        for f in s.generate_flows(0.5, 1, &hs).iter().skip(2) {
+            assert!(f.src.0 < 6, "source in the left leaves");
+            assert!(f.dst.0 >= 6, "destination in the right leaves");
         }
     }
 
