@@ -26,6 +26,10 @@
 //!   trains (stochastic loss, corruption, latency inflation) with
 //!   health-aware rerouting enabled, so the per-packet degrade RNG and
 //!   EWMA health path are on the measured hot path.
+//! - `overload-storm` — the same harness under the overload fault class:
+//!   control-plane storms amplify arbitrator inbox charges and flash
+//!   crowds of extra flows land mid-window, so the bounded-inbox shed
+//!   path and backpressure replies are on the measured hot path.
 //!
 //! The time spent *building* each simulation is excluded where the
 //! scenario measures the engine (`sched-storm`, incast) and included
@@ -47,8 +51,9 @@ use netsim::time::{Rate, SimDuration, SimTime};
 use workloads::{Pattern, Scenario, Scheme, SizeDist, TopologySpec};
 
 /// Version tag of the emitted JSON document. Bumped whenever the
-/// scenario set or field shapes change (v2 added `gray-storm`).
-pub const SCHEMA: &str = "netsim-bench/2";
+/// scenario set or field shapes change (v2 added `gray-storm`, v3 added
+/// `overload-storm`).
+pub const SCHEMA: &str = "netsim-bench/3";
 
 /// Every scenario the harness knows, in execution order.
 pub const ALL_SCENARIOS: &[&str] = &[
@@ -57,6 +62,7 @@ pub const ALL_SCENARIOS: &[&str] = &[
     "incast-dctcp",
     "chaos-storm",
     "gray-storm",
+    "overload-storm",
 ];
 
 /// Harness options (parsed by the `netsim-bench` binary).
@@ -358,6 +364,14 @@ pub fn run(opts: &BenchOpts) -> Vec<BenchResult> {
             "gray-storm" => measure(name, opts.iters, warmup, || {
                 chaos_storm(FaultClass::Gray, opts.quick, opts.chaos_seeds, opts.jobs)
             }),
+            "overload-storm" => measure(name, opts.iters, warmup, || {
+                chaos_storm(
+                    FaultClass::Overload,
+                    opts.quick,
+                    opts.chaos_seeds,
+                    opts.jobs,
+                )
+            }),
             other => unreachable!("unknown scenario {other}"),
         };
         eprintln!(
@@ -477,7 +491,7 @@ mod tests {
         let json = render_json(&results, &opts);
         validate_json(&json).expect("rendered document must be valid JSON");
         assert!(
-            json.contains("\"schema\": \"netsim-bench/2\""),
+            json.contains("\"schema\": \"netsim-bench/3\""),
             "document must carry the current schema tag"
         );
         for name in ALL_SCENARIOS {

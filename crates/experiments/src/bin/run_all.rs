@@ -47,33 +47,40 @@ fn main() {
     // table): keep EXPERIMENTS.md the single index of what we measure.
     let _ = writeln!(
         md,
-        "### chaos — seeded fault storms with fabric, host *and* gray fault classes\n\n\
+        "### chaos — seeded fault storms: fabric, host, gray *and* overload classes\n\n\
          `cargo run --release -p experiments --bin chaos` sweeps seeds \u{d7}\n\
-         {{Low, High}} intensity \u{d7} {{PASE, DCTCP}} \u{d7} {{fabric, host, gray}}\n\
-         fault classes (`--faults fabric|host|gray|both|all`). The fabric class\n\
-         draws link-flap trains, rack outages, arbitrator crash storms, and\n\
-         control-loss bursts; the host class adds NIC flap trains and end-host\n\
-         crash/restart storms (at least one crash per storm); the gray class\n\
-         adds degrade trains — links that stay up while losing, corrupting and\n\
-         delaying packets (at least one degrade episode per storm, health-aware\n\
-         rerouting enabled). Every case must run twice with byte-identical\n\
-         traces, keep all invariants clean under the extended conservation law\n\
-         (`injected = delivered + dropped + corrupted + blackholed + consumed +\n\
-         in-network + lost-to-crash`), and finish every flow either complete or\n\
-         `Aborted {{ reason }}` with the reason attributable to an injected\n\
-         fault (a `HostCrash` abort needs its source crashed; a\n\
-         `MaxRtosExceeded` abort needs a crashed, NIC-flapped or NIC-degraded\n\
-         endpoint). A failing case prints its exact replay command (full flag\n\
-         set, pinned to `--jobs 1`). `scripts/ci.sh` runs an 8-seed quick\n\
-         slice of all three fault classes on every PR.\n"
+         {{Low, High}} intensity \u{d7} {{PASE, DCTCP}} \u{d7} {{fabric, host, gray,\n\
+         overload}} fault classes (`--faults fabric|host|gray|overload|both|all`).\n\
+         The fabric class draws link-flap trains, rack outages, arbitrator crash\n\
+         storms, and control-loss bursts; the host class adds NIC flap trains\n\
+         and end-host crash/restart storms (at least one crash per storm); the\n\
+         gray class adds degrade trains — links that stay up while losing,\n\
+         corrupting and delaying packets (at least one degrade episode per\n\
+         storm, health-aware rerouting enabled); the overload class adds\n\
+         control-plane storms — amplified arbitrator inbox charges plus\n\
+         deterministic flash-crowd flows — with no host crashes, so every flow\n\
+         must complete. Every case must run twice with byte-identical traces,\n\
+         keep all invariants clean under the extended conservation laws (data:\n\
+         `injected = delivered + dropped + corrupted + blackholed + consumed +\n\
+         in-network + lost-to-crash`; control: `sent = processed + shed +\n\
+         dropped + corrupted + blackholed + lost-to-crash + unattended +\n\
+         in-network`), and finish every flow either complete or `Aborted {{\n\
+         reason }}` with the reason attributable to an injected fault (a\n\
+         `HostCrash` abort needs its source crashed; a `MaxRtosExceeded` abort\n\
+         needs a crashed, NIC-flapped or NIC-degraded endpoint). A failing case\n\
+         prints its exact replay command (full flag set, pinned to `--jobs 1`).\n\
+         `scripts/ci.sh` runs an 8-seed quick slice of all four fault classes\n\
+         on every PR.\n"
     );
     let _ = writeln!(
         md,
         "### bench — simulator throughput baseline (first recording, 2026-08-05)\n\n\
          `scripts/bench.sh` (\u{2192} `BENCH_netsim.json`; the baseline below was\n\
          recorded under schema `netsim-bench/1`, the harness now emits\n\
-         `netsim-bench/2` which adds a `gray-storm` scenario \u{2014} the chaos\n\
-         harness under degrade trains with health-aware rerouting on;\n\
+         `netsim-bench/3` which adds a `gray-storm` scenario \u{2014} the chaos\n\
+         harness under degrade trains with health-aware rerouting on \u{2014} and\n\
+         an `overload-storm` scenario \u{2014} the same harness under control-plane\n\
+         storms, keeping the bounded-inbox shed path on the measured hot path;\n\
          methodology in DESIGN.md \u{a7}8). Best-of-3 wall time, release profile,\n\
          fixed seeds; `events` is asserted identical across runs so throughput\n\
          deltas can never come from doing different work.\n\n\

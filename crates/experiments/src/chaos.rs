@@ -6,8 +6,10 @@
 //! with the host fault class also NIC flap trains and whole-host
 //! crash/restart storms; with the gray fault class degrade trains that
 //! impose stochastic loss, payload corruption and latency inflation, run
-//! with health-aware rerouting enabled), runs to completion and then
-//! demands that
+//! with health-aware rerouting enabled; with the overload fault class
+//! control storms that amplify arbitrator inbox charges plus a
+//! deterministic flash crowd of short flows inside each storm window),
+//! runs to completion and then demands that
 //!
 //! 1. every flow finished — or ended in a terminal `Aborted { reason }`
 //!    that is attributable to an injected host fault (a crashed endpoint,
@@ -25,9 +27,12 @@
 use std::collections::BTreeSet;
 
 use netsim::chaos::{self, ChaosConfig, ChaosIntensity};
-use netsim::fault::FaultEvent;
+use netsim::fault::{FaultEvent, FaultPlan};
+use netsim::flow::FlowSpec;
 use netsim::invariants::InvariantConfig;
 use netsim::prelude::*;
+use netsim::rng::Rng;
+use netsim::sim::RunOutcome;
 use netsim::topology::NodeKind;
 use netsim::trace::TextTracer;
 use workloads::{CasePlan, Pattern, Scenario, Scheme, SizeDist, TopologySpec};
@@ -48,6 +53,12 @@ pub enum FaultClass {
     /// flows hash off degraded ECMP siblings. Every flow must complete
     /// unless its endpoint sat behind a degraded NIC link.
     Gray,
+    /// Fabric faults plus control-plane overload: seeded control storms
+    /// amplify every arbitrator's inbox charge while a deterministic
+    /// flash crowd of short flows lands inside each storm window. Hosts
+    /// never crash, so shedding must be graceful: every flow must still
+    /// complete.
+    Overload,
 }
 
 impl FaultClass {
@@ -57,7 +68,18 @@ impl FaultClass {
             FaultClass::Fabric => "fabric",
             FaultClass::Host => "host",
             FaultClass::Gray => "gray",
+            FaultClass::Overload => "overload",
         }
+    }
+
+    /// Every class, in sweep order (`--faults all`).
+    pub fn all() -> [FaultClass; 4] {
+        [
+            FaultClass::Fabric,
+            FaultClass::Host,
+            FaultClass::Gray,
+            FaultClass::Overload,
+        ]
     }
 
     fn host_faults(self) -> bool {
@@ -66,6 +88,10 @@ impl FaultClass {
 
     fn gray_faults(self) -> bool {
         self == FaultClass::Gray
+    }
+
+    fn overload_faults(self) -> bool {
+        self == FaultClass::Overload
     }
 }
 
@@ -95,7 +121,7 @@ impl Default for ChaosOpts {
             seeds: (0..32).collect(),
             schemes: vec![Scheme::Pase, Scheme::Dctcp],
             intensities: vec![ChaosIntensity::Low, ChaosIntensity::High],
-            fault_classes: vec![FaultClass::Fabric, FaultClass::Host, FaultClass::Gray],
+            fault_classes: FaultClass::all().to_vec(),
             quick: false,
             verbose: false,
             jobs: workloads::default_jobs(),
@@ -108,7 +134,7 @@ impl ChaosOpts {
     ///
     /// Recognized: `--seeds N` (sweep 0..N), `--seed-list a,b,c`,
     /// `--scheme pase|dctcp|both`, `--intensity low|high|both`,
-    /// `--faults fabric|host|gray|both|all`, `--jobs N`, `--quick`,
+    /// `--faults fabric|host|gray|overload|both|all`, `--jobs N`, `--quick`,
     /// `--verbose`.
     /// Setting the `CHAOS_LOG` environment variable (any non-empty
     /// value) also enables verbose output.
@@ -155,9 +181,12 @@ impl ChaosOpts {
                         "fabric" => vec![FaultClass::Fabric],
                         "host" => vec![FaultClass::Host],
                         "gray" => vec![FaultClass::Gray],
+                        "overload" => vec![FaultClass::Overload],
                         "both" => vec![FaultClass::Fabric, FaultClass::Host],
-                        "all" => vec![FaultClass::Fabric, FaultClass::Host, FaultClass::Gray],
-                        other => panic!("--faults: fabric|host|gray|both|all, got {other}"),
+                        "all" => FaultClass::all().to_vec(),
+                        other => {
+                            panic!("--faults: fabric|host|gray|overload|both|all, got {other}")
+                        }
                     };
                 }
                 "--jobs" => {
@@ -239,12 +268,42 @@ pub struct CaseResult {
     pub delivered: u64,
     /// Peak pending-event count in one run of the case.
     pub peak_pending: usize,
+    /// How the run ended; anything but `MeasuredComplete` means the
+    /// backstop truncated the case (surfaced by [`sweep`] exactly like
+    /// [`workloads::backstop_warning`] does for figure sweeps).
+    pub outcome: RunOutcome,
+    /// Control messages processed across all arbitrators.
+    pub ctrl_processed: u64,
+    /// Control messages shed across all arbitrators.
+    pub ctrl_shed: u64,
+    /// Largest weighted per-epoch inbox depth any arbitrator saw.
+    pub ctrl_peak_depth: u64,
 }
 
 impl CaseResult {
     /// Did the case pass (all flows complete, all invariants hold)?
     pub fn passed(&self) -> bool {
         self.violations.is_empty() && self.incomplete_flows == 0
+    }
+
+    /// The warning line for a backstop-truncated case, or `None` when the
+    /// run ended normally — the chaos-sweep counterpart of
+    /// [`workloads::backstop_warning`], so truncation is surfaced per
+    /// case instead of hiding inside an incomplete-flows violation.
+    pub fn backstop_warning(&self) -> Option<String> {
+        if self.outcome == RunOutcome::MeasuredComplete {
+            return None;
+        }
+        Some(format!(
+            "backstop hit ({:?}): chaos {} {:?}/{} seed {} finished with \
+             {} incomplete flows",
+            self.outcome,
+            self.scheme,
+            self.intensity,
+            self.fault_class.name(),
+            self.seed,
+            self.incomplete_flows
+        ))
     }
 }
 
@@ -281,6 +340,12 @@ fn stats_fingerprint(sim: &Simulation) -> u64 {
         st.ctrl_pkts,
         st.ctrl_bytes,
         st.ctrl_msgs_processed,
+        st.ctrl_msgs_shed,
+        st.ctrl_pkts_dropped,
+        st.ctrl_pkts_blackholed,
+        st.ctrl_pkts_corrupted,
+        st.ctrl_lost_to_crash,
+        st.ctrl_unattended,
     ] {
         push(&mut bytes, v);
     }
@@ -303,6 +368,46 @@ fn stats_fingerprint(sim: &Simulation) -> u64 {
     fnv1a(&bytes)
 }
 
+/// Flash-crowd companions to the control storms: a deterministic burst of
+/// short flows lands right as each storm's amplification begins, so the
+/// shed pressure on the arbitrators is real arbitration demand and not
+/// just an idle multiplier. Drawn from a dedicated RNG stream seeded off
+/// the case seed; purely a function of `(plan, hosts, seed, quick)`.
+fn flash_crowd_flows(
+    plan: &FaultPlan,
+    hosts: &[NodeId],
+    seed: u64,
+    quick: bool,
+    flows: &mut Vec<FlowSpec>,
+) {
+    let mut rng = Rng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x0ad1);
+    let burst = if quick { 6 } else { 12 };
+    let n = hosts.len();
+    for &(at, ev) in plan.events() {
+        let FaultEvent::CtrlStormStart { .. } = ev else {
+            continue;
+        };
+        for i in 0..burst {
+            let src = rng.gen_index(n);
+            let mut dst = rng.gen_index(n - 1);
+            if dst >= src {
+                dst += 1;
+            }
+            let size = rng.gen_range_inclusive(2_000, 20_000);
+            // Stagger arrivals a few microseconds apart: a crowd, not a
+            // single synchronized spike.
+            let start = at + SimDuration::from_micros(3 * i as u64);
+            flows.push(FlowSpec::new(
+                FlowId(flows.len() as u64),
+                hosts[src],
+                hosts[dst],
+                size,
+                start,
+            ));
+        }
+    }
+}
+
 /// Execute one chaos case once and audit it.
 fn run_once(
     scheme: Scheme,
@@ -323,7 +428,6 @@ fn run_once(
     let trace_buf = tracer.buffer();
     sim.set_tracer(Box::new(tracer));
 
-    sim.add_flows(scenario.generate_flows(0.5, seed, &hosts));
     let plan = chaos::generate(
         sim.topo(),
         &ChaosConfig {
@@ -332,14 +436,20 @@ fn run_once(
             horizon: horizon(quick),
             host_faults: fault_class.host_faults(),
             gray_faults: fault_class.gray_faults(),
+            overload: fault_class.overload_faults(),
         },
     );
+    let mut flows = scenario.generate_flows(0.5, seed, &hosts);
+    if fault_class.overload_faults() {
+        flash_crowd_flows(&plan, &hosts, seed, quick, &mut flows);
+    }
+    sim.add_flows(flows);
     let mut violations: Vec<String> = Vec::new();
     if let Err(e) = plan.validate(sim.topo()) {
         violations.push(format!("generated fault plan invalid: {e}"));
     }
     sim.inject_faults(&plan);
-    sim.run(RunLimit::until_measured_done(SimTime::from_secs(120)));
+    let outcome = sim.run(RunLimit::until_measured_done(SimTime::from_secs(120)));
 
     let report = sim.check_invariants();
     violations.extend(report.violations.iter().map(|v| v.to_string()));
@@ -411,6 +521,15 @@ fn run_once(
         events: sim.stats().events_executed,
         delivered: sim.stats().data_pkts_delivered,
         peak_pending: sim.scheduler().peak_pending(),
+        outcome,
+        ctrl_processed: sim.stats().ctrl_msgs_processed,
+        ctrl_shed: sim.stats().ctrl_msgs_shed,
+        ctrl_peak_depth: sim
+            .stats()
+            .ctrl_peak_epoch_by_node()
+            .map(|(_, d)| d)
+            .max()
+            .unwrap_or(0),
     }
 }
 
@@ -493,7 +612,7 @@ pub fn sweep(opts: &ChaosOpts) -> Vec<CaseResult> {
         if opts.verbose || !r.passed() {
             eprintln!(
                 "chaos {:>5} {:?}/{} seed {:>3}: {} (blackholed {}, aborted {}, \
-                 events {}, trace {:#018x}, stats {:#018x})",
+                 shed {}/{}, events {}, trace {:#018x}, stats {:#018x})",
                 r.scheme,
                 r.intensity,
                 r.fault_class.name(),
@@ -501,10 +620,15 @@ pub fn sweep(opts: &ChaosOpts) -> Vec<CaseResult> {
                 if r.passed() { "ok" } else { "FAIL" },
                 r.blackholed,
                 r.aborted_flows,
+                r.ctrl_shed,
+                r.ctrl_processed + r.ctrl_shed,
                 r.events,
                 r.trace_hash,
                 r.stats_hash,
             );
+        }
+        if let Some(w) = r.backstop_warning() {
+            eprintln!("warning: {w}");
         }
         if !r.passed() {
             for v in &r.violations {
@@ -536,16 +660,24 @@ mod tests {
         assert_eq!(o2.seeds, vec![7, 9]);
         assert_eq!(
             o2.fault_classes,
-            vec![FaultClass::Fabric, FaultClass::Host, FaultClass::Gray],
-            "default sweeps all three fault classes"
+            FaultClass::all().to_vec(),
+            "default sweeps every fault class"
         );
         let o3 = parse("--faults gray");
         assert_eq!(o3.fault_classes, vec![FaultClass::Gray]);
         let o4 = parse("--faults all");
-        assert_eq!(
-            o4.fault_classes,
-            vec![FaultClass::Fabric, FaultClass::Host, FaultClass::Gray]
-        );
+        assert_eq!(o4.fault_classes, FaultClass::all().to_vec());
+    }
+
+    /// Every fault class's CLI name parses back to exactly that class —
+    /// a rename that misses the parser (or vice versa) would make the
+    /// replay command and the `--faults` help line lie.
+    #[test]
+    fn fault_class_names_round_trip_through_the_parser() {
+        for class in FaultClass::all() {
+            let o = parse(&format!("--faults {}", class.name()));
+            assert_eq!(o.fault_classes, vec![class], "{}", class.name());
+        }
     }
 
     /// The replay line a failing case prints must parse back into exactly
@@ -557,6 +689,7 @@ mod tests {
             (FaultClass::Fabric, false),
             (FaultClass::Host, true),
             (FaultClass::Gray, true),
+            (FaultClass::Overload, true),
         ] {
             let r = CaseResult {
                 scheme: "PASE",
@@ -572,6 +705,10 @@ mod tests {
                 events: 0,
                 delivered: 0,
                 peak_pending: 0,
+                outcome: RunOutcome::MeasuredComplete,
+                ctrl_processed: 0,
+                ctrl_shed: 0,
+                ctrl_peak_depth: 0,
             };
             let cmd = replay_command(&r, quick);
             let args = cmd
@@ -612,7 +749,7 @@ mod tests {
     #[test]
     fn chaos_smoke_slice_is_clean() {
         for scheme in [Scheme::Dctcp, Scheme::Pase] {
-            for fault_class in [FaultClass::Fabric, FaultClass::Host, FaultClass::Gray] {
+            for fault_class in FaultClass::all() {
                 let r = run_case(scheme, ChaosIntensity::High, fault_class, 3, true);
                 assert!(
                     r.passed(),
@@ -623,5 +760,36 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// The overload class must actually exercise the shed path on PASE
+    /// (storms + flash crowds push arbitrators past their budget) while
+    /// DCTCP — no control plane — sheds nothing and is untouched by it.
+    #[test]
+    fn overload_sheds_on_pase_and_is_inert_on_dctcp() {
+        let p = run_case(
+            Scheme::Pase,
+            ChaosIntensity::High,
+            FaultClass::Overload,
+            3,
+            true,
+        );
+        assert!(p.passed(), "{}", p.violations.join("\n"));
+        assert!(
+            p.ctrl_shed > 0,
+            "storms at high intensity must shed (peak epoch depth {})",
+            p.ctrl_peak_depth
+        );
+        assert!(p.ctrl_processed > 0, "shedding must not starve processing");
+        let d = run_case(
+            Scheme::Dctcp,
+            ChaosIntensity::High,
+            FaultClass::Overload,
+            3,
+            true,
+        );
+        assert!(d.passed(), "{}", d.violations.join("\n"));
+        assert_eq!(d.ctrl_shed, 0, "DCTCP has no control plane to shed");
+        assert_eq!(d.ctrl_processed, 0);
     }
 }

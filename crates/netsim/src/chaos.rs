@@ -10,6 +10,10 @@
 //! cycles. With [`ChaosConfig::gray_faults`] set, it also generates *gray*
 //! failures: degrade trains on fabric and NIC links that impose stochastic
 //! loss, payload corruption and latency inflation instead of a clean cut.
+//! With [`ChaosConfig::overload`] set, it also generates control-plane
+//! *overload* storms: windows during which a switch arbitrator's inbox is
+//! amplified, modelling flash-crowd arbitration pressure that forces the
+//! arbitrator to shed load.
 //! The expansion is a pure function of `(topology, config)` using
 //! the deterministic [`crate::rng::Rng`], so a failing run is replayed
 //! exactly by re-running the same seed.
@@ -19,7 +23,8 @@
 //! * every `LinkDown` is paired with a later `LinkUp` of the same link,
 //!   every `LinkDegrade` with a later `LinkRestore`, every
 //!   `ArbitratorCrash` with a later `ArbitratorRestart`, and every
-//!   `HostCrash` with a later `HostRestart`, all inside the horizon — the
+//!   `HostCrash` with a later `HostRestart`, and every `CtrlStormStart`
+//!   with a later `CtrlStormEnd`, all inside the horizon — the
 //!   network always heals (generated plans pass
 //!   [`crate::fault::FaultPlan::validate`]);
 //! * with `host_faults` off, only *fabric* (switch–switch) links are
@@ -70,8 +75,15 @@ pub struct ChaosConfig {
     /// Also generate gray failures: degrade trains on fabric and NIC
     /// links (stochastic loss, payload corruption, latency inflation)
     /// rather than clean cuts. Independent of `host_faults`; the gray
-    /// section draws strictly after every other section.
+    /// section draws strictly after the fabric and host sections.
     pub gray_faults: bool,
+    /// Also generate control-plane overload storms: windows during which
+    /// a switch arbitrator's control inbox is amplified (each message it
+    /// handles is charged `amplify`× against its per-epoch budget),
+    /// modelling flash-crowd arbitration pressure. Independent of the
+    /// other flags; the overload section draws strictly after every
+    /// other section.
+    pub overload: bool,
 }
 
 /// The fabric links of a topology: deduplicated switch–switch pairs, in
@@ -400,6 +412,70 @@ pub fn generate(topo: &Topology, cfg: &ChaosConfig) -> FaultPlan {
         }
     }
 
+    // 8. Control-plane overload storms: flash-crowd arbitration pressure.
+    // During a storm, every control message the node's arbitrator handles
+    // is charged `amplify`× against its per-epoch budget, modelling a
+    // crowd of senders hammering the same arbitrator. Draws strictly
+    // after the gray section, so turning the flag on never changes the
+    // earlier schedule of a seed. Storm windows share the per-node busy
+    // cursor with the crash storms, so a storm never overlaps an
+    // `ArbitratorCrash` window of the same node (an amplified inbox on a
+    // dead arbitrator would be meaningless), and every storm ends by
+    // `latest`.
+    if cfg.overload {
+        let (odur_lo, odur_hi) = if hi {
+            (h / 20, h / 4)
+        } else {
+            (h / 50, h / 10)
+        };
+        let mut any_storm = false;
+        for &node in &switches {
+            let episodes = if hi {
+                rng.gen_range_inclusive(1, 2)
+            } else {
+                rng.gen_range_inclusive(0, 1)
+            };
+            let mut starts: Vec<u64> = (0..episodes)
+                .map(|_| rng.gen_range_inclusive(0, h * 9 / 10))
+                .collect();
+            starts.sort_unstable();
+            for start in starts {
+                let cursor = arb_free.get(&node).copied().unwrap_or(0);
+                if start < cursor {
+                    continue;
+                }
+                let dur = rng.gen_range_inclusive(odur_lo, odur_hi);
+                let end = (start + dur).min(latest);
+                if end <= start {
+                    continue;
+                }
+                let amplify = rng.gen_range_inclusive(16, 64) as u32;
+                plan = plan
+                    .ctrl_storm_start(SimTime::from_nanos(start), node, amplify)
+                    .ctrl_storm_end(SimTime::from_nanos(end), node);
+                arb_free.insert(node, end + 1);
+                any_storm = true;
+            }
+        }
+        // Force at least one storm so the class is always exercised.
+        if !any_storm {
+            for &node in &switches {
+                let start = (h / 4).max(arb_free.get(&node).copied().unwrap_or(0));
+                let dur = rng.gen_range_inclusive(odur_lo, odur_hi);
+                let end = (start + dur).min(latest);
+                if end <= start {
+                    continue;
+                }
+                let amplify = rng.gen_range_inclusive(16, 64) as u32;
+                plan = plan
+                    .ctrl_storm_start(SimTime::from_nanos(start), node, amplify)
+                    .ctrl_storm_end(SimTime::from_nanos(end), node);
+                arb_free.insert(node, end + 1);
+                break;
+            }
+        }
+    }
+
     plan
 }
 
@@ -470,6 +546,7 @@ mod tests {
             horizon: SimDuration::from_millis(100),
             host_faults: false,
             gray_faults: false,
+            overload: false,
         }
     }
 
@@ -487,6 +564,26 @@ mod tests {
             ..cfg(seed, intensity)
         }
     }
+
+    fn cfg_overload(seed: u64, intensity: ChaosIntensity) -> ChaosConfig {
+        ChaosConfig {
+            host_faults: true,
+            gray_faults: true,
+            overload: true,
+            ..cfg(seed, intensity)
+        }
+    }
+
+    /// Every flag combination the structural sweeps cover:
+    /// (host_faults, gray_faults, overload).
+    const FLAG_COMBOS: [(bool, bool, bool); 6] = [
+        (false, false, false),
+        (true, false, false),
+        (false, true, false),
+        (true, true, false),
+        (false, false, true),
+        (true, true, true),
+    ];
 
     #[test]
     fn same_seed_same_plan() {
@@ -510,12 +607,11 @@ mod tests {
         let topo = leaf_spine();
         for seed in 0..16 {
             for intensity in [ChaosIntensity::Low, ChaosIntensity::High] {
-                for (host_faults, gray_faults) in
-                    [(false, false), (true, false), (false, true), (true, true)]
-                {
+                for (host_faults, gray_faults, overload) in FLAG_COMBOS {
                     let c = ChaosConfig {
                         host_faults,
                         gray_faults,
+                        overload,
                         ..cfg(seed, intensity)
                     };
                     let plan = generate(&topo, &c);
@@ -524,6 +620,7 @@ mod tests {
                     let mut degraded = Vec::new();
                     let mut crashed = Vec::new();
                     let mut hosts_down = Vec::new();
+                    let mut storming = Vec::new();
                     for &(at, ev) in plan.events() {
                         assert!(at <= latest, "seed {seed}: event at {at} past {latest}");
                         match ev {
@@ -558,6 +655,14 @@ mod tests {
                                     .unwrap_or_else(|| panic!("seed {seed}: restart w/o crash"));
                                 hosts_down.swap_remove(i);
                             }
+                            FaultEvent::CtrlStormStart { node, .. } => storming.push(node),
+                            FaultEvent::CtrlStormEnd { node } => {
+                                let i = storming
+                                    .iter()
+                                    .position(|&n| n == node)
+                                    .unwrap_or_else(|| panic!("seed {seed}: end w/o start"));
+                                storming.swap_remove(i);
+                            }
                             FaultEvent::CtrlLossBurst { .. } => {}
                         }
                     }
@@ -565,6 +670,7 @@ mod tests {
                     assert!(degraded.is_empty(), "seed {seed}: unrestored degradations");
                     assert!(crashed.is_empty(), "seed {seed}: unrestarted arbitrators");
                     assert!(hosts_down.is_empty(), "seed {seed}: unrestarted hosts");
+                    assert!(storming.is_empty(), "seed {seed}: unended ctrl storms");
                 }
             }
         }
@@ -575,12 +681,11 @@ mod tests {
         let topo = leaf_spine();
         for seed in 0..16 {
             for intensity in [ChaosIntensity::Low, ChaosIntensity::High] {
-                for (host_faults, gray_faults) in
-                    [(false, false), (true, false), (false, true), (true, true)]
-                {
+                for (host_faults, gray_faults, overload) in FLAG_COMBOS {
                     let c = ChaosConfig {
                         host_faults,
                         gray_faults,
+                        overload,
                         ..cfg(seed, intensity)
                     };
                     generate(&topo, &c)
@@ -729,6 +834,78 @@ mod tests {
     }
 
     #[test]
+    fn overload_extends_the_plan_without_touching_earlier_sections() {
+        let topo = leaf_spine();
+        for seed in 0..8 {
+            let without = generate(&topo, &cfg_gray(seed, ChaosIntensity::High));
+            let with_overload = generate(&topo, &cfg_overload(seed, ChaosIntensity::High));
+            // The overload-free plan is a strict prefix: storm draws
+            // happen after every fabric, host and gray draw.
+            assert_eq!(
+                &with_overload.events()[..without.len()],
+                without.events(),
+                "seed {seed}: earlier schedule changed by overload"
+            );
+            let tail = &with_overload.events()[without.len()..];
+            assert!(!tail.is_empty(), "seed {seed}: no ctrl storms generated");
+            assert!(
+                tail.iter().all(|&(_, ev)| matches!(
+                    ev,
+                    FaultEvent::CtrlStormStart { .. } | FaultEvent::CtrlStormEnd { .. }
+                )),
+                "seed {seed}: non-storm event in the overload section"
+            );
+        }
+    }
+
+    #[test]
+    fn ctrl_storms_heal_and_never_overlap_an_arbitrator_crash_of_the_same_node() {
+        let topo = leaf_spine();
+        for seed in 0..16 {
+            let plan = generate(&topo, &cfg_overload(seed, ChaosIntensity::High));
+            let latest = SimTime::from_nanos(100_000_000 * 95 / 100);
+            let mut open_crash = std::collections::BTreeMap::new();
+            let mut open_storm = std::collections::BTreeMap::new();
+            let mut crashes = Vec::new();
+            let mut storms = Vec::new();
+            for &(at, ev) in plan.events() {
+                match ev {
+                    FaultEvent::ArbitratorCrash { node } => {
+                        open_crash.insert(node, at);
+                    }
+                    FaultEvent::ArbitratorRestart { node } => {
+                        let s = open_crash.remove(&node).unwrap();
+                        crashes.push((node, s, at));
+                    }
+                    FaultEvent::CtrlStormStart { node, amplify } => {
+                        assert!(amplify >= 2, "seed {seed}: degenerate amplify {amplify}");
+                        open_storm.insert(node, at);
+                    }
+                    FaultEvent::CtrlStormEnd { node } => {
+                        let s = open_storm.remove(&node).unwrap();
+                        assert!(at <= latest, "seed {seed}: storm ends past 95% horizon");
+                        storms.push((node, s, at));
+                    }
+                    _ => {}
+                }
+            }
+            assert!(open_storm.is_empty(), "seed {seed}: unended storm");
+            assert!(!storms.is_empty(), "seed {seed}: no ctrl storms");
+            for &(sn, ss, se) in &storms {
+                for &(cn, cs, ce) in &crashes {
+                    if sn == cn {
+                        assert!(
+                            se < cs || ce < ss,
+                            "seed {seed}: storm [{ss}, {se}] overlaps \
+                             crash [{cs}, {ce}] on {sn:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "at least 1 ms")]
     fn tiny_horizon_is_rejected() {
         let topo = leaf_spine();
@@ -740,6 +917,7 @@ mod tests {
                 horizon: SimDuration::from_micros(10),
                 host_faults: false,
                 gray_faults: false,
+                overload: false,
             },
         );
     }

@@ -136,6 +136,23 @@ pub enum FaultEvent {
         /// The other endpoint.
         b: NodeId,
     },
+    /// A control-plane overload storm begins at `node`'s arbitrator: every
+    /// control message it handles is charged `amplify`× against its
+    /// per-epoch processing budget, modeling a flash crowd of arbitration
+    /// traffic competing for the same control CPU. The data plane is
+    /// unaffected; protocols without a budget ignore the directive.
+    CtrlStormStart {
+        /// The overloaded arbitrator's node.
+        node: NodeId,
+        /// Budget-cost multiplier while the storm lasts (≥ 2).
+        amplify: u32,
+    },
+    /// The overload storm at `node` subsides; budget accounting returns
+    /// to a cost of 1 per message.
+    CtrlStormEnd {
+        /// The node whose arbitrator recovers.
+        node: NodeId,
+    },
 }
 
 /// A reproducible schedule of faults, built up-front and injected with
@@ -218,6 +235,21 @@ impl FaultPlan {
         self
     }
 
+    /// Schedule a control-plane overload storm to hit `node`'s arbitrator
+    /// at `at`, charging each handled message `amplify`× against its
+    /// per-epoch budget until the matching [`FaultPlan::ctrl_storm_end`].
+    pub fn ctrl_storm_start(mut self, at: SimTime, node: NodeId, amplify: u32) -> Self {
+        self.events
+            .push((at, FaultEvent::CtrlStormStart { node, amplify }));
+        self
+    }
+
+    /// Schedule the overload storm at `node` to subside at `at`.
+    pub fn ctrl_storm_end(mut self, at: SimTime, node: NodeId) -> Self {
+        self.events.push((at, FaultEvent::CtrlStormEnd { node }));
+        self
+    }
+
     /// The scheduled events, in insertion order.
     pub fn events(&self) -> &[(SimTime, FaultEvent)] {
         &self.events
@@ -264,6 +296,7 @@ impl FaultPlan {
         let mut links_degraded: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
         let mut arbs_down: BTreeSet<NodeId> = BTreeSet::new();
         let mut hosts_down: BTreeSet<NodeId> = BTreeSet::new();
+        let mut storms: BTreeSet<NodeId> = BTreeSet::new();
         let key = |a: NodeId, b: NodeId| if a.0 <= b.0 { (a, b) } else { (b, a) };
         for &&(at, ev) in &ordered {
             match ev {
@@ -333,6 +366,29 @@ impl FaultPlan {
                         ));
                     }
                 }
+                FaultEvent::CtrlStormStart { node, amplify } => {
+                    if !node_ok(node) {
+                        return Err(format!("CtrlStormStart names unknown node {node}"));
+                    }
+                    if amplify < 2 {
+                        return Err(format!(
+                            "CtrlStormStart on {node} with amplify {amplify} < 2 (at {at})"
+                        ));
+                    }
+                    if !storms.insert(node) {
+                        return Err(format!("ctrl storm on {node} started twice (at {at})"));
+                    }
+                }
+                FaultEvent::CtrlStormEnd { node } => {
+                    if !node_ok(node) {
+                        return Err(format!("CtrlStormEnd names unknown node {node}"));
+                    }
+                    if !storms.remove(&node) {
+                        return Err(format!(
+                            "ctrl storm on {node} ended while not active (at {at})"
+                        ));
+                    }
+                }
             }
         }
         if let Some(&(a, b)) = links_down.iter().next() {
@@ -346,6 +402,9 @@ impl FaultPlan {
         }
         if let Some(&node) = hosts_down.iter().next() {
             return Err(format!("host {node} is never restarted"));
+        }
+        if let Some(&node) = storms.iter().next() {
+            return Err(format!("ctrl storm on {node} never ends"));
         }
         Ok(())
     }
@@ -383,6 +442,14 @@ pub enum FaultDirective {
     },
     /// Restore the node's output port to nominal behaviour.
     PortRestore(PortId),
+    /// Begin an overload storm at the node's control plugin / host
+    /// service: each handled control message costs `amplify`× budget.
+    CtrlStormStart {
+        /// Budget-cost multiplier while the storm lasts.
+        amplify: u32,
+    },
+    /// End the overload storm at the node's control plugin / host service.
+    CtrlStormEnd,
 }
 
 /// What a control plugin or host service is told when its node's
@@ -394,6 +461,15 @@ pub enum NodeFault {
     Crash,
     /// The control process came back, empty.
     Restart,
+    /// A control-plane overload storm begins: each handled message costs
+    /// `amplify`× against the per-epoch budget. Protocols without budget
+    /// accounting may ignore this.
+    CtrlStormStart {
+        /// Budget-cost multiplier while the storm lasts.
+        amplify: u32,
+    },
+    /// The overload storm subsides: message cost returns to 1.
+    CtrlStormEnd,
 }
 
 #[cfg(test)]
@@ -600,6 +676,49 @@ mod tests {
             .link_up(ms(4), NodeId(0), NodeId(1))
             .link_down(ms(1), NodeId(0), NodeId(1));
         assert_eq!(plan.validate(&topo), Ok(()));
+    }
+
+    #[test]
+    fn validate_accepts_balanced_ctrl_storms() {
+        let topo = tiny_topo();
+        let plan = FaultPlan::new()
+            .ctrl_storm_start(ms(1), NodeId(1), 8)
+            .ctrl_storm_end(ms(3), NodeId(1));
+        assert_eq!(plan.validate(&topo), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_unbalanced_or_degenerate_ctrl_storms() {
+        let topo = tiny_topo();
+        let err = FaultPlan::new()
+            .ctrl_storm_start(ms(1), NodeId(1), 8)
+            .validate(&topo)
+            .unwrap_err();
+        assert!(err.contains("never ends"), "{err}");
+        let err = FaultPlan::new()
+            .ctrl_storm_end(ms(1), NodeId(1))
+            .validate(&topo)
+            .unwrap_err();
+        assert!(err.contains("while not active"), "{err}");
+        let err = FaultPlan::new()
+            .ctrl_storm_start(ms(1), NodeId(1), 8)
+            .ctrl_storm_start(ms(2), NodeId(1), 4)
+            .ctrl_storm_end(ms(3), NodeId(1))
+            .validate(&topo)
+            .unwrap_err();
+        assert!(err.contains("started twice"), "{err}");
+        let err = FaultPlan::new()
+            .ctrl_storm_start(ms(1), NodeId(1), 1)
+            .ctrl_storm_end(ms(2), NodeId(1))
+            .validate(&topo)
+            .unwrap_err();
+        assert!(err.contains("amplify 1 < 2"), "{err}");
+        let err = FaultPlan::new()
+            .ctrl_storm_start(ms(1), NodeId(77), 4)
+            .ctrl_storm_end(ms(2), NodeId(77))
+            .validate(&topo)
+            .unwrap_err();
+        assert!(err.contains("unknown node"), "{err}");
     }
 
     #[test]

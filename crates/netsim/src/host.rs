@@ -399,27 +399,39 @@ impl Host {
                 debug_assert_eq!(port.index(), 0, "hosts have a single port");
                 self.core.port.set_restored();
             }
+            FaultDirective::CtrlStormStart { amplify } => {
+                self.run_service(ctx, |svc, io| {
+                    svc.on_fault(NodeFault::CtrlStormStart { amplify }, io)
+                });
+            }
+            FaultDirective::CtrlStormEnd => {
+                self.run_service(ctx, |svc, io| svc.on_fault(NodeFault::CtrlStormEnd, io));
+            }
         }
     }
 
     fn deliver(&mut self, pkt: Box<Packet>, ctx: &mut Ctx<'_>) {
         debug_assert_eq!(pkt.dst, self.core.id, "misrouted packet");
         if self.crashed {
-            // A crashed machine consumes nothing. Data is accounted as
-            // lost-to-crash so conservation still balances; everything
-            // else (acks, probes, control) just evaporates.
-            if pkt.kind == PacketKind::Data {
-                ctx.stats.note_data_lost_to_crash();
+            // A crashed machine consumes nothing. Data and control are
+            // accounted as lost-to-crash so their conservation laws still
+            // balance; everything else (acks, probes) just evaporates.
+            match pkt.kind {
+                PacketKind::Data => ctx.stats.note_data_lost_to_crash(),
+                PacketKind::Ctrl => ctx.stats.note_ctrl_lost_to_crash(),
+                _ => {}
             }
             return;
         }
         if pkt.corrupted {
             // Checksum failure: discard silently, like real NICs do. The
             // missing ACK (or missing arbitration response) is what the
-            // transport's RTO/SACK machinery recovers from. Data packets
-            // are charged to the `corrupted` conservation term.
-            if pkt.kind == PacketKind::Data {
-                ctx.stats.note_data_corrupted(self.core.id, &pkt);
+            // transport's RTO/SACK machinery recovers from. Data and
+            // control packets are charged to their `corrupted` terms.
+            match pkt.kind {
+                PacketKind::Data => ctx.stats.note_data_corrupted(self.core.id, &pkt),
+                PacketKind::Ctrl => ctx.stats.note_ctrl_corrupted(),
+                _ => {}
             }
             if ctx.stats.tracing() {
                 let now = ctx.now();
@@ -442,6 +454,12 @@ impl Host {
         // flow agent exists for the tagged flow: agents learn of control
         // state changes through service wake-ups, not raw packets.
         if pkt.kind == PacketKind::Ctrl {
+            if self.service.is_none() {
+                // No host service to interpret it: account the message so
+                // the control-plane conservation law still closes.
+                ctx.stats.note_ctrl_unattended();
+                return;
+            }
             self.run_service(ctx, |svc, io| svc.on_ctrl(*pkt, io));
             return;
         }

@@ -2,7 +2,7 @@
 //!
 //! The chaos harness ([`crate::chaos`]) throws randomized fault schedules
 //! at the simulator; this module is the oracle that says whether the run
-//! stayed sane. Four invariants are checked:
+//! stayed sane. Five invariants are checked:
 //!
 //! 1. **Packet conservation.** Every data packet injected by a host is
 //!    eventually accounted for exactly once:
@@ -13,7 +13,15 @@
 //!    *lost-to-crash* counts packets that arrived at a crashed
 //!    destination host, and *corrupted* counts packets mangled by a
 //!    degraded link and discarded by the destination's checksum.
-//! 2. **No stuck flow.** An incomplete flow must have *some* way to make
+//! 2. **Control-message conservation.** Every control packet put on the
+//!    wire is likewise accounted for exactly once:
+//!    `sent = processed + shed + dropped + corrupted + blackholed +
+//!    lost-to-crash + unattended + in-network`, where *processed* and
+//!    *shed* are what arbitrators did with messages that reached them,
+//!    *lost-to-crash* covers messages arriving at a crashed control
+//!    process or host, and *unattended* counts messages delivered to a
+//!    node with no control plugin/service installed.
+//! 3. **No stuck flow.** An incomplete flow must have *some* way to make
 //!    progress: a pending event referencing it (timer, delivery, start),
 //!    one of its packets still in the network, or a control-plane timer
 //!    pending at its endpoints. A flow with none of these will never
@@ -24,9 +32,9 @@
 //!    ended in the terminal `Aborted` state count as complete — an
 //!    endpoint crash with a recorded abort reason is a legitimate
 //!    terminal outcome, not a stuck flow.
-//! 3. **Monotonic event time.** The clock never runs backwards while
+//! 4. **Monotonic event time.** The clock never runs backwards while
 //!    processing events (checked online, every event).
-//! 4. **Bounded queues.** No port's queue occupancy ever exceeds a
+//! 5. **Bounded queues.** No port's queue occupancy ever exceeds a
 //!    configured packet bound (checked online, periodically, and once at
 //!    the end).
 //!
@@ -70,6 +78,8 @@ impl Default for InvariantConfig {
 pub enum Invariant {
     /// Data-packet conservation (injected vs. accounted).
     Conservation,
+    /// Control-message conservation (sent vs. accounted).
+    CtrlConservation,
     /// An incomplete flow with no pending means of progress.
     StuckFlow,
     /// The event clock ran backwards.
@@ -82,6 +92,7 @@ impl core::fmt::Display for Invariant {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         let name = match self {
             Invariant::Conservation => "conservation",
+            Invariant::CtrlConservation => "ctrl-conservation",
             Invariant::StuckFlow => "stuck-flow",
             Invariant::MonotonicTime => "monotonic-time",
             Invariant::QueueBound => "queue-bound",
@@ -304,6 +315,62 @@ pub(crate) fn is_data_deliver(kind: &EventKind) -> bool {
     matches!(kind, EventKind::Deliver(pkt) if pkt.kind == PacketKind::Data)
 }
 
+/// Does this pending event carry an in-flight *control* packet?
+pub(crate) fn is_ctrl_deliver(kind: &EventKind) -> bool {
+    matches!(kind, EventKind::Deliver(pkt) if pkt.kind == PacketKind::Ctrl)
+}
+
+/// Inputs to the control-message conservation equation, gathered by
+/// [`crate::sim::Simulation::check_invariants`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CtrlConservationTerms {
+    pub sent: u64,
+    pub processed: u64,
+    pub shed: u64,
+    pub dropped: u64,
+    pub corrupted: u64,
+    pub blackholed: u64,
+    pub lost_to_crash: u64,
+    pub unattended: u64,
+    pub in_network: InNetwork,
+}
+
+impl CtrlConservationTerms {
+    /// Check the control-plane books; push a violation on mismatch.
+    pub(crate) fn check(&self, now: SimTime, out: &mut Vec<Violation>) {
+        let accounted = self.processed
+            + self.shed
+            + self.dropped
+            + self.corrupted
+            + self.blackholed
+            + self.lost_to_crash
+            + self.unattended
+            + self.in_network.total();
+        if self.sent != accounted {
+            out.push(Violation {
+                at: now,
+                invariant: Invariant::CtrlConservation,
+                detail: format!(
+                    "ctrl sent {} != accounted {} (processed {} + shed {} + \
+                     dropped {} + corrupted {} + blackholed {} + \
+                     lost-to-crash {} + unattended {} + in-ports {} + on-wire {})",
+                    self.sent,
+                    accounted,
+                    self.processed,
+                    self.shed,
+                    self.dropped,
+                    self.corrupted,
+                    self.blackholed,
+                    self.lost_to_crash,
+                    self.unattended,
+                    self.in_network.in_ports,
+                    self.in_network.on_wire,
+                ),
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -351,6 +418,48 @@ mod tests {
             "{}",
             out[0].detail
         );
+    }
+
+    #[test]
+    fn ctrl_conservation_balanced_books_are_clean() {
+        let terms = CtrlConservationTerms {
+            sent: 12,
+            processed: 5,
+            shed: 2,
+            dropped: 1,
+            corrupted: 1,
+            blackholed: 0,
+            lost_to_crash: 1,
+            unattended: 1,
+            in_network: InNetwork {
+                in_ports: 0,
+                on_wire: 1,
+            },
+        };
+        let mut out = Vec::new();
+        terms.check(SimTime::ZERO, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn ctrl_conservation_mismatch_is_reported() {
+        let terms = CtrlConservationTerms {
+            sent: 10,
+            processed: 6,
+            shed: 0,
+            dropped: 1,
+            corrupted: 0,
+            blackholed: 0,
+            lost_to_crash: 0,
+            unattended: 0,
+            in_network: InNetwork::default(),
+        };
+        let mut out = Vec::new();
+        terms.check(SimTime::from_micros(3), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].invariant, Invariant::CtrlConservation);
+        assert!(out[0].detail.contains("ctrl sent 10"), "{}", out[0].detail);
+        assert!(out[0].detail.contains("shed 0"), "{}", out[0].detail);
     }
 
     #[test]

@@ -8,8 +8,8 @@ use crate::flow::FlowSpec;
 use crate::ids::NodeId;
 use crate::ids::PortId;
 use crate::invariants::{
-    is_data_deliver, ConservationTerms, InNetwork, Invariant, InvariantConfig, InvariantMonitor,
-    InvariantReport, ProgressEvidence, Violation,
+    is_ctrl_deliver, is_data_deliver, ConservationTerms, CtrlConservationTerms, InNetwork,
+    Invariant, InvariantConfig, InvariantMonitor, InvariantReport, ProgressEvidence, Violation,
 };
 use crate::node::Node;
 use crate::packet::PacketKind;
@@ -235,6 +235,20 @@ impl Simulation {
                         EventKind::Fault(FaultDirective::CtrlLossBurst { port, n }),
                     );
                 }
+                FaultEvent::CtrlStormStart { node, amplify } => {
+                    self.sched.schedule_at(
+                        at,
+                        node,
+                        EventKind::Fault(FaultDirective::CtrlStormStart { amplify }),
+                    );
+                }
+                FaultEvent::CtrlStormEnd { node } => {
+                    self.sched.schedule_at(
+                        at,
+                        node,
+                        EventKind::Fault(FaultDirective::CtrlStormEnd),
+                    );
+                }
             }
         }
     }
@@ -337,11 +351,14 @@ impl Simulation {
         // conservation count and the stuck-flow evidence.
         let mut evidence = ProgressEvidence::default();
         let mut in_net = InNetwork::default();
+        let mut ctrl_in_net = InNetwork::default();
         Self::for_each_port(&self.nodes, &mut |node, port| {
             port.for_each_held(&mut |pkt| {
                 evidence.note_flow(pkt.flow);
-                if pkt.kind == PacketKind::Data {
-                    in_net.in_ports += 1;
+                match pkt.kind {
+                    PacketKind::Data => in_net.in_ports += 1,
+                    PacketKind::Ctrl => ctrl_in_net.in_ports += 1,
+                    _ => {}
                 }
             });
             let len = port.queue_len_pkts();
@@ -361,6 +378,9 @@ impl Simulation {
             if is_data_deliver(kind) {
                 in_net.on_wire += 1;
             }
+            if is_ctrl_deliver(kind) {
+                ctrl_in_net.on_wire += 1;
+            }
         }
 
         ConservationTerms {
@@ -372,6 +392,19 @@ impl Simulation {
             consumed: self.stats.data_pkts_consumed,
             lost_to_crash: self.stats.data_pkts_lost_to_crash,
             in_network: in_net,
+        }
+        .check(now, &mut violations);
+
+        CtrlConservationTerms {
+            sent: self.stats.ctrl_pkts,
+            processed: self.stats.ctrl_msgs_processed,
+            shed: self.stats.ctrl_msgs_shed,
+            dropped: self.stats.ctrl_pkts_dropped,
+            corrupted: self.stats.ctrl_pkts_corrupted,
+            blackholed: self.stats.ctrl_pkts_blackholed,
+            lost_to_crash: self.stats.ctrl_lost_to_crash,
+            unattended: self.stats.ctrl_unattended,
+            in_network: ctrl_in_net,
         }
         .check(now, &mut violations);
 

@@ -101,6 +101,28 @@ pub struct StatsCollector {
     pub ctrl_bytes: u64,
     /// Control-plane messages processed by arbitrators.
     pub ctrl_msgs_processed: u64,
+    /// Control messages shed by overloaded arbitrators (budget exceeded).
+    pub ctrl_msgs_shed: u64,
+    /// Control packets dropped in queues or on downed/degraded links.
+    pub ctrl_pkts_dropped: u64,
+    /// Control packets blackholed at switches (no surviving next hop).
+    pub ctrl_pkts_blackholed: u64,
+    /// Control packets corrupted in flight and discarded by the
+    /// destination's checksum.
+    pub ctrl_pkts_corrupted: u64,
+    /// Control messages that arrived at a crashed control process or
+    /// crashed host and evaporated there.
+    pub ctrl_lost_to_crash: u64,
+    /// Control messages delivered to a node with no control plugin or
+    /// host service installed to receive them.
+    pub ctrl_unattended: u64,
+    /// Messages processed per arbitrator node.
+    ctrl_processed_by_node: BTreeMap<NodeId, u64>,
+    /// Messages shed per arbitrator node.
+    ctrl_shed_by_node: BTreeMap<NodeId, u64>,
+    /// Peak weighted inbox depth (messages per budget epoch) per
+    /// arbitrator node.
+    ctrl_peak_epoch_by_node: BTreeMap<NodeId, u64>,
     /// Total events executed (engine counter, for benchmarking).
     pub events_executed: u64,
     /// Optional trace sink; see [`crate::trace`].
@@ -261,6 +283,8 @@ impl StatsCollector {
             if let Some(rec) = self.flows.get_mut(&pkt.flow) {
                 rec.drops += 1;
             }
+        } else if pkt.kind == PacketKind::Ctrl {
+            self.ctrl_pkts_dropped += 1;
         }
     }
 
@@ -280,6 +304,8 @@ impl StatsCollector {
             if let Some(rec) = self.flows.get_mut(&pkt.flow) {
                 rec.drops += 1;
             }
+        } else if pkt.kind == PacketKind::Ctrl {
+            self.ctrl_pkts_blackholed += 1;
         }
     }
 
@@ -333,9 +359,74 @@ impl StatsCollector {
         self.ctrl_bytes += bytes as u64;
     }
 
-    /// Record a control message processed by an arbitrator.
-    pub fn note_ctrl_processed(&mut self) {
+    /// Record a control message processed by the arbitrator on `node`.
+    pub fn note_ctrl_processed(&mut self, node: NodeId) {
         self.ctrl_msgs_processed += 1;
+        *self.ctrl_processed_by_node.entry(node).or_insert(0) += 1;
+    }
+
+    /// Record a control message shed by the overloaded arbitrator on
+    /// `node` (its per-epoch budget was exhausted).
+    pub fn note_ctrl_shed(&mut self, node: NodeId) {
+        self.ctrl_msgs_shed += 1;
+        *self.ctrl_shed_by_node.entry(node).or_insert(0) += 1;
+    }
+
+    /// Record the weighted inbox depth the arbitrator on `node` reached
+    /// within one budget epoch; keeps the per-node peak.
+    pub fn note_ctrl_epoch_depth(&mut self, node: NodeId, depth: u64) {
+        let peak = self.ctrl_peak_epoch_by_node.entry(node).or_insert(0);
+        *peak = (*peak).max(depth);
+    }
+
+    /// Record a corrupted control packet discarded at its destination.
+    pub fn note_ctrl_corrupted(&mut self) {
+        self.ctrl_pkts_corrupted += 1;
+    }
+
+    /// Record a control message that reached a crashed control process or
+    /// crashed host.
+    pub fn note_ctrl_lost_to_crash(&mut self) {
+        self.ctrl_lost_to_crash += 1;
+    }
+
+    /// Record a control message delivered to a node with no control
+    /// plugin or host service to receive it.
+    pub fn note_ctrl_unattended(&mut self) {
+        self.ctrl_unattended += 1;
+    }
+
+    /// Messages processed by the arbitrator on `node`.
+    pub fn ctrl_processed_on(&self, node: NodeId) -> u64 {
+        self.ctrl_processed_by_node.get(&node).copied().unwrap_or(0)
+    }
+
+    /// Messages shed by the arbitrator on `node`.
+    pub fn ctrl_shed_on(&self, node: NodeId) -> u64 {
+        self.ctrl_shed_by_node.get(&node).copied().unwrap_or(0)
+    }
+
+    /// Peak weighted per-epoch inbox depth seen on `node`.
+    pub fn ctrl_peak_epoch_on(&self, node: NodeId) -> u64 {
+        self.ctrl_peak_epoch_by_node
+            .get(&node)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Per-arbitrator processed tallies, in node-id order (deterministic).
+    pub fn ctrl_processed_by_node(&self) -> impl Iterator<Item = (NodeId, u64)> + '_ {
+        self.ctrl_processed_by_node.iter().map(|(&n, &c)| (n, c))
+    }
+
+    /// Per-arbitrator shed tallies, in node-id order (deterministic).
+    pub fn ctrl_shed_by_node(&self) -> impl Iterator<Item = (NodeId, u64)> + '_ {
+        self.ctrl_shed_by_node.iter().map(|(&n, &c)| (n, c))
+    }
+
+    /// Per-arbitrator peak epoch depth, in node-id order (deterministic).
+    pub fn ctrl_peak_epoch_by_node(&self) -> impl Iterator<Item = (NodeId, u64)> + '_ {
+        self.ctrl_peak_epoch_by_node.iter().map(|(&n, &c)| (n, c))
     }
 
     /// Have all measured flows completed?
@@ -483,6 +574,48 @@ mod tests {
         assert_eq!(st.corrupted_on(NodeId(0)), 0);
         assert_eq!(st.corrupted_by_host().collect::<Vec<_>>(), [(NodeId(1), 2)]);
         assert_eq!(st.flow(FlowId(0)).unwrap().drops, 2, "sender sees loss");
+    }
+
+    #[test]
+    fn ctrl_shedding_has_per_node_tallies_and_peaks() {
+        let mut st = StatsCollector::new();
+        st.note_ctrl_processed(NodeId(3));
+        st.note_ctrl_processed(NodeId(3));
+        st.note_ctrl_processed(NodeId(5));
+        st.note_ctrl_shed(NodeId(3));
+        st.note_ctrl_epoch_depth(NodeId(3), 7);
+        st.note_ctrl_epoch_depth(NodeId(3), 4);
+        assert_eq!(st.ctrl_msgs_processed, 3);
+        assert_eq!(st.ctrl_msgs_shed, 1);
+        assert_eq!(st.ctrl_processed_on(NodeId(3)), 2);
+        assert_eq!(st.ctrl_processed_on(NodeId(5)), 1);
+        assert_eq!(st.ctrl_shed_on(NodeId(3)), 1);
+        assert_eq!(st.ctrl_shed_on(NodeId(5)), 0);
+        assert_eq!(st.ctrl_peak_epoch_on(NodeId(3)), 7, "peak, not last");
+        assert_eq!(
+            st.ctrl_processed_by_node().collect::<Vec<_>>(),
+            [(NodeId(3), 2), (NodeId(5), 1)]
+        );
+        assert_eq!(st.ctrl_shed_by_node().collect::<Vec<_>>(), [(NodeId(3), 1)]);
+    }
+
+    #[test]
+    fn ctrl_drops_and_blackholes_have_their_own_terms() {
+        let mut st = StatsCollector::new();
+        let ctrl = Packet::ctrl(FlowId(0), NodeId(0), NodeId(1), Box::new(0u8));
+        st.note_drop(&ctrl);
+        st.note_blackhole(&ctrl);
+        assert_eq!(st.ctrl_pkts_dropped, 1);
+        assert_eq!(st.ctrl_pkts_blackholed, 1);
+        assert_eq!(st.data_pkts_dropped, 0);
+        assert_eq!(st.data_pkts_blackholed, 0);
+        assert_eq!(st.blackhole_pkts, 1);
+        st.note_ctrl_corrupted();
+        st.note_ctrl_lost_to_crash();
+        st.note_ctrl_unattended();
+        assert_eq!(st.ctrl_pkts_corrupted, 1);
+        assert_eq!(st.ctrl_lost_to_crash, 1);
+        assert_eq!(st.ctrl_unattended, 1);
     }
 
     #[test]

@@ -153,14 +153,17 @@ impl<'a, 'b> SwitchIo<'a, 'b> {
     /// with no surviving next hop is blackholed (counted and traced).
     pub fn send(&mut self, mut pkt: Packet) {
         pkt.ts = self.now();
+        // Count control overhead before routing: this is the packet's
+        // emission point, so a blackholed one must still enter the
+        // control conservation ledger on the sent side.
+        if pkt.kind == PacketKind::Ctrl {
+            self.sim.stats.note_ctrl_sent(pkt.wire_bytes);
+        }
         let Some(port) = self.route(pkt.dst, pkt.flow) else {
             *self.blackhole_drops += 1;
             record_blackhole(self.id, &pkt, self.sim);
             return;
         };
-        if pkt.kind == PacketKind::Ctrl {
-            self.sim.stats.note_ctrl_sent(pkt.wire_bytes);
-        }
         self.ports[port.index()].send(Box::new(pkt), self.sim);
     }
 
@@ -305,6 +308,16 @@ impl Switch {
             FaultDirective::PortRestore(port) => {
                 self.ports[port.index()].set_restored();
             }
+            FaultDirective::CtrlStormStart { amplify } => {
+                self.with_plugin(ctx, |plugin, io| {
+                    plugin.on_fault(NodeFault::CtrlStormStart { amplify }, io)
+                });
+            }
+            FaultDirective::CtrlStormEnd => {
+                self.with_plugin(ctx, |plugin, io| {
+                    plugin.on_fault(NodeFault::CtrlStormEnd, io)
+                });
+            }
             FaultDirective::HostCrash | FaultDirective::HostRestart => {
                 debug_assert!(
                     false,
@@ -321,6 +334,9 @@ impl Switch {
                 // A corrupted arbitration request dies at the switch's
                 // checksum like anywhere else; the sender recovers by
                 // re-requesting (or falling back) on the missing response.
+                if pkt.kind == PacketKind::Ctrl {
+                    ctx.stats.note_ctrl_corrupted();
+                }
                 if ctx.stats.tracing() {
                     let now = ctx.now();
                     ctx.stats.trace_event(
@@ -336,6 +352,12 @@ impl Switch {
                 return;
             }
             // Addressed to this switch: control-plane traffic.
+            if self.plugin.is_none() && pkt.kind == PacketKind::Ctrl {
+                // No arbitrator to interpret it: account the message so
+                // the control-plane conservation law still closes.
+                ctx.stats.note_ctrl_unattended();
+                return;
+            }
             self.with_plugin(ctx, |plugin, io| plugin.on_ctrl(*pkt, io));
             return;
         }

@@ -120,6 +120,18 @@ pub enum TraceEvent {
         /// Sequence number.
         seq: u64,
     },
+    /// An overloaded arbitrator shed a control message instead of
+    /// processing it (its per-epoch budget was exhausted; see
+    /// [`crate::fault::FaultEvent::CtrlStormStart`]).
+    Shed {
+        /// The arbitrator node that shed the message.
+        node: NodeId,
+        /// The flow the shed message concerned.
+        flow: FlowId,
+        /// Whether the shed request was a stale refresh (an arbitration
+        /// for this flow/leg was already live) rather than a fresh one.
+        stale: bool,
+    },
 }
 
 /// Receives trace events.
@@ -272,6 +284,12 @@ impl TraceSink for TextTracer {
                 }
                 let _ = writeln!(self.local, "{now} CRPT {node} {flow} {kind:?} seq={seq}");
             }
+            TraceEvent::Shed { node, flow, stale } => {
+                if !self.matches(flow) {
+                    return;
+                }
+                let _ = writeln!(self.local, "{now} SHED {node} {flow} stale={stale}");
+            }
         }
         if self.local.len() >= FLUSH_THRESHOLD {
             self.flush_local();
@@ -403,6 +421,23 @@ mod tests {
         let out = buf.lock().unwrap().clone();
         assert_eq!(out.lines().count(), 1);
         assert!(out.contains("CRPT n3 f7 Data seq=1460"), "{out}");
+    }
+
+    #[test]
+    fn shed_events_render_and_respect_the_flow_filter() {
+        let mut t = TextTracer::for_flow(FlowId(7));
+        let buf = t.buffer();
+        let shed = |flow: u64| TraceEvent::Shed {
+            node: NodeId(4),
+            flow: FlowId(flow),
+            stale: true,
+        };
+        t.on_event(SimTime::from_micros(2), &shed(1));
+        t.on_event(SimTime::from_micros(4), &shed(7));
+        t.flush();
+        let out = buf.lock().unwrap().clone();
+        assert_eq!(out.lines().count(), 1);
+        assert!(out.contains("SHED n4 f7 stale=true"), "{out}");
     }
 
     #[test]

@@ -79,6 +79,14 @@ impl LinkArbitrator {
         self.flows.len()
     }
 
+    /// Whether the arbitrator holds a live entry for `flow`. A request
+    /// for a known flow is a *refresh* — the cheapest thing an overloaded
+    /// arbitrator can shed, because the existing entry keeps arbitrating
+    /// until it expires.
+    pub fn contains(&self, flow: FlowId) -> bool {
+        self.flows.contains_key(&flow)
+    }
+
     /// Priority key: lower sorts first (more critical).
     fn key(&self, id: FlowId, e: &FlowEntry) -> (u64, u64, u64) {
         match self.criterion {

@@ -93,6 +93,20 @@ pub struct PaseConfig {
     /// missing, re-requests are spaced `arb_refresh × 2^min(misses, cap)`
     /// apart so a dead control plane is not hammered every RTT.
     pub refresh_backoff_cap: u32,
+    /// Per-epoch control-message budget of every arbitrator (endpoint
+    /// host-service legs and switch plugins alike). An epoch is one
+    /// `arb_refresh` window; messages beyond the budget are shed with an
+    /// explicit load-shed reply rather than silently queued. High enough
+    /// by default that an unstormed arbitrator never sheds.
+    pub ctrl_budget_per_epoch: u32,
+    /// Overload protection master switch. On, overloaded arbitrators
+    /// shed priority-aware (stale refreshes first, never responses or
+    /// releases) with an explicit load-shed reply that makes senders
+    /// back off. Off, the inbox is still bounded but naive: overflow is
+    /// silently tail-dropped whatever the message — releases leak leases
+    /// until expiry and senders hear nothing but their watchdogs (the
+    /// `ext_overload` experiment ablates this to show the collapse).
+    pub shed_enabled: bool,
 }
 
 impl Default for PaseConfig {
@@ -121,6 +135,8 @@ impl Default for PaseConfig {
             base_rate_pkts_per_rtt: 1,
             watchdog_k: 4,
             refresh_backoff_cap: 5,
+            ctrl_budget_per_epoch: 512,
+            shed_enabled: true,
         }
     }
 }
@@ -156,6 +172,13 @@ impl PaseConfig {
         self.use_reference_rate = false;
         self
     }
+
+    /// Disable overload protection (ext_overload ablation: arbitrators
+    /// process everything, however hard the storm hits).
+    pub fn without_shedding(mut self) -> Self {
+        self.shed_enabled = false;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -181,6 +204,16 @@ mod tests {
         // horizon scaled by a few round trips.
         assert!(c.watchdog_k >= 2);
         assert!(c.refresh_backoff_cap >= 1 && c.refresh_backoff_cap <= 16);
+    }
+
+    #[test]
+    fn shedding_defaults_protect_without_perturbing_normal_runs() {
+        let c = PaseConfig::default();
+        assert!(c.shed_enabled);
+        // The budget must comfortably exceed what a healthy arbitrator
+        // sees in one refresh window, so shedding only bites under storms.
+        assert!(c.ctrl_budget_per_epoch >= 128);
+        assert!(!PaseConfig::default().without_shedding().shed_enabled);
     }
 
     #[test]

@@ -92,10 +92,28 @@ pub struct PaseSender {
     /// watchdog — by integrating misses faster than sporadic responses
     /// drain them.
     degraded_rounds: u32,
+    /// The delay the last-armed refresh timer was set with (cadence ×
+    /// backoff). A round counts as missed only if no response landed
+    /// within this interval plus one base RTT of in-flight grace —
+    /// measuring against the bare cadence would brand every backed-off
+    /// round, and every topology whose reply latency straddles
+    /// `arb_refresh`, as degraded.
+    refresh_interval: SimDuration,
     /// Arbitration declared unreachable: the flow runs in pure
     /// self-adjusting mode (lowest queue, DCTCP laws) until a response
     /// resumes.
     in_fallback: bool,
+    /// Capped backoff exponent driven by load-shed replies: each shed
+    /// response doubles the refresh spacing (up to `refresh_backoff_cap`),
+    /// each clean response halves it back, so a storm of senders drains
+    /// its own pressure multiplicatively.
+    shed_backoff: u32,
+    /// Decaying tally of shed responses: +1 per shed reply, −1 (floor 0)
+    /// per clean one. Sustained shedding — `watchdog_k` net shed rounds —
+    /// degrades the flow to self-adjusting fallback exactly like a dead
+    /// or gray control channel: an arbitrator that only ever sheds us is
+    /// not arbitrating for us.
+    shed_rounds: u32,
     /// Inter-rack flows hold their first data until the sender-leg
     /// arbitration response arrives (paper §3.1.2: "a flow starts as soon
     /// as it receives arbitration information from the child arbitrator").
@@ -138,7 +156,10 @@ impl PaseSender {
             last_response: SimTime::ZERO,
             refresh_misses: 0,
             degraded_rounds: 0,
+            refresh_interval: cfg.arb_refresh,
             in_fallback: false,
+            shed_backoff: 0,
+            shed_rounds: 0,
             awaiting_initial_arb: false,
             done: false,
         }
@@ -169,6 +190,16 @@ impl PaseSender {
     /// (tests/inspection).
     pub fn degraded_rounds(&self) -> u32 {
         self.degraded_rounds
+    }
+
+    /// Current shed-driven refresh-backoff exponent (tests/inspection).
+    pub fn shed_backoff(&self) -> u32 {
+        self.shed_backoff
+    }
+
+    /// Net shed responses on the control channel (tests/inspection).
+    pub fn shed_rounds(&self) -> u32 {
+        self.shed_rounds
     }
 
     fn srtt(&self) -> SimDuration {
@@ -558,18 +589,25 @@ impl PaseSender {
     fn arm_refresh(&mut self, ctx: &mut AgentCtx<'_, '_>) {
         self.refresh_epoch += 1;
         // Bounded exponential backoff on re-requests, but only once the
-        // watchdog has declared the control plane dead: each further
-        // silent round doubles the spacing (capped) so a crashed
+        // watchdog has declared the control plane dead — or once the
+        // arbitrators start load-shedding us: each further silent or shed
+        // round doubles the spacing (capped) so a crashed or overloaded
         // arbitrator is not hammered every RTT. Healthy flows keep the
         // exact `arb_refresh` cadence — response latency routinely spans
         // a whole refresh period, and stretching the cadence on such
         // ordinary lag skews arbitration for every flow.
-        let exp = if self.in_fallback {
-            self.refresh_misses.min(self.cfg.refresh_backoff_cap)
-        } else {
-            0
+        let exp = {
+            let silent = if self.in_fallback {
+                self.refresh_misses
+            } else {
+                0
+            };
+            silent
+                .max(self.shed_backoff)
+                .min(self.cfg.refresh_backoff_cap)
         };
         let delay = self.cfg.arb_refresh.saturating_mul(1u64 << exp);
+        self.refresh_interval = delay;
         ctx.set_timer(delay, REFRESH_TOKEN_BASE + self.refresh_epoch);
     }
 
@@ -601,10 +639,19 @@ impl PaseSender {
     /// Degrade to pure self-adjusting mode: lowest queue, base rate,
     /// conservative DCTCP restart. The flow keeps making progress with no
     /// control plane at all and re-attaches when responses resume.
-    fn enter_fallback(&mut self) {
+    /// `reset_window` distinguishes why we degrade: a dead or gray
+    /// channel (`true`) may have left the flow blasting a stale
+    /// reference rate with no recent feedback, so the window restarts
+    /// from scratch; a load-shedding channel (`false`) is demonstrably
+    /// alive — ACKs and backpressure replies are flowing, the current
+    /// window is congestion-valid — so only the priority/rate state is
+    /// demoted.
+    fn enter_fallback(&mut self, reset_window: bool) {
         self.in_fallback = true;
-        self.ssthresh = (self.engine.cwnd / 2.0).max(2.0);
-        self.engine.cwnd = 1.0;
+        if reset_window {
+            self.ssthresh = (self.engine.cwnd / 2.0).max(2.0);
+            self.engine.cwnd = 1.0;
+        }
         self.queue = self.cfg.lowest_queue();
         self.rref = self.cfg.base_rate();
         self.is_inter_queue = false;
@@ -699,14 +746,48 @@ impl FlowAgent for PaseSender {
             // An arbitration response arrived.
             self.last_response = ctx.now();
             self.refresh_misses = 0;
-            if self.in_fallback {
-                // The control plane is back: leave fallback and let the
-                // recompute below re-attach the flow to its arbitrated
-                // queue and reference rate (Algorithm 2 transitions fire
-                // on the queue change). Re-arm promptly — the pending
-                // refresh may still be backed off far into the future.
-                self.in_fallback = false;
-                self.arm_refresh(ctx);
+            // Consume the piggybacked load-shed signal. A shed reply is a
+            // real response — the silence watchdog stays quiet — but not
+            // an answer: back the refresh cadence off multiplicatively
+            // (every shedding sender does, so the storm drains itself) and
+            // after `watchdog_k` net shed rounds degrade to self-adjusting
+            // fallback: an arbitrator that only ever sheds us is not
+            // arbitrating for us.
+            let shed = ctx
+                .service::<PaseHostService>()
+                .map(|svc| svc.take_shed(self.spec.id))
+                .unwrap_or(false);
+            if shed {
+                self.shed_backoff = (self.shed_backoff + 1).min(self.cfg.refresh_backoff_cap);
+                // Capped so a long storm drains in a bounded number of
+                // clean rounds once it ends.
+                self.shed_rounds =
+                    (self.shed_rounds + 1).min(self.cfg.watchdog_k.saturating_mul(2));
+                if !self.in_fallback && self.shed_rounds >= self.cfg.watchdog_k {
+                    self.enter_fallback(false);
+                }
+            } else {
+                self.shed_backoff = self.shed_backoff.saturating_sub(1);
+                // Asymmetric decay: shed rounds accumulate one at a time
+                // (cautious entry) but drain two per clean reply, so a
+                // flow parked in the lowest queue re-attaches soon after
+                // the storm breaks instead of serving out the full
+                // integrator.
+                self.shed_rounds = self.shed_rounds.saturating_sub(2);
+                if self.in_fallback && self.shed_rounds == 0 {
+                    // The control plane is back *for good* — the shed
+                    // integrator has fully drained, not just one lucky
+                    // reply slipping through mid-storm (entering fallback
+                    // resets cwnd, so exit/re-enter flapping is far worse
+                    // than staying self-adjusting). Leave fallback and let
+                    // the recompute below re-attach the flow to its
+                    // arbitrated queue and reference rate (Algorithm 2
+                    // transitions fire on the queue change). Re-arm
+                    // promptly — the pending refresh may still be backed
+                    // off far into the future.
+                    self.in_fallback = false;
+                    self.arm_refresh(ctx);
+                }
             }
             self.recompute_effective(ctx);
             if self.awaiting_initial_arb {
@@ -742,8 +823,12 @@ impl FlowAgent for PaseSender {
                 // resets the counter via the WAKEUP path) and degrade to
                 // self-adjusting mode after `watchdog_k` refresh periods
                 // of silence — or after `watchdog_k` *net* misses on a
-                // channel that is degraded rather than dead.
-                if now >= self.last_response + self.cfg.arb_refresh {
+                // channel that is degraded rather than dead. "Missed"
+                // is judged against the interval this round was actually
+                // armed with (backoff included) plus one base RTT, so a
+                // reply still in flight does not count against the
+                // channel.
+                if now >= self.last_response + self.refresh_interval + self.cfg.base_rtt {
                     self.refresh_misses = self.refresh_misses.saturating_add(1);
                     self.degraded_rounds = self.degraded_rounds.saturating_add(1);
                 } else {
@@ -751,7 +836,7 @@ impl FlowAgent for PaseSender {
                     self.degraded_rounds = self.degraded_rounds.saturating_sub(1);
                 }
                 if !self.in_fallback && (self.watchdog_expired(now) || self.channel_degraded()) {
-                    self.enter_fallback();
+                    self.enter_fallback(true);
                 }
                 let _ = self.arbitrate(ctx);
                 self.pump(ctx);

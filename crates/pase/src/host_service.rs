@@ -26,6 +26,7 @@ use netsim::time::{Rate, SimTime};
 use crate::algorithm::{Decision, FlowEntry, LinkArbitrator};
 use crate::config::PaseConfig;
 use crate::messages::{ArbMsg, ArbRequest, ArbResponse, Leg};
+use crate::shed::InboxBudget;
 use crate::tree::TreeInfo;
 
 /// Cached per-flow results from the two legs.
@@ -35,6 +36,9 @@ pub struct LegResults {
     pub sender: Option<Decision>,
     /// Latest receiver-leg response.
     pub receiver: Option<Decision>,
+    /// A leg response arrived carrying the load-shed signal since the
+    /// sender last consumed it (see [`PaseHostService::take_shed`]).
+    pub shed: bool,
 }
 
 /// Where a source must send its arbitration traffic for one flow.
@@ -63,6 +67,9 @@ pub struct PaseHostService {
     /// Generation counter for the periodic lease-GC tick; bumped on
     /// restart so pre-crash ticks die silently.
     gc_epoch: u64,
+    /// Control-inbox meter shared by the two leaf arbitrators (overload
+    /// protection; see [`crate::shed`]).
+    budget: InboxBudget,
 }
 
 impl PaseHostService {
@@ -77,6 +84,7 @@ impl PaseHostService {
             legs: HashMap::new(),
             crashed: false,
             gc_epoch: 0,
+            budget: InboxBudget::new(&cfg),
         }
     }
 
@@ -142,6 +150,21 @@ impl PaseHostService {
         self.legs.get(&flow).copied().unwrap_or_default()
     }
 
+    /// Read and clear the load-shed signal for `flow`. The local sender
+    /// consumes it once per wake-up to drive its refresh backoff.
+    pub fn take_shed(&mut self, flow: FlowId) -> bool {
+        match self.legs.get_mut(&flow) {
+            Some(slot) => core::mem::take(&mut slot.shed),
+            None => false,
+        }
+    }
+
+    /// Whether an injected control storm is amplifying this host's
+    /// arbitrators (tests).
+    pub fn is_stormed(&self) -> bool {
+        self.budget.stormed()
+    }
+
     /// Number of flows tracked by the uplink arbitrator (tests).
     pub fn uplink_flows(&self) -> usize {
         self.uplink.n_flows()
@@ -185,6 +208,7 @@ impl PaseHostService {
                 leg: Leg::Receiver,
                 queue: req.acc_queue,
                 rate: req.acc_rate,
+                shedding: false,
             });
             io.send(Packet::ctrl(
                 req.flow,
@@ -202,30 +226,103 @@ impl HostService for PaseHostService {
             // A crashed control process is a black hole: remote requests
             // and leg responses die here and the senders' watchdogs
             // handle the silence (see [`crate::endpoint`]).
+            io.sim.stats.note_ctrl_lost_to_crash();
             return;
         }
         let Some(msg) = pkt.take_proto::<ArbMsg>() else {
+            io.sim.stats.note_ctrl_unattended();
             return;
         };
-        io.sim.stats.note_ctrl_processed();
+        let now = io.now();
+        let depth = self.budget.charge(now);
+        io.sim.stats.note_ctrl_epoch_depth(self.me, depth);
+        if !self.budget.protected() && self.budget.overflowed(depth) {
+            // Unprotected bounded inbox: silent tail drop of whatever
+            // arrived — responses and FlowDone releases included, so
+            // leases leak until expiry and senders hear nothing but their
+            // watchdogs. This is the failure mode the priority-aware shed
+            // policy exists to prevent.
+            io.sim.stats.note_ctrl_shed(self.me);
+            if io.sim.stats.tracing() {
+                io.sim.stats.trace_event(
+                    now,
+                    &netsim::trace::TraceEvent::Shed {
+                        node: self.me,
+                        flow: pkt.flow,
+                        stale: false,
+                    },
+                );
+            }
+            return;
+        }
         match *msg {
             ArbMsg::Request(req) => {
                 debug_assert_eq!(req.leg, Leg::Receiver, "hosts only serve receiver legs");
+                // Overloaded: shed instead of arbitrating. The reply
+                // carries whatever the leg accumulated so far plus the
+                // load-shed signal, so the sender still gets an answer —
+                // just not a fresh decision — and backs off.
+                let stale = self.downlink.contains(req.flow);
+                if self.budget.should_shed(depth, stale) {
+                    io.sim.stats.note_ctrl_shed(self.me);
+                    if io.sim.stats.tracing() {
+                        io.sim.stats.trace_event(
+                            now,
+                            &netsim::trace::TraceEvent::Shed {
+                                node: self.me,
+                                flow: req.flow,
+                                stale,
+                            },
+                        );
+                    }
+                    io.send(Packet::ctrl(
+                        req.flow,
+                        self.me,
+                        req.reply_to,
+                        Box::new(ArbMsg::Response(ArbResponse {
+                            flow: req.flow,
+                            leg: Leg::Receiver,
+                            queue: req.acc_queue,
+                            rate: req.acc_rate,
+                            shedding: true,
+                        })),
+                    ));
+                    return;
+                }
+                io.sim.stats.note_ctrl_processed(self.me);
                 self.on_receiver_request(req, io);
             }
             ArbMsg::Response(resp) => {
+                io.sim.stats.note_ctrl_processed(self.me);
                 let slot = self.legs.entry(resp.flow).or_default();
-                let d = Decision {
-                    queue: resp.queue,
-                    rate: resp.rate,
-                };
-                match resp.leg {
-                    Leg::Sender => slot.sender = Some(d),
-                    Leg::Receiver => slot.receiver = Some(d),
+                if resp.shedding {
+                    // A shed reply is backpressure, not a decision — its
+                    // queue/rate merely echo what the sender already
+                    // believed. Age the leg out so the flow rides its
+                    // always-fresh local (uplink) arbitration until the
+                    // overloaded arbitrator answers for real: a stale
+                    // crowd-era allocation held across a backed-off
+                    // refresh gap would keep throttling or suppressing
+                    // the flow long after the burst has drained.
+                    match resp.leg {
+                        Leg::Sender => slot.sender = None,
+                        Leg::Receiver => slot.receiver = None,
+                    }
+                } else {
+                    let d = Decision {
+                        queue: resp.queue,
+                        rate: resp.rate,
+                    };
+                    match resp.leg {
+                        Leg::Sender => slot.sender = Some(d),
+                        Leg::Receiver => slot.receiver = Some(d),
+                    }
                 }
+                slot.shed |= resp.shedding;
                 io.wake_flow(resp.flow);
             }
             ArbMsg::FlowDone { flow, src, leg, .. } => {
+                io.sim.stats.note_ctrl_processed(self.me);
                 debug_assert_eq!(leg, Leg::Receiver);
                 self.downlink.remove(flow);
                 // Propagate up the destination half if the flow left the
@@ -247,6 +344,7 @@ impl HostService for PaseHostService {
             }
             ArbMsg::DelegUpdate { .. } | ArbMsg::DelegGrant { .. } => {
                 // Delegation messages never target hosts.
+                io.sim.stats.note_ctrl_processed(self.me);
             }
         }
     }
@@ -279,7 +377,10 @@ impl HostService for PaseHostService {
                 self.uplink.clear();
                 self.downlink.clear();
                 self.legs.clear();
+                self.budget.clear(io.now());
             }
+            NodeFault::CtrlStormStart { amplify } => self.budget.storm_start(amplify),
+            NodeFault::CtrlStormEnd => self.budget.storm_end(),
             NodeFault::Restart => {
                 if !self.crashed {
                     return;

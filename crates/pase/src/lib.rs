@@ -36,6 +36,7 @@ pub mod endpoint;
 pub mod host_service;
 pub mod messages;
 pub mod plugin;
+pub mod shed;
 pub mod tree;
 mod wiring;
 
@@ -45,6 +46,7 @@ pub use endpoint::PaseSender;
 pub use host_service::{ArbPlan, LegResults, PaseHostService};
 pub use messages::{ArbMsg, ArbRequest, ArbResponse, Leg};
 pub use plugin::PaseSwitchPlugin;
+pub use shed::InboxBudget;
 pub use tree::{Level, TreeInfo};
 pub use wiring::install;
 

@@ -63,6 +63,11 @@ pub struct ArbResponse {
     pub queue: u8,
     /// The leg's reference rate (smallest along the leg).
     pub rate: Rate,
+    /// Load-shed signal, piggybacked free of charge (control packets are
+    /// fixed 40-byte): an arbitrator along the leg was over its per-epoch
+    /// budget and answered without arbitrating. Senders seeing this back
+    /// off their refresh cadence multiplicatively.
+    pub shedding: bool,
 }
 
 /// One PASE control message.

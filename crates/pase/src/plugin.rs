@@ -26,6 +26,7 @@ use netsim::time::{Rate, SimTime};
 use crate::algorithm::{FlowEntry, LinkArbitrator};
 use crate::config::PaseConfig;
 use crate::messages::{ArbMsg, ArbRequest, ArbResponse, Leg};
+use crate::shed::InboxBudget;
 use crate::tree::{Level, TreeInfo};
 
 /// Base timer token for the periodic delegation report (child side). The
@@ -60,6 +61,9 @@ pub struct PaseSwitchPlugin {
     /// Generation counter for the periodic lease-GC tick (same restart
     /// discipline as `deleg_epoch`).
     maint_epoch: u64,
+    /// Control-inbox meter shared by every arbitrator this plugin owns
+    /// (overload protection; see [`crate::shed`]).
+    budget: InboxBudget,
 }
 
 impl PaseSwitchPlugin {
@@ -106,6 +110,7 @@ impl PaseSwitchPlugin {
             crashed: false,
             deleg_epoch: 0,
             maint_epoch: 0,
+            budget: InboxBudget::new(&cfg),
         }
     }
 
@@ -132,6 +137,12 @@ impl PaseSwitchPlugin {
     /// (tests).
     pub fn is_crashed(&self) -> bool {
         self.crashed
+    }
+
+    /// Whether an injected control storm is amplifying this arbitrator's
+    /// inbox (tests).
+    pub fn is_stormed(&self) -> bool {
+        self.budget.stormed()
     }
 
     /// Current delegated uplink-slice capacity (tests).
@@ -164,12 +175,13 @@ impl PaseSwitchPlugin {
         !self.tree.same_agg_subtree(req.src, req.dst)
     }
 
-    fn reply(&self, req: &ArbRequest, io: &mut SwitchIo<'_, '_>) {
+    fn reply(&self, req: &ArbRequest, shedding: bool, io: &mut SwitchIo<'_, '_>) {
         let resp = ArbMsg::Response(ArbResponse {
             flow: req.flow,
             leg: req.leg,
             queue: req.acc_queue,
             rate: req.acc_rate,
+            shedding,
         });
         io.send(Packet::ctrl(
             req.flow,
@@ -177,6 +189,17 @@ impl PaseSwitchPlugin {
             req.reply_to,
             Box::new(resp),
         ));
+    }
+
+    /// Whether any arbitrator on this request's leg already holds a live
+    /// entry for the flow (making the request a *stale refresh* — the
+    /// first thing an overloaded arbitrator sheds).
+    fn is_refresh(&self, req: &ArbRequest) -> bool {
+        let (primary, deleg) = match req.leg {
+            Leg::Sender => (self.up.as_ref(), self.deleg_up.as_ref()),
+            Leg::Receiver => (self.down.as_ref(), self.deleg_down.as_ref()),
+        };
+        primary.is_some_and(|a| a.contains(req.flow)) || deleg.is_some_and(|a| a.contains(req.flow))
     }
 
     fn handle_request(&mut self, mut req: ArbRequest, io: &mut SwitchIo<'_, '_>) {
@@ -218,7 +241,7 @@ impl PaseSwitchPlugin {
                 }
             }
         }
-        self.reply(&req, io);
+        self.reply(&req, false, io);
     }
 
     fn handle_flow_done(
@@ -311,25 +334,76 @@ impl SwitchPlugin for PaseSwitchPlugin {
             // A crashed arbitrator is a black hole: requests addressed to
             // it die here, and the sending endpoints' watchdogs handle
             // the silence (see [`crate::endpoint`]).
+            io.sim.stats.note_ctrl_lost_to_crash();
             return;
         }
         let Some(msg) = pkt.take_proto::<ArbMsg>() else {
+            io.sim.stats.note_ctrl_unattended();
             return;
         };
-        io.sim.stats.note_ctrl_processed();
+        let now = io.now();
+        let depth = self.budget.charge(now);
+        io.sim.stats.note_ctrl_epoch_depth(self.me, depth);
+        if !self.budget.protected() && self.budget.overflowed(depth) {
+            // Unprotected bounded inbox: silent tail drop of whatever
+            // arrived — responses and FlowDone releases included, so
+            // leases leak until expiry and senders hear nothing but their
+            // watchdogs. This is the failure mode the priority-aware shed
+            // policy exists to prevent.
+            io.sim.stats.note_ctrl_shed(self.me);
+            if io.sim.stats.tracing() {
+                io.sim.stats.trace_event(
+                    now,
+                    &netsim::trace::TraceEvent::Shed {
+                        node: self.me,
+                        flow: pkt.flow,
+                        stale: false,
+                    },
+                );
+            }
+            return;
+        }
         match *msg {
-            ArbMsg::Request(req) => self.handle_request(req, io),
+            ArbMsg::Request(req) => {
+                // Overloaded: shed instead of arbitrating. The reply
+                // carries whatever the leg accumulated so far plus the
+                // load-shed signal, so the sender still gets an answer —
+                // just not a fresh decision — and backs off. Releases
+                // (`FlowDone`) and delegation traffic are never shed.
+                let stale = self.is_refresh(&req);
+                if self.budget.should_shed(depth, stale) {
+                    io.sim.stats.note_ctrl_shed(self.me);
+                    if io.sim.stats.tracing() {
+                        io.sim.stats.trace_event(
+                            now,
+                            &netsim::trace::TraceEvent::Shed {
+                                node: self.me,
+                                flow: req.flow,
+                                stale,
+                            },
+                        );
+                    }
+                    self.reply(&req, true, io);
+                    return;
+                }
+                io.sim.stats.note_ctrl_processed(self.me);
+                self.handle_request(req, io)
+            }
             ArbMsg::FlowDone {
                 flow,
                 src,
                 dst,
                 leg,
-            } => self.handle_flow_done(flow, src, dst, leg, io),
+            } => {
+                io.sim.stats.note_ctrl_processed(self.me);
+                self.handle_flow_done(flow, src, dst, leg, io)
+            }
             ArbMsg::DelegUpdate {
                 child,
                 up_demand,
                 down_demand,
             } => {
+                io.sim.stats.note_ctrl_processed(self.me);
                 self.child_demands.insert(child, (up_demand, down_demand));
                 self.rebalance_and_grant(child, io);
             }
@@ -337,6 +411,7 @@ impl SwitchPlugin for PaseSwitchPlugin {
                 up_capacity,
                 down_capacity,
             } => {
+                io.sim.stats.note_ctrl_processed(self.me);
                 if let Some(a) = self.deleg_up.as_mut() {
                     a.set_capacity(up_capacity);
                 }
@@ -346,6 +421,7 @@ impl SwitchPlugin for PaseSwitchPlugin {
             }
             ArbMsg::Response(_) => {
                 // Responses are addressed to hosts, never to switches.
+                io.sim.stats.note_ctrl_processed(self.me);
                 debug_assert!(false, "arbitration response delivered to a switch");
             }
         }
@@ -419,7 +495,10 @@ impl SwitchPlugin for PaseSwitchPlugin {
                     a.clear();
                 }
                 self.child_demands.clear();
+                self.budget.clear(io.now());
             }
+            NodeFault::CtrlStormStart { amplify } => self.budget.storm_start(amplify),
+            NodeFault::CtrlStormEnd => self.budget.storm_end(),
             NodeFault::Restart => {
                 if !self.crashed {
                     return;

@@ -606,6 +606,80 @@ fn degraded_control_channel_trips_the_watchdog_and_flows_complete() {
 }
 
 #[test]
+fn sustained_shedding_backs_off_then_trips_fallback_and_completes() {
+    // A control storm amplifies the receiver-side arbitrator's inbox
+    // charge far past its (deliberately tiny) budget, so every refresh of
+    // the remote flow draws a `shedding: true` reply instead of an
+    // arbitration answer. The sender must stretch its refresh cadence
+    // multiplicatively, then — after `watchdog_k` net shed rounds —
+    // degrade to self-adjusting fallback exactly like a dead control
+    // channel. When the storm ends, clean responses resume, fallback
+    // ends, and the flow completes.
+    let cfg = PaseConfig {
+        ctrl_budget_per_epoch: 4,
+        ..cfg()
+    };
+    let (mut sim, hosts) = star_sim_with(4, cfg, &|_| Box::new(pase_qdisc(&cfg, 250, 20)));
+    sim.add_flow(FlowSpec::new(
+        FlowId(0),
+        hosts[0],
+        hosts[3],
+        5_000_000,
+        SimTime::ZERO,
+    ));
+    let plan = FaultPlan::new()
+        .ctrl_storm_start(SimTime::from_micros(500), hosts[3], 64)
+        .ctrl_storm_end(SimTime::from_millis(10), hosts[3]);
+    sim.inject_faults(&plan);
+
+    // Mid-storm: sustained shedding has tripped the fallback.
+    sim.run(until(5));
+    assert!(
+        sim.stats().ctrl_msgs_shed > 0,
+        "the storm must shed requests"
+    );
+    assert!(
+        sim.stats().ctrl_shed_on(hosts[3]) > 0,
+        "shedding happens at the stormed arbitrator"
+    );
+    {
+        let Node::Host(h) = sim.node_mut(hosts[0]) else {
+            panic!()
+        };
+        let s = h.agent_as::<PaseSender>(FlowId(0)).expect("sender live");
+        assert!(
+            s.in_fallback(),
+            "sustained shedding must degrade the flow (shed rounds {})",
+            s.shed_rounds()
+        );
+        assert!(
+            s.shed_backoff() > 0,
+            "shed replies must stretch the refresh cadence"
+        );
+        assert_eq!(
+            s.queue(),
+            cfg.lowest_queue(),
+            "fallback rides the lowest queue"
+        );
+    }
+
+    // Well after the storm: clean responses drain the shed integrator
+    // (exit is hysteretic — one lucky reply mid-storm must not flap the
+    // flow out of fallback and slam its cwnd), fallback ends, and the
+    // flow finishes under restored arbitration. The drain is bounded by
+    // ~2*watchdog_k clean rounds at the backed-off cadence.
+    sim.run(until(25));
+    let (fb, _, _) = sender_state(&mut sim, hosts[0], 0);
+    assert!(!fb, "clean responses after the storm must end fallback");
+    let outcome = sim.run(RunLimit::until_measured_done(SimTime::from_secs(30)));
+    assert_eq!(
+        outcome,
+        RunOutcome::MeasuredComplete,
+        "a shedding control plane must never strand a flow"
+    );
+}
+
+#[test]
 fn total_arbitration_blackout_still_completes() {
     // Drop EVERY control packet: PASE degrades to endpoint-local
     // arbitration plus self-adjustment, and still finishes.

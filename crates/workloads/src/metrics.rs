@@ -32,10 +32,15 @@ pub struct RunMetrics {
     pub loss_rate: f64,
     /// Control-plane packets put on the wire.
     pub ctrl_pkts: u64,
+    /// Control-plane bytes put on the wire (per-scheme bandwidth
+    /// accounting: zero for schemes with no control plane).
+    pub ctrl_bytes: u64,
     /// Control packets per second of simulated time.
     pub ctrl_per_sec: f64,
     /// Control messages processed by arbitrators.
     pub ctrl_processed: u64,
+    /// Control messages shed by overloaded arbitrators.
+    pub ctrl_shed: u64,
     /// Total retransmission timeouts across measured flows.
     pub timeouts: u64,
     /// Total retransmitted bytes across measured flows.
@@ -131,12 +136,14 @@ pub fn collect(sim: &Simulation, outcome: RunOutcome) -> RunMetrics {
         },
         loss_rate: stats.data_loss_rate(),
         ctrl_pkts: stats.ctrl_pkts,
+        ctrl_bytes: stats.ctrl_bytes,
         ctrl_per_sec: if sim_seconds > 0.0 {
             stats.ctrl_pkts as f64 / sim_seconds
         } else {
             0.0
         },
         ctrl_processed: stats.ctrl_msgs_processed,
+        ctrl_shed: stats.ctrl_msgs_shed,
         timeouts,
         retransmitted_bytes: retransmitted,
         probes,
@@ -196,8 +203,10 @@ mod tests {
             app_throughput: None,
             loss_rate: 0.0,
             ctrl_pkts: 0,
+            ctrl_bytes: 0,
             ctrl_per_sec: 0.0,
             ctrl_processed: 0,
+            ctrl_shed: 0,
             timeouts: 0,
             retransmitted_bytes: 0,
             probes: 0,

@@ -143,8 +143,10 @@ pub fn run_seeds(base: RunSpec, seeds: &[u64], jobs: usize) -> RunMetrics {
         app_throughput: app,
         loss_rate: mean(&|m: &RunMetrics| m.loss_rate),
         ctrl_pkts: runs.iter().map(|m| m.ctrl_pkts).sum::<u64>() / runs.len() as u64,
+        ctrl_bytes: runs.iter().map(|m| m.ctrl_bytes).sum::<u64>() / runs.len() as u64,
         ctrl_per_sec: mean(&|m: &RunMetrics| m.ctrl_per_sec),
         ctrl_processed: runs.iter().map(|m| m.ctrl_processed).sum::<u64>() / runs.len() as u64,
+        ctrl_shed: runs.iter().map(|m| m.ctrl_shed).sum::<u64>() / runs.len() as u64,
         timeouts: runs.iter().map(|m| m.timeouts).sum(),
         retransmitted_bytes: runs.iter().map(|m| m.retransmitted_bytes).sum(),
         probes: runs.iter().map(|m| m.probes).sum(),

@@ -148,6 +148,25 @@ impl Scenario {
         }
     }
 
+    /// Extension beyond the paper: all-to-all short flows over the small
+    /// leaf–spine fabric (control-plane overload experiments). Every host
+    /// arbitrates traffic in both directions, so a control storm on any
+    /// arbitrator — endpoint or switch — has senders to pressure.
+    pub fn overload_leaf_spine(hosts_per_leaf: usize, n_flows: usize) -> Scenario {
+        Scenario {
+            name: "overload-leaf-spine",
+            topo: TopologySpec::small_leaf_spine(hosts_per_leaf),
+            pattern: Pattern::AllToAll,
+            sizes: SizeDist::UniformBytes {
+                lo: 2_000,
+                hi: 100_000,
+            },
+            deadlines: None,
+            n_background: 0,
+            n_flows,
+        }
+    }
+
     /// The testbed scenario (Fig. 13b): 9 clients → 1 server, 1 Gbps,
     /// 250 µs RTT, U[100 KB, 500 KB], one background flow.
     pub fn testbed(n_flows: usize) -> Scenario {

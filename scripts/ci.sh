@@ -15,16 +15,19 @@ echo "== cargo test (workspace) =="
 cargo test --workspace -q
 
 # Chaos smoke: 8 fixed seeds x {low,high} x {PASE,DCTCP} x
-# {fabric,host,gray} fault storms at the quick profile, checked by the
-# global invariant oracle. The host class adds NIC flap trains and
-# end-host crash/restart storms; the gray class adds degrade trains
+# {fabric,host,gray,overload} fault storms at the quick profile, checked
+# by the global invariant oracle. The host class adds NIC flap trains
+# and end-host crash/restart storms; the gray class adds degrade trains
 # (stochastic loss, corruption, latency inflation) with health-aware
-# rerouting on; every abort must be attributable to an injected fault.
+# rerouting on; the overload class adds control-plane storms (amplified
+# arbitrator inbox charges plus flash-crowd flows) exercising the
+# bounded-inbox shed path, with no host crashes so every flow must
+# complete; every abort must be attributable to an injected fault.
 # A failing seed prints the exact command line that replays just that
-# case (~24 s for all 96 cases at one job).
+# case (all 128 cases run in well under a minute at one job).
 # JOBS is pinned (default 2) rather than auto-detected so CI timing is
 # reproducible across machines; results are byte-identical either way.
-echo "== chaos smoke (8 seeds, fabric+host+gray, quick, ${JOBS:-2} jobs) =="
+echo "== chaos smoke (8 seeds, fabric+host+gray+overload, quick, ${JOBS:-2} jobs) =="
 ./target/release/chaos --seeds 8 --faults all --quick --jobs "${JOBS:-2}"
 
 # Bench smoke: one quick scenario end-to-end; asserts the harness still
