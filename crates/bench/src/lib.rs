@@ -11,8 +11,15 @@
 //! Scenarios (see `ALL_SCENARIOS`):
 //!
 //! - `sched-storm` — raw [`Scheduler`] push/pop microbenchmark using
-//!   full-size `Deliver` payloads, the heap's worst case: bursts of
-//!   pseudo-randomly timed events are pushed and then drained in rounds.
+//!   full-size `Deliver` payloads allocated from the packet arena:
+//!   bursts of pseudo-randomly timed events are pushed and then drained
+//!   in rounds, with every popped packet released back to the arena so
+//!   the free-list recycling path is on the measured hot loop.
+//! - `wheel-storm` — the timing wheel's own stress profile (explicitly
+//!   pinned to [`EngineKind::Wheel`] regardless of `NETSIM_SCHEDULER`):
+//!   deltas span every wheel level plus the far-future overflow heap, so
+//!   slot redistribution, horizon cascades, and overflow promotion all
+//!   sit on the measured path.
 //! - `incast-pase` / `incast-dctcp` — many-to-one incast on the paper's
 //!   32-host three-tier fat-tree at offered load 0.6, run end-to-end
 //!   through `Simulation::run` (tracing disabled: measures the pure
@@ -41,7 +48,7 @@ use std::time::Instant;
 
 use experiments::chaos::{run_case, FaultClass};
 use netsim::chaos::ChaosIntensity;
-use netsim::engine::Scheduler;
+use netsim::engine::{EngineKind, Scheduler};
 use netsim::event::EventKind;
 use netsim::ids::{FlowId, NodeId};
 use netsim::packet::Packet;
@@ -52,12 +59,14 @@ use workloads::{Pattern, Scenario, Scheme, SizeDist, TopologySpec};
 
 /// Version tag of the emitted JSON document. Bumped whenever the
 /// scenario set or field shapes change (v2 added `gray-storm`, v3 added
-/// `overload-storm`).
-pub const SCHEMA: &str = "netsim-bench/3";
+/// `overload-storm`, v4 added `wheel-storm` and the packet-arena
+/// recycling/peak-outstanding fields).
+pub const SCHEMA: &str = "netsim-bench/4";
 
 /// Every scenario the harness knows, in execution order.
 pub const ALL_SCENARIOS: &[&str] = &[
     "sched-storm",
+    "wheel-storm",
     "incast-pase",
     "incast-dctcp",
     "chaos-storm",
@@ -175,6 +184,12 @@ pub struct BenchResult {
     pub packets_per_sec: f64,
     /// Peak pending-event count (heap high-water mark).
     pub peak_pending: usize,
+    /// Packet-arena allocations served from the free list instead of the
+    /// global heap (identical across iterations).
+    pub arena_recycled: u64,
+    /// Packet-arena high-water mark of simultaneously outstanding
+    /// packets (identical across iterations).
+    pub arena_peak_outstanding: u64,
 }
 
 /// What one timed iteration of a scenario produced.
@@ -183,6 +198,8 @@ struct IterOut {
     events: u64,
     packets: u64,
     peak: usize,
+    arena_recycled: u64,
+    arena_peak: u64,
 }
 
 /// Time `f` for `iters` iterations (plus an optional warmup) and check
@@ -198,16 +215,20 @@ fn measure(
     }
     let mut best = f64::INFINITY;
     let mut total = 0.0;
-    let mut first: Option<(u64, u64)> = None;
+    let mut first: Option<(u64, u64, u64, u64)> = None;
     let mut events = 0;
     let mut packets = 0;
     let mut peak = 0;
+    let mut arena_recycled = 0;
+    let mut arena_peak = 0;
     for _ in 0..iters {
         let out = f();
+        // Arena lifecycle counters are as deterministic as the event
+        // counts, so they share the identical-work assertion.
         match first {
-            None => first = Some((out.events, out.packets)),
+            None => first = Some((out.events, out.packets, out.arena_recycled, out.arena_peak)),
             Some(expect) => assert_eq!(
-                (out.events, out.packets),
+                (out.events, out.packets, out.arena_recycled, out.arena_peak),
                 expect,
                 "scenario {name} executed different work across iterations"
             ),
@@ -217,6 +238,8 @@ fn measure(
         events = out.events;
         packets = out.packets;
         peak = peak.max(out.peak);
+        arena_recycled = out.arena_recycled;
+        arena_peak = out.arena_peak;
     }
     let best = best.max(1e-9);
     BenchResult {
@@ -229,6 +252,8 @@ fn measure(
         events_per_sec: events as f64 / best,
         packets_per_sec: packets as f64 / best,
         peak_pending: peak,
+        arena_recycled,
+        arena_peak_outstanding: arena_peak,
     }
 }
 
@@ -248,18 +273,73 @@ fn sched_storm(quick: bool) -> IterOut {
         for i in 0..per_round {
             let at = base + SimDuration::from_nanos(rng.gen_below(1_000_000));
             let pkt = Packet::data(FlowId(i), NodeId(0), NodeId(1), i * 1460, 1460);
-            sched.schedule_at(at, NodeId((i % 64) as u32), EventKind::deliver(pkt));
+            sched.schedule_deliver(at, NodeId((i % 64) as u32), pkt);
         }
-        while let Some(ev) = sched.pop() {
-            std::hint::black_box(&ev);
+        while let Some((node, kind)) = sched.pop() {
+            std::hint::black_box(node);
+            if let EventKind::Deliver(pkt) = kind {
+                sched.arena_mut().release(pkt);
+            }
             pops += 1;
         }
     }
+    let arena = sched.arena().stats();
     IterOut {
         wall_s: t.elapsed().as_secs_f64(),
         events: pops,
         packets: pops,
         peak: sched.peak_pending(),
+        arena_recycled: arena.recycled,
+        arena_peak: arena.peak_outstanding,
+    }
+}
+
+/// Timing-wheel stress profile: event deltas span every wheel level
+/// (1 ns up to ~2^39 ns ahead of the drain clock) and every 64th event
+/// lands in the far-future overflow heap (2^41+ ns), so slot insertion
+/// at each level, horizon cascades across level boundaries, and
+/// overflow promotion are all exercised. The engine is pinned to the
+/// wheel regardless of `NETSIM_SCHEDULER`, making the scenario a stable
+/// per-engine yardstick next to `sched-storm`'s env-selected engine.
+fn wheel_storm(quick: bool) -> IterOut {
+    let rounds = 8u64;
+    let per_round: u64 = if quick { 10_000 } else { 100_000 };
+    let mut sched = Scheduler::with_engine(EngineKind::Wheel);
+    let mut rng = Rng::seed_from_u64(0x77ee_1b0a);
+    let mut pops = 0u64;
+    let mut clock = SimTime::ZERO;
+    let t = Instant::now();
+    for _ in 0..rounds {
+        let base = clock;
+        for i in 0..per_round {
+            let delta = if i % 64 == 63 {
+                // Far-future: beyond the wheel's 2^40 ns span, into the
+                // overflow heap, later pulled back by window promotion.
+                1u64 << (41 + rng.gen_below(4))
+            } else {
+                1u64 << rng.gen_below(40)
+            };
+            let at = base + SimDuration::from_nanos(delta);
+            let pkt = Packet::data(FlowId(i), NodeId(0), NodeId(1), i * 1460, 1460);
+            sched.schedule_deliver(at, NodeId((i % 64) as u32), pkt);
+        }
+        while let Some((node, kind)) = sched.pop() {
+            std::hint::black_box(node);
+            if let EventKind::Deliver(pkt) = kind {
+                sched.arena_mut().release(pkt);
+            }
+            pops += 1;
+        }
+        clock = sched.now();
+    }
+    let arena = sched.arena().stats();
+    IterOut {
+        wall_s: t.elapsed().as_secs_f64(),
+        events: pops,
+        packets: pops,
+        peak: sched.peak_pending(),
+        arena_recycled: arena.recycled,
+        arena_peak: arena.peak_outstanding,
     }
 }
 
@@ -304,6 +384,8 @@ fn incast(scheme: Scheme, quick: bool) -> IterOut {
         events: sim.stats().events_executed,
         packets: sim.stats().data_pkts_delivered,
         peak: sim.scheduler().peak_pending(),
+        arena_recycled: sim.stats().arena.recycled,
+        arena_peak: sim.stats().arena.peak_outstanding,
     }
 }
 
@@ -323,6 +405,8 @@ fn chaos_storm(fault_class: FaultClass, quick: bool, seeds: u64, jobs: usize) ->
     let mut events = 0u64;
     let mut delivered = 0u64;
     let mut peak = 0usize;
+    let mut arena_recycled = 0u64;
+    let mut arena_peak = 0u64;
     for r in &results {
         assert!(
             r.passed(),
@@ -335,12 +419,16 @@ fn chaos_storm(fault_class: FaultClass, quick: bool, seeds: u64, jobs: usize) ->
         events += 2 * r.events;
         delivered += 2 * r.delivered;
         peak = peak.max(r.peak_pending);
+        arena_recycled += 2 * r.arena_recycled;
+        arena_peak = arena_peak.max(r.arena_peak_outstanding);
     }
     IterOut {
         wall_s,
         events,
         packets: delivered,
         peak,
+        arena_recycled,
+        arena_peak,
     }
 }
 
@@ -352,6 +440,7 @@ pub fn run(opts: &BenchOpts) -> Vec<BenchResult> {
     for name in opts.selected() {
         let r = match name {
             "sched-storm" => measure(name, opts.iters, warmup, || sched_storm(opts.quick)),
+            "wheel-storm" => measure(name, opts.iters, warmup, || wheel_storm(opts.quick)),
             "incast-pase" => measure(name, opts.iters, warmup, || {
                 incast(Scheme::Pase, opts.quick)
             }),
@@ -375,8 +464,16 @@ pub fn run(opts: &BenchOpts) -> Vec<BenchResult> {
             other => unreachable!("unknown scenario {other}"),
         };
         eprintln!(
-            "bench {:>12}: {:>10.3} ms, {:>9} events, {:>11.0} events/s, {:>10.0} pkts/s, peak {}",
-            r.name, r.wall_ms, r.events, r.events_per_sec, r.packets_per_sec, r.peak_pending
+            "bench {:>12}: {:>10.3} ms, {:>9} events, {:>11.0} events/s, {:>10.0} pkts/s, \
+             peak {}, arena peak {} ({} recycled)",
+            r.name,
+            r.wall_ms,
+            r.events,
+            r.events_per_sec,
+            r.packets_per_sec,
+            r.peak_pending,
+            r.arena_peak_outstanding,
+            r.arena_recycled
         );
         results.push(r);
     }
@@ -403,7 +500,8 @@ pub fn render_json(results: &[BenchResult], opts: &BenchOpts) -> String {
             "    {{\"name\": \"{}\", \"iters\": {}, \"wall_ms\": {:.3}, \
              \"wall_ms_mean\": {:.3}, \"events\": {}, \"packets\": {}, \
              \"events_per_sec\": {:.1}, \"packets_per_sec\": {:.1}, \
-             \"peak_pending_events\": {}}}{}\n",
+             \"peak_pending_events\": {}, \"arena_recycled\": {}, \
+             \"arena_peak_outstanding\": {}}}{}\n",
             r.name,
             r.iters,
             r.wall_ms,
@@ -413,6 +511,8 @@ pub fn render_json(results: &[BenchResult], opts: &BenchOpts) -> String {
             r.events_per_sec,
             r.packets_per_sec,
             r.peak_pending,
+            r.arena_recycled,
+            r.arena_peak_outstanding,
             if i + 1 == results.len() { "" } else { "," }
         ));
     }
@@ -468,6 +568,59 @@ pub fn validate_json(s: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Extract the numeric value of `"key": <number>` from one scenario
+/// line. Returns `None` when the key is absent or the value is not a
+/// bare number.
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\": ");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Full report check: structural JSON validity ([`validate_json`]) plus
+/// per-scenario semantic consistency. A report is rejected when any
+/// scenario claims a mean wall time below its best iteration
+/// (`wall_ms_mean < wall_ms` — the mean of a set can't undercut its
+/// minimum), a non-positive `events_per_sec`, or omits
+/// `peak_pending_events`. These were exactly the internally inconsistent
+/// shapes the old structural-only validator waved through.
+pub fn validate_report(s: &str) -> Result<(), String> {
+    validate_json(s)?;
+    for line in s.lines() {
+        let line = line.trim_start();
+        if !line.starts_with("{\"name\": ") {
+            continue;
+        }
+        let name = line
+            .strip_prefix("{\"name\": \"")
+            .and_then(|r| r.split('"').next())
+            .unwrap_or("<unnamed>");
+        let wall_ms = field_num(line, "wall_ms")
+            .ok_or_else(|| format!("{name}: missing or non-numeric wall_ms"))?;
+        let wall_ms_mean = field_num(line, "wall_ms_mean")
+            .ok_or_else(|| format!("{name}: missing or non-numeric wall_ms_mean"))?;
+        // Rendered at three decimals, so allow half an ulp of slack.
+        if wall_ms_mean < wall_ms - 5e-4 {
+            return Err(format!(
+                "{name}: wall_ms_mean {wall_ms_mean} below best-iteration wall_ms {wall_ms}"
+            ));
+        }
+        let eps = field_num(line, "events_per_sec")
+            .ok_or_else(|| format!("{name}: missing or non-numeric events_per_sec"))?;
+        if eps <= 0.0 {
+            return Err(format!("{name}: non-positive events_per_sec {eps}"));
+        }
+        if field_num(line, "peak_pending_events").is_none() {
+            return Err(format!("{name}: missing peak_pending_events"));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -489,15 +642,16 @@ mod tests {
             assert!(r.events_per_sec > 0.0, "{} has no throughput", r.name);
         }
         let json = render_json(&results, &opts);
-        validate_json(&json).expect("rendered document must be valid JSON");
+        validate_report(&json).expect("rendered document must be a consistent report");
         assert!(
-            json.contains("\"schema\": \"netsim-bench/3\""),
+            json.contains("\"schema\": \"netsim-bench/4\""),
             "document must carry the current schema tag"
         );
         for name in ALL_SCENARIOS {
             assert!(json.contains(name), "{name} missing from JSON");
         }
         assert!(json.contains("\"events_per_sec\""));
+        assert!(json.contains("\"arena_peak_outstanding\""));
         assert!(json.contains(&format!("\"jobs\": {}", opts.jobs)));
         assert!(json.contains("\"detected_cores\": "));
     }
@@ -509,6 +663,63 @@ mod tests {
         assert!(validate_json("{\"a\": \"unterminated}").is_err());
         assert!(validate_json("{\"a\": NaN}").is_err());
         assert!(validate_json("[1, 2]").is_err());
+    }
+
+    /// A syntactically plausible result whose rendering passes
+    /// [`validate_report`] untouched — each rejection test tampers with
+    /// exactly one field.
+    fn sample_report() -> String {
+        let r = BenchResult {
+            name: "sched-storm",
+            iters: 3,
+            wall_ms: 10.0,
+            wall_ms_mean: 12.5,
+            events: 1_000,
+            packets: 1_000,
+            events_per_sec: 100_000.0,
+            packets_per_sec: 100_000.0,
+            peak_pending: 64,
+            arena_recycled: 900,
+            arena_peak_outstanding: 64,
+        };
+        render_json(&[r], &BenchOpts::default())
+    }
+
+    #[test]
+    fn report_validator_accepts_consistent_report() {
+        validate_report(&sample_report()).expect("sample report is consistent");
+    }
+
+    /// The mean of a set of iterations can never be below its minimum;
+    /// a report claiming so is lying about one of the two.
+    #[test]
+    fn report_validator_rejects_mean_below_best() {
+        let bad = sample_report().replace("\"wall_ms_mean\": 12.500", "\"wall_ms_mean\": 9.000");
+        let err = validate_report(&bad).expect_err("mean below best must be rejected");
+        assert!(err.contains("wall_ms_mean"), "wrong rejection: {err}");
+        // Structural validation alone waves this through — the semantic
+        // layer is what catches it.
+        validate_json(&bad).expect("still structurally valid JSON");
+    }
+
+    #[test]
+    fn report_validator_rejects_nonpositive_events_per_sec() {
+        let bad =
+            sample_report().replace("\"events_per_sec\": 100000.0", "\"events_per_sec\": 0.0");
+        let err = validate_report(&bad).expect_err("zero throughput must be rejected");
+        assert!(err.contains("events_per_sec"), "wrong rejection: {err}");
+        validate_json(&bad).expect("still structurally valid JSON");
+    }
+
+    #[test]
+    fn report_validator_rejects_missing_peak_pending() {
+        let bad = sample_report().replace("\"peak_pending_events\"", "\"peak_pending_evts\"");
+        let err = validate_report(&bad).expect_err("missing peak_pending_events must be rejected");
+        assert!(
+            err.contains("peak_pending_events"),
+            "wrong rejection: {err}"
+        );
+        validate_json(&bad).expect("still structurally valid JSON");
     }
 
     #[test]

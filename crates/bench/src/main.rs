@@ -12,7 +12,7 @@ fn main() {
     let opts = bench::BenchOpts::from_args(std::env::args().skip(1));
     let results = bench::run(&opts);
     let json = bench::render_json(&results, &opts);
-    bench::validate_json(&json).expect("rendered benchmark document must be valid JSON");
+    bench::validate_report(&json).expect("rendered benchmark document must be a consistent report");
     if let Some(path) = &opts.out {
         std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
         eprintln!("bench results written to {}", path.display());

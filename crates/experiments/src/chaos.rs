@@ -278,6 +278,12 @@ pub struct CaseResult {
     pub ctrl_shed: u64,
     /// Largest weighted per-epoch inbox depth any arbitrator saw.
     pub ctrl_peak_depth: u64,
+    /// High-water mark of simultaneously outstanding arena packets in one
+    /// run of the case.
+    pub arena_peak_outstanding: u64,
+    /// Arena allocations served from the free list instead of the global
+    /// heap in one run of the case.
+    pub arena_recycled: u64,
 }
 
 impl CaseResult {
@@ -346,6 +352,13 @@ fn stats_fingerprint(sim: &Simulation) -> u64 {
         st.ctrl_pkts_corrupted,
         st.ctrl_lost_to_crash,
         st.ctrl_unattended,
+        // Arena lifecycle counters are a pure function of the event
+        // sequence, so they must match across scheduler engines and job
+        // counts just like every other stat.
+        st.arena.allocated,
+        st.arena.recycled,
+        st.arena.released,
+        st.arena.peak_outstanding,
     ] {
         push(&mut bytes, v);
     }
@@ -530,6 +543,8 @@ fn run_once(
             .map(|(_, d)| d)
             .max()
             .unwrap_or(0),
+        arena_peak_outstanding: sim.stats().arena.peak_outstanding,
+        arena_recycled: sim.stats().arena.recycled,
     }
 }
 
@@ -709,6 +724,8 @@ mod tests {
                 ctrl_processed: 0,
                 ctrl_shed: 0,
                 ctrl_peak_depth: 0,
+                arena_peak_outstanding: 0,
+                arena_recycled: 0,
             };
             let cmd = replay_command(&r, quick);
             let args = cmd

@@ -1,36 +1,136 @@
 //! The discrete-event scheduler.
 //!
-//! A binary heap keyed on `(time, seq)` gives a total, deterministic order
-//! over events: ties in simulated time fire in scheduling order. Handlers
-//! receive a [`Ctx`] giving them the clock, the scheduler (to post future
-//! events) and the stats collector — but never another node's state, so all
-//! inter-node interaction flows through events, mirroring a real network.
+//! Two interchangeable event-queue engines give a total, deterministic
+//! order over events keyed on `(time, seq)` — ties in simulated time fire
+//! in scheduling order:
+//!
+//! - [`EngineKind::Wheel`] (default): a hierarchical timing wheel
+//!   ([`crate::wheel`]) with O(1) amortized schedule/pop.
+//! - [`EngineKind::Heap`]: the original binary heap, kept as the
+//!   reference implementation for differential tests and as an escape
+//!   hatch (`NETSIM_SCHEDULER=heap`).
+//!
+//! Both engines produce byte-identical traces; `scripts/ci.sh` holds them
+//! to that with a dual-engine chaos pass.
+//!
+//! The scheduler also owns the [`PacketArena`] that recycles packet boxes
+//! across the injection → wire → delivery lifecycle, so steady-state
+//! simulation does not allocate per packet.
+//!
+//! Handlers receive a [`Ctx`] giving them the clock, the scheduler (to
+//! post future events) and the stats collector — but never another node's
+//! state, so all inter-node interaction flows through events, mirroring a
+//! real network.
 
 use std::collections::BinaryHeap;
+use std::sync::OnceLock;
 
 use crate::event::{EventKind, ScheduledEvent};
 use crate::ids::NodeId;
+use crate::packet::{Packet, PacketArena};
 use crate::stats::StatsCollector;
 use crate::time::{SimDuration, SimTime};
+use crate::wheel::{TimingWheel, DEFAULT_TICK_SHIFT};
+
+/// Which event-queue implementation a [`Scheduler`] runs on.
+///
+/// Selected by `NETSIM_SCHEDULER` (`heap` | `wheel`; unset means wheel)
+/// for whole-process runs, or explicitly via
+/// [`Scheduler::with_engine`] for differential tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Reference binary heap: O(log n) per op, minimal constant factor.
+    Heap,
+    /// Hierarchical timing wheel: O(1) amortized schedule/pop.
+    Wheel,
+}
+
+impl EngineKind {
+    /// The process-wide engine choice from `NETSIM_SCHEDULER`, cached on
+    /// first use so every scheduler in a run agrees.
+    pub fn from_env() -> EngineKind {
+        static CHOICE: OnceLock<EngineKind> = OnceLock::new();
+        *CHOICE.get_or_init(|| match std::env::var("NETSIM_SCHEDULER") {
+            Ok(v) if v == "heap" => EngineKind::Heap,
+            Ok(v) if v == "wheel" || v.is_empty() => EngineKind::Wheel,
+            Ok(v) => panic!("NETSIM_SCHEDULER must be `heap` or `wheel`, got `{v}`"),
+            Err(_) => EngineKind::Wheel,
+        })
+    }
+}
+
+/// Wheel tick granularity from `NETSIM_WHEEL_TICK_NS` (rounded up to a
+/// power of two, at most 2^20 ns), defaulting to 256 ns.
+fn tick_shift_from_env() -> u32 {
+    static SHIFT: OnceLock<u32> = OnceLock::new();
+    *SHIFT.get_or_init(|| match std::env::var("NETSIM_WHEEL_TICK_NS") {
+        Err(_) => DEFAULT_TICK_SHIFT,
+        Ok(v) if v.is_empty() => DEFAULT_TICK_SHIFT,
+        Ok(v) => {
+            let ns: u64 = v
+                .parse()
+                .unwrap_or_else(|_| panic!("NETSIM_WHEEL_TICK_NS must be an integer, got `{v}`"));
+            assert!(
+                (1..=1 << 20).contains(&ns),
+                "NETSIM_WHEEL_TICK_NS must be in 1..=2^20, got {ns}"
+            );
+            ns.next_power_of_two().trailing_zeros()
+        }
+    })
+}
+
+/// The two storage engines behind [`Scheduler`].
+#[derive(Debug)]
+enum EventQueue {
+    Heap(BinaryHeap<ScheduledEvent>),
+    Wheel(TimingWheel),
+}
 
 /// The event queue and clock.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Scheduler {
-    heap: BinaryHeap<ScheduledEvent>,
+    queue: EventQueue,
+    engine: EngineKind,
     next_seq: u64,
     now: SimTime,
     peak_pending: usize,
+    arena: PacketArena,
+}
+
+impl Default for Scheduler {
+    fn default() -> Self {
+        Scheduler::new()
+    }
 }
 
 impl Scheduler {
-    /// An empty scheduler at time zero.
+    /// An empty scheduler at time zero, on the engine `NETSIM_SCHEDULER`
+    /// selects (the timing wheel unless overridden).
     pub fn new() -> Self {
+        Scheduler::with_engine(EngineKind::from_env())
+    }
+
+    /// An empty scheduler at time zero on an explicit engine, bypassing
+    /// the environment: this is what the differential harness uses to run
+    /// heap and wheel side by side in one process.
+    pub fn with_engine(engine: EngineKind) -> Self {
+        let queue = match engine {
+            EngineKind::Heap => EventQueue::Heap(BinaryHeap::new()),
+            EngineKind::Wheel => EventQueue::Wheel(TimingWheel::new(tick_shift_from_env())),
+        };
         Scheduler {
-            heap: BinaryHeap::new(),
+            queue,
+            engine,
             next_seq: 0,
             now: SimTime::ZERO,
             peak_pending: 0,
+            arena: PacketArena::new(),
         }
+    }
+
+    /// Which engine this scheduler runs on.
+    pub fn engine(&self) -> EngineKind {
+        self.engine
     }
 
     /// Current simulated time.
@@ -40,25 +140,42 @@ impl Scheduler {
 
     /// Number of pending events.
     pub fn pending(&self) -> usize {
-        self.heap.len()
+        match &self.queue {
+            EventQueue::Heap(h) => h.len(),
+            EventQueue::Wheel(w) => w.len(),
+        }
     }
 
     /// High-water mark of the pending-event count over the scheduler's
-    /// lifetime (peak heap size; memory-pressure figure for benchmarks).
+    /// lifetime (peak queue size; memory-pressure figure for benchmarks).
     pub fn peak_pending(&self) -> usize {
         self.peak_pending
     }
 
-    /// Pre-allocate heap room for `additional` more pending events.
+    /// The packet arena recycling `Box<Packet>` storage for this run.
+    pub fn arena(&self) -> &PacketArena {
+        &self.arena
+    }
+
+    /// Mutable access to the packet arena (allocation and release sites).
+    pub fn arena_mut(&mut self) -> &mut PacketArena {
+        &mut self.arena
+    }
+
+    /// Pre-allocate room for `additional` more pending events.
     ///
     /// Bulk schedulers ([`Scheduler::schedule_batch`],
     /// [`crate::sim::Simulation::add_flows`]) call this so an arrival
     /// burst costs one allocation instead of a growth-doubling series.
+    /// The wheel engine spreads events over per-slot buckets and takes no
+    /// useful hint, so this is a no-op there.
     pub fn reserve(&mut self, additional: usize) {
-        self.heap.reserve(additional);
+        if let EventQueue::Heap(h) = &mut self.queue {
+            h.reserve(additional);
+        }
     }
 
-    /// Schedule a batch of `(time, target, kind)` events, reserving heap
+    /// Schedule a batch of `(time, target, kind)` events, reserving
     /// capacity up front. Semantically identical to calling
     /// [`Scheduler::schedule_at`] per item in iteration order (the batch
     /// members get consecutive sequence numbers, so same-instant ties
@@ -68,8 +185,11 @@ impl Scheduler {
         I: IntoIterator<Item = (SimTime, NodeId, EventKind)>,
     {
         let events = events.into_iter();
-        let (lo, hi) = events.size_hint();
-        self.reserve(hi.unwrap_or(lo));
+        // Reserve only the lower bound: an upper bound can be inflated
+        // (or absent) for adapters and filters, and over-reserving by a
+        // huge hint aborts on capacity overflow. Growth handles the rest.
+        let (lo, _hi) = events.size_hint();
+        self.reserve(lo);
         for (at, target, kind) in events {
             self.schedule_at(at, target, kind);
         }
@@ -85,25 +205,44 @@ impl Scheduler {
     pub fn schedule_at(&mut self, at: SimTime, target: NodeId, kind: EventKind) {
         assert!(
             at >= self.now,
-            "scheduling into the past: {at} < {}",
+            "scheduling into the past: {} event for node {} at {at} < now {}",
+            kind.name(),
+            target.0,
             self.now
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(ScheduledEvent {
+        let ev = ScheduledEvent {
             time: at,
             seq,
             target,
             kind,
-        });
-        if self.heap.len() > self.peak_pending {
-            self.peak_pending = self.heap.len();
+        };
+        match &mut self.queue {
+            EventQueue::Heap(h) => h.push(ev),
+            EventQueue::Wheel(w) => w.push(ev),
+        }
+        let pending = self.pending();
+        if pending > self.peak_pending {
+            self.peak_pending = pending;
         }
     }
 
     /// Schedule `kind` to fire on `target` after `delay`.
     pub fn schedule_in(&mut self, delay: SimDuration, target: NodeId, kind: EventKind) {
         self.schedule_at(self.now + delay, target, kind);
+    }
+
+    /// Allocate `pkt` from the scheduler's arena and schedule its
+    /// delivery at `target` at absolute time `at`.
+    ///
+    /// This is the allocation-free way to inject packets straight into
+    /// the event queue (test harnesses, benchmarks); the host/switch
+    /// deliver paths return the box to the same arena, so a drained run
+    /// ends with zero outstanding packets.
+    pub fn schedule_deliver(&mut self, at: SimTime, target: NodeId, pkt: Packet) {
+        let boxed = self.arena.alloc(pkt);
+        self.schedule_at(at, target, EventKind::Deliver(boxed));
     }
 
     /// Pop the next event, advancing the clock to its timestamp.
@@ -114,15 +253,33 @@ impl Scheduler {
     /// Panics if the queue yields an event timestamped before `now`
     /// (in every build profile; see [`Scheduler::schedule_at`]).
     pub fn pop(&mut self) -> Option<(NodeId, EventKind)> {
-        let ev = self.heap.pop()?;
-        assert!(ev.time >= self.now, "event queue went backwards");
+        let ev = match &mut self.queue {
+            EventQueue::Heap(h) => h.pop(),
+            EventQueue::Wheel(w) => w.pop(),
+        }?;
+        assert!(
+            ev.time >= self.now,
+            "event queue went backwards: {} event for node {} at {} behind now {}",
+            ev.kind.name(),
+            ev.target.0,
+            ev.time,
+            self.now
+        );
         self.now = ev.time;
         Some((ev.target, ev.kind))
     }
 
     /// Peek at the timestamp of the next event without firing it.
-    pub fn next_event_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+    ///
+    /// Takes `&mut self` because the wheel engine may advance its horizon
+    /// to locate the next slot; the observable state (pop order, clock)
+    /// is untouched. Amortized O(1), so the run loop can consult it every
+    /// iteration when enforcing a time limit.
+    pub fn next_event_time(&mut self) -> Option<SimTime> {
+        match &mut self.queue {
+            EventQueue::Heap(h) => h.peek().map(|e| e.time),
+            EventQueue::Wheel(w) => w.peek_time(),
+        }
     }
 
     /// Iterate over every pending event in unspecified order.
@@ -131,7 +288,11 @@ impl Scheduler {
     /// that are "on the wire" (scheduled [`EventKind::Deliver`]s) and
     /// timers that prove a flow can still make progress.
     pub fn pending_events(&self) -> impl Iterator<Item = (SimTime, NodeId, &EventKind)> {
-        self.heap.iter().map(|e| (e.time, e.target, &e.kind))
+        let it: Box<dyn Iterator<Item = &ScheduledEvent>> = match &self.queue {
+            EventQueue::Heap(h) => Box::new(h.iter()),
+            EventQueue::Wheel(w) => Box::new(w.iter()),
+        };
+        it.map(|e| (e.time, e.target, &e.kind))
     }
 }
 
@@ -164,6 +325,23 @@ impl<'a> Ctx<'a> {
     pub fn schedule(&mut self, delay: SimDuration, target: NodeId, kind: EventKind) {
         self.sched.schedule_in(delay, target, kind);
     }
+
+    /// Box `pkt` in recycled arena storage (the injection half of the
+    /// packet lifecycle; see [`crate::packet::PacketArena`]).
+    pub fn alloc_packet(&mut self, pkt: Packet) -> Box<Packet> {
+        self.sched.arena_mut().alloc(pkt)
+    }
+
+    /// Return a packet box to the arena (terminal drop/blackhole sites).
+    pub fn release_packet(&mut self, pkt: Box<Packet>) {
+        self.sched.arena_mut().release(pkt);
+    }
+
+    /// Move the packet out of its box and recycle the storage (terminal
+    /// delivery-to-consumer sites).
+    pub fn take_packet(&mut self, pkt: Box<Packet>) -> Packet {
+        self.sched.arena_mut().take(pkt)
+    }
 }
 
 #[cfg(test)]
@@ -195,17 +373,19 @@ mod tests {
 
     #[test]
     fn same_time_events_fire_in_scheduling_order() {
-        let mut s = Scheduler::new();
-        for i in 0..10u64 {
-            s.schedule_at(
-                SimTime::from_micros(1),
-                NodeId(i as u32),
-                EventKind::PluginTimer(i),
-            );
-        }
-        for i in 0..10u64 {
-            let (n, _) = s.pop().unwrap();
-            assert_eq!(n, NodeId(i as u32));
+        for engine in [EngineKind::Heap, EngineKind::Wheel] {
+            let mut s = Scheduler::with_engine(engine);
+            for i in 0..10u64 {
+                s.schedule_at(
+                    SimTime::from_micros(1),
+                    NodeId(i as u32),
+                    EventKind::PluginTimer(i),
+                );
+            }
+            for i in 0..10u64 {
+                let (n, _) = s.pop().unwrap();
+                assert_eq!(n, NodeId(i as u32));
+            }
         }
     }
 
@@ -248,6 +428,35 @@ mod tests {
     }
 
     #[test]
+    fn past_scheduling_panic_names_the_event_and_clock() {
+        let err = std::panic::catch_unwind(|| {
+            let mut s = Scheduler::with_engine(EngineKind::Heap);
+            s.schedule_at(
+                SimTime::from_micros(100),
+                NodeId(3),
+                EventKind::PluginTimer(0),
+            );
+            s.pop().unwrap();
+            s.schedule_at(
+                SimTime::from_micros(50),
+                NodeId(3),
+                EventKind::PluginTimer(1),
+            );
+        })
+        .expect_err("past scheduling must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("panic payload is a formatted string");
+        for needle in ["scheduling into the past", "PluginTimer", "node 3", "now"] {
+            assert!(
+                msg.contains(needle),
+                "panic message {msg:?} lacks {needle:?}"
+            );
+        }
+    }
+
+    #[test]
     fn schedule_batch_matches_sequential_semantics() {
         let mut batched = Scheduler::new();
         batched.schedule_batch((0..100u64).map(|i| {
@@ -281,6 +490,41 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    /// An adapter reporting a wildly inflated upper bound (as `chain`ed
+    /// or filtered iterators legitimately can). Before the lower-bound
+    /// fix, `schedule_batch` passed this straight to `reserve` and
+    /// aborted on capacity overflow.
+    struct InflatedHint<I>(I);
+
+    impl<I: Iterator> Iterator for InflatedHint<I> {
+        type Item = I::Item;
+        fn next(&mut self) -> Option<Self::Item> {
+            self.0.next()
+        }
+        fn size_hint(&self) -> (usize, Option<usize>) {
+            (0, Some(usize::MAX))
+        }
+    }
+
+    #[test]
+    fn schedule_batch_survives_inflated_size_hints() {
+        for engine in [EngineKind::Heap, EngineKind::Wheel] {
+            let mut s = Scheduler::with_engine(engine);
+            s.schedule_batch(InflatedHint((0..10u64).map(|i| {
+                (
+                    SimTime::from_micros(i),
+                    NodeId(0),
+                    EventKind::PluginTimer(i),
+                )
+            })));
+            for i in 0..10u64 {
+                let (_, k) = s.pop().expect("event scheduled");
+                assert!(matches!(k, EventKind::PluginTimer(t) if t == i));
+            }
+            assert!(s.pop().is_none());
         }
     }
 }

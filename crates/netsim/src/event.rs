@@ -51,6 +51,20 @@ impl EventKind {
     pub fn flow_start(spec: FlowSpec) -> EventKind {
         EventKind::FlowStart(Box::new(spec))
     }
+
+    /// The variant name, for diagnostics: the scheduler's causal-order
+    /// panics quote it so a chaos-sweep failure is attributable to an
+    /// event kind straight from the message.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::Deliver(_) => "Deliver",
+            EventKind::TxComplete(_) => "TxComplete",
+            EventKind::AgentTimer { .. } => "AgentTimer",
+            EventKind::PluginTimer(_) => "PluginTimer",
+            EventKind::FlowStart(_) => "FlowStart",
+            EventKind::Fault(_) => "Fault",
+        }
+    }
 }
 
 /// An event scheduled for execution.

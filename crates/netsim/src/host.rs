@@ -132,9 +132,11 @@ impl<'a, 'b> AgentCtx<'a, 'b> {
             PacketKind::Data => self.sim.stats.note_data_injected(),
             _ => {}
         }
-        // Injection is where a packet is boxed, once; it stays in this
-        // allocation through every queue and hop until consumed.
-        self.host.port.send(Box::new(pkt), self.sim);
+        // Injection is where a packet is boxed, once; the arena recycles
+        // the allocation when the packet is consumed or dropped, so
+        // steady-state sends do not touch the global allocator.
+        let boxed = self.sim.alloc_packet(pkt);
+        self.host.port.send(boxed, self.sim);
     }
 
     /// Arrange for [`FlowAgent::on_timer`] to fire after `delay` with
@@ -198,7 +200,8 @@ impl<'a, 'b, 'c> HostIo<'a, 'b, 'c> {
             PacketKind::Data => self.sim.stats.note_data_injected(),
             _ => {}
         }
-        self.host.port.send(Box::new(pkt), self.sim);
+        let boxed = self.sim.alloc_packet(pkt);
+        self.host.port.send(boxed, self.sim);
     }
 
     /// Arrange for [`HostService::on_timer`] to fire after `delay`.
@@ -421,6 +424,7 @@ impl Host {
                 PacketKind::Ctrl => ctx.stats.note_ctrl_lost_to_crash(),
                 _ => {}
             }
+            ctx.release_packet(pkt);
             return;
         }
         if pkt.corrupted {
@@ -445,6 +449,7 @@ impl Host {
                     },
                 );
             }
+            ctx.release_packet(pkt);
             return;
         }
         if pkt.kind == PacketKind::Data {
@@ -458,18 +463,26 @@ impl Host {
                 // No host service to interpret it: account the message so
                 // the control-plane conservation law still closes.
                 ctx.stats.note_ctrl_unattended();
+                ctx.release_packet(pkt);
                 return;
             }
-            self.run_service(ctx, |svc, io| svc.on_ctrl(*pkt, io));
+            self.run_service(ctx, move |svc, io| {
+                let pkt = io.sim.take_packet(pkt);
+                svc.on_ctrl(pkt, io);
+            });
             return;
         }
         let flow = pkt.flow;
         // Hot path: hand the packet to the flow's live agent. It rides in
         // an Option so the closure can move it out while the host keeps
-        // it when no agent exists (first packet of a new flow).
+        // it when no agent exists (first packet of a new flow). The box
+        // is recycled into the arena at the consumption site.
         let mut arriving = Some(pkt);
         if self.run_agent(flow, ctx, |agent, actx| {
-            agent.on_packet(*arriving.take().expect("packet present"), actx);
+            let pkt = actx
+                .sim
+                .take_packet(arriving.take().expect("packet present"));
+            agent.on_packet(pkt, actx);
         }) {
             return;
         }
@@ -484,14 +497,16 @@ impl Host {
                 };
                 let agent = self.factory.receiver(hint);
                 // Start, then deliver the packet.
-                self.install_and_run(flow, agent, ctx, |agent, actx| {
+                self.install_and_run(flow, agent, ctx, move |agent, actx| {
                     agent.on_start(actx);
-                    agent.on_packet(*pkt, actx);
+                    let pkt = actx.sim.take_packet(pkt);
+                    agent.on_packet(pkt, actx);
                 });
             }
             PacketKind::Ctrl => unreachable!("handled above"),
             PacketKind::Ack | PacketKind::ProbeAck => {
                 // ACK for a flow that already completed; ignore.
+                ctx.release_packet(pkt);
             }
         }
     }

@@ -86,6 +86,9 @@ pub enum Invariant {
     MonotonicTime,
     /// A port queue exceeded the configured occupancy bound.
     QueueBound,
+    /// Arena-outstanding packet count disagrees with the packets actually
+    /// held in ports and on the wire (a leaked or double-released box).
+    ArenaBalance,
 }
 
 impl core::fmt::Display for Invariant {
@@ -96,6 +99,7 @@ impl core::fmt::Display for Invariant {
             Invariant::StuckFlow => "stuck-flow",
             Invariant::MonotonicTime => "monotonic-time",
             Invariant::QueueBound => "queue-bound",
+            Invariant::ArenaBalance => "arena-balance",
         };
         f.write_str(name)
     }

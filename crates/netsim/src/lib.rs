@@ -86,15 +86,17 @@ pub mod switch;
 pub mod time;
 pub mod topology;
 pub mod trace;
+mod wheel;
 
 /// The types most users need, in one import.
 pub mod prelude {
     pub use crate::chaos::{ChaosConfig, ChaosIntensity};
+    pub use crate::engine::{EngineKind, Scheduler};
     pub use crate::fault::{DegradeProfile, FaultEvent, FaultPlan};
     pub use crate::flow::FlowSpec;
     pub use crate::ids::{FlowId, LinkId, NodeId, PortId};
     pub use crate::invariants::{InvariantConfig, InvariantReport};
-    pub use crate::packet::{Packet, PacketKind};
+    pub use crate::packet::{ArenaStats, Packet, PacketArena, PacketKind};
     pub use crate::queue::{DropTailQdisc, Qdisc, RedEcnQdisc, StrictPrioQdisc};
     pub use crate::rng::Rng;
     pub use crate::sim::{RunLimit, RunOutcome, Simulation};

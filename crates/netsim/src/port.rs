@@ -114,6 +114,7 @@ impl Port {
         if !self.up {
             self.drops_while_down += 1;
             Self::record_drop(&pkt, ctx);
+            ctx.release_packet(pkt);
             return;
         }
         let is_data = pkt.kind == PacketKind::Data;
@@ -125,6 +126,7 @@ impl Port {
             }
             Enqueued::RejectedArrival(dropped) => {
                 Self::record_drop(&dropped, ctx);
+                ctx.release_packet(dropped);
             }
             Enqueued::Evicted(victim) => {
                 // The arrival was accepted; a resident was pushed out.
@@ -132,6 +134,7 @@ impl Port {
                     ctx.stats.note_data_enqueued();
                 }
                 Self::record_drop(&victim, ctx);
+                ctx.release_packet(victim);
             }
         }
         if self.in_flight.is_none() {
@@ -165,6 +168,7 @@ impl Port {
         while let Some(pkt) = self.qdisc.dequeue(now) {
             self.drops_while_down += 1;
             Self::record_drop(&pkt, ctx);
+            ctx.release_packet(pkt);
         }
     }
 
@@ -277,6 +281,7 @@ impl Port {
         if !self.up {
             self.drops_while_down += 1;
             Self::record_drop(&pkt, ctx);
+            ctx.release_packet(pkt);
             return;
         }
         // Gray-failure draws, in a fixed per-packet order (loss, then
@@ -289,6 +294,7 @@ impl Port {
                 self.degrade_drops += 1;
                 self.note_health_sample(false);
                 Self::record_drop(&pkt, ctx);
+                ctx.release_packet(pkt);
                 self.start_tx(ctx);
                 return;
             }

@@ -151,8 +151,10 @@ impl Simulation {
         I: IntoIterator<Item = FlowSpec>,
     {
         let flows = flows.into_iter();
-        let (lo, hi) = flows.size_hint();
-        self.sched.reserve(hi.unwrap_or(lo));
+        // Lower bound only: upper bounds can be inflated or absent (see
+        // `Scheduler::schedule_batch`), and growth handles the remainder.
+        let (lo, _hi) = flows.size_hint();
+        self.sched.reserve(lo);
         for spec in flows {
             self.add_flow(spec);
         }
@@ -287,6 +289,21 @@ impl Simulation {
     pub fn run(&mut self, limit: RunLimit) -> RunOutcome {
         let outcome = self.run_inner(limit);
         self.stats.flush_tracer();
+        self.stats.arena = self.sched.arena().stats();
+        if outcome == RunOutcome::Drained {
+            // Nothing is queued, in flight, or on the wire anymore, so
+            // every arena packet must have been released: a nonzero count
+            // here is a leaked box (a drop/consume path that forgot to
+            // return it), which would silently defeat the recycling.
+            assert_eq!(
+                self.sched.arena().outstanding(),
+                0,
+                "packet arena leak: {} packets still outstanding after a drained run \
+                 ({:?})",
+                self.sched.arena().outstanding(),
+                self.sched.arena().stats(),
+            );
+        }
         outcome
     }
 
@@ -352,9 +369,15 @@ impl Simulation {
         let mut evidence = ProgressEvidence::default();
         let mut in_net = InNetwork::default();
         let mut ctrl_in_net = InNetwork::default();
+        // Arena balance: every outstanding arena box must be somewhere we
+        // can see — held by a port (queued or serializing) or riding a
+        // pending Deliver event. Packets of *all* kinds count here, unlike
+        // the per-plane conservation terms below.
+        let mut held_in_ports = 0u64;
         Self::for_each_port(&self.nodes, &mut |node, port| {
             port.for_each_held(&mut |pkt| {
                 evidence.note_flow(pkt.flow);
+                held_in_ports += 1;
                 match pkt.kind {
                     PacketKind::Data => in_net.in_ports += 1,
                     PacketKind::Ctrl => ctrl_in_net.in_ports += 1,
@@ -373,14 +396,30 @@ impl Simulation {
                 });
             }
         });
+        let mut on_wire_total = 0u64;
         for (_, target, kind) in self.sched.pending_events() {
             evidence.note_event(target, kind);
+            if matches!(kind, EventKind::Deliver(_)) {
+                on_wire_total += 1;
+            }
             if is_data_deliver(kind) {
                 in_net.on_wire += 1;
             }
             if is_ctrl_deliver(kind) {
                 ctrl_in_net.on_wire += 1;
             }
+        }
+
+        let outstanding = self.sched.arena().outstanding();
+        if outstanding != (held_in_ports + on_wire_total) as i64 {
+            violations.push(Violation {
+                at: now,
+                invariant: Invariant::ArenaBalance,
+                detail: format!(
+                    "arena outstanding {outstanding} != {held_in_ports} packets held \
+                     in ports + {on_wire_total} on the wire",
+                ),
+            });
         }
 
         ConservationTerms {

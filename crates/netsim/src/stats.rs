@@ -125,6 +125,9 @@ pub struct StatsCollector {
     ctrl_peak_epoch_by_node: BTreeMap<NodeId, u64>,
     /// Total events executed (engine counter, for benchmarking).
     pub events_executed: u64,
+    /// Packet-arena counters, published by [`crate::sim::Simulation::run`]
+    /// when it returns (zero until the first run completes).
+    pub arena: crate::packet::ArenaStats,
     /// Optional trace sink; see [`crate::trace`].
     tracer: Option<Box<dyn TraceSink>>,
 }

@@ -164,7 +164,8 @@ impl<'a, 'b> SwitchIo<'a, 'b> {
             record_blackhole(self.id, &pkt, self.sim);
             return;
         };
-        self.ports[port.index()].send(Box::new(pkt), self.sim);
+        let boxed = self.sim.alloc_packet(pkt);
+        self.ports[port.index()].send(boxed, self.sim);
     }
 
     /// The capacity of one of this switch's links.
@@ -349,6 +350,7 @@ impl Switch {
                         },
                     );
                 }
+                ctx.release_packet(pkt);
                 return;
             }
             // Addressed to this switch: control-plane traffic.
@@ -356,14 +358,19 @@ impl Switch {
                 // No arbitrator to interpret it: account the message so
                 // the control-plane conservation law still closes.
                 ctx.stats.note_ctrl_unattended();
+                ctx.release_packet(pkt);
                 return;
             }
-            self.with_plugin(ctx, |plugin, io| plugin.on_ctrl(*pkt, io));
+            self.with_plugin(ctx, move |plugin, io| {
+                let pkt = io.sim.take_packet(pkt);
+                plugin.on_ctrl(pkt, io);
+            });
             return;
         }
         let Some(out) = self.route(pkt.dst, pkt.flow) else {
             self.blackhole_drops += 1;
             record_blackhole(self.id, &pkt, ctx);
+            ctx.release_packet(pkt);
             return;
         };
         if self.plugin.is_some() {
@@ -381,6 +388,7 @@ impl Switch {
                 Verdict::Consume => {
                     let pkt = moved.take().expect("packet present");
                     ctx.stats.note_plugin_consumed(&pkt);
+                    ctx.release_packet(pkt);
                 }
             }
         } else {

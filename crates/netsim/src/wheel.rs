@@ -1,0 +1,353 @@
+//! Hierarchical timing wheel: the O(1)-amortized event queue behind
+//! [`crate::engine::Scheduler`]'s wheel engine.
+//!
+//! # Layout
+//!
+//! Timestamps are bucketed into *ticks* of `1 << tick_shift` nanoseconds
+//! (256 ns by default). Four wheel levels of 256 slots each cover the next
+//! `2^32` ticks (~18 minutes at the default tick) above the wheel's
+//! *horizon* `H`; level `l` buckets events by digit `l` of their tick in
+//! base 256. Everything beyond the top level's span sits in an `overflow`
+//! min-heap, and everything already earlier than the horizon sits in a
+//! small `ready` min-heap that pops in exact `(time, seq)` order.
+//!
+//! # Invariants
+//!
+//! - Every stored event has `tick >= H` except those in `ready`
+//!   (`tick < H`), so `ready`'s min is always the global min.
+//! - An event at level `l`, slot `d` shares all base-256 digits above `l`
+//!   with `H` and has digit `l` equal to `d` (different from `H`'s, for
+//!   `l > 0`). Overflow events differ from `H` above the top level.
+//! - For every level `l >= 1`, slot `(l, digit_l(H))` is empty: whenever
+//!   the horizon's carry rolls a high digit, [`TimingWheel::cascade`]
+//!   immediately redistributes the slots the new horizon points at. This
+//!   is what makes "lowest occupied level holds the earliest event" true
+//!   even right after a carry.
+//!
+//! A slot holds every event of one tick, possibly many distinct
+//! nanosecond timestamps; that is fine because a drained slot is poured
+//! into `ready`, which re-establishes the exact `(time, seq)` order. The
+//! pop sequence is therefore *identical* to the binary heap's — the
+//! differential tests in `tests/scheduler_order.rs` and the dual-engine
+//! chaos pass in `scripts/ci.sh` hold the two engines to byte-equality.
+
+use std::collections::BinaryHeap;
+
+use crate::event::ScheduledEvent;
+use crate::time::SimTime;
+
+/// Default tick granularity: `1 << 8` = 256 ns per tick.
+pub(crate) const DEFAULT_TICK_SHIFT: u32 = 8;
+
+/// log2 of the slot count per level.
+const SLOT_BITS: u32 = 8;
+/// Slots per wheel level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Wheel levels; ticks beyond `2^(SLOT_BITS*LEVELS)` from the horizon's
+/// window go to the overflow heap.
+const LEVELS: u32 = 4;
+/// Mask extracting one base-`SLOTS` digit.
+const DIGIT_MASK: u64 = (SLOTS as u64) - 1;
+
+/// The wheel proper. See the module docs for the structure and the
+/// invariants; [`crate::engine::Scheduler`] owns exactly one of these (or
+/// a `BinaryHeap`, for the reference engine) and is the only user.
+#[derive(Debug)]
+pub(crate) struct TimingWheel {
+    tick_shift: u32,
+    /// `LEVELS * SLOTS` buckets, level-major.
+    slots: Vec<Vec<ScheduledEvent>>,
+    /// Events per level, to skip empty levels without scanning 256 slots.
+    occupancy: [usize; LEVELS as usize],
+    /// Events with `tick < horizon`, in exact pop order (min-heap via
+    /// `ScheduledEvent`'s reversed `Ord`).
+    ready: BinaryHeap<ScheduledEvent>,
+    /// Events too far in the future for any wheel level.
+    overflow: BinaryHeap<ScheduledEvent>,
+    /// Wheel origin, in ticks. Only ever advances.
+    horizon: u64,
+    len: usize,
+}
+
+impl TimingWheel {
+    pub(crate) fn new(tick_shift: u32) -> TimingWheel {
+        assert!(
+            tick_shift <= 20,
+            "wheel tick must be at most 2^20 ns (~1 ms), got shift {tick_shift}"
+        );
+        TimingWheel {
+            tick_shift,
+            slots: (0..LEVELS as usize * SLOTS).map(|_| Vec::new()).collect(),
+            occupancy: [0; LEVELS as usize],
+            ready: BinaryHeap::new(),
+            overflow: BinaryHeap::new(),
+            horizon: 0,
+            len: 0,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    fn tick_of(&self, t: SimTime) -> u64 {
+        t.as_nanos() >> self.tick_shift
+    }
+
+    fn digit(tick: u64, level: u32) -> usize {
+        ((tick >> (SLOT_BITS * level)) & DIGIT_MASK) as usize
+    }
+
+    pub(crate) fn push(&mut self, ev: ScheduledEvent) {
+        self.len += 1;
+        self.insert(ev);
+    }
+
+    /// File `ev` under the level/slot (or heap) its tick calls for,
+    /// without touching `len` — also used to re-file events when a slot
+    /// is redistributed.
+    fn insert(&mut self, ev: ScheduledEvent) {
+        let tick = self.tick_of(ev.time);
+        if tick < self.horizon {
+            // Already inside the served window (e.g. scheduled for "now"
+            // mid-pop): ready orders it exactly.
+            self.ready.push(ev);
+            return;
+        }
+        let differing = tick ^ self.horizon;
+        let level = if differing == 0 {
+            0
+        } else {
+            (63 - differing.leading_zeros()) / SLOT_BITS
+        };
+        if level >= LEVELS {
+            self.overflow.push(ev);
+            return;
+        }
+        self.slots[level as usize * SLOTS + Self::digit(tick, level)].push(ev);
+        self.occupancy[level as usize] += 1;
+    }
+
+    /// Pop the earliest event (by `(time, seq)`), or `None` when empty.
+    pub(crate) fn pop(&mut self) -> Option<ScheduledEvent> {
+        if self.ready.is_empty() && !self.refill() {
+            return None;
+        }
+        let ev = self.ready.pop();
+        debug_assert!(ev.is_some(), "refill reported events but ready is empty");
+        if ev.is_some() {
+            self.len -= 1;
+        }
+        ev
+    }
+
+    /// Timestamp of the earliest event without removing it. `&mut`
+    /// because it may advance the horizon to pull the next slot into
+    /// `ready`; amortized O(1) like [`TimingWheel::pop`].
+    pub(crate) fn peek_time(&mut self) -> Option<SimTime> {
+        if self.ready.is_empty() && !self.refill() {
+            return None;
+        }
+        self.ready.peek().map(|e| e.time)
+    }
+
+    /// Every pending event, in unspecified order.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = &ScheduledEvent> {
+        self.ready
+            .iter()
+            .chain(self.slots.iter().flatten())
+            .chain(self.overflow.iter())
+    }
+
+    /// Advance the horizon to the earliest pending tick and pour that
+    /// tick's slot into `ready`. Returns `false` iff the wheel (slots and
+    /// overflow both) is empty.
+    fn refill(&mut self) -> bool {
+        loop {
+            if self.occupancy[0] > 0 {
+                // Level-0 events all live at digits >= digit_0(H): they
+                // share the digits above with H and their tick is >= H.
+                let start = Self::digit(self.horizon, 0);
+                for d in start..SLOTS {
+                    if self.slots[d].is_empty() {
+                        continue;
+                    }
+                    let drained = std::mem::take(&mut self.slots[d]);
+                    self.occupancy[0] -= drained.len();
+                    self.ready.extend(drained);
+                    // The skipped slots were empty, so nothing pending
+                    // lives below the new horizon.
+                    self.horizon = (self.horizon & !DIGIT_MASK) + d as u64 + 1;
+                    if d + 1 == SLOTS {
+                        // The +1 carried into digit 1 (possibly further):
+                        // redistribute the slots the new horizon points
+                        // at before anything else is served, or a later
+                        // insert into a low level could leapfrog them.
+                        self.cascade();
+                    }
+                    return true;
+                }
+                unreachable!("level-0 occupancy is nonzero but every slot scanned empty");
+            }
+            // Level 0 is dry. The earliest pending event is at the lowest
+            // occupied level (higher levels differ from H in a higher
+            // digit, putting them strictly later): enter its first
+            // occupied slot and redistribute it downward.
+            if let Some(level) = (1..LEVELS).find(|&l| self.occupancy[l as usize] > 0) {
+                let start = Self::digit(self.horizon, level);
+                let d = (start..SLOTS)
+                    .find(|&d| !self.slots[level as usize * SLOTS + d].is_empty())
+                    .expect("level occupancy is nonzero but every slot scanned empty");
+                let drained = std::mem::take(&mut self.slots[level as usize * SLOTS + d]);
+                self.occupancy[level as usize] -= drained.len();
+                if d > start {
+                    // Jump the horizon to the start of the slot's window:
+                    // digit `level` becomes `d`, lower digits zero. The
+                    // levels below are empty and slots between `start`
+                    // and `d` are empty, so nothing is skipped.
+                    let span = SLOT_BITS * level;
+                    let kept = self.horizon >> (span + SLOT_BITS) << (span + SLOT_BITS);
+                    self.horizon = kept | ((d as u64) << span);
+                }
+                for ev in drained {
+                    self.insert(ev);
+                }
+                continue;
+            }
+            // Wheels are empty: promote the overflow window containing
+            // the earliest far-future event. Everything in overflow is
+            // at `tick >= H`, so the max() keeps the horizon monotone.
+            let Some(first) = self.overflow.peek() else {
+                return false;
+            };
+            let window = SLOT_BITS * LEVELS;
+            let aligned = (self.tick_of(first.time) >> window) << window;
+            self.horizon = self.horizon.max(aligned);
+            let prefix = self.horizon >> window;
+            while let Some(ev) = self.overflow.peek() {
+                if self.tick_of(ev.time) >> window != prefix {
+                    break;
+                }
+                let ev = self.overflow.pop().expect("peeked event vanished");
+                self.insert(ev);
+            }
+        }
+    }
+
+    /// After a carry rolled digit 1 (and possibly higher digits) of the
+    /// horizon, re-file every slot the new horizon points at, top level
+    /// first so events step down one level at a time. Restores the
+    /// "slot `(l, digit_l(H))` is empty" invariant.
+    fn cascade(&mut self) {
+        for level in (1..LEVELS).rev() {
+            if self.occupancy[level as usize] == 0 {
+                continue;
+            }
+            let idx = level as usize * SLOTS + Self::digit(self.horizon, level);
+            if self.slots[idx].is_empty() {
+                continue;
+            }
+            let drained = std::mem::take(&mut self.slots[idx]);
+            self.occupancy[level as usize] -= drained.len();
+            for ev in drained {
+                self.insert(ev);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use crate::ids::NodeId;
+
+    fn ev(t_ns: u64, seq: u64) -> ScheduledEvent {
+        ScheduledEvent {
+            time: SimTime::from_nanos(t_ns),
+            seq,
+            target: NodeId(0),
+            kind: EventKind::PluginTimer(seq),
+        }
+    }
+
+    fn drain(w: &mut TimingWheel) -> Vec<(u64, u64)> {
+        std::iter::from_fn(|| w.pop())
+            .map(|e| (e.time.as_nanos(), e.seq))
+            .collect()
+    }
+
+    #[test]
+    fn pops_in_time_then_seq_order_across_levels() {
+        let mut w = TimingWheel::new(DEFAULT_TICK_SHIFT);
+        // Same tick, distinct nanoseconds; distant ticks; overflow range.
+        let times = [
+            3u64,
+            1,
+            2,
+            300,           // level 0, later slot
+            70_000,        // level 1
+            20_000_000,    // level 2
+            6_000_000_000, // level 3 (6 s)
+            u64::MAX / 2,  // overflow
+            1,             // tie with seq 1 -> fires after it
+        ];
+        for (seq, &t) in times.iter().enumerate() {
+            w.push(ev(t, seq as u64));
+        }
+        let got = drain(&mut w);
+        let mut want: Vec<(u64, u64)> = times
+            .iter()
+            .enumerate()
+            .map(|(s, &t)| (t, s as u64))
+            .collect();
+        want.sort();
+        assert_eq!(got, want);
+        assert_eq!(w.len(), 0);
+    }
+
+    #[test]
+    fn carry_across_level_boundary_keeps_order() {
+        let tick = 1u64 << DEFAULT_TICK_SHIFT;
+        let mut w = TimingWheel::new(DEFAULT_TICK_SHIFT);
+        // Park the horizon just before a digit-1 rollover, with an event
+        // waiting in the slot the carry will expose.
+        let boundary = 256 * tick; // digit 1 becomes 1
+        w.push(ev(boundary - tick, 0)); // last slot of the first window
+        w.push(ev(boundary + 5, 1)); // just past the carry
+        assert_eq!(w.pop().unwrap().seq, 0);
+        // Insert after the carry, earlier than the parked event.
+        w.push(ev(boundary + 1, 2));
+        assert_eq!(
+            drain(&mut w),
+            vec![(boundary + 1, 2), (boundary + 5, 1)],
+            "stale slot exposed by the carry must not be leapfrogged"
+        );
+    }
+
+    #[test]
+    fn overflow_window_promotion_is_ordered() {
+        let mut w = TimingWheel::new(DEFAULT_TICK_SHIFT);
+        let window_ns = 1u64 << (DEFAULT_TICK_SHIFT + SLOT_BITS * LEVELS);
+        w.push(ev(3 * window_ns + 7, 0));
+        w.push(ev(window_ns + 1, 1));
+        w.push(ev(5, 2));
+        assert_eq!(
+            drain(&mut w),
+            vec![(5, 2), (window_ns + 1, 1), (3 * window_ns + 7, 0)]
+        );
+    }
+
+    #[test]
+    fn peek_matches_pop_and_is_stable() {
+        let mut w = TimingWheel::new(DEFAULT_TICK_SHIFT);
+        for seq in 0..100u64 {
+            w.push(ev(seq * 9973 % 50_000, seq));
+        }
+        while let Some(t) = w.peek_time() {
+            assert_eq!(w.peek_time(), Some(t));
+            assert_eq!(w.pop().unwrap().time, t);
+        }
+        assert_eq!(w.len(), 0);
+    }
+}

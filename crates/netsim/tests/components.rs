@@ -178,15 +178,10 @@ fn ctrl_packets_route_to_service_and_wake_agents() {
     // Two ctrl packets addressed to host 0, tagged with flow 3 (delivered
     // directly, as if they had just crossed host 0's access link).
     for (t, payload) in [(1u64, 7u32), (2, 8)] {
-        sim.scheduler_mut().schedule_at(
+        sim.scheduler_mut().schedule_deliver(
             SimTime::from_micros(t),
             hosts[0],
-            EventKind::deliver(Packet::ctrl(
-                FlowId(3),
-                hosts[1],
-                hosts[0],
-                Box::new(payload),
-            )),
+            Packet::ctrl(FlowId(3), hosts[1], hosts[0], Box::new(payload)),
         );
     }
     sim.run(RunLimit::default());
@@ -301,10 +296,10 @@ fn ctrl_loss_burst_kills_exactly_the_burst_window() {
     // push four ctrl packets through the switch.
     sim.inject_faults(&FaultPlan::new().ctrl_loss_burst(SimTime::from_nanos(1), sw, hosts[1], 2));
     for t in 2u64..6 {
-        sim.scheduler_mut().schedule_at(
+        sim.scheduler_mut().schedule_deliver(
             SimTime::from_micros(t),
             sw,
-            EventKind::deliver(Packet::ctrl(FlowId(7), hosts[0], hosts[1], Box::new(t))),
+            Packet::ctrl(FlowId(7), hosts[0], hosts[1], Box::new(t)),
         );
     }
     sim.run(RunLimit::default());
@@ -366,10 +361,10 @@ fn plugin_can_consume_packets_and_run_timers() {
     sim.scheduler_mut()
         .schedule_at(SimTime::from_micros(1), sw, EventKind::PluginTimer(9));
     // A probe that should be eaten, and a data flow that should pass.
-    sim.scheduler_mut().schedule_at(
+    sim.scheduler_mut().schedule_deliver(
         SimTime::ZERO,
         hosts[0],
-        EventKind::deliver(Packet::ack(FlowId(9), hosts[1], hosts[0], 0)), // stale ack: ignored
+        Packet::ack(FlowId(9), hosts[1], hosts[0], 0), // stale ack: ignored
     );
     sim.add_flow(FlowSpec::new(
         FlowId(0),
@@ -379,10 +374,10 @@ fn plugin_can_consume_packets_and_run_timers() {
         SimTime::ZERO,
     ));
     // Inject a probe through the switch.
-    sim.scheduler_mut().schedule_at(
+    sim.scheduler_mut().schedule_deliver(
         SimTime::from_micros(3),
         sw,
-        EventKind::deliver(Packet::probe(FlowId(5), hosts[0], hosts[1], 0)),
+        Packet::probe(FlowId(5), hosts[0], hosts[1], 0),
     );
     sim.run(RunLimit::default());
     let Node::Switch(s) = sim.node_mut(sw) else {

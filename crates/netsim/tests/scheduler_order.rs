@@ -3,10 +3,11 @@
 //! exact order they were scheduled, regardless of how many pile up —
 //! this is the tie-break every deterministic-replay guarantee rests on.
 
-use netsim::engine::Scheduler;
+use netsim::engine::{EngineKind, Scheduler};
 use netsim::event::EventKind;
 use netsim::ids::{FlowId, NodeId};
-use netsim::time::SimTime;
+use netsim::rng::Rng;
+use netsim::time::{SimDuration, SimTime};
 
 fn timer(token: u64) -> EventKind {
     EventKind::AgentTimer {
@@ -96,4 +97,140 @@ fn batch_scheduling_preserves_tie_order() {
             (x, y) => panic!("schedulers diverged: {x:?} vs {y:?}"),
         }
     }
+}
+
+/// Drive the heap and wheel engines through one identical randomized op
+/// stream, asserting identical pop sequences and clocks after every op.
+///
+/// The op mix covers everything the wheel handles specially: same-instant
+/// ties, near-future events spread across every wheel level, far-future
+/// timers that land in the overflow heap (hours to years out), batches,
+/// and schedule-during-pop (new events posted at the instant the clock
+/// just reached, below the wheel's served horizon).
+fn differential_run(seed: u64, ops: usize) {
+    let mut heap = Scheduler::with_engine(EngineKind::Heap);
+    let mut wheel = Scheduler::with_engine(EngineKind::Wheel);
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut next_token = 0u64;
+    let mut pending = 0usize;
+    let mut tie_time = SimTime::ZERO;
+    for _ in 0..ops {
+        match rng.gen_below(10) {
+            // Near-future: deltas spanning ns to minutes so inserts hit
+            // every wheel level (tick 256 ns, four 256-slot levels).
+            0..=3 => {
+                let delta = SimDuration::from_nanos(1u64 << rng.gen_below(38));
+                let at = heap.now() + delta;
+                let tok = next_token;
+                next_token += 1;
+                heap.schedule_at(at, NodeId((tok % 97) as u32), timer(tok));
+                wheel.schedule_at(at, NodeId((tok % 97) as u32), timer(tok));
+                if tok.is_multiple_of(3) {
+                    tie_time = at; // revisit this instant for a tie later
+                }
+                pending += 1;
+            }
+            // Same-instant tie on a previously used future timestamp.
+            4 => {
+                if tie_time >= heap.now() {
+                    let tok = next_token;
+                    next_token += 1;
+                    heap.schedule_at(tie_time, NodeId(7), timer(tok));
+                    wheel.schedule_at(tie_time, NodeId(7), timer(tok));
+                    pending += 1;
+                }
+            }
+            // Far future: force the wheel's overflow heap (> ~18 min).
+            5 => {
+                let delta = SimDuration::from_nanos(1u64 << (41 + rng.gen_below(8)));
+                let at = heap.now() + delta;
+                let tok = next_token;
+                next_token += 1;
+                heap.schedule_at(at, NodeId(0), timer(tok));
+                wheel.schedule_at(at, NodeId(0), timer(tok));
+                pending += 1;
+            }
+            // Batch with consecutive seqs and internal ties.
+            6 => {
+                let n = rng.gen_below(8) + 2;
+                let base = heap.now() + SimDuration::from_nanos(rng.gen_below(1 << 20));
+                let evs: Vec<(SimTime, NodeId, u64)> = (0..n)
+                    .map(|i| {
+                        let tok = next_token + i;
+                        (base + SimDuration::from_nanos(i / 2), NodeId(1), tok)
+                    })
+                    .collect();
+                next_token += n;
+                heap.schedule_batch(evs.iter().map(|&(t, nd, tok)| (t, nd, timer(tok))));
+                wheel.schedule_batch(evs.iter().map(|&(t, nd, tok)| (t, nd, timer(tok))));
+                pending += n as usize;
+            }
+            // Pop, then sometimes schedule at the just-reached instant
+            // (schedule-during-pop: lands below the wheel's horizon).
+            _ => {
+                assert_eq!(heap.next_event_time(), wheel.next_event_time());
+                let (h, w) = (heap.pop(), wheel.pop());
+                match (h, w) {
+                    (None, None) => assert_eq!(pending, 0),
+                    (Some((hn, hk)), Some((wn, wk))) => {
+                        pending -= 1;
+                        assert_eq!(heap.now(), wheel.now(), "clocks diverged");
+                        assert_eq!(hn, wn, "targets diverged at {}", heap.now());
+                        assert_eq!(token_of(&hk), token_of(&wk), "tokens diverged");
+                        if rng.gen_below(4) == 0 {
+                            let tok = next_token;
+                            next_token += 1;
+                            heap.schedule_at(heap.now(), hn, timer(tok));
+                            wheel.schedule_at(wheel.now(), wn, timer(tok));
+                            pending += 1;
+                        }
+                    }
+                    (x, y) => panic!("engines diverged: {x:?} vs {y:?}"),
+                }
+            }
+        }
+    }
+    // Drain both to the end: every remaining event must match too.
+    loop {
+        assert_eq!(heap.next_event_time(), wheel.next_event_time());
+        match (heap.pop(), wheel.pop()) {
+            (None, None) => break,
+            (Some((hn, hk)), Some((wn, wk))) => {
+                assert_eq!(heap.now(), wheel.now());
+                assert_eq!((hn, token_of(&hk)), (wn, token_of(&wk)));
+            }
+            (x, y) => panic!("engines diverged in drain: {x:?} vs {y:?}"),
+        }
+    }
+}
+
+/// The differential property test the wheel engine's correctness rests
+/// on: 12k randomized ops per seed, eight seeds.
+#[test]
+fn wheel_and_heap_engines_pop_identically() {
+    for seed in 0..8u64 {
+        differential_run(0x5eed_0000 + seed, 12_000);
+    }
+}
+
+/// Dense ties at one far-future instant cross the overflow promotion and
+/// every cascade level in one hop, and must still pop FIFO.
+#[test]
+fn far_future_ties_survive_overflow_promotion() {
+    let mut wheel = Scheduler::with_engine(EngineKind::Wheel);
+    let far = SimTime::from_secs(86_400); // a day out: overflow range
+    for tok in 0..1000u64 {
+        wheel.schedule_at(far, NodeId(0), timer(tok));
+    }
+    // One even-farther event to keep the overflow heap non-empty across
+    // the promotion.
+    wheel.schedule_at(SimTime::from_secs(365 * 86_400), NodeId(1), timer(1000));
+    for tok in 0..1000u64 {
+        let (_, kind) = wheel.pop().expect("event present");
+        assert_eq!(wheel.now(), far);
+        assert_eq!(token_of(&kind), tok, "far-future ties broke FIFO");
+    }
+    let (n, kind) = wheel.pop().expect("year-out timer survives");
+    assert_eq!((n, token_of(&kind)), (NodeId(1), 1000));
+    assert!(wheel.pop().is_none());
 }

@@ -30,12 +30,32 @@ cargo test --workspace -q
 echo "== chaos smoke (8 seeds, fabric+host+gray+overload, quick, ${JOBS:-2} jobs) =="
 ./target/release/chaos --seeds 8 --faults all --quick --jobs "${JOBS:-2}"
 
-# Bench smoke: one quick scenario end-to-end; asserts the harness still
-# runs and emits valid JSON (throughput numbers are NOT checked here —
-# CI machines are too noisy for perf gates; see scripts/bench.sh). The
+# Scheduler-engine differential: the same 8-seed chaos slice under the
+# binary-heap engine and the timing-wheel engine must produce identical
+# per-case trace hashes and stats fingerprints — the wheel is a drop-in
+# replacement for the heap, not approximately one. The per-case stderr
+# lines (`--verbose`) carry both hashes, so a plain diff is the oracle.
+echo "== scheduler differential (heap vs wheel, 8 seeds, quick) =="
+difftmp="$(mktemp -d)"
+trap 'rm -rf "$difftmp"' EXIT
+NETSIM_SCHEDULER=heap ./target/release/chaos --seeds 8 --faults all --quick \
+    --jobs "${JOBS:-2}" --verbose 2>&1 | grep '^chaos ' > "$difftmp/heap.txt"
+NETSIM_SCHEDULER=wheel ./target/release/chaos --seeds 8 --faults all --quick \
+    --jobs "${JOBS:-2}" --verbose 2>&1 | grep '^chaos ' > "$difftmp/wheel.txt"
+if ! diff -u "$difftmp/heap.txt" "$difftmp/wheel.txt"; then
+    echo "FAIL: heap and wheel engines diverged (trace/stats hashes above)" >&2
+    exit 1
+fi
+echo "   $(wc -l < "$difftmp/heap.txt") cases byte-identical across engines"
+
+# Bench smoke: two quick scenarios end-to-end (the env-selected engine
+# and the pinned-wheel stress profile); asserts the harness still runs
+# and emits a consistent report (throughput numbers are NOT checked here
+# — CI machines are too noisy for perf gates; see scripts/bench.sh). The
 # pinned job count is recorded in the emitted document's "jobs" field.
-echo "== bench smoke (sched-storm, quick) =="
-./target/release/netsim-bench --quick --scenario sched-storm --jobs "${JOBS:-2}" >/dev/null
+echo "== bench smoke (sched-storm + wheel-storm, quick) =="
+./target/release/netsim-bench --quick --scenario sched-storm,wheel-storm \
+    --jobs "${JOBS:-2}" >/dev/null
 
 if cargo fmt --version >/dev/null 2>&1; then
     echo "== cargo fmt --check =="
