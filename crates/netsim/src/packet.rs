@@ -305,10 +305,13 @@ impl PacketArena {
     }
 
     /// Return a box whose packet is no longer needed (drop sites).
-    pub fn release(&mut self, b: Box<Packet>) {
+    pub fn release(&mut self, mut b: Box<Packet>) {
         self.released += 1;
         self.outstanding -= 1;
         if self.free.len() < FREE_LIST_CAP {
+            // Drop the packet's owned data (`proto` box, ...) now rather
+            // than pinning it until the box is reused or the arena drops.
+            *b = scratch_packet();
             self.free.push(b);
         }
     }
@@ -373,6 +376,22 @@ mod tests {
         assert_eq!(st.released, 2);
         assert_eq!(st.peak_outstanding, 2);
         assert_eq!(arena.outstanding(), 2);
+    }
+
+    #[test]
+    fn release_drops_owned_payload_immediately() {
+        use std::sync::Arc;
+        let (f, a, b) = ids();
+        let mut arena = PacketArena::new();
+        let marker = Arc::new(());
+        let pkt = arena.alloc(Packet::ctrl(f, a, b, Box::new(Arc::clone(&marker))));
+        assert_eq!(Arc::strong_count(&marker), 2);
+        arena.release(pkt);
+        assert_eq!(
+            Arc::strong_count(&marker),
+            1,
+            "released packet's proto payload must drop at release, not at box reuse"
+        );
     }
 
     #[test]

@@ -23,6 +23,13 @@
 //!   immediately redistributes the slots the new horizon points at. This
 //!   is what makes "lowest occupied level holds the earliest event" true
 //!   even right after a carry.
+//! - Whenever the horizon's top-level window prefix changes — by a carry
+//!   rolling past the top level or by an explicit overflow-window jump —
+//!   [`TimingWheel::promote_overflow_window`] immediately files every
+//!   overflow event inside the new window into the wheel, keeping the
+//!   "overflow differs from `H` above the top level" invariant true so a
+//!   later insert into a wheel level can never leapfrog a stranded
+//!   overflow event.
 //!
 //! A slot holds every event of one tick, possibly many distinct
 //! nanosecond timestamps; that is fine because a drained slot is poured
@@ -133,12 +140,14 @@ impl TimingWheel {
         if self.ready.is_empty() && !self.refill() {
             return None;
         }
-        let ev = self.ready.pop();
-        debug_assert!(ev.is_some(), "refill reported events but ready is empty");
-        if ev.is_some() {
-            self.len -= 1;
-        }
-        ev
+        // A hard expect in every profile: a silently desynced `len` would
+        // corrupt conservation accounting far from the cause.
+        let ev = self
+            .ready
+            .pop()
+            .expect("refill reported events but ready is empty");
+        self.len -= 1;
+        Some(ev)
     }
 
     /// Timestamp of the earliest event without removing it. `&mut`
@@ -184,6 +193,11 @@ impl TimingWheel {
                         // at before anything else is served, or a later
                         // insert into a low level could leapfrog them.
                         self.cascade();
+                        // If the carry rolled past the top level into a
+                        // new window, overflow events already inside it
+                        // must be filed into the wheel now for the same
+                        // reason (no-op when the prefix didn't change).
+                        self.promote_overflow_window();
                     }
                     return true;
                 }
@@ -223,14 +237,24 @@ impl TimingWheel {
             let window = SLOT_BITS * LEVELS;
             let aligned = (self.tick_of(first.time) >> window) << window;
             self.horizon = self.horizon.max(aligned);
-            let prefix = self.horizon >> window;
-            while let Some(ev) = self.overflow.peek() {
-                if self.tick_of(ev.time) >> window != prefix {
-                    break;
-                }
-                let ev = self.overflow.pop().expect("peeked event vanished");
-                self.insert(ev);
+            self.promote_overflow_window();
+        }
+    }
+
+    /// File every overflow event living in the horizon's top-level window
+    /// into the wheel (or `ready`). No-op while the earliest overflow
+    /// event sits in a later window. Must run every time the horizon's
+    /// window prefix changes, or events stranded in overflow would be
+    /// leapfrogged by later wheel-filed inserts.
+    fn promote_overflow_window(&mut self) {
+        let window = SLOT_BITS * LEVELS;
+        let prefix = self.horizon >> window;
+        while let Some(ev) = self.overflow.peek() {
+            if self.tick_of(ev.time) >> window != prefix {
+                break;
             }
+            let ev = self.overflow.pop().expect("peeked event vanished");
+            self.insert(ev);
         }
     }
 
@@ -323,6 +347,28 @@ mod tests {
             vec![(boundary + 1, 2), (boundary + 5, 1)],
             "stale slot exposed by the carry must not be leapfrogged"
         );
+    }
+
+    #[test]
+    fn carry_into_new_window_promotes_overflow() {
+        let tick = 1u64 << DEFAULT_TICK_SHIFT;
+        let window_ns = 1u64 << (DEFAULT_TICK_SHIFT + SLOT_BITS * LEVELS);
+        let mut w = TimingWheel::new(DEFAULT_TICK_SHIFT);
+        // Last tick of window 0: popping it carries the horizon's
+        // top-level prefix into window 1.
+        w.push(ev(window_ns - tick, 0));
+        // Early in window 1: overflow at insert time.
+        w.push(ev(window_ns + 10 * tick, 1));
+        assert_eq!(w.pop().unwrap().seq, 0);
+        // Post-carry insert, later than the parked overflow event but
+        // filed straight into a wheel level.
+        w.push(ev(window_ns + 20 * tick, 2));
+        assert_eq!(
+            drain(&mut w),
+            vec![(window_ns + 10 * tick, 1), (window_ns + 20 * tick, 2)],
+            "overflow events in the window the carry exposed must pop first"
+        );
+        assert_eq!(w.len(), 0);
     }
 
     #[test]

@@ -116,10 +116,14 @@ fn differential_run(seed: u64, ops: usize) {
     let mut tie_time = SimTime::ZERO;
     for _ in 0..ops {
         match rng.gen_below(10) {
-            // Near-future: deltas spanning ns to minutes so inserts hit
-            // every wheel level (tick 256 ns, four 256-slot levels).
+            // Near-future: deltas spanning ns to ~18 min so inserts hit
+            // every wheel level (tick 256 ns, four 256-slot levels) AND
+            // straddle the 2^40 ns top-level window boundary — deltas at
+            // 2^38..2^40 routinely land in the next window while the
+            // wheel levels are busy, so horizon carries cross windows
+            // with events parked in overflow.
             0..=3 => {
-                let delta = SimDuration::from_nanos(1u64 << rng.gen_below(38));
+                let delta = SimDuration::from_nanos(1u64 << rng.gen_below(41));
                 let at = heap.now() + delta;
                 let tok = next_token;
                 next_token += 1;
@@ -211,6 +215,52 @@ fn wheel_and_heap_engines_pop_identically() {
     for seed in 0..8u64 {
         differential_run(0x5eed_0000 + seed, 12_000);
     }
+}
+
+/// A level-0 carry that rolls the wheel's horizon into a new top-level
+/// window (~18 min out at the default 256 ns tick) must promote overflow
+/// events already inside that window before anything else is served.
+/// Regression test: the stranded overflow event used to be leapfrogged by
+/// post-carry inserts and then trip the backwards-clock assert on its
+/// eventual promotion.
+#[test]
+fn window_crossing_carry_promotes_overflow_events() {
+    let mut heap = Scheduler::with_engine(EngineKind::Heap);
+    let mut wheel = Scheduler::with_engine(EngineKind::Wheel);
+    // Top-level window span at the default 256 ns tick: 2^40 ns.
+    let window_ns = 1u64 << 40;
+    let schedule_both = |heap: &mut Scheduler, wheel: &mut Scheduler, at_ns: u64, tok: u64| {
+        let at = SimTime::from_nanos(at_ns);
+        heap.schedule_at(at, NodeId(0), timer(tok));
+        wheel.schedule_at(at, NodeId(0), timer(tok));
+    };
+    let pop_both = |heap: &mut Scheduler, wheel: &mut Scheduler| {
+        let pair = (heap.pop(), wheel.pop());
+        assert_eq!(heap.now(), wheel.now(), "clocks diverged");
+        match pair {
+            (Some((hn, hk)), Some((wn, wk))) => {
+                assert_eq!((hn, token_of(&hk)), (wn, token_of(&wk)));
+                Some(token_of(&hk))
+            }
+            (None, None) => None,
+            (x, y) => panic!("engines diverged: {x:?} vs {y:?}"),
+        }
+    };
+    // Last tick of window 0: popping it carries the wheel's horizon
+    // prefix into window 1.
+    schedule_both(&mut heap, &mut wheel, window_ns - 1, 0);
+    // Early in window 1: lands in the wheel's overflow heap.
+    schedule_both(&mut heap, &mut wheel, window_ns + 1_000, 1);
+    assert_eq!(pop_both(&mut heap, &mut wheel), Some(0));
+    // Post-carry inserts: one later than the parked overflow event, one
+    // tying its instant (the tie must still break on scheduling order).
+    schedule_both(&mut heap, &mut wheel, window_ns + 5_000, 2);
+    schedule_both(&mut heap, &mut wheel, window_ns + 1_000, 3);
+    let mut order = Vec::new();
+    while let Some(tok) = pop_both(&mut heap, &mut wheel) {
+        order.push(tok);
+    }
+    assert_eq!(order, vec![1, 3, 2], "carry stranded an overflow event");
 }
 
 /// Dense ties at one far-future instant cross the overflow promotion and
