@@ -37,6 +37,13 @@
 //!   control-plane storms amplify arbitrator inbox charges and flash
 //!   crowds of extra flows land mid-window, so the bounded-inbox shed
 //!   path and backpressure replies are on the measured hot path.
+//! - `scale-k4` / `scale-k8` / `scale-k16` — the production-scale sweep:
+//!   an all-to-all PASE batch on the k-ary fat-tree (16 / 128 / 1024
+//!   hosts), timed end-to-end through `Simulation::run`. Alongside
+//!   events/sec each scenario records `peak_rss_bytes` (the `VmHWM`
+//!   high-water mark from `/proc/self/status`), so the compact-FIB and
+//!   flow-state memory budget is tracked next to throughput. The
+//!   `--scenario scale` alias selects all three sweep points.
 //!
 //! The time spent *building* each simulation is excluded where the
 //! scenario measures the engine (`sched-storm`, incast) and included
@@ -60,8 +67,9 @@ use workloads::{Pattern, Scenario, Scheme, SizeDist, TopologySpec};
 /// Version tag of the emitted JSON document. Bumped whenever the
 /// scenario set or field shapes change (v2 added `gray-storm`, v3 added
 /// `overload-storm`, v4 added `wheel-storm` and the packet-arena
-/// recycling/peak-outstanding fields).
-pub const SCHEMA: &str = "netsim-bench/4";
+/// recycling/peak-outstanding fields, v5 added the `scale-k*` fat-tree
+/// sweep and the per-scenario `peak_rss_bytes` field).
+pub const SCHEMA: &str = "netsim-bench/5";
 
 /// Every scenario the harness knows, in execution order.
 pub const ALL_SCENARIOS: &[&str] = &[
@@ -72,6 +80,9 @@ pub const ALL_SCENARIOS: &[&str] = &[
     "chaos-storm",
     "gray-storm",
     "overload-storm",
+    "scale-k4",
+    "scale-k8",
+    "scale-k16",
 ];
 
 /// Harness options (parsed by the `netsim-bench` binary).
@@ -140,6 +151,14 @@ impl BenchOpts {
                 "--scenario" => {
                     for name in take("--scenario").split(',') {
                         let name = name.trim();
+                        // `scale` is an alias for the whole fat-tree
+                        // sweep (scale-k4, scale-k8, scale-k16).
+                        if name == "scale" {
+                            for n in ALL_SCENARIOS.iter().filter(|n| n.starts_with("scale-k")) {
+                                opts.scenarios.push(n.to_string());
+                            }
+                            continue;
+                        }
                         assert!(
                             ALL_SCENARIOS.contains(&name),
                             "unknown scenario {name}; known: {ALL_SCENARIOS:?}"
@@ -190,6 +209,34 @@ pub struct BenchResult {
     /// Packet-arena high-water mark of simultaneously outstanding
     /// packets (identical across iterations).
     pub arena_peak_outstanding: u64,
+    /// Process-wide peak resident set size in bytes (`VmHWM` from
+    /// `/proc/self/status`) read after the scenario's last iteration.
+    /// Monotone over the process lifetime: the value covers everything
+    /// executed up to and including this scenario, so within one
+    /// invocation the column is non-decreasing in execution order. 0 on
+    /// platforms without `/proc`.
+    pub peak_rss_bytes: u64,
+}
+
+/// Peak resident set size of this process in bytes: the `VmHWM` line of
+/// `/proc/self/status`, which the kernel reports in kB. Returns 0 when
+/// the file or field is unavailable (non-Linux platforms).
+pub fn read_peak_rss() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
 }
 
 /// What one timed iteration of a scenario produced.
@@ -254,6 +301,7 @@ fn measure(
         peak_pending: peak,
         arena_recycled,
         arena_peak_outstanding: arena_peak,
+        peak_rss_bytes: read_peak_rss(),
     }
 }
 
@@ -389,6 +437,45 @@ fn incast(scheme: Scheme, quick: bool) -> IterOut {
     }
 }
 
+/// Production-scale fat-tree sweep point: an all-to-all PASE batch on
+/// the k-ary fat-tree (k³/4 hosts), k³ flows at the full profile and k²
+/// at the smoke profile. Only `Simulation::run` is timed — topology and
+/// route-table construction are excluded, as for the incast scenarios —
+/// but the compact-FIB and flow-state footprint still lands in the
+/// scenario's `peak_rss_bytes` reading.
+fn scale_storm(k: usize, quick: bool) -> IterOut {
+    let scenario = Scenario {
+        name: "bench-scale",
+        topo: TopologySpec::fat_tree(k),
+        pattern: Pattern::AllToAll,
+        sizes: SizeDist::UniformBytes {
+            lo: 2_000,
+            hi: 198_000,
+        },
+        deadlines: None,
+        n_background: 0,
+        n_flows: if quick { k * k } else { k * k * k },
+    };
+    let (mut sim, hosts) = Scheme::Pase.build_sim(&scenario.topo);
+    sim.add_flows(scenario.generate_flows(0.6, 1, &hosts));
+    let t = Instant::now();
+    let outcome = sim.run(RunLimit::until_measured_done(SimTime::from_secs(30)));
+    let wall_s = t.elapsed().as_secs_f64();
+    assert_eq!(
+        outcome,
+        RunOutcome::MeasuredComplete,
+        "bench scale-k{k} must run to completion"
+    );
+    IterOut {
+        wall_s,
+        events: sim.stats().events_executed,
+        packets: sim.stats().data_pkts_delivered,
+        peak: sim.scheduler().peak_pending(),
+        arena_recycled: sim.stats().arena.recycled,
+        arena_peak: sim.stats().arena.peak_outstanding,
+    }
+}
+
 /// End-to-end chaos throughput: `seeds` high-intensity cases of one
 /// fault class under PASE, each built, traced, invariant-checked and
 /// executed twice (the determinism replay) exactly as the chaos sweep
@@ -461,11 +548,14 @@ pub fn run(opts: &BenchOpts) -> Vec<BenchResult> {
                     opts.jobs,
                 )
             }),
+            "scale-k4" => measure(name, opts.iters, warmup, || scale_storm(4, opts.quick)),
+            "scale-k8" => measure(name, opts.iters, warmup, || scale_storm(8, opts.quick)),
+            "scale-k16" => measure(name, opts.iters, warmup, || scale_storm(16, opts.quick)),
             other => unreachable!("unknown scenario {other}"),
         };
         eprintln!(
-            "bench {:>12}: {:>10.3} ms, {:>9} events, {:>11.0} events/s, {:>10.0} pkts/s, \
-             peak {}, arena peak {} ({} recycled)",
+            "bench {:>14}: {:>10.3} ms, {:>9} events, {:>11.0} events/s, {:>10.0} pkts/s, \
+             peak {}, arena peak {} ({} recycled), rss {:.1} MiB",
             r.name,
             r.wall_ms,
             r.events,
@@ -473,7 +563,8 @@ pub fn run(opts: &BenchOpts) -> Vec<BenchResult> {
             r.packets_per_sec,
             r.peak_pending,
             r.arena_peak_outstanding,
-            r.arena_recycled
+            r.arena_recycled,
+            r.peak_rss_bytes as f64 / (1024.0 * 1024.0)
         );
         results.push(r);
     }
@@ -501,7 +592,7 @@ pub fn render_json(results: &[BenchResult], opts: &BenchOpts) -> String {
              \"wall_ms_mean\": {:.3}, \"events\": {}, \"packets\": {}, \
              \"events_per_sec\": {:.1}, \"packets_per_sec\": {:.1}, \
              \"peak_pending_events\": {}, \"arena_recycled\": {}, \
-             \"arena_peak_outstanding\": {}}}{}\n",
+             \"arena_peak_outstanding\": {}, \"peak_rss_bytes\": {}}}{}\n",
             r.name,
             r.iters,
             r.wall_ms,
@@ -513,6 +604,7 @@ pub fn render_json(results: &[BenchResult], opts: &BenchOpts) -> String {
             r.peak_pending,
             r.arena_recycled,
             r.arena_peak_outstanding,
+            r.peak_rss_bytes,
             if i + 1 == results.len() { "" } else { "," }
         ));
     }
@@ -586,8 +678,9 @@ fn field_num(line: &str, key: &str) -> Option<f64> {
 /// scenario claims a mean wall time below its best iteration
 /// (`wall_ms_mean < wall_ms` — the mean of a set can't undercut its
 /// minimum), a non-positive `events_per_sec`, or omits
-/// `peak_pending_events`. These were exactly the internally inconsistent
-/// shapes the old structural-only validator waved through.
+/// `peak_pending_events` or `peak_rss_bytes`. These were exactly the
+/// internally inconsistent shapes the old structural-only validator
+/// waved through.
 pub fn validate_report(s: &str) -> Result<(), String> {
     validate_json(s)?;
     for line in s.lines() {
@@ -617,6 +710,12 @@ pub fn validate_report(s: &str) -> Result<(), String> {
         if field_num(line, "peak_pending_events").is_none() {
             return Err(format!("{name}: missing peak_pending_events"));
         }
+        // Schema v5: every scenario must carry its RSS high-water mark.
+        // (0 is legal — non-Linux platforms have no /proc — but the
+        // field itself must be present and numeric.)
+        if field_num(line, "peak_rss_bytes").is_none() {
+            return Err(format!("{name}: missing peak_rss_bytes"));
+        }
     }
     Ok(())
 }
@@ -644,7 +743,7 @@ mod tests {
         let json = render_json(&results, &opts);
         validate_report(&json).expect("rendered document must be a consistent report");
         assert!(
-            json.contains("\"schema\": \"netsim-bench/4\""),
+            json.contains("\"schema\": \"netsim-bench/5\""),
             "document must carry the current schema tag"
         );
         for name in ALL_SCENARIOS {
@@ -652,6 +751,11 @@ mod tests {
         }
         assert!(json.contains("\"events_per_sec\""));
         assert!(json.contains("\"arena_peak_outstanding\""));
+        assert!(json.contains("\"peak_rss_bytes\""));
+        #[cfg(target_os = "linux")]
+        for r in &results {
+            assert!(r.peak_rss_bytes > 0, "{}: no RSS reading", r.name);
+        }
         assert!(json.contains(&format!("\"jobs\": {}", opts.jobs)));
         assert!(json.contains("\"detected_cores\": "));
     }
@@ -681,6 +785,7 @@ mod tests {
             peak_pending: 64,
             arena_recycled: 900,
             arena_peak_outstanding: 64,
+            peak_rss_bytes: 128 * 1024 * 1024,
         };
         render_json(&[r], &BenchOpts::default())
     }
@@ -720,6 +825,40 @@ mod tests {
             "wrong rejection: {err}"
         );
         validate_json(&bad).expect("still structurally valid JSON");
+    }
+
+    /// Schema v5's memory column is mandatory per scenario.
+    #[test]
+    fn report_validator_rejects_missing_peak_rss() {
+        let bad = sample_report().replace("\"peak_rss_bytes\"", "\"peak_rss\"");
+        let err = validate_report(&bad).expect_err("missing peak_rss_bytes must be rejected");
+        assert!(err.contains("peak_rss_bytes"), "wrong rejection: {err}");
+        validate_json(&bad).expect("still structurally valid JSON");
+    }
+
+    /// The `scale` scenario alias expands to every fat-tree sweep point.
+    #[test]
+    fn scale_alias_expands_to_sweep_points() {
+        let o = BenchOpts::from_args(
+            "--quick --scenario scale"
+                .split_whitespace()
+                .map(String::from),
+        );
+        assert_eq!(o.scenarios, vec!["scale-k4", "scale-k8", "scale-k16"]);
+        assert_eq!(o.selected(), vec!["scale-k4", "scale-k8", "scale-k16"]);
+    }
+
+    /// The peak-RSS reader finds a positive high-water mark on Linux and
+    /// never decreases across calls (VmHWM is monotone by definition).
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn peak_rss_reader_is_positive_and_monotone() {
+        let a = read_peak_rss();
+        assert!(a > 0, "VmHWM must be readable on Linux");
+        let ballast = vec![1u8; 8 * 1024 * 1024];
+        std::hint::black_box(&ballast);
+        let b = read_peak_rss();
+        assert!(b >= a, "VmHWM went backwards: {a} -> {b}");
     }
 
     #[test]

@@ -1,0 +1,10 @@
+//! Binary wrapper for `experiments::figs::ext_scale::run`.
+
+fn main() {
+    let opts = experiments::ExpOpts::from_env();
+    let fig = experiments::figs::ext_scale::run(&opts);
+    fig.print();
+    if let Some(dir) = &opts.out_dir {
+        fig.save_json(dir).expect("write JSON result");
+    }
+}

@@ -1,0 +1,148 @@
+//! CI smoke for the production-scale fat-tree path: build the k=8
+//! fabric (128 hosts) under PASE, check the compact route tables, run a
+//! 2k-flow incast slice with invariants enabled under the dual-run
+//! byte-identical-trace discipline, and hold the process to a peak-RSS
+//! budget.
+//!
+//! Everything here is an assertion, not a measurement: the binary exits
+//! non-zero on any violation, so `scripts/ci.sh` can run it directly.
+
+use netsim::invariants::InvariantConfig;
+use netsim::node::Node;
+use netsim::prelude::*;
+use netsim::trace::HashTracer;
+use workloads::{Pattern, Scenario, Scheme, SizeDist, TopologySpec};
+
+/// Peak-RSS ceiling for the whole smoke (two k=8 builds + runs). The
+/// compact-FIB refactor keeps the k=8 world around 30 MiB; the budget
+/// leaves ~8x headroom for allocator and toolchain noise while still
+/// catching a return to dense per-switch route tables or per-flow
+/// metric vectors that balloon with scale.
+const PEAK_RSS_BUDGET: u64 = 256 * 1024 * 1024;
+
+/// `VmHWM` from `/proc/self/status`, in bytes (0 when unavailable).
+fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|rest| {
+            rest.trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse::<u64>()
+                .ok()
+        })
+        .map_or(0, |kb| kb * 1024)
+}
+
+/// One traced, invariant-checked incast run; returns the trace digest
+/// and the delivered-packet count.
+fn run_once(scenario: &Scenario, seed: u64) -> (u64, u64) {
+    let (mut sim, hosts) = Scheme::Pase.build_sim(&scenario.topo);
+
+    // Route-table audit: every switch carries a compact interval FIB
+    // covering the whole fabric in far fewer intervals than nodes.
+    let n_nodes = sim.topo().n_nodes();
+    let mut fib_bytes = 0usize;
+    let mut switches = 0usize;
+    for node in sim.nodes() {
+        if let Node::Switch(sw) = node {
+            switches += 1;
+            fib_bytes += sw.fib().heap_bytes();
+            assert!(
+                sw.fib().intervals() < n_nodes / 2,
+                "switch {:?}: {} FIB intervals for {} nodes — interval encoding broken",
+                sw.id(),
+                sw.fib().intervals(),
+                n_nodes
+            );
+        }
+    }
+    assert_eq!(switches, 80, "k=8 fat-tree must have 16+32+32 switches");
+    eprintln!(
+        "scale_smoke: {} switches, {} nodes, {:.1} KiB total FIB",
+        switches,
+        n_nodes,
+        fib_bytes as f64 / 1024.0
+    );
+
+    sim.enable_invariants(InvariantConfig::default());
+    let tracer = HashTracer::new();
+    let digest = tracer.digest();
+    sim.set_tracer(Box::new(tracer));
+    sim.add_flows(scenario.generate_flows(0.6, seed, &hosts));
+    let outcome = sim.run(RunLimit::until_measured_done(SimTime::from_secs(60)));
+    assert_eq!(
+        outcome,
+        RunOutcome::MeasuredComplete,
+        "smoke incast must complete"
+    );
+
+    // Invariant oracle (packet conservation included) must be clean.
+    let report = sim.check_invariants();
+    assert!(
+        report.violations.is_empty(),
+        "invariant violations:\n{}",
+        report
+            .violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    let incomplete = sim
+        .stats()
+        .flows()
+        .filter(|r| r.completed.is_none())
+        .count();
+    assert_eq!(incomplete, 0, "every smoke flow must complete");
+
+    let delivered = sim.stats().data_pkts_delivered;
+    drop(sim); // flush the tracer
+    let d = *digest.lock().unwrap();
+    (d, delivered)
+}
+
+fn main() {
+    // Flags are accepted for ci.sh symmetry (`--jobs N`) but the smoke
+    // is two serial runs by construction — parallelism would only blur
+    // the peak-RSS attribution.
+    let _ = experiments::ExpOpts::from_env();
+    let scenario = Scenario {
+        name: "scale-smoke",
+        topo: TopologySpec::fat_tree(8),
+        pattern: Pattern::Incast { server: 0 },
+        sizes: SizeDist::UniformBytes {
+            lo: 2_000,
+            hi: 198_000,
+        },
+        deadlines: None,
+        n_background: 0,
+        n_flows: 2_000,
+    };
+
+    let (d1, delivered1) = run_once(&scenario, 1);
+    let (d2, delivered2) = run_once(&scenario, 1);
+    assert_eq!(
+        (d1, delivered1),
+        (d2, delivered2),
+        "dual-run trace digests diverged — determinism regression"
+    );
+
+    let rss = peak_rss_bytes();
+    assert!(
+        rss == 0 || rss <= PEAK_RSS_BUDGET,
+        "peak RSS {} MiB exceeds the {} MiB smoke budget",
+        rss / (1024 * 1024),
+        PEAK_RSS_BUDGET / (1024 * 1024)
+    );
+    eprintln!(
+        "scale_smoke: OK — 2000-flow incast on k=8 twice, digest {d1:#018x}, \
+         {delivered1} pkts delivered, peak RSS {:.0} MiB (budget {} MiB)",
+        rss as f64 / (1024.0 * 1024.0),
+        PEAK_RSS_BUDGET / (1024 * 1024)
+    );
+}

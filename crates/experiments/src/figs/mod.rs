@@ -25,6 +25,7 @@ pub mod ext_faults;
 pub mod ext_gray;
 pub mod ext_incast;
 pub mod ext_overload;
+pub mod ext_scale;
 
 pub mod fig01;
 pub mod fig02;
@@ -72,5 +73,6 @@ pub fn all(opts: &ExpOpts) -> Vec<FigResult> {
     out.push(ext_faults::run_link_flap(opts));
     out.push(ext_gray::run(opts));
     out.push(ext_overload::run(opts));
+    out.push(ext_scale::run(opts));
     out
 }

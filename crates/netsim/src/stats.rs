@@ -123,6 +123,14 @@ pub struct StatsCollector {
     /// Peak weighted inbox depth (messages per budget epoch) per
     /// arbitrator node.
     ctrl_peak_epoch_by_node: BTreeMap<NodeId, u64>,
+    /// Arbitration requests a ToR arbitrator pruned (answered locally
+    /// instead of climbing to its parent, because the accumulated queue
+    /// already exceeded the early-pruning depth; paper §3.1.2). Keyed by
+    /// the pruning arbitrator's node.
+    arb_pruned_by_node: BTreeMap<NodeId, u64>,
+    /// Arbitration requests an arbitrator forwarded up the hierarchy
+    /// (the complement of pruning at the same decision point).
+    arb_climbed_by_node: BTreeMap<NodeId, u64>,
     /// Total events executed (engine counter, for benchmarking).
     pub events_executed: u64,
     /// Packet-arena counters, published by [`crate::sim::Simulation::run`]
@@ -382,6 +390,18 @@ impl StatsCollector {
         *peak = (*peak).max(depth);
     }
 
+    /// Record an arbitration request pruned (answered locally) by the
+    /// arbitrator on `node` instead of climbing to its parent.
+    pub fn note_arb_pruned(&mut self, node: NodeId) {
+        *self.arb_pruned_by_node.entry(node).or_insert(0) += 1;
+    }
+
+    /// Record an arbitration request the arbitrator on `node` forwarded
+    /// up the hierarchy.
+    pub fn note_arb_climbed(&mut self, node: NodeId) {
+        *self.arb_climbed_by_node.entry(node).or_insert(0) += 1;
+    }
+
     /// Record a corrupted control packet discarded at its destination.
     pub fn note_ctrl_corrupted(&mut self) {
         self.ctrl_pkts_corrupted += 1;
@@ -430,6 +450,26 @@ impl StatsCollector {
     /// Per-arbitrator peak epoch depth, in node-id order (deterministic).
     pub fn ctrl_peak_epoch_by_node(&self) -> impl Iterator<Item = (NodeId, u64)> + '_ {
         self.ctrl_peak_epoch_by_node.iter().map(|(&n, &c)| (n, c))
+    }
+
+    /// Requests pruned by the arbitrator on `node`.
+    pub fn arb_pruned_on(&self, node: NodeId) -> u64 {
+        self.arb_pruned_by_node.get(&node).copied().unwrap_or(0)
+    }
+
+    /// Requests climbed (forwarded up) by the arbitrator on `node`.
+    pub fn arb_climbed_on(&self, node: NodeId) -> u64 {
+        self.arb_climbed_by_node.get(&node).copied().unwrap_or(0)
+    }
+
+    /// Per-arbitrator pruned tallies, in node-id order (deterministic).
+    pub fn arb_pruned_by_node(&self) -> impl Iterator<Item = (NodeId, u64)> + '_ {
+        self.arb_pruned_by_node.iter().map(|(&n, &c)| (n, c))
+    }
+
+    /// Per-arbitrator climbed tallies, in node-id order (deterministic).
+    pub fn arb_climbed_by_node(&self) -> impl Iterator<Item = (NodeId, u64)> + '_ {
+        self.arb_climbed_by_node.iter().map(|(&n, &c)| (n, c))
     }
 
     /// Have all measured flows completed?

@@ -32,15 +32,136 @@ fn mix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
-/// Per-destination next hops: one or more equal-cost output ports.
-pub type FibEntry = Vec<PortId>;
+/// A compact per-switch forwarding table.
+///
+/// Destinations are dense node ids, so the table is run-length (interval)
+/// encoded over the id space: consecutive destinations that share the same
+/// equal-cost port set collapse into one interval, and the port sets
+/// themselves are deduplicated into a shared pool. On a k-ary fat-tree
+/// with rack-major host ids this turns the naive ~10M switch×destination
+/// entries at k=32 into a few hundred intervals per switch (every "all
+/// other pods" region is one interval pointing at the full uplink set),
+/// while lookup stays a single binary search over the interval starts.
+///
+/// Destinations below the first interval start, or covered by an interval
+/// whose pooled set is empty, have no route (the switch blackholes them).
+#[derive(Debug, Clone, Default)]
+pub struct Fib {
+    /// Sorted interval start ids; interval `i` covers destinations
+    /// `[starts[i], starts[i+1])` (the last interval runs to the end of
+    /// the id space).
+    starts: Vec<u32>,
+    /// Pool slot of each interval's port set (parallel to `starts`).
+    sets: Vec<u32>,
+    /// Deduplicated equal-cost port sets, concatenated.
+    pool: Vec<PortId>,
+    /// Exclusive end offset of pooled set `j` (it starts where set `j-1`
+    /// ends, or at 0).
+    set_ends: Vec<u32>,
+}
 
-/// Failure-aware ECMP selection: hash `flow` over the *live* ports of a
-/// FIB entry, so flows re-hash onto surviving equal-cost siblings while a
-/// link is down and fall back to the original spread once it recovers.
-/// With every port up this reduces to `entry[mix64(flow) % entry.len()]`,
-/// the historical healthy-path behaviour. Returns `None` when no next hop
-/// survives (the caller records a blackhole).
+impl Fib {
+    /// The equal-cost ports toward `dst` (empty when there is no route).
+    #[inline]
+    pub fn entry(&self, dst: NodeId) -> &[PortId] {
+        let id = dst.0;
+        // Index of the last interval starting at or before `id`.
+        let i = self.starts.partition_point(|&s| s <= id);
+        if i == 0 {
+            return &[];
+        }
+        let set = self.sets[i - 1] as usize;
+        let lo = if set == 0 {
+            0
+        } else {
+            self.set_ends[set - 1] as usize
+        };
+        &self.pool[lo..self.set_ends[set] as usize]
+    }
+
+    /// Number of run-length intervals (compactness diagnostic).
+    pub fn intervals(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// Approximate heap footprint in bytes (compactness diagnostic).
+    pub fn heap_bytes(&self) -> usize {
+        (self.starts.len() + self.sets.len() + self.set_ends.len()) * 4
+            + self.pool.len() * std::mem::size_of::<PortId>()
+    }
+
+    /// Build a table from one dense row per destination id (row `d` is
+    /// the port set for destination `NodeId(d)`). Convenience for tests
+    /// and small hand-built switches; the topology builder streams rows
+    /// through [`FibBuilder`] instead.
+    pub fn from_rows<R: AsRef<[PortId]>>(rows: &[R]) -> Fib {
+        let mut b = FibBuilder::new();
+        for row in rows {
+            b.push(row.as_ref());
+        }
+        b.finish()
+    }
+}
+
+/// Streaming builder for [`Fib`]: feed destination rows in ascending
+/// dense-id order (one [`FibBuilder::push`] per id, starting at 0) and
+/// the builder run-length-encodes them on the fly, so the dense table
+/// never exists in memory.
+#[derive(Debug, Default)]
+pub struct FibBuilder {
+    fib: Fib,
+    /// The destination id the next `push` describes.
+    next_dst: u32,
+    /// Build-time interning of port sets → pool slot.
+    interned: std::collections::HashMap<Vec<PortId>, u32>,
+}
+
+impl FibBuilder {
+    /// An empty builder (next row pushed is destination id 0).
+    pub fn new() -> FibBuilder {
+        FibBuilder::default()
+    }
+
+    /// Append the port set for the next destination id.
+    pub fn push(&mut self, ports: &[PortId]) {
+        let set = match self.interned.get(ports) {
+            Some(&slot) => slot,
+            None => {
+                let slot = u32::try_from(self.fib.set_ends.len()).expect("port-set pool overflow");
+                self.fib.pool.extend_from_slice(ports);
+                self.fib
+                    .set_ends
+                    .push(u32::try_from(self.fib.pool.len()).expect("port pool overflow"));
+                self.interned.insert(ports.to_vec(), slot);
+                slot
+            }
+        };
+        if self.fib.sets.last() != Some(&set) || self.fib.starts.is_empty() {
+            self.fib.starts.push(self.next_dst);
+            self.fib.sets.push(set);
+        }
+        self.next_dst += 1;
+    }
+
+    /// Finish the table.
+    pub fn finish(self) -> Fib {
+        self.fib
+    }
+}
+
+/// Failure-aware ECMP selection: hash `flow` (salted per switch) over the
+/// *live* ports of a FIB entry, so flows re-hash onto surviving equal-cost
+/// siblings while a link is down and fall back to the original spread once
+/// it recovers. With every port up and a zero salt this reduces to
+/// `entry[mix64(flow) % entry.len()]`, the historical healthy-path
+/// behaviour. Returns `None` when no next hop survives (the caller records
+/// a blackhole).
+///
+/// The salt decorrelates ECMP decisions across switch tiers: with a
+/// shared hash, the ToR and the aggregation switch on a fat-tree path
+/// would always agree on the same uplink index, collapsing the (k/2)²
+/// core paths to k/2. Existing topologies keep salt 0, so their traces
+/// stay byte-identical.
 ///
 /// In health-aware mode the eligible set shrinks further to live ports
 /// whose EWMA health is above [`crate::port::HEALTHY_THRESHOLD`], pushing
@@ -52,13 +173,14 @@ fn route_live(
     entry: &[PortId],
     ports: &[Port],
     flow: FlowId,
+    salt: u64,
     health_aware: bool,
 ) -> Option<PortId> {
     if health_aware {
         let eligible = |p: &&PortId| ports[p.index()].is_up() && ports[p.index()].is_healthy();
         let healthy = entry.iter().filter(eligible).count();
         if healthy > 0 {
-            let k = mix64(flow.0) as usize % healthy;
+            let k = mix64(flow.0 ^ salt) as usize % healthy;
             return entry.iter().filter(eligible).nth(k).copied();
         }
     }
@@ -66,7 +188,7 @@ fn route_live(
     if live == 0 {
         return None;
     }
-    let k = mix64(flow.0) as usize % live;
+    let k = mix64(flow.0 ^ salt) as usize % live;
     entry
         .iter()
         .filter(|p| ports[p.index()].is_up())
@@ -125,12 +247,14 @@ pub struct SwitchIo<'a, 'b> {
     /// The switch's output ports.
     pub ports: &'a mut Vec<Port>,
     /// Forwarding table indexed by destination node id.
-    pub fib: &'a Vec<FibEntry>,
+    pub fib: &'a Fib,
     /// The switch's blackhole counter (see [`Switch::blackhole_drops`]).
     pub blackhole_drops: &'a mut u64,
     /// Whether the owning switch routes health-aware (see
     /// [`Switch::set_health_aware`]).
     pub health_aware: bool,
+    /// The owning switch's ECMP salt (see [`Switch::set_ecmp_salt`]).
+    pub ecmp_salt: u64,
     /// Engine context.
     pub sim: &'a mut Ctx<'b>,
 }
@@ -144,8 +268,13 @@ impl<'a, 'b> SwitchIo<'a, 'b> {
     /// Pick the output port toward `dst` for `flow` (ECMP by flow hash
     /// over the live equal-cost ports). `None` when no next hop survives.
     pub fn route(&self, dst: NodeId, flow: FlowId) -> Option<PortId> {
-        let entry = self.fib.get(dst.index())?;
-        route_live(entry, self.ports, flow, self.health_aware)
+        route_live(
+            self.fib.entry(dst),
+            self.ports,
+            flow,
+            self.ecmp_salt,
+            self.health_aware,
+        )
     }
 
     /// Send a packet toward its destination through the forwarding table.
@@ -200,8 +329,8 @@ fn record_blackhole(node: NodeId, pkt: &Packet, ctx: &mut Ctx<'_>) {
 pub struct Switch {
     id: NodeId,
     ports: Vec<Port>,
-    /// Forwarding table: `fib[dst_node] = equal-cost output ports`.
-    fib: Vec<FibEntry>,
+    /// Compact forwarding table over destination node ids.
+    fib: Fib,
     plugin: Option<Box<dyn SwitchPlugin>>,
     /// Packets dropped because no next hop toward their destination was
     /// alive (all equal-cost ports down or the FIB entry empty).
@@ -211,12 +340,18 @@ pub struct Switch {
     /// byte-identical to historical seeds; enabled fleet-wide by
     /// [`crate::sim::Simulation::enable_health_aware_routing`].
     health_aware: bool,
+    /// XORed into the flow id before the ECMP hash. Zero (the default,
+    /// and the value on all pre-fat-tree topologies) reproduces the
+    /// historical unsalted selection bit-for-bit; fat-tree builders set a
+    /// distinct deterministic salt per switch so successive tiers make
+    /// independent equal-cost choices (all (k/2)² core paths get used).
+    ecmp_salt: u64,
 }
 
 impl Switch {
     /// Create a switch. The forwarding table must cover every destination
     /// that will ever appear in a packet.
-    pub fn new(id: NodeId, ports: Vec<Port>, fib: Vec<FibEntry>) -> Switch {
+    pub fn new(id: NodeId, ports: Vec<Port>, fib: Fib) -> Switch {
         Switch {
             id,
             ports,
@@ -224,6 +359,7 @@ impl Switch {
             plugin: None,
             blackhole_drops: 0,
             health_aware: false,
+            ecmp_salt: 0,
         }
     }
 
@@ -235,6 +371,22 @@ impl Switch {
     /// Toggle health-aware ECMP (see [`route_live`]).
     pub fn set_health_aware(&mut self, on: bool) {
         self.health_aware = on;
+    }
+
+    /// Set the per-switch ECMP salt (see the field docs; 0 = historical
+    /// unsalted hashing).
+    pub fn set_ecmp_salt(&mut self, salt: u64) {
+        self.ecmp_salt = salt;
+    }
+
+    /// This switch's ECMP salt.
+    pub fn ecmp_salt(&self) -> u64 {
+        self.ecmp_salt
+    }
+
+    /// The switch's forwarding table (for diagnostics).
+    pub fn fib(&self) -> &Fib {
+        &self.fib
     }
 
     /// Whether health-aware ECMP is enabled.
@@ -399,8 +551,13 @@ impl Switch {
     /// Pick the output port toward `dst` for `flow` (ECMP by flow hash
     /// over the live equal-cost ports). `None` when no next hop survives.
     pub fn route(&self, dst: NodeId, flow: FlowId) -> Option<PortId> {
-        let entry = self.fib.get(dst.index())?;
-        route_live(entry, &self.ports, flow, self.health_aware)
+        route_live(
+            self.fib.entry(dst),
+            &self.ports,
+            flow,
+            self.ecmp_salt,
+            self.health_aware,
+        )
     }
 
     /// Run a closure with the plugin detached, so the plugin can borrow the
@@ -419,6 +576,7 @@ impl Switch {
                 fib: &self.fib,
                 blackhole_drops: &mut self.blackhole_drops,
                 health_aware: self.health_aware,
+                ecmp_salt: self.ecmp_salt,
                 sim: ctx,
             };
             f(plugin.as_mut(), &mut io);
@@ -456,9 +614,9 @@ mod tests {
                 Box::new(DropTailQdisc::new(16)),
             )
         };
-        let mut fib = vec![Vec::new(); 6];
-        fib[5] = vec![PortId(0), PortId(1)];
-        Switch::new(NodeId(10), vec![mk(0, 1), mk(1, 2)], fib)
+        let mut rows: Vec<Vec<PortId>> = vec![Vec::new(); 6];
+        rows[5] = vec![PortId(0), PortId(1)];
+        Switch::new(NodeId(10), vec![mk(0, 1), mk(1, 2)], Fib::from_rows(&rows))
     }
 
     fn routes_used(sw: &Switch) -> std::collections::BTreeSet<PortId> {
@@ -652,6 +810,64 @@ mod tests {
             1,
             "only the clean control packet reaches the arbitrator"
         );
+    }
+
+    #[test]
+    fn fib_round_trips_dense_rows_and_deduplicates() {
+        // Rows chosen so runs, singletons, empties, and repeats all occur.
+        let up = vec![PortId(2), PortId(3)];
+        let rows: Vec<Vec<PortId>> = vec![
+            Vec::new(),      // 0: no route
+            vec![PortId(0)], // 1
+            vec![PortId(0)], // 2: run continues
+            vec![PortId(1)], // 3
+            up.clone(),      // 4
+            up.clone(),      // 5
+            up.clone(),      // 6
+            vec![PortId(0)], // 7: earlier set reused
+            Vec::new(),      // 8
+        ];
+        let fib = Fib::from_rows(&rows);
+        for (d, row) in rows.iter().enumerate() {
+            assert_eq!(fib.entry(NodeId(d as u32)), row.as_slice(), "dst {d}");
+        }
+        // Beyond the encoded id space the last interval's set applies;
+        // that is fine because the topology never addresses such ids.
+        assert_eq!(fib.intervals(), 6, "runs collapse into intervals");
+        // Pool holds each distinct set once: {}, {0}, {1}, {2,3}.
+        assert_eq!(fib.heap_bytes(), 6 * 4 + 6 * 4 + 4 * 4 + 4 * 4);
+    }
+
+    #[test]
+    fn fib_empty_table_routes_nothing() {
+        let fib = Fib::default();
+        assert_eq!(fib.entry(NodeId(0)), &[] as &[PortId]);
+        assert_eq!(fib.entry(NodeId(99)), &[] as &[PortId]);
+    }
+
+    #[test]
+    fn ecmp_salt_changes_selection_but_zero_matches_unsalted() {
+        let sw = two_way_switch();
+        let mut salted = two_way_switch();
+        salted.set_ecmp_salt(0xdead_beef_cafe_f00d);
+        // Salt 0 is the historical hash by construction.
+        let base: Vec<_> = (0..256)
+            .map(|f| sw.route(NodeId(5), FlowId(f)).unwrap())
+            .collect();
+        for (f, &p) in base.iter().enumerate() {
+            let k = mix64(f as u64) as usize % 2;
+            assert_eq!(p, PortId(k as u32));
+        }
+        // A nonzero salt must disagree somewhere (decorrelated tiers)
+        // while remaining deterministic.
+        let with_salt: Vec<_> = (0..256)
+            .map(|f| salted.route(NodeId(5), FlowId(f)).unwrap())
+            .collect();
+        assert_ne!(base, with_salt);
+        let again: Vec<_> = (0..256)
+            .map(|f| salted.route(NodeId(5), FlowId(f)).unwrap())
+            .collect();
+        assert_eq!(with_salt, again);
     }
 
     #[test]

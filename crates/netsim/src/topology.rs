@@ -15,7 +15,7 @@ use crate::ids::{NodeId, PortId};
 use crate::node::Node;
 use crate::port::Port;
 use crate::queue::Qdisc;
-use crate::switch::{FibEntry, Switch};
+use crate::switch::{Fib, FibBuilder, Switch};
 use crate::time::{Rate, SimDuration};
 
 /// What kind of node occupies an id.
@@ -108,7 +108,7 @@ impl TopologyBuilder {
                 NodeKind::Switch => assert!(!self.ports[i].is_empty(), "switch n{i} has no links"),
             }
         }
-        let fibs = self.compute_fibs();
+        let mut fibs = self.compute_fibs();
         let mut nodes = Vec::with_capacity(n);
         for (i, kind) in self.kinds.iter().enumerate() {
             let id = NodeId(i as u32);
@@ -135,7 +135,8 @@ impl TopologyBuilder {
                 }
                 NodeKind::Switch => {
                     let ports: Vec<Port> = self.ports[i].iter().enumerate().map(mk_port).collect();
-                    nodes.push(Node::Switch(Switch::new(id, ports, fibs[i].clone())));
+                    let fib = fibs[i].take().expect("switch has a forwarding table");
+                    nodes.push(Node::Switch(Switch::new(id, ports, fib)));
                 }
             }
         }
@@ -148,17 +149,32 @@ impl TopologyBuilder {
         }
     }
 
-    /// Shortest-path forwarding tables with equal-cost multipath: for every
-    /// node, for every destination, the set of output ports on shortest
-    /// paths.
-    fn compute_fibs(&self) -> Vec<Vec<FibEntry>> {
+    /// Shortest-path forwarding tables with equal-cost multipath: for
+    /// every switch, for every destination, the set of output ports on
+    /// shortest paths — streamed destination-by-destination into compact
+    /// run-length-encoded [`Fib`]s, so the dense switch×destination table
+    /// (~10M entries on a k=32 fat-tree) never materializes. Hosts get
+    /// `None`: their single access link needs no table.
+    fn compute_fibs(&self) -> Vec<Option<Fib>> {
         let n = self.kinds.len();
-        let mut fibs = vec![vec![Vec::new(); n]; n];
+        let mut builders: Vec<Option<FibBuilder>> = self
+            .kinds
+            .iter()
+            .map(|k| match k {
+                NodeKind::Switch => Some(FibBuilder::new()),
+                NodeKind::Host => None,
+            })
+            .collect();
+        // Scratch buffers reused across destinations.
+        let mut dist = vec![u32::MAX; n];
+        let mut q = VecDeque::with_capacity(n);
+        let mut row: Vec<PortId> = Vec::new();
         for dst in 0..n {
             // BFS from the destination over the undirected graph.
-            let mut dist = vec![u32::MAX; n];
+            dist.fill(u32::MAX);
             dist[dst] = 0;
-            let mut q = VecDeque::from([dst]);
+            q.clear();
+            q.push_back(dst);
             while let Some(u) = q.pop_front() {
                 for &(peer, _, _) in &self.ports[u] {
                     let v = peer.index();
@@ -168,19 +184,28 @@ impl TopologyBuilder {
                     }
                 }
             }
-            // Next hops: any neighbor strictly closer to dst.
-            for u in 0..n {
-                if u == dst || dist[u] == u32::MAX {
+            // Next hops: any neighbor strictly closer to dst. Every
+            // builder gets exactly one row per destination (possibly
+            // empty), keeping the dense-id encoding aligned.
+            for (u, builder) in builders.iter_mut().enumerate() {
+                let Some(builder) = builder.as_mut() else {
                     continue;
-                }
-                for (pidx, &(peer, _, _)) in self.ports[u].iter().enumerate() {
-                    if dist[peer.index()] + 1 == dist[u] {
-                        fibs[u][dst].push(PortId(pidx as u32));
+                };
+                row.clear();
+                if u != dst && dist[u] != u32::MAX {
+                    for (pidx, &(peer, _, _)) in self.ports[u].iter().enumerate() {
+                        if dist[peer.index()] + 1 == dist[u] {
+                            row.push(PortId(pidx as u32));
+                        }
                     }
                 }
+                builder.push(&row);
             }
         }
-        fibs
+        builders
+            .into_iter()
+            .map(|b| b.map(FibBuilder::finish))
+            .collect()
     }
 }
 

@@ -277,7 +277,10 @@ impl PaseSender {
         let mut sender_leg_sent = false;
         if let Some(tor) = self.plan.sender_leg_to {
             let pruned = self.cfg.early_pruning && self.local.queue >= self.cfg.prune_depth;
-            if !pruned {
+            if pruned {
+                ctx.sim.stats.note_arb_pruned(self.spec.src);
+            } else {
+                ctx.sim.stats.note_arb_climbed(self.spec.src);
                 sender_leg_sent = true;
                 let req = ArbRequest {
                     flow,

@@ -192,9 +192,14 @@ impl PaseHostService {
         req.accumulate(d.queue, d.rate);
         // Forward up the destination half of the tree unless intra-rack or
         // pruned (paper §3.1.2).
-        let forward = !self.tree.same_rack(req.src, self.me)
-            && (!self.cfg.early_pruning || req.acc_queue < self.cfg.prune_depth);
+        let cross_rack = !self.tree.same_rack(req.src, self.me);
+        let pruned = self.cfg.early_pruning && req.acc_queue >= self.cfg.prune_depth;
+        if cross_rack && pruned {
+            io.sim.stats.note_arb_pruned(self.me);
+        }
+        let forward = cross_rack && !pruned;
         if forward {
+            io.sim.stats.note_arb_climbed(self.me);
             let tor = self.tree.tor_of(self.me);
             io.send(Packet::ctrl(
                 req.flow,

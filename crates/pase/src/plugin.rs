@@ -231,6 +231,7 @@ impl PaseSwitchPlugin {
                 // No delegation: climb, unless pruned.
                 let pruned = self.cfg.early_pruning && req.acc_queue >= self.cfg.prune_depth;
                 if !pruned {
+                    io.sim.stats.note_arb_climbed(self.me);
                     io.send(Packet::ctrl(
                         req.flow,
                         self.me,
@@ -239,6 +240,7 @@ impl PaseSwitchPlugin {
                     ));
                     return;
                 }
+                io.sim.stats.note_arb_pruned(self.me);
             }
         }
         self.reply(&req, false, io);

@@ -6,8 +6,12 @@
 //! hangs off, which aggregation switch parents a ToR, and which core
 //! switch parents an aggregation switch. One-, two- and three-tier trees
 //! are all supported (missing levels simply have no parent).
-
-use std::collections::HashMap;
+//!
+//! Node ids are dense, so every per-node attribute lives in a flat vector
+//! indexed by [`NodeId::index`] — on a k=32 fat-tree (9.5k nodes) the
+//! whole structure is a few hundred KB of contiguous memory, and the
+//! lookups on the arbitration hot path (`tor_of`, `level`, `same_rack`)
+//! are plain indexed loads instead of hash probes.
 
 use netsim::ids::NodeId;
 use netsim::time::Rate;
@@ -24,27 +28,30 @@ pub enum Level {
     Core,
 }
 
-/// Extracted tree structure.
+/// Extracted tree structure. All vectors are indexed by dense node id;
+/// entries for nodes a given attribute does not apply to (a switch in
+/// `host_tor`, a host in `level`) are `None`.
 #[derive(Debug, Clone)]
 pub struct TreeInfo {
     /// Each host's ToR.
-    host_tor: HashMap<NodeId, NodeId>,
+    host_tor: Vec<Option<NodeId>>,
     /// Each switch's level.
-    level: HashMap<NodeId, Level>,
+    level: Vec<Option<Level>>,
     /// Each switch's parent (ToR → agg, agg → core).
-    parent: HashMap<NodeId, NodeId>,
+    parent: Vec<Option<NodeId>>,
     /// Capacity of the link `switch -> parent`.
-    uplink_rate: HashMap<NodeId, Rate>,
-    /// Children of each switch (aggs of a core, ToRs of an agg).
-    children: HashMap<NodeId, Vec<NodeId>>,
+    uplink_rate: Vec<Option<Rate>>,
+    /// Children of each switch (aggs of a core, ToRs of an agg), sorted.
+    children: Vec<Vec<NodeId>>,
 }
 
 impl TreeInfo {
     /// Classify a topology as a tree. Panics on non-tree structures (e.g.
     /// a switch with both host and core neighbors at distance 2 levels).
     pub fn from_topology(topo: &Topology) -> TreeInfo {
-        let mut host_tor = HashMap::new();
-        let mut level = HashMap::new();
+        let n = topo.n_nodes();
+        let mut host_tor: Vec<Option<NodeId>> = vec![None; n];
+        let mut level: Vec<Option<Level>> = vec![None; n];
 
         // Level 1: ToRs have host neighbors.
         for sw in topo.switches() {
@@ -53,39 +60,39 @@ impl TreeInfo {
                 .iter()
                 .any(|&(_, peer, _, _)| topo.kind(peer) == NodeKind::Host);
             if has_host {
-                level.insert(sw, Level::Tor);
+                level[sw.index()] = Some(Level::Tor);
             }
         }
         for h in topo.hosts() {
-            host_tor.insert(h, topo.host_tor(h));
+            host_tor[h.index()] = Some(topo.host_tor(h));
         }
         // Level 2: aggs neighbor ToRs but no hosts.
         for sw in topo.switches() {
-            if level.contains_key(&sw) {
+            if level[sw.index()].is_some() {
                 continue;
             }
             let next_to_tor = topo
                 .neighbors(sw)
                 .iter()
-                .any(|&(_, peer, _, _)| level.get(&peer) == Some(&Level::Tor));
+                .any(|&(_, peer, _, _)| level[peer.index()] == Some(Level::Tor));
             if next_to_tor {
-                level.insert(sw, Level::Agg);
+                level[sw.index()] = Some(Level::Agg);
             }
         }
         // Level 3: everything else is core.
         for sw in topo.switches() {
-            level.entry(sw).or_insert(Level::Core);
+            level[sw.index()].get_or_insert(Level::Core);
         }
 
         // Parents: a ToR's agg neighbor; an agg's core neighbor. A node
         // with several upper neighbors keeps the lowest id (deterministic)
         // — multi-rooted trees are approximated by a single parent per
         // child for control-plane purposes.
-        let mut parent = HashMap::new();
-        let mut uplink_rate = HashMap::new();
-        let mut children: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        let mut parent: Vec<Option<NodeId>> = vec![None; n];
+        let mut uplink_rate: Vec<Option<Rate>> = vec![None; n];
+        let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
         for sw in topo.switches() {
-            let my_level = level[&sw];
+            let my_level = level[sw.index()].expect("switch classified");
             let want = match my_level {
                 Level::Tor => Level::Agg,
                 Level::Agg => Level::Core,
@@ -94,17 +101,17 @@ impl TreeInfo {
             let mut ups: Vec<(NodeId, Rate)> = topo
                 .neighbors(sw)
                 .iter()
-                .filter(|&&(_, peer, _, _)| level.get(&peer) == Some(&want))
+                .filter(|&&(_, peer, _, _)| level[peer.index()] == Some(want))
                 .map(|&(_, peer, rate, _)| (peer, rate))
                 .collect();
             ups.sort_by_key(|(id, _)| *id);
             if let Some(&(up, rate)) = ups.first() {
-                parent.insert(sw, up);
-                uplink_rate.insert(sw, rate);
-                children.entry(up).or_default().push(sw);
+                parent[sw.index()] = Some(up);
+                uplink_rate[sw.index()] = Some(rate);
+                children[up.index()].push(sw);
             }
         }
-        for kids in children.values_mut() {
+        for kids in &mut children {
             kids.sort();
         }
         TreeInfo {
@@ -118,27 +125,27 @@ impl TreeInfo {
 
     /// The ToR switch of a host.
     pub fn tor_of(&self, host: NodeId) -> NodeId {
-        self.host_tor[&host]
+        self.host_tor[host.index()].expect("node is a host")
     }
 
     /// A switch's hierarchy level.
     pub fn level(&self, sw: NodeId) -> Level {
-        self.level[&sw]
+        self.level[sw.index()].expect("node is a switch")
     }
 
     /// A switch's parent in the tree, if any.
     pub fn parent(&self, sw: NodeId) -> Option<NodeId> {
-        self.parent.get(&sw).copied()
+        self.parent[sw.index()]
     }
 
     /// Capacity of the link from `sw` to its parent.
     pub fn uplink_rate(&self, sw: NodeId) -> Option<Rate> {
-        self.uplink_rate.get(&sw).copied()
+        self.uplink_rate[sw.index()]
     }
 
     /// The children of a switch (ToRs of an agg; aggs of a core).
     pub fn children(&self, sw: NodeId) -> &[NodeId] {
-        self.children.get(&sw).map_or(&[], |v| v.as_slice())
+        &self.children[sw.index()]
     }
 
     /// Are two hosts in the same rack?
@@ -153,7 +160,7 @@ impl TreeInfo {
             return true;
         }
         let (ta, tb) = (self.tor_of(a), self.tor_of(b));
-        match (self.parent.get(&ta), self.parent.get(&tb)) {
+        match (self.parent[ta.index()], self.parent[tb.index()]) {
             (Some(pa), Some(pb)) => pa == pb,
             _ => true, // no aggregation level: single subtree
         }

@@ -168,6 +168,7 @@ mod tests {
             TopologySpec::small_three_tier(2),
             TopologySpec::small_leaf_spine(2),
             TopologySpec::testbed(),
+            TopologySpec::fat_tree(4),
         ];
         for topo in topos {
             for scheme in Scheme::all() {

@@ -56,6 +56,25 @@ pub enum TopologySpec {
         /// One-way propagation per link.
         link_delay: SimDuration,
     },
+    /// A full k-ary fat-tree (Al-Fares et al.): k pods of k/2 ToR and k/2
+    /// aggregation switches, (k/2)² cores, k²/4 racks of k/2 hosts each —
+    /// k³/4 hosts total (k=16 → 1024, k=32 → 8192). Aggregation switch
+    /// `j` of every pod connects to cores `[j·k/2, (j+1)·k/2)`, so an
+    /// inter-pod flow has (k/2)² equal-cost core paths; the builder
+    /// assigns every switch a distinct deterministic ECMP salt so
+    /// successive tiers hash independently and all of them get used.
+    /// Hosts are rack-major and contiguous in node-id space, which is
+    /// what keeps the compact interval-encoded forwarding tables small.
+    FatTree {
+        /// Pod count / switch radix (even, ≥ 4).
+        k: usize,
+        /// Host access link rate.
+        access: Rate,
+        /// ToR–agg and agg–core link rate.
+        fabric: Rate,
+        /// One-way propagation per link.
+        link_delay: SimDuration,
+    },
 }
 
 impl TopologySpec {
@@ -114,6 +133,18 @@ impl TopologySpec {
         }
     }
 
+    /// A production-scale k-ary fat-tree with the repo's standard link
+    /// parameters (1 G access, 10 G fabric, 25 µs per hop). k=16 is the
+    /// 1024-host scale target; k=32 reaches 8192 hosts.
+    pub fn fat_tree(k: usize) -> TopologySpec {
+        TopologySpec::FatTree {
+            k,
+            access: Rate::from_gbps(1),
+            fabric: Rate::from_gbps(10),
+            link_delay: SimDuration::from_micros(25),
+        }
+    }
+
     /// Number of hosts this topology will have.
     pub fn n_hosts(&self) -> usize {
         match *self {
@@ -128,6 +159,7 @@ impl TopologySpec {
                 hosts_per_leaf,
                 ..
             } => leaves * hosts_per_leaf,
+            TopologySpec::FatTree { k, .. } => k * k * k / 4,
         }
     }
 
@@ -137,6 +169,7 @@ impl TopologySpec {
             TopologySpec::SingleRack { access, .. } => access,
             TopologySpec::ThreeTier { access, .. } => access,
             TopologySpec::LeafSpine { access, .. } => access,
+            TopologySpec::FatTree { access, .. } => access,
         }
     }
 
@@ -146,6 +179,7 @@ impl TopologySpec {
             TopologySpec::SingleRack { access, .. } => access,
             TopologySpec::ThreeTier { fabric, .. } => fabric,
             TopologySpec::LeafSpine { fabric, .. } => fabric,
+            TopologySpec::FatTree { fabric, .. } => fabric,
         }
     }
 
@@ -169,6 +203,14 @@ impl TopologySpec {
                 link_delay,
                 ..
             } => (4u32, access, fabric, link_delay),
+            // Inter-pod: host-ToR-agg-core-agg-ToR-host, 6 links, same
+            // shape as the three-tier tree's worst case.
+            TopologySpec::FatTree {
+                access,
+                fabric,
+                link_delay,
+                ..
+            } => (6u32, access, fabric, link_delay),
         };
         let mut rtt = SimDuration::ZERO;
         for hop in 0..n_links {
@@ -258,6 +300,57 @@ impl TopologySpec {
                 }
                 (b.build(factory, qdisc_for), host_ids)
             }
+            TopologySpec::FatTree {
+                k,
+                access,
+                fabric,
+                link_delay,
+            } => {
+                assert!(k >= 4 && k % 2 == 0, "fat-tree k must be even and >= 4");
+                let half = k / 2;
+                let mut b = TopologyBuilder::new();
+                // Cores first (ids 0..(k/2)²), grouped in rows: row `j`
+                // (cores j·k/2 .. (j+1)·k/2) serves aggregation switch
+                // `j` of every pod. Then per pod: its k/2 aggs, then each
+                // ToR followed immediately by its k/2 hosts, so hosts are
+                // rack-major and contiguous — the property the compact
+                // FIB's interval encoding leans on.
+                let cores: Vec<NodeId> = (0..half * half).map(|_| b.add_switch()).collect();
+                let mut host_ids = Vec::with_capacity(k * k * k / 4);
+                for _pod in 0..k {
+                    let aggs: Vec<NodeId> = (0..half).map(|_| b.add_switch()).collect();
+                    for (j, &agg) in aggs.iter().enumerate() {
+                        for &core in &cores[j * half..(j + 1) * half] {
+                            b.connect(agg, core, fabric, link_delay);
+                        }
+                    }
+                    for _tor in 0..half {
+                        let tor = b.add_switch();
+                        for &agg in &aggs {
+                            b.connect(tor, agg, fabric, link_delay);
+                        }
+                        for _h in 0..half {
+                            let h = b.add_host();
+                            b.connect(h, tor, access, link_delay);
+                            host_ids.push(h);
+                        }
+                    }
+                }
+                let mut net = b.build(factory, qdisc_for);
+                // Give every switch a distinct deterministic ECMP salt:
+                // with the unsalted shared hash, the ToR and the agg on a
+                // path would pick the same equal-cost index, collapsing
+                // the (k/2)² core paths to k/2. Derived from the node id
+                // only, so builds are reproducible; other topologies keep
+                // salt 0 and their historical traces.
+                for node in &mut net.nodes {
+                    if let netsim::node::Node::Switch(sw) = node {
+                        let salt = (sw.id().0 as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                        sw.set_ecmp_salt(salt);
+                    }
+                }
+                (net, host_ids)
+            }
         }
     }
 }
@@ -329,6 +422,154 @@ mod tests {
             seen.insert(sw.route(hosts[11], netsim::ids::FlowId(f)).unwrap());
         }
         assert_eq!(seen.len(), 2, "ECMP should use both spines");
+    }
+
+    fn build(t: &TopologySpec) -> (Network, Vec<NodeId>) {
+        t.build(Arc::new(NullFactory), &|_| Box::new(DropTailQdisc::new(8)))
+    }
+
+    /// Every spec the repo defines, including both fat-tree scale points
+    /// the tests can afford.
+    fn all_specs() -> Vec<TopologySpec> {
+        vec![
+            TopologySpec::paper_baseline(),
+            TopologySpec::small_three_tier(2),
+            TopologySpec::intra_rack(4),
+            TopologySpec::testbed(),
+            TopologySpec::small_leaf_spine(2),
+            TopologySpec::fat_tree(4),
+            TopologySpec::fat_tree(8),
+        ]
+    }
+
+    #[test]
+    fn analytic_base_rtt_matches_topology_walk_for_every_spec() {
+        // The analytic formula hard-codes each variant's worst-case hop
+        // count; this pins it to the graph itself. Hosts 0 and last are
+        // maximally distant in every generator (rack-major order puts
+        // them in different pods/subtrees whenever one exists).
+        for spec in all_specs() {
+            let (net, hosts) = build(&spec);
+            let walked = net
+                .topo
+                .base_rtt(hosts[0], *hosts.last().unwrap(), 1500, 40);
+            assert_eq!(spec.base_rtt(), walked, "spec {spec:?}");
+        }
+    }
+
+    /// Pod and rack of a fat-tree host by its rack-major index.
+    fn ft_pod_rack(k: usize, host_idx: usize) -> (usize, usize) {
+        let half = k / 2;
+        (host_idx / (half * half), host_idx / half)
+    }
+
+    #[test]
+    fn fat_tree_reachability_and_hop_counts() {
+        for k in [4usize, 8] {
+            let t = TopologySpec::fat_tree(k);
+            let (net, hosts) = build(&t);
+            assert_eq!(hosts.len(), k * k * k / 4);
+            // Switch census: (k/2)² cores + k·(k/2) aggs + k·(k/2) ToRs.
+            let half = k / 2;
+            assert_eq!(net.topo.switches().len(), half * half + k * half + k * half);
+            // All pairs reachable with the analytic hop count. Quadratic
+            // in hosts but k≤8 keeps it cheap (128² pairs).
+            for (i, &a) in hosts.iter().enumerate() {
+                for (j, &b) in hosts.iter().enumerate() {
+                    let (pod_a, rack_a) = ft_pod_rack(k, i);
+                    let (pod_b, rack_b) = ft_pod_rack(k, j);
+                    let want = if i == j {
+                        0
+                    } else if rack_a == rack_b {
+                        2
+                    } else if pod_a == pod_b {
+                        4
+                    } else {
+                        6
+                    };
+                    assert_eq!(net.topo.hop_count(a, b), Some(want), "k={k} hosts {i}->{j}");
+                }
+            }
+        }
+    }
+
+    /// Follow the switches' actual ECMP decisions from `src` to `dst`,
+    /// returning the core the packet crosses (inter-pod paths only).
+    fn core_crossed(
+        net: &Network,
+        src: NodeId,
+        dst: NodeId,
+        flow: netsim::ids::FlowId,
+        n_cores: usize,
+    ) -> NodeId {
+        let mut cur = net.topo.host_tor(src);
+        let mut core = None;
+        for _ in 0..8 {
+            let netsim::node::Node::Switch(sw) = &net.nodes[cur.index()] else {
+                panic!("walked into a host mid-path");
+            };
+            let port = sw.route(dst, flow).expect("healthy fabric must route");
+            let (_, peer, _, _) = net.topo.neighbors(cur)[port.index()];
+            if peer == dst {
+                return core.expect("inter-pod path must cross a core");
+            }
+            if peer.index() < n_cores {
+                core = Some(peer);
+            }
+            cur = peer;
+        }
+        panic!("path did not terminate");
+    }
+
+    #[test]
+    fn fat_tree_ecmp_uses_all_core_paths() {
+        for k in [4usize, 8] {
+            let t = TopologySpec::fat_tree(k);
+            let (net, hosts) = build(&t);
+            let half = k / 2;
+            let n_cores = half * half;
+            // Inter-pod pair: host 0 and the last host.
+            let (src, dst) = (hosts[0], *hosts.last().unwrap());
+            let mut seen = std::collections::BTreeSet::new();
+            for f in 0..2048u64 {
+                seen.insert(core_crossed(
+                    &net,
+                    src,
+                    dst,
+                    netsim::ids::FlowId(f),
+                    n_cores,
+                ));
+            }
+            assert_eq!(
+                seen.len(),
+                n_cores,
+                "k={k}: ECMP must spread one src/dst pair over all (k/2)² cores"
+            );
+        }
+    }
+
+    #[test]
+    fn fat_tree_hosts_are_rack_major_contiguous() {
+        let t = TopologySpec::fat_tree(4);
+        let (net, hosts) = build(&t);
+        // Consecutive ids within each rack of k/2 hosts.
+        for pair in hosts.chunks(2) {
+            assert_eq!(pair[1].0, pair[0].0 + 1);
+            assert_eq!(net.topo.host_tor(pair[0]), net.topo.host_tor(pair[1]));
+        }
+        // The compact FIBs stay small: every switch's table is a handful
+        // of intervals, not one per destination.
+        let n_nodes = net.topo.n_nodes();
+        for sw_id in net.topo.switches() {
+            let netsim::node::Node::Switch(sw) = &net.nodes[sw_id.index()] else {
+                panic!()
+            };
+            assert!(
+                sw.fib().intervals() < n_nodes / 2,
+                "switch {sw_id} FIB has {} intervals for {n_nodes} nodes",
+                sw.fib().intervals()
+            );
+        }
     }
 
     #[test]

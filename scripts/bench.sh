@@ -30,5 +30,6 @@ import json
 doc = json.load(open("BENCH_netsim.json"))
 for s in doc["scenarios"]:
     print(f'{s["name"]:>14}: {s["events_per_sec"]:>12,.0f} events/s  '
-          f'{s["wall_ms"]:>10.1f} ms  peak_pending={s["peak_pending_events"]}')
+          f'{s["wall_ms"]:>10.1f} ms  peak_pending={s["peak_pending_events"]}  '
+          f'rss={s["peak_rss_bytes"] / 2**20:,.0f} MiB')
 EOF

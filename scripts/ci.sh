@@ -57,6 +57,15 @@ echo "== bench smoke (sched-storm + wheel-storm, quick) =="
 ./target/release/netsim-bench --quick --scenario sched-storm,wheel-storm \
     --jobs "${JOBS:-2}" >/dev/null
 
+# Production-scale smoke: build the k=8 fat-tree (128 hosts) under PASE,
+# audit the compact interval FIBs, run a 2k-flow incast slice twice with
+# invariants (packet conservation included) under the dual-run
+# byte-identical-trace discipline, and hold the process to a peak-RSS
+# budget. Catches scale regressions (dense route tables, per-flow metric
+# blowup) that the small-topology tests can't see.
+echo "== scale smoke (k=8 fat-tree, 2k-flow incast, dual-run, ${JOBS:-2} jobs) =="
+./target/release/scale_smoke --jobs "${JOBS:-2}"
+
 if cargo fmt --version >/dev/null 2>&1; then
     echo "== cargo fmt --check =="
     cargo fmt --all -- --check
